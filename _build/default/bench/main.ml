@@ -1,0 +1,120 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (see DESIGN.md, per-experiment index) and adds
+   Bechamel micro-benchmarks of the toolchain itself.
+
+   Usage:
+     bench/main.exe                 run everything (default workload)
+     bench/main.exe -e table1       only Table 1
+     bench/main.exe -e figure2      only Figure 2
+     bench/main.exe -e listings     only Listings 1/2
+     bench/main.exe -e annot       only the annotation-flow demo
+     bench/main.exe -e ablation    only the ablations
+     bench/main.exe -e overestimation   bound tightness study
+     bench/main.exe -e micro       only the Bechamel micro-benchmarks
+     bench/main.exe -n 120         workload size (default 60) *)
+
+let ppf = Format.std_formatter
+
+let sep (title : string) : unit =
+  Format.fprintf ppf "@.%s@.%s@.@." title (String.make (String.length title) '=')
+
+let run_micro () : unit =
+  sep "Micro-benchmarks (Bechamel): toolchain phases on one medium node";
+  let node =
+    Scade.Workload.generate_node ~profile:Scade.Workload.medium_node ~seed:42
+      "bench"
+  in
+  let src = Scade.Acg.generate node in
+  let vcomp_asm = Fcstack.Chain.build Fcstack.Chain.Cvcomp src in
+  let tests =
+    [ Bechamel.Test.make ~name:"acg"
+        (Bechamel.Staged.stage (fun () -> ignore (Scade.Acg.generate node)));
+      Bechamel.Test.make ~name:"compile-default-O0"
+        (Bechamel.Staged.stage (fun () ->
+             ignore (Cotsc.Driver.compile ~level:Cotsc.Driver.Onone src)));
+      Bechamel.Test.make ~name:"compile-default-O2"
+        (Bechamel.Staged.stage (fun () ->
+             ignore (Cotsc.Driver.compile ~level:Cotsc.Driver.Ofull src)));
+      Bechamel.Test.make ~name:"compile-vcomp"
+        (Bechamel.Staged.stage (fun () ->
+             ignore
+               (Vcomp.Driver.compile ~options:Vcomp.Driver.no_validation src)));
+      Bechamel.Test.make ~name:"compile-vcomp-validated"
+        (Bechamel.Staged.stage (fun () -> ignore (Vcomp.Driver.compile src)));
+      Bechamel.Test.make ~name:"wcet-analysis"
+        (Bechamel.Staged.stage (fun () ->
+             ignore (Fcstack.Chain.wcet vcomp_asm)));
+      Bechamel.Test.make ~name:"simulate-one-cycle"
+        (Bechamel.Staged.stage (fun () ->
+             ignore
+               (Fcstack.Chain.simulate vcomp_asm
+                  (Minic.Interp.seeded_world ~seed:1 ())))) ]
+  in
+  let benchmark test =
+    let open Bechamel in
+    let instances = [ Toolkit.Instance.monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+    let raw = Benchmark.all cfg instances test in
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  List.iter
+    (fun test ->
+       let results = benchmark test in
+       Hashtbl.iter
+         (fun name ols ->
+            match Bechamel.Analyze.OLS.estimates ols with
+            | Some [ t ] -> Format.fprintf ppf "  %-28s %12.1f ns/run@." name t
+            | Some _ | None -> Format.fprintf ppf "  %-28s (no estimate)@." name)
+         results)
+    tests
+
+let () =
+  let experiment = ref "all" in
+  let nodes = ref 60 in
+  let rec parse (args : string list) : unit =
+    match args with
+    | "-e" :: e :: rest ->
+      experiment := e;
+      parse rest
+    | "-n" :: n :: rest ->
+      nodes := int_of_string n;
+      parse rest
+    | _ :: rest -> parse rest
+    | [] -> ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let want (e : string) : bool = !experiment = "all" || !experiment = e in
+  let workload = lazy (Fcstack.Experiments.run_workload ~nodes:!nodes ()) in
+  if want "listings" then begin
+    sep "Experiment listing-1-2";
+    Fcstack.Experiments.print_listings ppf
+  end;
+  if want "table1" then begin
+    sep "Experiment table-1";
+    Fcstack.Experiments.print_table1 ppf (Lazy.force workload);
+    Format.fprintf ppf "@."
+  end;
+  if want "figure2" then begin
+    sep "Experiment figure-2";
+    Fcstack.Experiments.print_figure2 ppf (Lazy.force workload);
+    Format.fprintf ppf "@."
+  end;
+  if want "annot" then begin
+    sep "Experiment annot-flow";
+    Fcstack.Experiments.print_annot_demo ppf;
+    Format.fprintf ppf "@."
+  end;
+  if want "ablation" then begin
+    sep "Experiment ablation";
+    Fcstack.Experiments.print_ablation ppf ~nodes:(min 30 !nodes) ();
+    Format.fprintf ppf "@."
+  end;
+  if want "overestimation" then begin
+    sep "Experiment overestimation";
+    Fcstack.Experiments.print_overestimation ppf ~nodes:(min 20 !nodes) ();
+    Format.fprintf ppf "@."
+  end;
+  if want "micro" then run_micro ();
+  Format.pp_print_flush ppf ()

@@ -1,0 +1,106 @@
+(* aitw — static WCET analyzer driver (the aiT stand-in).
+
+   Compiles a mini-C source file under a chosen configuration, links it
+   (memory layout), runs the full analysis chain (CFG reconstruction,
+   loop & value analysis, cache & pipeline analysis, IPET) and prints
+   the WCET report. With --compare it analyzes all four configurations
+   and prints a per-function comparison; with --simulate it also runs
+   the simulator over several input worlds and reports the worst
+   observed cycle count next to the bound. *)
+
+let read_file (path : string) : string =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let observed_max (b : Fcstack.Chain.built) (seeds : int list) : int =
+  List.fold_left
+    (fun acc seed ->
+       let w = Minic.Interp.seeded_world ~seed () in
+       let rr = Fcstack.Chain.simulate b w in
+       max acc rr.Target.Sim.rr_stats.Target.Sim.cycles)
+    0 seeds
+
+let run (file : string) (compiler : string) (compare_all : bool)
+    (simulate : bool) (annot_out : string option) : int =
+  try
+    let src = Minic.Parser.parse_program (read_file file) in
+    Minic.Typecheck.check_program_exn src;
+    let analyze_one (comp : Fcstack.Chain.compiler) : unit =
+      let b = Fcstack.Chain.build comp src in
+      (match annot_out with
+       | Some path ->
+         Wcet.Annotfile.write_file path b.Fcstack.Chain.b_asm;
+         Printf.printf "annotation file written to %s\n" path
+       | None -> ());
+      let report = Fcstack.Chain.wcet b in
+      Printf.printf "--- %s ---\n" (Fcstack.Chain.compiler_description comp);
+      print_string (Wcet.Report.to_string report);
+      if simulate then begin
+        let m = observed_max b [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+        Printf.printf "  max observed      : %d cycles (8 random worlds)\n" m;
+        Printf.printf "  overestimation    : %+.1f%%\n"
+          (100.0
+           *. (float_of_int report.Wcet.Report.rp_wcet /. float_of_int m -. 1.0))
+      end;
+      print_newline ()
+    in
+    if compare_all then List.iter analyze_one Fcstack.Chain.all_compilers
+    else begin
+      match
+        (match compiler with
+         | "o0" -> Some Fcstack.Chain.Cdefault_o0
+         | "o1" -> Some Fcstack.Chain.Cdefault_o1
+         | "o2" -> Some Fcstack.Chain.Cdefault_o2
+         | "vcomp" -> Some Fcstack.Chain.Cvcomp
+         | _ -> None)
+      with
+      | Some c -> analyze_one c
+      | None ->
+        Printf.eprintf "unknown compiler %S\n" compiler;
+        exit 2
+    end;
+    0
+  with
+  | Minic.Parser.Parse_error msg | Minic.Lexer.Lex_error (msg, _) ->
+    Printf.eprintf "%s: parse error: %s\n" file msg;
+    2
+  | Wcet.Driver.Error msg ->
+    Printf.eprintf "%s: WCET analysis failed: %s\n" file msg;
+    1
+  | Invalid_argument msg ->
+    Printf.eprintf "%s: %s\n" file msg;
+    2
+
+open Cmdliner
+
+let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.mc")
+
+let compiler_arg =
+  Arg.(value & opt string "vcomp"
+       & info [ "c"; "compiler" ] ~docv:"COMPILER" ~doc:"o0, o1, o2 or vcomp.")
+
+let compare_arg =
+  Arg.(value & flag & info [ "compare" ] ~doc:"Analyze all four configurations.")
+
+let simulate_arg =
+  Arg.(value & flag
+       & info [ "simulate" ]
+           ~doc:"Also report the worst cycle count observed on the simulator.")
+
+let annot_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "annot-out" ] ~docv:"FILE"
+           ~doc:"Write the generated annotation file (paper section 3.4).")
+
+let cmd =
+  let doc = "static WCET analysis of compiled flight-control code" in
+  Cmd.v
+    (Cmd.info "aitw" ~doc)
+    Term.(
+      const run $ file_arg $ compiler_arg $ compare_arg $ simulate_arg
+      $ annot_out_arg)
+
+let () = exit (Cmd.eval' cmd)

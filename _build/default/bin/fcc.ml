@@ -1,0 +1,103 @@
+(* fcc — flight-control compiler driver.
+
+   Compiles a mini-C source file (.mc) under one of the four
+   configurations of the paper's evaluation and prints (or writes) the
+   generated assembly. Optionally runs the whole-chain translation
+   validation (source interpreter vs machine simulator) and prints the
+   RTL dump of the verified-style compiler. *)
+
+let read_file (path : string) : string =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let compiler_of_string (s : string) : (Fcstack.Chain.compiler, string) Result.t =
+  match s with
+  | "o0" | "default-O0" -> Ok Fcstack.Chain.Cdefault_o0
+  | "o1" | "default-O1" -> Ok Fcstack.Chain.Cdefault_o1
+  | "o2" | "default-O2" -> Ok Fcstack.Chain.Cdefault_o2
+  | "vcomp" -> Ok Fcstack.Chain.Cvcomp
+  | _ -> Error (Printf.sprintf "unknown compiler %S (o0|o1|o2|vcomp)" s)
+
+let run (file : string) (compiler : string) (output : string option)
+    (validate : bool) (dump_rtl : bool) (exact : bool) : int =
+  match compiler_of_string compiler with
+  | Error msg ->
+    prerr_endline msg;
+    2
+  | Ok comp ->
+    (try
+       let src = Minic.Parser.parse_program (read_file file) in
+       Minic.Typecheck.check_program_exn src;
+       if dump_rtl then begin
+         let rtl, _ = Vcomp.Driver.compile_with_rtl src in
+         List.iter
+           (fun f -> print_string (Vcomp.Rtl.dump_func f))
+           rtl.Vcomp.Rtl.p_funcs
+       end;
+       let b = Fcstack.Chain.build ~exact ~validate:(validate && comp = Fcstack.Chain.Cvcomp) comp src in
+       let text = Target.Emit.program_to_string b.Fcstack.Chain.b_asm in
+       (match output with
+        | Some path ->
+          let oc = open_out path in
+          output_string oc text;
+          close_out oc
+        | None -> print_string text);
+       if validate then begin
+         match Fcstack.Chain.validate_chain b with
+         | Ok () ->
+           Printf.eprintf "validation: machine code matches source semantics\n";
+           0
+         | Error msg ->
+           Printf.eprintf "validation FAILED:\n%s\n" msg;
+           1
+       end
+       else 0
+     with
+     | Minic.Parser.Parse_error msg | Minic.Lexer.Lex_error (msg, _) ->
+       Printf.eprintf "%s: parse error: %s\n" file msg;
+       2
+     | Invalid_argument msg ->
+       Printf.eprintf "%s: %s\n" file msg;
+       2)
+
+open Cmdliner
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.mc")
+
+let compiler_arg =
+  Arg.(value & opt string "vcomp"
+       & info [ "c"; "compiler" ] ~docv:"COMPILER"
+           ~doc:"Configuration: o0, o1, o2 or vcomp.")
+
+let output_arg =
+  Arg.(value & opt (some string) None
+       & info [ "o"; "output" ] ~docv:"FILE.s" ~doc:"Write assembly here.")
+
+let validate_arg =
+  Arg.(value & flag
+       & info [ "validate" ]
+           ~doc:"Run whole-chain translation validation (interpreter vs \
+                 simulator) after compiling.")
+
+let dump_rtl_arg =
+  Arg.(value & flag & info [ "dump-rtl" ] ~doc:"Dump the optimized RTL (vcomp).")
+
+let exact_arg =
+  Arg.(value & flag
+       & info [ "exact" ]
+           ~doc:"Disable semantics-relaxing optimizations (the default-O2 \
+                 FMA contraction).")
+
+let cmd =
+  let doc = "compile flight-control mini-C under the paper's configurations" in
+  Cmd.v
+    (Cmd.info "fcc" ~doc)
+    Term.(
+      const run $ file_arg $ compiler_arg $ output_arg $ validate_arg
+      $ dump_rtl_arg $ exact_arg)
+
+let () = exit (Cmd.eval' cmd)

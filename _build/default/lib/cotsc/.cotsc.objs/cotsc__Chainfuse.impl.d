@@ -1,0 +1,1 @@
+lib/cotsc/chainfuse.ml: List Minic String

@@ -1,0 +1,1 @@
+lib/cotsc/codegen.ml: Array Chainfuse Fold Format Hashtbl Int32 Int64 List Minic Option String Target

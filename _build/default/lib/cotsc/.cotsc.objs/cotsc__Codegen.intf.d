@@ -1,0 +1,1 @@
+lib/cotsc/codegen.mli: Minic Target

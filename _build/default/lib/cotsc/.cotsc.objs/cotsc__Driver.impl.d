@@ -1,0 +1,1 @@
+lib/cotsc/driver.ml: Codegen Minic Peephole Sched Target

@@ -1,0 +1,1 @@
+lib/cotsc/driver.mli: Codegen Minic Target

@@ -1,0 +1,1 @@
+lib/cotsc/fold.ml: List Minic

@@ -1,0 +1,1 @@
+lib/cotsc/peephole.ml: Int32 List Target

@@ -1,0 +1,1 @@
+lib/cotsc/peephole.mli: Target

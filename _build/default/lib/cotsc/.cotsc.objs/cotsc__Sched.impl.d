@@ -1,0 +1,1 @@
+lib/cotsc/sched.ml: Array List Target

@@ -1,0 +1,177 @@
+(* O2 front-end pass: fusion of single-use wire chains into expression
+   trees ("tree matching", what an industrial -O2 gets from SSA-based
+   selection). The ACG emits one statement per symbol wired through
+   single-assignment locals; fusing a definition into its unique
+   immediately-following use lets the register-stack evaluator keep the
+   whole chain in registers with no local-variable traffic.
+
+   Safety conditions (checked syntactically):
+   - the local is assigned exactly once in the function;
+   - its right-hand side is pure and reads only locals and constants
+     (no globals, arrays or volatiles: those may be written between the
+     definition and the use);
+   - the unique use occurs in the *next* statement of the sequence, and
+     not inside a loop of that statement (a loop body may re-evaluate
+     the substituted expression after its free locals changed). *)
+
+module A = Minic.Ast
+
+(* Is [e] pure and reading only locals/constants? *)
+let rec local_pure (e : A.expr) : bool =
+  match e with
+  | A.Econst_int _ | A.Econst_float _ | A.Econst_bool _ | A.Evar _ -> true
+  | A.Eglobal _ | A.Eindex _ | A.Evolatile _ -> false
+  | A.Eunop (_, a) -> local_pure a
+  | A.Ebinop (_, a, b) -> local_pure a && local_pure b
+  | A.Econd (c, a, b) -> local_pure c && local_pure a && local_pure b
+
+let rec expr_uses (x : string) (e : A.expr) : int =
+  match e with
+  | A.Evar y -> if String.equal x y then 1 else 0
+  | A.Econst_int _ | A.Econst_float _ | A.Econst_bool _ | A.Eglobal _
+  | A.Evolatile _ -> 0
+  | A.Eindex (_, i) -> expr_uses x i
+  | A.Eunop (_, a) -> expr_uses x a
+  | A.Ebinop (_, a, b) -> expr_uses x a + expr_uses x b
+  | A.Econd (c, a, b) -> expr_uses x c + expr_uses x a + expr_uses x b
+
+(* Uses of [x] in statement [s]; [in_loop] counts as 2 so that a
+   loop-context use disqualifies the single-use test. *)
+let rec stmt_uses ?(in_loop = false) (x : string) (s : A.stmt) : int =
+  let w n = if in_loop && n > 0 then n + 1 else n in
+  match s with
+  | A.Sskip -> 0
+  | A.Sassign (_, e) | A.Sglobassign (_, e) | A.Svolstore (_, e) ->
+    w (expr_uses x e)
+  | A.Sstore (_, i, e) -> w (expr_uses x i + expr_uses x e)
+  | A.Sseq (a, b) -> stmt_uses ~in_loop x a + stmt_uses ~in_loop x b
+  | A.Sif (c, a, b) ->
+    w (expr_uses x c) + stmt_uses ~in_loop x a + stmt_uses ~in_loop x b
+  | A.Swhile (c, body) ->
+    w (expr_uses x c * 2) + stmt_uses ~in_loop:true x body
+  | A.Sfor (i, lo, hi, body) ->
+    (if String.equal i x then 2 else 0)
+    + w (expr_uses x lo + expr_uses x hi)
+    + stmt_uses ~in_loop:true x body
+  | A.Sreturn None -> 0
+  | A.Sreturn (Some e) -> w (expr_uses x e)
+  | A.Sannot (_, args) ->
+    w (List.fold_left (fun acc e -> acc + expr_uses x e) 0 args)
+
+let rec stmt_assigns (x : string) (s : A.stmt) : int =
+  match s with
+  | A.Sassign (y, _) -> if String.equal x y then 1 else 0
+  | A.Sfor (i, _, _, body) ->
+    (if String.equal i x then 1 else 0) + stmt_assigns x body
+  | A.Sseq (a, b) -> stmt_assigns x a + stmt_assigns x b
+  | A.Sif (_, a, b) -> stmt_assigns x a + stmt_assigns x b
+  | A.Swhile (_, body) -> stmt_assigns x body
+  | A.Sskip | A.Sglobassign _ | A.Sstore _ | A.Svolstore _ | A.Sreturn _
+  | A.Sannot _ -> 0
+
+let rec subst_expr (x : string) (v : A.expr) (e : A.expr) : A.expr =
+  match e with
+  | A.Evar y when String.equal x y -> v
+  | A.Evar _ | A.Econst_int _ | A.Econst_float _ | A.Econst_bool _
+  | A.Eglobal _ | A.Evolatile _ -> e
+  | A.Eindex (a, i) -> A.Eindex (a, subst_expr x v i)
+  | A.Eunop (op, a) -> A.Eunop (op, subst_expr x v a)
+  | A.Ebinop (op, a, b) -> A.Ebinop (op, subst_expr x v a, subst_expr x v b)
+  | A.Econd (c, a, b) ->
+    A.Econd (subst_expr x v c, subst_expr x v a, subst_expr x v b)
+
+(* Substitute in non-loop positions only (callers have checked the use
+   is not in a loop). *)
+let rec subst_stmt (x : string) (v : A.expr) (s : A.stmt) : A.stmt =
+  match s with
+  | A.Sskip -> s
+  | A.Sassign (y, e) -> A.Sassign (y, subst_expr x v e)
+  | A.Sglobassign (y, e) -> A.Sglobassign (y, subst_expr x v e)
+  | A.Sstore (a, i, e) -> A.Sstore (a, subst_expr x v i, subst_expr x v e)
+  | A.Svolstore (y, e) -> A.Svolstore (y, subst_expr x v e)
+  | A.Sseq (a, b) -> A.Sseq (subst_stmt x v a, subst_stmt x v b)
+  | A.Sif (c, a, b) ->
+    A.Sif (subst_expr x v c, subst_stmt x v a, subst_stmt x v b)
+  | A.Swhile _ | A.Sfor _ -> s (* never substituted into, by the use check *)
+  | A.Sreturn None -> s
+  | A.Sreturn (Some e) -> A.Sreturn (Some (subst_expr x v e))
+  | A.Sannot (text, args) -> A.Sannot (text, List.map (subst_expr x v) args)
+
+(* Flatten a Sseq tree into a statement list and back. *)
+let rec flatten (s : A.stmt) (acc : A.stmt list) : A.stmt list =
+  match s with
+  | A.Sseq (a, b) -> flatten a (flatten b acc)
+  | A.Sskip -> acc
+  | _ -> s :: acc
+
+let rec reseq (ss : A.stmt list) : A.stmt =
+  match ss with
+  | [] -> A.Sskip
+  | [ s ] -> s
+  | s :: rest -> A.Sseq (s, reseq rest)
+
+(* Free local variables of an expression. *)
+let rec free_locals (e : A.expr) (acc : string list) : string list =
+  match e with
+  | A.Evar y -> if List.mem y acc then acc else y :: acc
+  | A.Econst_int _ | A.Econst_float _ | A.Econst_bool _ | A.Eglobal _
+  | A.Evolatile _ -> acc
+  | A.Eindex (_, i) -> free_locals i acc
+  | A.Eunop (_, a) -> free_locals a acc
+  | A.Ebinop (_, a, b) -> free_locals a (free_locals b acc)
+  | A.Econd (c, a, b) -> free_locals c (free_locals a (free_locals b acc))
+
+(* Try to fuse [x = e1] into its unique use within the next [lookahead]
+   statements. Returns the rewritten tail on success. Intervening
+   statements must neither use [x] nor reassign a free local of [e1]
+   (they execute unconditionally in sequence, so skipping over them is
+   safe for a pure definition). *)
+let try_fuse (x : string) (e1 : A.expr) (tail : A.stmt list) :
+  A.stmt list option =
+  let fv = free_locals e1 [] in
+  let rec go (skipped : A.stmt list) (k : int) (ss : A.stmt list) :
+    A.stmt list option =
+    match ss with
+    | [] -> None
+    | s :: rest ->
+      if stmt_uses x s = 1
+         && List.for_all (fun v -> stmt_assigns v s = 0) fv
+         && List.for_all (fun s' -> stmt_uses x s' = 0) rest then
+        Some (List.rev_append skipped (subst_stmt x e1 s :: rest))
+      else if k > 0 && stmt_uses x s = 0
+              && List.for_all (fun v -> stmt_assigns v s = 0) fv then
+        go (s :: skipped) (k - 1) rest
+      else None
+  in
+  go [] 5 tail
+
+(* One fusion sweep over a statement list. *)
+let rec sweep (assign_count : string -> int) (ss : A.stmt list) : A.stmt list =
+  match ss with
+  | (A.Sassign (x, e1) as def) :: rest
+    when local_pure e1 && expr_uses x e1 = 0 && assign_count x = 1 ->
+    (match try_fuse x e1 rest with
+     | Some rest' -> sweep assign_count rest'
+     | None -> def :: sweep assign_count rest)
+  | s :: rest ->
+    let s =
+      (* recurse into structured statements *)
+      match s with
+      | A.Sif (c, a, b) ->
+        A.Sif (c, reseq (sweep assign_count (flatten a [])),
+               reseq (sweep assign_count (flatten b [])))
+      | _ -> s
+    in
+    s :: sweep assign_count rest
+  | [] -> []
+
+let fuse_func (f : A.func) : A.func =
+  let body = flatten f.A.fn_body [] in
+  let assign_count x = stmt_assigns x f.A.fn_body in
+  (* note: assign counts are computed on the original body; fusion only
+     removes assignments, so a count of 1 remains valid *)
+  let body = sweep assign_count body in
+  { f with A.fn_body = reseq body }
+
+let fuse_program (p : A.program) : A.program =
+  { p with A.prog_funcs = List.map fuse_func p.A.prog_funcs }

@@ -1,0 +1,15 @@
+(** Full-O front-end pass: fusion of single-use wire chains into
+    expression trees. Safety conditions (single assignment, pure
+    locals-only right-hand side, no intervening redefinition, use not
+    inside a loop) are documented in the implementation header; the
+    test suite checks semantic preservation on random programs. *)
+
+val local_pure : Minic.Ast.expr -> bool
+val expr_uses : string -> Minic.Ast.expr -> int
+val stmt_uses : ?in_loop:bool -> string -> Minic.Ast.stmt -> int
+val stmt_assigns : string -> Minic.Ast.stmt -> int
+val flatten : Minic.Ast.stmt -> Minic.Ast.stmt list -> Minic.Ast.stmt list
+val reseq : Minic.Ast.stmt list -> Minic.Ast.stmt
+
+val fuse_func : Minic.Ast.func -> Minic.Ast.func
+val fuse_program : Minic.Ast.program -> Minic.Ast.program

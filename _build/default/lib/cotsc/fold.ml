@@ -1,0 +1,83 @@
+(* AST-level constant folding, the only "optimization" the COTS baseline
+   performs below -O2 (and the paper measures it at a mere -0.5% WCET:
+   everything still makes the stack-frame round trip).
+
+   Folding uses the exact dynamic semantics of [Minic.Value], so folded
+   float operations are bit-identical to run-time evaluation. Volatile
+   reads are opaque (never folded); discarding the unselected arm of a
+   constant conditional is sound because mini-C conditional expressions
+   are lazy. *)
+
+let value_of_const (e : Minic.Ast.expr) : Minic.Value.t option =
+  match e with
+  | Minic.Ast.Econst_int n -> Some (Minic.Value.Vint n)
+  | Minic.Ast.Econst_float f -> Some (Minic.Value.Vfloat f)
+  | Minic.Ast.Econst_bool b -> Some (Minic.Value.Vbool b)
+  | Minic.Ast.Evar _ | Minic.Ast.Eglobal _ | Minic.Ast.Eindex _
+  | Minic.Ast.Eunop _ | Minic.Ast.Ebinop _ | Minic.Ast.Econd _
+  | Minic.Ast.Evolatile _ -> None
+
+let const_of_value (v : Minic.Value.t) : Minic.Ast.expr =
+  match v with
+  | Minic.Value.Vint n -> Minic.Ast.Econst_int n
+  | Minic.Value.Vfloat f -> Minic.Ast.Econst_float f
+  | Minic.Value.Vbool b -> Minic.Ast.Econst_bool b
+
+let rec fold_expr (e : Minic.Ast.expr) : Minic.Ast.expr =
+  match e with
+  | Minic.Ast.Econst_int _ | Minic.Ast.Econst_float _
+  | Minic.Ast.Econst_bool _ | Minic.Ast.Evar _ | Minic.Ast.Eglobal _
+  | Minic.Ast.Evolatile _ -> e
+  | Minic.Ast.Eindex (a, i) -> Minic.Ast.Eindex (a, fold_expr i)
+  | Minic.Ast.Eunop (op, e1) ->
+    let e1 = fold_expr e1 in
+    (match value_of_const e1 with
+     | Some v ->
+       (try const_of_value (Minic.Value.eval_unop op v)
+        with Minic.Value.Type_error _ -> Minic.Ast.Eunop (op, e1))
+     | None -> Minic.Ast.Eunop (op, e1))
+  | Minic.Ast.Ebinop (op, e1, e2) ->
+    let e1 = fold_expr e1 and e2 = fold_expr e2 in
+    (match value_of_const e1, value_of_const e2 with
+     | Some v1, Some v2 ->
+       (try const_of_value (Minic.Value.eval_binop op v1 v2)
+        with Minic.Value.Type_error _ -> Minic.Ast.Ebinop (op, e1, e2))
+     | _, _ -> Minic.Ast.Ebinop (op, e1, e2))
+  | Minic.Ast.Econd (c, e1, e2) ->
+    let c = fold_expr c in
+    (match value_of_const c with
+     | Some (Minic.Value.Vbool true) -> fold_expr e1
+     | Some (Minic.Value.Vbool false) -> fold_expr e2
+     | Some _ | None -> Minic.Ast.Econd (c, fold_expr e1, fold_expr e2))
+
+let rec fold_stmt (s : Minic.Ast.stmt) : Minic.Ast.stmt =
+  match s with
+  | Minic.Ast.Sskip -> s
+  | Minic.Ast.Sassign (x, e) -> Minic.Ast.Sassign (x, fold_expr e)
+  | Minic.Ast.Sglobassign (x, e) -> Minic.Ast.Sglobassign (x, fold_expr e)
+  | Minic.Ast.Sstore (a, i, e) -> Minic.Ast.Sstore (a, fold_expr i, fold_expr e)
+  | Minic.Ast.Svolstore (x, e) -> Minic.Ast.Svolstore (x, fold_expr e)
+  | Minic.Ast.Sseq (a, b) -> Minic.Ast.Sseq (fold_stmt a, fold_stmt b)
+  | Minic.Ast.Sif (c, a, b) ->
+    let c = fold_expr c in
+    (match value_of_const c with
+     | Some (Minic.Value.Vbool true) -> fold_stmt a
+     | Some (Minic.Value.Vbool false) -> fold_stmt b
+     | Some _ | None -> Minic.Ast.Sif (c, fold_stmt a, fold_stmt b))
+  | Minic.Ast.Swhile (c, body) ->
+    let c = fold_expr c in
+    (match value_of_const c with
+     | Some (Minic.Value.Vbool false) -> Minic.Ast.Sskip
+     | Some _ | None -> Minic.Ast.Swhile (c, fold_stmt body))
+  | Minic.Ast.Sfor (i, lo, hi, body) ->
+    Minic.Ast.Sfor (i, fold_expr lo, fold_expr hi, fold_stmt body)
+  | Minic.Ast.Sreturn None -> s
+  | Minic.Ast.Sreturn (Some e) -> Minic.Ast.Sreturn (Some (fold_expr e))
+  | Minic.Ast.Sannot (text, args) ->
+    Minic.Ast.Sannot (text, List.map fold_expr args)
+
+let fold_func (f : Minic.Ast.func) : Minic.Ast.func =
+  { f with Minic.Ast.fn_body = fold_stmt f.Minic.Ast.fn_body }
+
+let fold_program (p : Minic.Ast.program) : Minic.Ast.program =
+  { p with Minic.Ast.prog_funcs = List.map fold_func p.Minic.Ast.prog_funcs }

@@ -1,0 +1,10 @@
+(** AST-level constant folding — the only optimization of the baseline
+    below full -O (the paper measures its configuration at -0.5 % WCET).
+    Folding reuses the exact dynamic semantics of {!Minic.Value}, so
+    folded float operations are bit-identical to run-time evaluation;
+    volatile reads are never folded. *)
+
+val fold_expr : Minic.Ast.expr -> Minic.Ast.expr
+val fold_stmt : Minic.Ast.stmt -> Minic.Ast.stmt
+val fold_func : Minic.Ast.func -> Minic.Ast.func
+val fold_program : Minic.Ast.program -> Minic.Ast.program

@@ -1,0 +1,87 @@
+(* Assembly peephole of the COTS baseline (enabled at O1 and O2):
+
+   - store-to-slot immediately followed by a load from the same slot
+     becomes the store plus a register move (removes one data-cache
+     read);
+   - moves to self are deleted;
+   - an unconditional branch to the immediately following label is
+     deleted.
+
+   The window never crosses labels or branches (basic-block local), so
+   the rewrites are trivially sound; the test suite still runs the
+   differential validator over peepholed code. *)
+
+module Asm = Target.Asm
+
+let same_addr (a : Asm.address) (b : Asm.address) : bool =
+  match a, b with
+  | Asm.Aind (r1, o1), Asm.Aind (r2, o2) -> r1 = r2 && Int32.equal o1 o2
+  | _, _ -> false
+
+(* [forward_slots] enables the store/load forwarding rewrite: part of
+   the full -O2 configuration only; the "-O without register
+   allocation" configuration keeps the memory traffic of the patterns
+   (which is why the paper measures it at -0.5% WCET). *)
+let rec rewrite ~(forward_slots : bool) (code : Asm.instr list) :
+  Asm.instr list =
+  let rewrite = rewrite ~forward_slots in
+  match code with
+  (* stw rX, slot; lwz rY, slot  =>  stw rX, slot; mr rY, rX *)
+  | (Asm.Pstw (rx, a) as st) :: Asm.Plwz (ry, b) :: rest
+    when forward_slots && same_addr a b ->
+    if rx = ry then st :: rewrite rest
+    else st :: rewrite (Asm.Pmr (ry, rx) :: rest)
+  | (Asm.Pstfd (fx, a) as st) :: Asm.Plfd (fy, b) :: rest
+    when forward_slots && same_addr a b ->
+    if fx = fy then st :: rewrite rest
+    else st :: rewrite (Asm.Pfmr (fy, fx) :: rest)
+  (* mr r, r / fmr f, f *)
+  | Asm.Pmr (d, s) :: rest when d = s -> rewrite rest
+  | Asm.Pfmr (d, s) :: rest when d = s -> rewrite rest
+  (* b L; L: *)
+  | Asm.Pb l1 :: (Asm.Plabel l2 :: _ as rest) when l1 = l2 -> rewrite rest
+  (* bc C, L1; b L2; L1:  =>  bc !C, L2; L1:   (branch inversion) *)
+  | Asm.Pbc (c, l1) :: Asm.Pb l2 :: (Asm.Plabel l1' :: _ as rest)
+    when forward_slots && l1 = l1' ->
+    Asm.Pbc (Asm.negate_cond c, l2) :: rewrite rest
+  | i :: rest -> i :: rewrite rest
+  | [] -> []
+
+let run_func ~(forward_slots : bool) (f : Asm.func) : Asm.func =
+  (* iterate to a small fixpoint: rewrites may enable one another *)
+  let rec loop code budget =
+    let code' = rewrite ~forward_slots code in
+    if budget = 0 || List.length code' = List.length code then code'
+    else loop code' (budget - 1)
+  in
+  { f with Asm.fn_code = loop f.Asm.fn_code 4 }
+
+let run ?(forward_slots = true) (p : Asm.program) : Asm.program =
+  { p with Asm.pr_funcs = List.map (run_func ~forward_slots) p.Asm.pr_funcs }
+
+(* Branch sanitation only (inversion, jump-to-next): applied at every
+   level including the pattern configuration — this is ordinary sane
+   emission, not an optimization, and keeps the per-symbol patterns
+   deterministic. *)
+let rec sanitize_branches (code : Asm.instr list) : Asm.instr list =
+  match code with
+  | Asm.Pb l1 :: (Asm.Plabel l2 :: _ as rest) when l1 = l2 ->
+    sanitize_branches rest
+  | Asm.Pbc (c, l1) :: Asm.Pb l2 :: (Asm.Plabel l1' :: _ as rest)
+    when l1 = l1' ->
+    Asm.Pbc (Asm.negate_cond c, l2) :: sanitize_branches rest
+  | i :: rest -> i :: sanitize_branches rest
+  | [] -> []
+
+let sanitize (p : Asm.program) : Asm.program =
+  { p with
+    Asm.pr_funcs =
+      List.map
+        (fun f ->
+           let rec fix code budget =
+             let code' = sanitize_branches code in
+             if budget = 0 || List.length code' = List.length code then code'
+             else fix code' (budget - 1)
+           in
+           { f with Asm.fn_code = fix f.Asm.fn_code 4 })
+        p.Asm.pr_funcs }

@@ -1,0 +1,9 @@
+(** Assembly peephole of the COTS baseline: slot store/load forwarding
+    (full -O only), move-to-self and jump-to-next cleanup, and branch
+    inversion. All rewrites are basic-block local. *)
+
+val run : ?forward_slots:bool -> Target.Asm.program -> Target.Asm.program
+
+val sanitize : Target.Asm.program -> Target.Asm.program
+(** Branch sanitation only (inversion, jump-to-next): sane emission
+    applied at every level including the pattern configuration. *)

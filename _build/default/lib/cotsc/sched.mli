@@ -1,0 +1,8 @@
+(** Post-pass list scheduler (full -O only): reorders instructions
+    inside basic blocks to harvest the dual-issue / pipelined-FPU
+    overlap of the timing model — the scheduling CompCert 1.7 lacked.
+    Register (including CR0) and memory dependences are respected;
+    observable operations keep their program order. *)
+
+val run_func : Target.Asm.func -> Target.Asm.func
+val run : Target.Asm.program -> Target.Asm.program

@@ -1,0 +1,1 @@
+lib/fcstack/chain.ml: Cotsc Format List Minic Result Target Vcomp Wcet

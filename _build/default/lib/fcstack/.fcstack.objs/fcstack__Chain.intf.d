@@ -1,0 +1,1 @@
+lib/fcstack/chain.mli: Minic Result Target Wcet

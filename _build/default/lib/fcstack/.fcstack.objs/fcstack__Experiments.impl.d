@@ -1,0 +1,1 @@
+lib/fcstack/experiments.ml: Chain Cotsc Format Hashtbl List Minic Option Scade String Target Vcomp Wcet

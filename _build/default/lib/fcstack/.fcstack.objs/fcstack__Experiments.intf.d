@@ -1,0 +1,1 @@
+lib/fcstack/experiments.mli: Chain Format Scade

@@ -1,0 +1,94 @@
+(* The full development chain of the paper's Figure 1:
+
+     SCADE-like spec --ACG--> C code --compiler--> assembly
+        --link/load--> {executable simulation, WCET analysis}
+
+   plus the verification activities around it: per-pass translation
+   validation inside the verified-style compiler, and whole-chain
+   differential validation (source interpreter vs machine simulator)
+   for every compiler. *)
+
+type compiler =
+  | Cdefault_o0   (* COTS baseline, certified pattern configuration *)
+  | Cdefault_o1   (* COTS baseline, optimized without register allocation *)
+  | Cdefault_o2   (* COTS baseline, fully optimized (incl. FMA contraction) *)
+  | Cvcomp        (* verified-style optimizing compiler (CompCert stand-in) *)
+
+let all_compilers = [ Cdefault_o0; Cdefault_o1; Cdefault_o2; Cvcomp ]
+
+let compiler_name (c : compiler) : string =
+  match c with
+  | Cdefault_o0 -> "default-O0"
+  | Cdefault_o1 -> "default-O1"
+  | Cdefault_o2 -> "default-O2"
+  | Cvcomp -> "vcomp"
+
+let compiler_description (c : compiler) : string =
+  match c with
+  | Cdefault_o0 -> "default compiler, no optimization (patterns)"
+  | Cdefault_o1 -> "default compiler, optimized w/o register allocation"
+  | Cdefault_o2 -> "default compiler, fully optimized"
+  | Cvcomp -> "CompCert-style verified compiler"
+
+(* Compile a mini-C program under a configuration. [exact] forces
+   bit-exact source semantics (disables the default-O2 FMA contraction);
+   validation of vcomp passes is controlled by [validate]. *)
+let compile ?(exact = false) ?(validate = false) (c : compiler)
+    (src : Minic.Ast.program) : Target.Asm.program =
+  match c with
+  | Cdefault_o0 -> Cotsc.Driver.compile ~level:Cotsc.Driver.Onone src
+  | Cdefault_o1 -> Cotsc.Driver.compile ~level:Cotsc.Driver.Onoregalloc src
+  | Cdefault_o2 ->
+    Cotsc.Driver.compile ~level:Cotsc.Driver.Ofull ~contract_fma:(not exact) src
+  | Cvcomp ->
+    let options =
+      if validate then Vcomp.Driver.default_options
+      else Vcomp.Driver.no_validation
+    in
+    Vcomp.Driver.compile ~options src
+
+(* A fully built node: source, assembly, layout. *)
+type built = {
+  b_source : Minic.Ast.program;
+  b_asm : Target.Asm.program;
+  b_layout : Target.Layout.t;
+  b_compiler : compiler;
+}
+
+let build ?exact ?validate (c : compiler) (src : Minic.Ast.program) : built =
+  let asm = compile ?exact ?validate c src in
+  { b_source = src;
+    b_asm = asm;
+    b_layout = Target.Layout.build src asm;
+    b_compiler = c }
+
+(* Run the built node on the simulator. *)
+let simulate ?cycles (b : built) (w : Minic.Interp.world) : Target.Sim.run_result =
+  Target.Sim.run ?cycles ~source:b.b_source b.b_asm b.b_layout w []
+
+(* Static WCET of the built node's entry point. *)
+let wcet (b : built) : Wcet.Report.t = Wcet.Driver.analyze b.b_asm b.b_layout
+
+(* Whole-chain differential validation: the machine code must produce
+   the same observable behaviour as the source interpreter on a battery
+   of worlds (several cycles each, to exercise the state-carrying
+   symbols). For the fully-optimized default configuration with FMA
+   contraction this is expected to FAIL on some inputs — the
+   certification point of the paper — so callers choose [exact]. *)
+let validate_chain ?(cycles = 4) ?(seeds = [ 1; 2; 3 ]) (b : built) :
+  (unit, string) Result.t =
+  let check (seed : int) : (unit, string) Result.t =
+    let w () = Minic.Interp.seeded_world ~seed () in
+    let ri = Minic.Interp.run_cycles b.b_source (w ()) ~cycles in
+    let rs = (simulate ~cycles b (w ())).Target.Sim.rr_result in
+    if Minic.Interp.result_equal ri rs then Ok ()
+    else
+      Error
+        (Format.asprintf
+           "trace mismatch (%s, seed %d):@.source: %a@.machine: %a"
+           (compiler_name b.b_compiler) seed Minic.Interp.pp_result ri
+           Minic.Interp.pp_result rs)
+  in
+  List.fold_left
+    (fun acc seed -> match acc with Ok () -> check seed | Error _ -> acc)
+    (Ok ()) seeds

@@ -1,0 +1,42 @@
+(** The full development chain of the paper's Figure 1: specification
+    through compilation to executable simulation and WCET analysis,
+    with the verification activities around it. *)
+
+type compiler =
+  | Cdefault_o0  (** COTS baseline, certified pattern configuration *)
+  | Cdefault_o1  (** COTS baseline, optimized without register allocation *)
+  | Cdefault_o2  (** COTS baseline, fully optimized (FMA contraction on) *)
+  | Cvcomp       (** verified-style optimizing compiler *)
+
+val all_compilers : compiler list
+val compiler_name : compiler -> string
+val compiler_description : compiler -> string
+
+val compile :
+  ?exact:bool -> ?validate:bool -> compiler -> Minic.Ast.program ->
+  Target.Asm.program
+(** [exact] disables semantics-relaxing optimizations (default-O2's FMA
+    contraction); [validate] turns on vcomp's per-pass validators. *)
+
+type built = {
+  b_source : Minic.Ast.program;
+  b_asm : Target.Asm.program;
+  b_layout : Target.Layout.t;
+  b_compiler : compiler;
+}
+
+val build :
+  ?exact:bool -> ?validate:bool -> compiler -> Minic.Ast.program -> built
+
+val simulate :
+  ?cycles:int -> built -> Minic.Interp.world -> Target.Sim.run_result
+
+val wcet : built -> Wcet.Report.t
+(** @raise Wcet.Driver.Error when the analyzer refuses. *)
+
+val validate_chain :
+  ?cycles:int -> ?seeds:int list -> built -> (unit, string) Result.t
+(** Whole-chain differential validation: the machine code must produce
+    the same observable behaviour as the source interpreter on every
+    listed world. Expected to fail for [Cdefault_o2] built without
+    [~exact:true] — the paper's certification point. *)

@@ -1,0 +1,46 @@
+(** Reproduction drivers for the paper's evaluation artifacts (see the
+    per-experiment index in DESIGN.md). Printers emit the same
+    rows/series the paper reports; `bench/main.exe` drives them. *)
+
+type per_compiler = {
+  pc_compiler : Chain.compiler;
+  pc_wcet : int;
+  pc_size : int;
+  pc_reads : int;   (** executed data-cache reads, one control cycle *)
+  pc_writes : int;
+}
+
+type node_result = {
+  nr_name : string;
+  nr_per : per_compiler list;
+}
+
+type workload_results = { wr_nodes : node_result list }
+
+val find_pc : node_result -> Chain.compiler -> per_compiler
+val run_workload : ?nodes:int -> ?seed:int -> unit -> workload_results
+val total : workload_results -> Chain.compiler -> (per_compiler -> int) -> int
+
+val print_table1 : Format.formatter -> workload_results -> unit
+(** Paper Table 1: code size and cache accesses vs non-optimized. *)
+
+val print_figure2 : Format.formatter -> workload_results -> unit
+(** Paper Figure 2: per-node WCET + mean variations. *)
+
+val listing_node : Scade.Symbol.node
+val print_listings : Format.formatter -> unit
+(** Paper Listings 1 and 2. *)
+
+type annot_demo = {
+  ad_wcet_with : int;
+  ad_annot_comment : string;
+  ad_failure_without : string;
+}
+
+val run_annot_demo : unit -> annot_demo
+val print_annot_demo : Format.formatter -> unit
+(** Paper section 3.4 end to end. *)
+
+val print_ablation : Format.formatter -> ?nodes:int -> ?seed:int -> unit -> unit
+val print_overestimation :
+  Format.formatter -> ?nodes:int -> ?seed:int -> unit -> unit

@@ -1,0 +1,1 @@
+lib/minic/interp.ml: Array Ast Format Hashtbl Int32 List Option Printf String Value

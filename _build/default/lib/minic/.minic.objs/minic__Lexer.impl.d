@@ -1,0 +1,1 @@
+lib/minic/lexer.ml: Buffer Float Int32 List Printf String

@@ -1,0 +1,1 @@
+lib/minic/value.ml: Ast Bool Float Format Int32 Int64

@@ -1,0 +1,152 @@
+(* Abstract syntax of mini-C, the source language of the compilers.
+
+   Mini-C is the structured, loop-bounded C subset produced by the
+   SCADE-like automatic code generator ([Scade.Acg]) and accepted by both
+   the verified-style compiler ([Vcomp]) and the COTS baseline ([Cotsc]).
+   It deliberately mirrors the restricted C used for flight control
+   software: no pointers, no dynamic allocation, no recursion, globals and
+   global arrays only, plus [volatile] hardware registers for signal
+   acquisition and actuator output, and the [__builtin_annotation]
+   pro-forma effect of the paper (section 3.4). *)
+
+type ident = string
+
+type typ =
+  | Tint   (* 32-bit signed integer *)
+  | Tfloat (* IEEE-754 double, as used by the flight control laws *)
+  | Tbool  (* boolean, materialized as an integer 0/1 at machine level *)
+
+type comparison =
+  | Ceq
+  | Cne
+  | Clt
+  | Cle
+  | Cgt
+  | Cge
+
+type unop =
+  | Oneg            (* integer negation *)
+  | Onot            (* boolean negation *)
+  | Ofneg           (* float negation *)
+  | Ofabs           (* float absolute value *)
+  | Ofloat_of_int   (* int -> float conversion *)
+  | Oint_of_float   (* float -> int conversion, truncation toward zero *)
+
+type binop =
+  | Oadd
+  | Osub
+  | Omul
+  | Odiv            (* integer division, round toward zero *)
+  | Omod
+  | Oand            (* bitwise and *)
+  | Oor             (* bitwise or *)
+  | Oxor
+  | Oshl
+  | Oshr            (* arithmetic shift right *)
+  | Ofadd
+  | Ofsub
+  | Ofmul
+  | Ofdiv
+  | Ocmp of comparison   (* integer comparison, yields bool *)
+  | Ofcmp of comparison  (* float comparison, yields bool *)
+  | Oband                (* boolean and (strict) *)
+  | Obor                 (* boolean or (strict) *)
+
+type expr =
+  | Econst_int of int32
+  | Econst_float of float
+  | Econst_bool of bool
+  | Evar of ident                  (* local variable or parameter *)
+  | Eglobal of ident               (* global scalar *)
+  | Eindex of ident * expr         (* global array element *)
+  | Eunop of unop * expr
+  | Ebinop of binop * expr * expr
+  | Econd of expr * expr * expr    (* conditional expression *)
+  | Evolatile of ident             (* volatile read: hardware signal acquisition *)
+
+type stmt =
+  | Sskip
+  | Sassign of ident * expr                 (* local := expr *)
+  | Sglobassign of ident * expr             (* global := expr *)
+  | Sstore of ident * expr * expr           (* array[idx] := expr *)
+  | Svolstore of ident * expr               (* volatile write: actuator command *)
+  | Sseq of stmt * stmt
+  | Sif of expr * stmt * stmt
+  | Swhile of expr * stmt                   (* condition must be analyzable or annotated *)
+  | Sfor of ident * expr * expr * stmt      (* for (i = lo; i < hi; i++) body *)
+  | Sreturn of expr option
+  | Sannot of string * expr list            (* __builtin_annotation("...", e1, ...) *)
+
+type func = {
+  fn_name : ident;
+  fn_params : (ident * typ) list;
+  fn_locals : (ident * typ) list;
+  fn_ret : typ option;
+  fn_body : stmt;
+}
+
+(* Initialization of a global array: element type and initial values. *)
+type array_def = {
+  arr_name : ident;
+  arr_elt : typ;
+  arr_init : float list; (* stored as floats; truncated for Tint elements *)
+}
+
+type vol_dir =
+  | Vol_in   (* sensor / acquisition register *)
+  | Vol_out  (* actuator register *)
+
+type program = {
+  prog_globals : (ident * typ) list;       (* zero-initialized global scalars *)
+  prog_arrays : array_def list;             (* constant global arrays (lookup tables) *)
+  prog_volatiles : (ident * typ * vol_dir) list;
+  prog_funcs : func list;
+  prog_main : ident;                        (* entry point analyzed for WCET *)
+}
+
+let typ_equal (a : typ) (b : typ) : bool =
+  match a, b with
+  | Tint, Tint | Tfloat, Tfloat | Tbool, Tbool -> true
+  | (Tint | Tfloat | Tbool), _ -> false
+
+let string_of_typ = function
+  | Tint -> "int"
+  | Tfloat -> "double"
+  | Tbool -> "bool"
+
+let negate_comparison = function
+  | Ceq -> Cne
+  | Cne -> Ceq
+  | Clt -> Cge
+  | Cle -> Cgt
+  | Cgt -> Cle
+  | Cge -> Clt
+
+let swap_comparison = function
+  | Ceq -> Ceq
+  | Cne -> Cne
+  | Clt -> Cgt
+  | Cle -> Cge
+  | Cgt -> Clt
+  | Cge -> Cle
+
+(* Iterate over all statements of a function body, prefix order. *)
+let rec iter_stmt (f : stmt -> unit) (s : stmt) : unit =
+  f s;
+  match s with
+  | Sseq (a, b) -> iter_stmt f a; iter_stmt f b
+  | Sif (_, a, b) -> iter_stmt f a; iter_stmt f b
+  | Swhile (_, a) -> iter_stmt f a
+  | Sfor (_, _, _, a) -> iter_stmt f a
+  | Sskip | Sassign _ | Sglobassign _ | Sstore _ | Svolstore _
+  | Sreturn _ | Sannot _ -> ()
+
+(* Find a function by name. *)
+let find_func (p : program) (name : ident) : func option =
+  List.find_opt (fun f -> String.equal f.fn_name name) p.prog_funcs
+
+(* Look up the direction of a volatile, if declared. *)
+let find_volatile (p : program) (name : ident) : (typ * vol_dir) option =
+  List.find_map
+    (fun (n, t, d) -> if String.equal n name then Some (t, d) else None)
+    p.prog_volatiles

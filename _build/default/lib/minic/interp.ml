@@ -1,0 +1,350 @@
+(* Reference interpreter for mini-C with observable traces.
+
+   The observable behaviour of a program is the sequence of its
+   annotation events (pro-forma effects, paper section 3.4), its volatile
+   reads and writes (signal acquisitions and actuator commands), the
+   returned value and the final global store. Semantic preservation of a
+   compiler means: for every input world, the machine code produces the
+   same observable behaviour as this interpreter. The validation library
+   checks exactly that against the target simulator. *)
+
+type event =
+  | Ev_annot of string * Value.t list
+  | Ev_vol_read of Ast.ident * Value.t
+  | Ev_vol_write of Ast.ident * Value.t
+
+let event_equal (a : event) (b : event) : bool =
+  match a, b with
+  | Ev_annot (s1, vs1), Ev_annot (s2, vs2) ->
+    String.equal s1 s2
+    && List.length vs1 = List.length vs2
+    && List.for_all2 Value.equal vs1 vs2
+  | Ev_vol_read (x1, v1), Ev_vol_read (x2, v2)
+  | Ev_vol_write (x1, v1), Ev_vol_write (x2, v2) ->
+    String.equal x1 x2 && Value.equal v1 v2
+  | (Ev_annot _ | Ev_vol_read _ | Ev_vol_write _), _ -> false
+
+let pp_event ppf (e : event) : unit =
+  match e with
+  | Ev_annot (s, vs) ->
+    Format.fprintf ppf "annot %S [%a]" s
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+         Value.pp)
+      vs
+  | Ev_vol_read (x, v) -> Format.fprintf ppf "vol_read %s = %a" x Value.pp v
+  | Ev_vol_write (x, v) -> Format.fprintf ppf "vol_write %s = %a" x Value.pp v
+
+(* The input world: [world_input x k] is the value returned by the [k]-th
+   read (0-based) of volatile input [x] during the run. Both interpreter
+   and target simulator consume the same world, which makes differential
+   testing deterministic. *)
+type world = { world_input : Ast.ident -> int -> Value.t }
+
+let constant_world (v : float) : world =
+  { world_input = (fun _ _ -> Value.Vfloat v) }
+
+(* A pseudo-random but reproducible world: value depends on the volatile
+   name, the read index and the seed only. *)
+let seeded_world ?(seed = 0) () : world =
+  let hash (x : string) (k : int) : int =
+    let h = Hashtbl.hash (seed, x, k) in
+    h land 0xFFFFFF
+  in
+  { world_input =
+      (fun x k ->
+         (* Produce a small float in [-64, 64) with a fractional part, a
+            plausible sensor reading. *)
+         let h = hash x k in
+         Value.Vfloat (float_of_int (h - 0x800000) /. 131072.0)) }
+
+(* Same world but returning integers; used when the volatile is Tint. *)
+let world_value (w : world) (t : Ast.typ) (x : Ast.ident) (k : int) : Value.t =
+  let raw = w.world_input x k in
+  match t, raw with
+  | Ast.Tfloat, Value.Vfloat _ -> raw
+  | Ast.Tfloat, Value.Vint n -> Value.Vfloat (Int32.to_float n)
+  | Ast.Tfloat, Value.Vbool b -> Value.Vfloat (if b then 1.0 else 0.0)
+  | Ast.Tint, Value.Vfloat f -> Value.Vint (Value.int32_of_float_trunc f)
+  | Ast.Tint, Value.Vint _ -> raw
+  | Ast.Tint, Value.Vbool b -> Value.Vint (if b then 1l else 0l)
+  | Ast.Tbool, Value.Vbool _ -> raw
+  | Ast.Tbool, Value.Vfloat f -> Value.Vbool (f > 0.0)
+  | Ast.Tbool, Value.Vint n -> Value.Vbool (Int32.compare n 0l > 0)
+
+exception Out_of_fuel
+exception Runtime_error of string
+
+type state = {
+  st_prog : Ast.program;
+  st_world : world;
+  st_globals : (Ast.ident, Value.t) Hashtbl.t;
+  st_arrays : (Ast.ident, Value.t array) Hashtbl.t;
+  st_vol_counts : (Ast.ident, int) Hashtbl.t;
+  mutable st_events_rev : event list;
+  mutable st_fuel : int;
+}
+
+let initial_state (p : Ast.program) (w : world) ~(fuel : int) : state =
+  let st_globals = Hashtbl.create 61 in
+  List.iter
+    (fun (x, t) -> Hashtbl.replace st_globals x (Value.zero_of_typ t))
+    p.Ast.prog_globals;
+  let st_arrays = Hashtbl.create 17 in
+  List.iter
+    (fun a ->
+       let conv f =
+         match a.Ast.arr_elt with
+         | Ast.Tfloat -> Value.Vfloat f
+         | Ast.Tint -> Value.Vint (Value.int32_of_float_trunc f)
+         | Ast.Tbool -> Value.Vbool (f > 0.0)
+       in
+       Hashtbl.replace st_arrays a.Ast.arr_name
+         (Array.of_list (List.map conv a.Ast.arr_init)))
+    p.Ast.prog_arrays;
+  { st_prog = p;
+    st_world = w;
+    st_globals;
+    st_arrays;
+    st_vol_counts = Hashtbl.create 17;
+    st_events_rev = [];
+    st_fuel = fuel }
+
+let emit (st : state) (e : event) : unit =
+  st.st_events_rev <- e :: st.st_events_rev
+
+let burn (st : state) : unit =
+  st.st_fuel <- st.st_fuel - 1;
+  if st.st_fuel <= 0 then raise Out_of_fuel
+
+let read_global (st : state) (x : Ast.ident) : Value.t =
+  match Hashtbl.find_opt st.st_globals x with
+  | Some v -> v
+  | None -> raise (Runtime_error ("unbound global " ^ x))
+
+let read_array (st : state) (x : Ast.ident) (i : int32) : Value.t =
+  match Hashtbl.find_opt st.st_arrays x with
+  | None -> raise (Runtime_error ("unbound array " ^ x))
+  | Some arr ->
+    let i = Int32.to_int i in
+    if i < 0 || i >= Array.length arr then
+      raise (Runtime_error (Printf.sprintf "array %s index %d out of bounds" x i))
+    else arr.(i)
+
+let write_array (st : state) (x : Ast.ident) (i : int32) (v : Value.t) : unit =
+  match Hashtbl.find_opt st.st_arrays x with
+  | None -> raise (Runtime_error ("unbound array " ^ x))
+  | Some arr ->
+    let i = Int32.to_int i in
+    if i < 0 || i >= Array.length arr then
+      raise (Runtime_error (Printf.sprintf "array %s index %d out of bounds" x i))
+    else arr.(i) <- v
+
+let read_volatile (st : state) (x : Ast.ident) : Value.t =
+  match Ast.find_volatile st.st_prog x with
+  | None -> raise (Runtime_error ("unbound volatile " ^ x))
+  | Some (t, _) ->
+    let k = Option.value ~default:0 (Hashtbl.find_opt st.st_vol_counts x) in
+    Hashtbl.replace st.st_vol_counts x (k + 1);
+    let v = world_value st.st_world t x k in
+    emit st (Ev_vol_read (x, v));
+    v
+
+type env = (Ast.ident, Value.t) Hashtbl.t
+
+let read_local (env : env) (x : Ast.ident) : Value.t =
+  match Hashtbl.find_opt env x with
+  | Some v -> v
+  | None -> raise (Runtime_error ("uninitialized local " ^ x))
+
+let rec eval_expr (st : state) (env : env) (e : Ast.expr) : Value.t =
+  burn st;
+  match e with
+  | Ast.Econst_int n -> Value.Vint n
+  | Ast.Econst_float f -> Value.Vfloat f
+  | Ast.Econst_bool b -> Value.Vbool b
+  | Ast.Evar x -> read_local env x
+  | Ast.Eglobal x -> read_global st x
+  | Ast.Eindex (a, idx) ->
+    let i = Value.as_int (eval_expr st env idx) in
+    read_array st a i
+  | Ast.Eunop (op, e1) -> Value.eval_unop op (eval_expr st env e1)
+  | Ast.Ebinop (op, e1, e2) ->
+    let v1 = eval_expr st env e1 in
+    let v2 = eval_expr st env e2 in
+    Value.eval_binop op v1 v2
+  | Ast.Econd (c, e1, e2) ->
+    (* Both compilers may evaluate conditional expressions lazily or
+       strictly: mini-C expressions are pure, so the choice is not
+       observable. The interpreter is lazy. *)
+    if Value.as_bool (eval_expr st env c) then eval_expr st env e1
+    else eval_expr st env e2
+  | Ast.Evolatile x -> read_volatile st x
+
+type outcome =
+  | Normal
+  | Returned of Value.t option
+
+let rec exec_stmt (st : state) (env : env) (s : Ast.stmt) : outcome =
+  burn st;
+  match s with
+  | Ast.Sskip -> Normal
+  | Ast.Sassign (x, e) ->
+    Hashtbl.replace env x (eval_expr st env e);
+    Normal
+  | Ast.Sglobassign (x, e) ->
+    Hashtbl.replace st.st_globals x (eval_expr st env e);
+    Normal
+  | Ast.Sstore (a, idx, e) ->
+    let i = Value.as_int (eval_expr st env idx) in
+    let v = eval_expr st env e in
+    write_array st a i v;
+    Normal
+  | Ast.Svolstore (x, e) ->
+    let v = eval_expr st env e in
+    emit st (Ev_vol_write (x, v));
+    Normal
+  | Ast.Sseq (a, b) ->
+    (match exec_stmt st env a with
+     | Normal -> exec_stmt st env b
+     | Returned _ as r -> r)
+  | Ast.Sif (c, a, b) ->
+    if Value.as_bool (eval_expr st env c) then exec_stmt st env a
+    else exec_stmt st env b
+  | Ast.Swhile (c, body) ->
+    if Value.as_bool (eval_expr st env c) then
+      (match exec_stmt st env body with
+       | Normal -> exec_stmt st env s
+       | Returned _ as r -> r)
+    else Normal
+  | Ast.Sfor (i, lo, hi, body) ->
+    let vlo = Value.as_int (eval_expr st env lo) in
+    let vhi = Value.as_int (eval_expr st env hi) in
+    let rec loop (k : int32) : outcome =
+      burn st;
+      if Int32.compare k vhi < 0 then begin
+        Hashtbl.replace env i (Value.Vint k);
+        match exec_stmt st env body with
+        | Normal -> loop (Int32.add k 1l)
+        | Returned _ as r -> r
+      end
+      else begin
+        Hashtbl.replace env i (Value.Vint k);
+        Normal
+      end
+    in
+    loop vlo
+  | Ast.Sreturn None -> Returned None
+  | Ast.Sreturn (Some e) -> Returned (Some (eval_expr st env e))
+  | Ast.Sannot (text, args) ->
+    let vs = List.map (eval_expr st env) args in
+    emit st (Ev_annot (text, vs));
+    Normal
+
+type result = {
+  res_return : Value.t option;
+  res_events : event list;
+  res_globals : (Ast.ident * Value.t) list; (* sorted by name *)
+}
+
+let result_equal (a : result) (b : result) : bool =
+  let opt_equal x y =
+    match x, y with
+    | None, None -> true
+    | Some v, Some w -> Value.equal v w
+    | (None | Some _), _ -> false
+  in
+  opt_equal a.res_return b.res_return
+  && List.length a.res_events = List.length b.res_events
+  && List.for_all2 event_equal a.res_events b.res_events
+  && List.length a.res_globals = List.length b.res_globals
+  && List.for_all2
+       (fun (x1, v1) (x2, v2) -> String.equal x1 x2 && Value.equal v1 v2)
+       a.res_globals b.res_globals
+
+let pp_result ppf (r : result) : unit =
+  Format.fprintf ppf "@[<v>return: %s@,events:@,"
+    (match r.res_return with
+     | None -> "(void)"
+     | Some v -> Value.to_string v);
+  List.iter (fun e -> Format.fprintf ppf "  %a@," pp_event e) r.res_events;
+  Format.fprintf ppf "globals:@,";
+  List.iter
+    (fun (x, v) -> Format.fprintf ppf "  %s = %a@," x Value.pp v)
+    r.res_globals;
+  Format.fprintf ppf "@]"
+
+(* Run function [fname] of [p] with arguments [args] in world [w].
+   Raises [Out_of_fuel], [Runtime_error] or [Value.Type_error] on bad
+   programs; type-checked, generator-produced programs never do. *)
+let run ?(fuel = 2_000_000) (p : Ast.program) ?fname (w : world)
+    (args : Value.t list) : result =
+  let fname = Option.value ~default:p.Ast.prog_main fname in
+  let f =
+    match Ast.find_func p fname with
+    | Some f -> f
+    | None -> raise (Runtime_error ("no function " ^ fname))
+  in
+  if List.length args <> List.length f.Ast.fn_params then
+    raise (Runtime_error ("bad arity for " ^ fname));
+  let st = initial_state p w ~fuel in
+  let env : env = Hashtbl.create 61 in
+  List.iter2
+    (fun (x, _) v -> Hashtbl.replace env x v)
+    f.Ast.fn_params args;
+  let outcome = exec_stmt st env f.Ast.fn_body in
+  (* Control falling off the end of a non-void function returns the zero
+     value of the return type (mini-C defines this; compilers implement
+     it in the implicit-return path). *)
+  let ret =
+    match outcome with
+    | Normal -> Option.map Value.zero_of_typ f.Ast.fn_ret
+    | Returned r -> r
+  in
+  let globals =
+    List.sort
+      (fun (a, _) (b, _) -> String.compare a b)
+      (Hashtbl.fold (fun x v acc -> (x, v) :: acc) st.st_globals [])
+  in
+  { res_return = ret;
+    res_events = List.rev st.st_events_rev;
+    res_globals = globals }
+
+(* Convenience: run a step cycle of the control program (call main with no
+   arguments). ACG-generated entry points take no parameters: inputs come
+   from volatiles and state lives in globals, exactly like the paper's
+   flight control nodes. *)
+let run_cycle ?fuel (p : Ast.program) (w : world) : result =
+  run ?fuel p w []
+
+(* Run [cycles] consecutive control cycles of the nullary entry point,
+   with globals, arrays and volatile read counters persisting across
+   cycles — the periodic execution of a flight control node. *)
+let run_cycles ?(fuel = 10_000_000) (p : Ast.program) (w : world)
+    ~(cycles : int) : result =
+  let fname = p.Ast.prog_main in
+  let f =
+    match Ast.find_func p fname with
+    | Some f -> f
+    | None -> raise (Runtime_error ("no function " ^ fname))
+  in
+  if f.Ast.fn_params <> [] then
+    raise (Runtime_error "run_cycles: entry point must be nullary");
+  let st = initial_state p w ~fuel in
+  let last_ret = ref None in
+  for _ = 1 to cycles do
+    let env : env = Hashtbl.create 61 in
+    let outcome = exec_stmt st env f.Ast.fn_body in
+    last_ret :=
+      (match outcome with
+       | Normal -> Option.map Value.zero_of_typ f.Ast.fn_ret
+       | Returned r -> r)
+  done;
+  let globals =
+    List.sort
+      (fun (a, _) (b, _) -> String.compare a b)
+      (Hashtbl.fold (fun x v acc -> (x, v) :: acc) st.st_globals [])
+  in
+  { res_return = !last_ret;
+    res_events = List.rev st.st_events_rev;
+    res_globals = globals }

@@ -1,0 +1,54 @@
+(** Reference interpreter for mini-C with observable traces.
+
+    The observable behaviour of a program is the sequence of its
+    annotation events, volatile reads and writes, its return value and
+    final global store. Semantic preservation of a compiler means
+    producing the same observable behaviour on the machine simulator
+    for every input world. *)
+
+type event =
+  | Ev_annot of string * Value.t list
+      (** pro-forma annotation effect: raw text + argument values *)
+  | Ev_vol_read of Ast.ident * Value.t  (** signal acquisition *)
+  | Ev_vol_write of Ast.ident * Value.t (** actuator command *)
+
+val event_equal : event -> event -> bool
+val pp_event : Format.formatter -> event -> unit
+
+(** The input world: [world_input x k] is the value of the [k]-th read
+    (0-based) of volatile input [x]. Interpreter and simulator consume
+    the same world, making differential testing deterministic. *)
+type world = { world_input : Ast.ident -> int -> Value.t }
+
+val constant_world : float -> world
+val seeded_world : ?seed:int -> unit -> world
+
+val world_value : world -> Ast.typ -> Ast.ident -> int -> Value.t
+(** Value of a volatile read coerced to the volatile's declared type. *)
+
+exception Out_of_fuel
+exception Runtime_error of string
+
+type result = {
+  res_return : Value.t option;
+  res_events : event list;
+  res_globals : (Ast.ident * Value.t) list; (** sorted by name *)
+}
+
+val result_equal : result -> result -> bool
+val pp_result : Format.formatter -> result -> unit
+
+val run :
+  ?fuel:int -> Ast.program -> ?fname:Ast.ident -> world -> Value.t list ->
+  result
+(** Run one function with the given arguments.
+    @raise Runtime_error on unbound names, uninitialized local reads or
+    out-of-bounds array accesses;
+    @raise Out_of_fuel when the step budget is exhausted. *)
+
+val run_cycle : ?fuel:int -> Ast.program -> world -> result
+(** One control cycle of the nullary entry point. *)
+
+val run_cycles : ?fuel:int -> Ast.program -> world -> cycles:int -> result
+(** [cycles] consecutive control cycles with globals, arrays and
+    volatile read counters persisting — periodic node execution. *)

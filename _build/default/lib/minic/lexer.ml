@@ -1,0 +1,292 @@
+(* Hand-written lexer for mini-C concrete syntax.
+
+   One subtlety: the pretty-printer emits negative numeric literals
+   (e.g. [-5], [-0x1.8p+0], [-infinity]) directly. The lexer folds a
+   leading minus into the literal when the previous token cannot end an
+   operand, so that printing and re-parsing a constant yields the same
+   AST node rather than a unary negation. *)
+
+type token =
+  | INT of int32
+  | FLOAT of float
+  | IDENT of string
+  | STRING of string
+  (* keywords *)
+  | KW_global | KW_array | KW_volatile | KW_in | KW_out
+  | KW_int | KW_double | KW_bool | KW_void | KW_var
+  | KW_if | KW_else | KW_while | KW_for | KW_return | KW_skip
+  | KW_true | KW_false | KW_fabs | KW_annotation | KW_main
+  (* punctuation *)
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | DOLLAR | QUESTION | COLON | ASSIGN
+  (* operators *)
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | FPLUS | FMINUS | FSTAR | FSLASH
+  | AMP | BAR | CARET | SHL | SHR
+  | EQ | NE | LT | LE | GT | GE
+  | FEQ | FNE | FLT | FLE | FGT | FGE
+  | ANDAND | BARBAR | BANG
+  | CAST_INT | CAST_DOUBLE
+  | EOF
+
+exception Lex_error of string * int (* message, position *)
+
+let keyword_table : (string * token) list =
+  [ "global", KW_global; "array", KW_array; "volatile", KW_volatile;
+    "in", KW_in; "out", KW_out; "int", KW_int; "double", KW_double;
+    "bool", KW_bool; "void", KW_void; "var", KW_var; "if", KW_if;
+    "else", KW_else; "while", KW_while; "for", KW_for;
+    "return", KW_return; "skip", KW_skip; "true", KW_true;
+    "false", KW_false; "fabs", KW_fabs;
+    "__builtin_annotation", KW_annotation; "main", KW_main ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+(* Characters that may appear inside a numeric literal once it has
+   started: digits, hex digits, radix/exponent markers, signs after
+   exponent markers are handled separately. *)
+let is_num_char c =
+  is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+  || c = 'x' || c = 'X' || c = '.' || c = 'p' || c = 'P'
+
+(* Does a token allow a following '-' to be a binary operator? *)
+let ends_operand = function
+  | INT _ | FLOAT _ | IDENT _ | RPAREN | RBRACKET | KW_true | KW_false -> true
+  | STRING _ | KW_global | KW_array | KW_volatile | KW_in | KW_out
+  | KW_int | KW_double | KW_bool | KW_void | KW_var | KW_if | KW_else
+  | KW_while | KW_for | KW_return | KW_skip | KW_fabs | KW_annotation
+  | KW_main | LPAREN | LBRACE | RBRACE | LBRACKET | SEMI | COMMA | DOLLAR
+  | QUESTION | COLON | ASSIGN | PLUS | MINUS | STAR | SLASH | PERCENT
+  | FPLUS | FMINUS | FSTAR | FSLASH | AMP | BAR | CARET | SHL | SHR
+  | EQ | NE | LT | LE | GT | GE | FEQ | FNE | FLT | FLE | FGT | FGE
+  | ANDAND | BARBAR | BANG | CAST_INT | CAST_DOUBLE | EOF -> false
+
+type lexer_state = {
+  src : string;
+  mutable pos : int;
+  mutable last : token;
+}
+
+let make (src : string) : lexer_state = { src; pos = 0; last = EOF }
+
+let peek_char (st : lexer_state) (k : int) : char option =
+  let i = st.pos + k in
+  if i < String.length st.src then Some st.src.[i] else None
+
+let starts_with (st : lexer_state) (s : string) : bool =
+  let n = String.length s in
+  st.pos + n <= String.length st.src
+  && String.equal (String.sub st.src st.pos n) s
+
+let rec skip_ws (st : lexer_state) : unit =
+  match peek_char st 0 with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    st.pos <- st.pos + 1;
+    skip_ws st
+  | Some '/' when peek_char st 1 = Some '/' ->
+    (* line comment *)
+    let rec to_eol () =
+      match peek_char st 0 with
+      | Some '\n' | None -> ()
+      | Some _ -> st.pos <- st.pos + 1; to_eol ()
+    in
+    to_eol ();
+    skip_ws st
+  | Some _ | None -> ()
+
+let lex_number (st : lexer_state) ~(negative : bool) : token =
+  let start = st.pos in
+  (* Special literals produced by %h for non-finite floats. *)
+  if starts_with st "infinity" then begin
+    st.pos <- st.pos + 8;
+    FLOAT (if negative then Float.neg_infinity else Float.infinity)
+  end
+  else if starts_with st "nan" then begin
+    st.pos <- st.pos + 3;
+    FLOAT (if negative then Float.neg Float.nan else Float.nan)
+  end
+  else begin
+    let is_float = ref false in
+    let rec advance () =
+      match peek_char st 0 with
+      | Some c when is_num_char c ->
+        if c = '.' || c = 'p' || c = 'P' then is_float := true;
+        (* exponent sign: p+3 / p-3 / e+5 *)
+        (match c, peek_char st 1 with
+         | ('p' | 'P'), Some ('+' | '-') -> st.pos <- st.pos + 2
+         | ('e' | 'E'), Some ('+' | '-') when not (starts_with st "0x") ->
+           is_float := true;
+           st.pos <- st.pos + 2
+         | _ -> st.pos <- st.pos + 1);
+        advance ()
+      | Some _ | None -> ()
+    in
+    advance ();
+    let text = String.sub st.src start (st.pos - start) in
+    let text = if negative then "-" ^ text else text in
+    if !is_float || String.contains text 'e' then
+      match float_of_string_opt text with
+      | Some f -> FLOAT f
+      | None -> raise (Lex_error ("bad float literal " ^ text, start))
+    else
+      match Int32.of_string_opt text with
+      | Some n -> INT n
+      | None ->
+        (* Fall back to float for decimal literals too big for int32. *)
+        (match float_of_string_opt text with
+         | Some f -> FLOAT f
+         | None -> raise (Lex_error ("bad literal " ^ text, start)))
+  end
+
+let lex_string (st : lexer_state) : token =
+  (* Opening quote already consumed by caller. *)
+  let buf = Buffer.create 32 in
+  let rec go () =
+    match peek_char st 0 with
+    | None -> raise (Lex_error ("unterminated string", st.pos))
+    | Some '"' -> st.pos <- st.pos + 1
+    | Some '\\' ->
+      (match peek_char st 1 with
+       | Some 'n' -> Buffer.add_char buf '\n'; st.pos <- st.pos + 2
+       | Some 't' -> Buffer.add_char buf '\t'; st.pos <- st.pos + 2
+       | Some '\\' -> Buffer.add_char buf '\\'; st.pos <- st.pos + 2
+       | Some '"' -> Buffer.add_char buf '"'; st.pos <- st.pos + 2
+       | Some c -> Buffer.add_char buf c; st.pos <- st.pos + 2
+       | None -> raise (Lex_error ("unterminated escape", st.pos)));
+      go ()
+    | Some c ->
+      Buffer.add_char buf c;
+      st.pos <- st.pos + 1;
+      go ()
+  in
+  go ();
+  STRING (Buffer.contents buf)
+
+let raw_next (st : lexer_state) : token =
+  skip_ws st;
+  match peek_char st 0 with
+  | None -> EOF
+  | Some c ->
+    let adv n tok = st.pos <- st.pos + n; tok in
+    (match c with
+     | '0' .. '9' -> lex_number st ~negative:false
+     | '"' -> st.pos <- st.pos + 1; lex_string st
+     | '(' ->
+       if starts_with st "(int)" then adv 5 CAST_INT
+       else if starts_with st "(double)" then adv 8 CAST_DOUBLE
+       else adv 1 LPAREN
+     | ')' -> adv 1 RPAREN
+     | '{' -> adv 1 LBRACE
+     | '}' -> adv 1 RBRACE
+     | '[' -> adv 1 LBRACKET
+     | ']' -> adv 1 RBRACKET
+     | ';' -> adv 1 SEMI
+     | ',' -> adv 1 COMMA
+     | '$' -> adv 1 DOLLAR
+     | '?' -> adv 1 QUESTION
+     | ':' -> adv 1 COLON
+     | '+' -> if starts_with st "+." then adv 2 FPLUS else adv 1 PLUS
+     | '-' ->
+       if starts_with st "-." then adv 2 FMINUS
+       else begin
+         let numeric_follows =
+           match peek_char st 1 with
+           | Some d when is_digit d -> true
+           | Some ('i' | 'n') ->
+             st.pos <- st.pos + 1;
+             let here = st.pos in
+             let r = starts_with st "infinity" || starts_with st "nan" in
+             st.pos <- here - 1;
+             r
+           | Some _ | None -> false
+         in
+         if numeric_follows && not (ends_operand st.last) then begin
+           st.pos <- st.pos + 1;
+           lex_number st ~negative:true
+         end
+         else adv 1 MINUS
+       end
+     | '*' -> if starts_with st "*." then adv 2 FSTAR else adv 1 STAR
+     | '/' -> if starts_with st "/." then adv 2 FSLASH else adv 1 SLASH
+     | '%' -> adv 1 PERCENT
+     | '&' -> if starts_with st "&&" then adv 2 ANDAND else adv 1 AMP
+     | '|' -> if starts_with st "||" then adv 2 BARBAR else adv 1 BAR
+     | '^' -> adv 1 CARET
+     | '!' ->
+       if starts_with st "!=." then adv 3 FNE
+       else if starts_with st "!=" then adv 2 NE
+       else adv 1 BANG
+     | '=' ->
+       if starts_with st "==." then adv 3 FEQ
+       else if starts_with st "==" then adv 2 EQ
+       else adv 1 ASSIGN
+     | '<' ->
+       if starts_with st "<=." then adv 3 FLE
+       else if starts_with st "<=" then adv 2 LE
+       else if starts_with st "<<" then adv 2 SHL
+       else if starts_with st "<." then adv 2 FLT
+       else adv 1 LT
+     | '>' ->
+       if starts_with st ">=." then adv 3 FGE
+       else if starts_with st ">=" then adv 2 GE
+       else if starts_with st ">>" then adv 2 SHR
+       else if starts_with st ">." then adv 2 FGT
+       else adv 1 GT
+     | c when is_ident_start c ->
+       let start = st.pos in
+       let rec advance () =
+         match peek_char st 0 with
+         | Some c when is_ident_char c -> st.pos <- st.pos + 1; advance ()
+         | Some _ | None -> ()
+       in
+       advance ();
+       let text = String.sub st.src start (st.pos - start) in
+       (match List.assoc_opt text keyword_table with
+        | Some tok -> tok
+        | None ->
+          if String.equal text "nan" then FLOAT Float.nan
+          else if String.equal text "infinity" then FLOAT Float.infinity
+          else IDENT text)
+     | c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, st.pos)))
+
+let next (st : lexer_state) : token =
+  let tok = raw_next st in
+  st.last <- tok;
+  tok
+
+(* Tokenize a whole source string. *)
+let tokenize (src : string) : token list =
+  let st = make src in
+  let rec go acc =
+    match next st with
+    | EOF -> List.rev (EOF :: acc)
+    | tok -> go (tok :: acc)
+  in
+  go []
+
+let token_to_string (tok : token) : string =
+  match tok with
+  | INT n -> Printf.sprintf "INT(%ld)" n
+  | FLOAT f -> Printf.sprintf "FLOAT(%h)" f
+  | IDENT s -> Printf.sprintf "IDENT(%s)" s
+  | STRING s -> Printf.sprintf "STRING(%S)" s
+  | KW_global -> "global" | KW_array -> "array" | KW_volatile -> "volatile"
+  | KW_in -> "in" | KW_out -> "out" | KW_int -> "int"
+  | KW_double -> "double" | KW_bool -> "bool" | KW_void -> "void"
+  | KW_var -> "var" | KW_if -> "if" | KW_else -> "else"
+  | KW_while -> "while" | KW_for -> "for" | KW_return -> "return"
+  | KW_skip -> "skip" | KW_true -> "true" | KW_false -> "false"
+  | KW_fabs -> "fabs" | KW_annotation -> "__builtin_annotation"
+  | KW_main -> "main"
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACKET -> "[" | RBRACKET -> "]" | SEMI -> ";" | COMMA -> ","
+  | DOLLAR -> "$" | QUESTION -> "?" | COLON -> ":" | ASSIGN -> "="
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | FPLUS -> "+." | FMINUS -> "-." | FSTAR -> "*." | FSLASH -> "/."
+  | AMP -> "&" | BAR -> "|" | CARET -> "^" | SHL -> "<<" | SHR -> ">>"
+  | EQ -> "==" | NE -> "!=" | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">="
+  | FEQ -> "==." | FNE -> "!=." | FLT -> "<." | FLE -> "<=." | FGT -> ">."
+  | FGE -> ">=." | ANDAND -> "&&" | BARBAR -> "||" | BANG -> "!"
+  | CAST_INT -> "(int)" | CAST_DOUBLE -> "(double)" | EOF -> "<eof>"

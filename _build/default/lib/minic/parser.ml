@@ -1,0 +1,399 @@
+(* Recursive-descent parser for mini-C concrete syntax, the inverse of
+   [Pp]. Precedence climbing follows the table in [Pp.binop_prec]. *)
+
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+type parser_state = {
+  lexer : Lexer.lexer_state;
+  mutable tok : Lexer.token;
+}
+
+let make (src : string) : parser_state =
+  let lexer = Lexer.make src in
+  let tok = Lexer.next lexer in
+  { lexer; tok }
+
+let advance (ps : parser_state) : unit = ps.tok <- Lexer.next ps.lexer
+
+let expect (ps : parser_state) (tok : Lexer.token) : unit =
+  if ps.tok = tok then advance ps
+  else
+    fail "expected %s but found %s" (Lexer.token_to_string tok)
+      (Lexer.token_to_string ps.tok)
+
+let expect_ident (ps : parser_state) : string =
+  match ps.tok with
+  | Lexer.IDENT x -> advance ps; x
+  | t -> fail "expected identifier but found %s" (Lexer.token_to_string t)
+
+let parse_typ (ps : parser_state) : Ast.typ =
+  match ps.tok with
+  | Lexer.KW_int -> advance ps; Ast.Tint
+  | Lexer.KW_double -> advance ps; Ast.Tfloat
+  | Lexer.KW_bool -> advance ps; Ast.Tbool
+  | t -> fail "expected a type but found %s" (Lexer.token_to_string t)
+
+(* Binary operator for the current token together with its precedence,
+   if the token is a binary operator. *)
+let binop_of_token (tok : Lexer.token) : (Ast.binop * int) option =
+  let p op = Some (op, Pp.binop_prec op) in
+  match tok with
+  | Lexer.PLUS -> p Ast.Oadd
+  | Lexer.MINUS -> p Ast.Osub
+  | Lexer.STAR -> p Ast.Omul
+  | Lexer.SLASH -> p Ast.Odiv
+  | Lexer.PERCENT -> p Ast.Omod
+  | Lexer.FPLUS -> p Ast.Ofadd
+  | Lexer.FMINUS -> p Ast.Ofsub
+  | Lexer.FSTAR -> p Ast.Ofmul
+  | Lexer.FSLASH -> p Ast.Ofdiv
+  | Lexer.AMP -> p Ast.Oand
+  | Lexer.BAR -> p Ast.Oor
+  | Lexer.CARET -> p Ast.Oxor
+  | Lexer.SHL -> p Ast.Oshl
+  | Lexer.SHR -> p Ast.Oshr
+  | Lexer.EQ -> p (Ast.Ocmp Ast.Ceq)
+  | Lexer.NE -> p (Ast.Ocmp Ast.Cne)
+  | Lexer.LT -> p (Ast.Ocmp Ast.Clt)
+  | Lexer.LE -> p (Ast.Ocmp Ast.Cle)
+  | Lexer.GT -> p (Ast.Ocmp Ast.Cgt)
+  | Lexer.GE -> p (Ast.Ocmp Ast.Cge)
+  | Lexer.FEQ -> p (Ast.Ofcmp Ast.Ceq)
+  | Lexer.FNE -> p (Ast.Ofcmp Ast.Cne)
+  | Lexer.FLT -> p (Ast.Ofcmp Ast.Clt)
+  | Lexer.FLE -> p (Ast.Ofcmp Ast.Cle)
+  | Lexer.FGT -> p (Ast.Ofcmp Ast.Cgt)
+  | Lexer.FGE -> p (Ast.Ofcmp Ast.Cge)
+  | Lexer.ANDAND -> p Ast.Oband
+  | Lexer.BARBAR -> p Ast.Obor
+  | _ -> None
+
+let rec parse_expr (ps : parser_state) : Ast.expr = parse_cond ps
+
+(* cond := binary [ '?' cond ':' cond ] *)
+and parse_cond (ps : parser_state) : Ast.expr =
+  let e = parse_binary ps 1 in
+  match ps.tok with
+  | Lexer.QUESTION ->
+    advance ps;
+    let e1 = parse_cond ps in
+    expect ps Lexer.COLON;
+    let e2 = parse_cond ps in
+    Ast.Econd (e, e1, e2)
+  | _ -> e
+
+(* Precedence climbing: parse operators of precedence >= [min_prec],
+   left-associative. *)
+and parse_binary (ps : parser_state) (min_prec : int) : Ast.expr =
+  let lhs = parse_unary ps in
+  let rec loop lhs =
+    match binop_of_token ps.tok with
+    | Some (op, prec) when prec >= min_prec ->
+      advance ps;
+      let rhs = parse_binary ps (prec + 1) in
+      loop (Ast.Ebinop (op, lhs, rhs))
+    | Some _ | None -> lhs
+  in
+  loop lhs
+
+and parse_unary (ps : parser_state) : Ast.expr =
+  match ps.tok with
+  | Lexer.MINUS -> advance ps; Ast.Eunop (Ast.Oneg, parse_unary ps)
+  | Lexer.FMINUS -> advance ps; Ast.Eunop (Ast.Ofneg, parse_unary ps)
+  | Lexer.BANG -> advance ps; Ast.Eunop (Ast.Onot, parse_unary ps)
+  | Lexer.CAST_INT -> advance ps; Ast.Eunop (Ast.Oint_of_float, parse_unary ps)
+  | Lexer.CAST_DOUBLE ->
+    advance ps;
+    Ast.Eunop (Ast.Ofloat_of_int, parse_unary ps)
+  | Lexer.KW_fabs ->
+    advance ps;
+    expect ps Lexer.LPAREN;
+    let e = parse_expr ps in
+    expect ps Lexer.RPAREN;
+    Ast.Eunop (Ast.Ofabs, e)
+  | _ -> parse_atom ps
+
+and parse_atom (ps : parser_state) : Ast.expr =
+  match ps.tok with
+  | Lexer.INT n -> advance ps; Ast.Econst_int n
+  | Lexer.FLOAT f -> advance ps; Ast.Econst_float f
+  | Lexer.KW_true -> advance ps; Ast.Econst_bool true
+  | Lexer.KW_false -> advance ps; Ast.Econst_bool false
+  | Lexer.IDENT x -> advance ps; Ast.Evar x
+  | Lexer.DOLLAR ->
+    advance ps;
+    let x = expect_ident ps in
+    (match ps.tok with
+     | Lexer.LBRACKET ->
+       advance ps;
+       let idx = parse_expr ps in
+       expect ps Lexer.RBRACKET;
+       Ast.Eindex (x, idx)
+     | _ -> Ast.Eglobal x)
+  | Lexer.KW_volatile ->
+    advance ps;
+    expect ps Lexer.LPAREN;
+    let x = expect_ident ps in
+    expect ps Lexer.RPAREN;
+    Ast.Evolatile x
+  | Lexer.LPAREN ->
+    advance ps;
+    let e = parse_expr ps in
+    expect ps Lexer.RPAREN;
+    e
+  | t -> fail "expected an expression but found %s" (Lexer.token_to_string t)
+
+let rec parse_stmt_seq (ps : parser_state) : Ast.stmt =
+  (* Parse statements until '}' or EOF, folding into Sseq. *)
+  match ps.tok with
+  | Lexer.RBRACE | Lexer.EOF -> Ast.Sskip
+  | _ ->
+    let s = parse_stmt ps in
+    (match ps.tok with
+     | Lexer.RBRACE | Lexer.EOF -> s
+     | _ -> Ast.Sseq (s, parse_stmt_seq ps))
+
+and parse_block (ps : parser_state) : Ast.stmt =
+  expect ps Lexer.LBRACE;
+  let s = parse_stmt_seq ps in
+  expect ps Lexer.RBRACE;
+  s
+
+and parse_stmt (ps : parser_state) : Ast.stmt =
+  match ps.tok with
+  | Lexer.KW_skip ->
+    advance ps;
+    expect ps Lexer.SEMI;
+    Ast.Sskip
+  | Lexer.KW_if ->
+    advance ps;
+    expect ps Lexer.LPAREN;
+    let c = parse_expr ps in
+    expect ps Lexer.RPAREN;
+    let a = parse_block ps in
+    (match ps.tok with
+     | Lexer.KW_else ->
+       advance ps;
+       let b = parse_block ps in
+       Ast.Sif (c, a, b)
+     | _ -> Ast.Sif (c, a, Ast.Sskip))
+  | Lexer.KW_while ->
+    advance ps;
+    expect ps Lexer.LPAREN;
+    let c = parse_expr ps in
+    expect ps Lexer.RPAREN;
+    let body = parse_block ps in
+    Ast.Swhile (c, body)
+  | Lexer.KW_for ->
+    advance ps;
+    expect ps Lexer.LPAREN;
+    let i = expect_ident ps in
+    expect ps Lexer.ASSIGN;
+    let lo = parse_expr ps in
+    expect ps Lexer.SEMI;
+    let i2 = expect_ident ps in
+    if not (String.equal i i2) then
+      fail "for loop counter mismatch: %s vs %s" i i2;
+    expect ps Lexer.LT;
+    let hi = parse_expr ps in
+    expect ps Lexer.RPAREN;
+    let body = parse_block ps in
+    Ast.Sfor (i, lo, hi, body)
+  | Lexer.KW_return ->
+    advance ps;
+    (match ps.tok with
+     | Lexer.SEMI -> advance ps; Ast.Sreturn None
+     | _ ->
+       let e = parse_expr ps in
+       expect ps Lexer.SEMI;
+       Ast.Sreturn (Some e))
+  | Lexer.KW_annotation ->
+    advance ps;
+    expect ps Lexer.LPAREN;
+    let text =
+      match ps.tok with
+      | Lexer.STRING s -> advance ps; s
+      | t -> fail "expected annotation string, found %s" (Lexer.token_to_string t)
+    in
+    let rec args acc =
+      match ps.tok with
+      | Lexer.COMMA ->
+        advance ps;
+        let e = parse_expr ps in
+        args (e :: acc)
+      | _ -> List.rev acc
+    in
+    let a = args [] in
+    expect ps Lexer.RPAREN;
+    expect ps Lexer.SEMI;
+    Ast.Sannot (text, a)
+  | Lexer.KW_volatile ->
+    advance ps;
+    expect ps Lexer.LPAREN;
+    let x = expect_ident ps in
+    expect ps Lexer.RPAREN;
+    expect ps Lexer.ASSIGN;
+    let e = parse_expr ps in
+    expect ps Lexer.SEMI;
+    Ast.Svolstore (x, e)
+  | Lexer.DOLLAR ->
+    advance ps;
+    let x = expect_ident ps in
+    (match ps.tok with
+     | Lexer.LBRACKET ->
+       advance ps;
+       let idx = parse_expr ps in
+       expect ps Lexer.RBRACKET;
+       expect ps Lexer.ASSIGN;
+       let e = parse_expr ps in
+       expect ps Lexer.SEMI;
+       Ast.Sstore (x, idx, e)
+     | _ ->
+       expect ps Lexer.ASSIGN;
+       let e = parse_expr ps in
+       expect ps Lexer.SEMI;
+       Ast.Sglobassign (x, e))
+  | Lexer.IDENT x ->
+    advance ps;
+    expect ps Lexer.ASSIGN;
+    let e = parse_expr ps in
+    expect ps Lexer.SEMI;
+    Ast.Sassign (x, e)
+  | t -> fail "expected a statement but found %s" (Lexer.token_to_string t)
+
+let parse_params (ps : parser_state) : (Ast.ident * Ast.typ) list =
+  expect ps Lexer.LPAREN;
+  match ps.tok with
+  | Lexer.RPAREN -> advance ps; []
+  | _ ->
+    let rec go acc =
+      let t = parse_typ ps in
+      let x = expect_ident ps in
+      match ps.tok with
+      | Lexer.COMMA -> advance ps; go ((x, t) :: acc)
+      | _ ->
+        expect ps Lexer.RPAREN;
+        List.rev ((x, t) :: acc)
+    in
+    go []
+
+let parse_func (ps : parser_state) (ret : Ast.typ option) : Ast.func =
+  let name = expect_ident ps in
+  let params = parse_params ps in
+  expect ps Lexer.LBRACE;
+  let rec locals acc =
+    match ps.tok with
+    | Lexer.KW_var ->
+      advance ps;
+      let t = parse_typ ps in
+      let x = expect_ident ps in
+      expect ps Lexer.SEMI;
+      locals ((x, t) :: acc)
+    | _ -> List.rev acc
+  in
+  let fn_locals = locals [] in
+  let body = parse_stmt_seq ps in
+  expect ps Lexer.RBRACE;
+  { Ast.fn_name = name;
+    fn_params = params;
+    fn_locals;
+    fn_ret = ret;
+    fn_body = body }
+
+let parse_float_list (ps : parser_state) : float list =
+  expect ps Lexer.LBRACE;
+  let rec go acc =
+    let v =
+      match ps.tok with
+      | Lexer.FLOAT f -> advance ps; f
+      | Lexer.INT n -> advance ps; Int32.to_float n
+      | t -> fail "expected a number, found %s" (Lexer.token_to_string t)
+    in
+    match ps.tok with
+    | Lexer.COMMA -> advance ps; go (v :: acc)
+    | _ ->
+      expect ps Lexer.RBRACE;
+      List.rev (v :: acc)
+  in
+  go []
+
+let parse_program (src : string) : Ast.program =
+  let ps = make src in
+  let globals = ref [] in
+  let arrays = ref [] in
+  let volatiles = ref [] in
+  let funcs = ref [] in
+  let main = ref None in
+  let rec go () =
+    match ps.tok with
+    | Lexer.EOF -> ()
+    | Lexer.KW_global ->
+      advance ps;
+      let t = parse_typ ps in
+      let x = expect_ident ps in
+      expect ps Lexer.SEMI;
+      globals := (x, t) :: !globals;
+      go ()
+    | Lexer.KW_array ->
+      advance ps;
+      let t = parse_typ ps in
+      let x = expect_ident ps in
+      expect ps Lexer.ASSIGN;
+      let init = parse_float_list ps in
+      expect ps Lexer.SEMI;
+      arrays := { Ast.arr_name = x; arr_elt = t; arr_init = init } :: !arrays;
+      go ()
+    | Lexer.KW_volatile ->
+      advance ps;
+      let dir =
+        match ps.tok with
+        | Lexer.KW_in -> advance ps; Ast.Vol_in
+        | Lexer.KW_out -> advance ps; Ast.Vol_out
+        | t -> fail "expected in/out, found %s" (Lexer.token_to_string t)
+      in
+      let t = parse_typ ps in
+      let x = expect_ident ps in
+      expect ps Lexer.SEMI;
+      volatiles := (x, t, dir) :: !volatiles;
+      go ()
+    | Lexer.KW_main ->
+      advance ps;
+      let x = expect_ident ps in
+      expect ps Lexer.SEMI;
+      main := Some x;
+      go ()
+    | Lexer.KW_void ->
+      advance ps;
+      funcs := parse_func ps None :: !funcs;
+      go ()
+    | Lexer.KW_int ->
+      advance ps;
+      funcs := parse_func ps (Some Ast.Tint) :: !funcs;
+      go ()
+    | Lexer.KW_double ->
+      advance ps;
+      funcs := parse_func ps (Some Ast.Tfloat) :: !funcs;
+      go ()
+    | Lexer.KW_bool ->
+      advance ps;
+      funcs := parse_func ps (Some Ast.Tbool) :: !funcs;
+      go ()
+    | t -> fail "expected a declaration, found %s" (Lexer.token_to_string t)
+  in
+  go ();
+  let funcs = List.rev !funcs in
+  let main =
+    match !main with
+    | Some m -> m
+    | None ->
+      (match funcs with
+       | f :: _ -> f.Ast.fn_name
+       | [] -> fail "empty program")
+  in
+  { Ast.prog_globals = List.rev !globals;
+    prog_arrays = List.rev !arrays;
+    prog_volatiles = List.rev !volatiles;
+    prog_funcs = funcs;
+    prog_main = main }

@@ -1,0 +1,7 @@
+(** Recursive-descent parser for mini-C concrete syntax, the inverse of
+    {!Pp}. *)
+
+exception Parse_error of string
+
+val parse_program : string -> Ast.program
+(** @raise Parse_error and {!Lexer.Lex_error} on malformed input. *)

@@ -1,0 +1,162 @@
+(* Pretty-printer for mini-C, producing concrete syntax accepted back by
+   [Parser]. The ACG uses it to materialize the generated "C" files of the
+   development chain (paper Figure 1); the round-trip property
+   (parse (print p) = p) is checked by the test suite. *)
+
+let pp_comparison ppf (c : Ast.comparison) =
+  Format.pp_print_string ppf
+    (match c with
+     | Ast.Ceq -> "=="
+     | Ast.Cne -> "!="
+     | Ast.Clt -> "<"
+     | Ast.Cle -> "<="
+     | Ast.Cgt -> ">"
+     | Ast.Cge -> ">=")
+
+(* Operator precedence, loosely following C. Higher binds tighter. *)
+let binop_prec (op : Ast.binop) : int =
+  match op with
+  | Ast.Omul | Ast.Odiv | Ast.Omod | Ast.Ofmul | Ast.Ofdiv -> 7
+  | Ast.Oadd | Ast.Osub | Ast.Ofadd | Ast.Ofsub -> 6
+  | Ast.Oshl | Ast.Oshr -> 5
+  | Ast.Ocmp _ | Ast.Ofcmp _ -> 4
+  | Ast.Oand | Ast.Oor | Ast.Oxor -> 3
+  | Ast.Oband -> 2
+  | Ast.Obor -> 1
+
+let binop_name (op : Ast.binop) : string =
+  match op with
+  | Ast.Oadd -> "+"
+  | Ast.Osub -> "-"
+  | Ast.Omul -> "*"
+  | Ast.Odiv -> "/"
+  | Ast.Omod -> "%"
+  | Ast.Oand -> "&"
+  | Ast.Oor -> "|"
+  | Ast.Oxor -> "^"
+  | Ast.Oshl -> "<<"
+  | Ast.Oshr -> ">>"
+  | Ast.Ofadd -> "+."
+  | Ast.Ofsub -> "-."
+  | Ast.Ofmul -> "*."
+  | Ast.Ofdiv -> "/."
+  | Ast.Ocmp c -> Format.asprintf "%a" pp_comparison c
+  | Ast.Ofcmp c -> Format.asprintf "%a." pp_comparison c
+  | Ast.Oband -> "&&"
+  | Ast.Obor -> "||"
+
+let rec pp_expr_prec (prec : int) ppf (e : Ast.expr) : unit =
+  match e with
+  | Ast.Econst_int n -> Format.fprintf ppf "%ld" n
+  | Ast.Econst_float f -> Format.fprintf ppf "%h" f
+  | Ast.Econst_bool true -> Format.pp_print_string ppf "true"
+  | Ast.Econst_bool false -> Format.pp_print_string ppf "false"
+  | Ast.Evar x -> Format.pp_print_string ppf x
+  | Ast.Eglobal x -> Format.fprintf ppf "$%s" x
+  | Ast.Eindex (a, i) -> Format.fprintf ppf "$%s[%a]" a (pp_expr_prec 0) i
+  | Ast.Evolatile x -> Format.fprintf ppf "volatile(%s)" x
+  | Ast.Eunop (op, e1) ->
+    let name =
+      match op with
+      | Ast.Oneg -> "-"
+      | Ast.Onot -> "!"
+      | Ast.Ofneg -> "-."
+      | Ast.Ofabs -> "fabs"
+      | Ast.Ofloat_of_int -> "(double)"
+      | Ast.Oint_of_float -> "(int)"
+    in
+    (match op with
+     | Ast.Ofabs -> Format.fprintf ppf "fabs(%a)" (pp_expr_prec 0) e1
+     | Ast.Oneg | Ast.Onot | Ast.Ofneg | Ast.Ofloat_of_int | Ast.Oint_of_float ->
+       Format.fprintf ppf "%s%a" name (pp_expr_prec 8) e1)
+  | Ast.Ebinop (op, e1, e2) ->
+    let p = binop_prec op in
+    let body ppf () =
+      Format.fprintf ppf "%a %s %a"
+        (pp_expr_prec p) e1 (binop_name op) (pp_expr_prec (p + 1)) e2
+    in
+    if p < prec then Format.fprintf ppf "(%a)" body ()
+    else body ppf ()
+  | Ast.Econd (c, e1, e2) ->
+    let body ppf () =
+      Format.fprintf ppf "%a ? %a : %a"
+        (pp_expr_prec 1) c (pp_expr_prec 1) e1 (pp_expr_prec 0) e2
+    in
+    if prec > 0 then Format.fprintf ppf "(%a)" body () else body ppf ()
+
+let pp_expr ppf e = pp_expr_prec 0 ppf e
+
+let pp_string_literal ppf (s : string) : unit =
+  Format.fprintf ppf "\"%s\"" (String.escaped s)
+
+let rec pp_stmt (indent : int) ppf (s : Ast.stmt) : unit =
+  let pad = String.make indent ' ' in
+  match s with
+  | Ast.Sskip -> Format.fprintf ppf "%sskip;@," pad
+  | Ast.Sassign (x, e) -> Format.fprintf ppf "%s%s = %a;@," pad x pp_expr e
+  | Ast.Sglobassign (x, e) ->
+    Format.fprintf ppf "%s$%s = %a;@," pad x pp_expr e
+  | Ast.Sstore (a, i, e) ->
+    Format.fprintf ppf "%s$%s[%a] = %a;@," pad a pp_expr i pp_expr e
+  | Ast.Svolstore (x, e) ->
+    Format.fprintf ppf "%svolatile(%s) = %a;@," pad x pp_expr e
+  | Ast.Sseq (a, b) -> pp_stmt indent ppf a; pp_stmt indent ppf b
+  | Ast.Sif (c, a, Ast.Sskip) ->
+    Format.fprintf ppf "%sif (%a) {@,%a%s}@," pad pp_expr c
+      (pp_stmt (indent + 2)) a pad
+  | Ast.Sif (c, a, b) ->
+    Format.fprintf ppf "%sif (%a) {@,%a%s} else {@,%a%s}@," pad pp_expr c
+      (pp_stmt (indent + 2)) a pad (pp_stmt (indent + 2)) b pad
+  | Ast.Swhile (c, body) ->
+    Format.fprintf ppf "%swhile (%a) {@,%a%s}@," pad pp_expr c
+      (pp_stmt (indent + 2)) body pad
+  | Ast.Sfor (i, lo, hi, body) ->
+    Format.fprintf ppf "%sfor (%s = %a; %s < %a) {@,%a%s}@," pad i pp_expr lo
+      i pp_expr hi (pp_stmt (indent + 2)) body pad
+  | Ast.Sreturn None -> Format.fprintf ppf "%sreturn;@," pad
+  | Ast.Sreturn (Some e) -> Format.fprintf ppf "%sreturn %a;@," pad pp_expr e
+  | Ast.Sannot (text, args) ->
+    Format.fprintf ppf "%s__builtin_annotation(%a%a);@," pad
+      pp_string_literal text
+      (Format.pp_print_list ~pp_sep:(fun _ () -> ())
+         (fun ppf e -> Format.fprintf ppf ", %a" pp_expr e))
+      args
+
+let pp_var_decl ppf ((x, t) : Ast.ident * Ast.typ) : unit =
+  Format.fprintf ppf "%s %s" (Ast.string_of_typ t) x
+
+let pp_func ppf (f : Ast.func) : unit =
+  let ret = match f.Ast.fn_ret with None -> "void" | Some t -> Ast.string_of_typ t in
+  Format.fprintf ppf "@[<v>%s %s(%a) {@," ret f.Ast.fn_name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_var_decl)
+    f.Ast.fn_params;
+  List.iter (fun d -> Format.fprintf ppf "  var %a;@," pp_var_decl d) f.Ast.fn_locals;
+  pp_stmt 2 ppf f.Ast.fn_body;
+  Format.fprintf ppf "}@,@]"
+
+let pp_program ppf (p : Ast.program) : unit =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (x, t) -> Format.fprintf ppf "global %s %s;@," (Ast.string_of_typ t) x)
+    p.Ast.prog_globals;
+  List.iter
+    (fun a ->
+       Format.fprintf ppf "array %s %s = {%a};@,"
+         (Ast.string_of_typ a.Ast.arr_elt) a.Ast.arr_name
+         (Format.pp_print_list
+            ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+            (fun ppf f -> Format.fprintf ppf "%h" f))
+         a.Ast.arr_init)
+    p.Ast.prog_arrays;
+  List.iter
+    (fun (x, t, d) ->
+       let dir = match d with Ast.Vol_in -> "in" | Ast.Vol_out -> "out" in
+       Format.fprintf ppf "volatile %s %s %s;@," dir (Ast.string_of_typ t) x)
+    p.Ast.prog_volatiles;
+  List.iter (fun f -> Format.fprintf ppf "%a@," pp_func f) p.Ast.prog_funcs;
+  Format.fprintf ppf "main %s;@,@]" p.Ast.prog_main
+
+let program_to_string (p : Ast.program) : string =
+  Format.asprintf "%a" pp_program p

@@ -1,0 +1,12 @@
+(** Pretty-printer for mini-C, producing concrete syntax accepted back
+    by {!Parser}; the ACG uses it to materialize generated "C" files.
+    The round trip [parse (print p)] reproduces the program. *)
+
+val binop_prec : Ast.binop -> int
+(** Operator precedence (used by the parser's precedence climbing). *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_stmt : int -> Format.formatter -> Ast.stmt -> unit
+val pp_func : Format.formatter -> Ast.func -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+val program_to_string : Ast.program -> string

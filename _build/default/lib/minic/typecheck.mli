@@ -1,0 +1,18 @@
+(** Type checker for mini-C programs, run by every compiler front end.
+
+    Beyond typing, it enforces the flight-control coding restrictions
+    the paper's process relies on: volatile directions respected,
+    annotation arguments of scalar numeric type, and MISRA-C rule 13.6
+    (a counted loop's counter is not modified in its body). *)
+
+type error = {
+  err_func : string; (** enclosing function, [""] at program level *)
+  err_msg : string;
+}
+
+val error_to_string : error -> string
+
+val check_program : Ast.program -> (unit, error) result
+
+val check_program_exn : Ast.program -> unit
+(** @raise Invalid_argument on the first error. *)

@@ -1,0 +1,1 @@
+lib/scade/acg.ml: Array Hashtbl Int32 List Minic Printf String Symbol

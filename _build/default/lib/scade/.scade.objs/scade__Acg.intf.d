@@ -1,0 +1,1 @@
+lib/scade/acg.mli: Minic Symbol

@@ -1,0 +1,1 @@
+lib/scade/schedule.ml: Array Hashtbl List Symbol

@@ -1,0 +1,1 @@
+lib/scade/schedule.mli: Symbol

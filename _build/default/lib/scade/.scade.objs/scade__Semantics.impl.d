@@ -1,0 +1,1 @@
+lib/scade/semantics.ml: Array Float Hashtbl Int32 List Minic Option Printf Symbol

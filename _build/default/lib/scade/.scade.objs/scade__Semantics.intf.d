@@ -1,0 +1,1 @@
+lib/scade/semantics.mli: Minic Symbol

@@ -1,0 +1,1 @@
+lib/scade/symbol.ml: Array Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/scade/workload.ml: Acg Array List Minic Printf Random Schedule Symbol

@@ -1,0 +1,1 @@
+lib/scade/workload.mli: Minic Symbol

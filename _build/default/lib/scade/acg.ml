@@ -1,0 +1,323 @@
+(* The qualified automatic code generator (ACG): SCADE-like nodes to
+   mini-C, one fixed pattern per symbol instance (paper section 2.1:
+   "the code is basically composed of many instances of a limited set of
+   symbols, such as mathematic operations, filters and delays").
+
+   Naming scheme (per instance index [i]):
+   - wire [w]   -> local  [w<w>]
+   - state      -> global [st<i>] (scalar) / array [sta<i>] + [ptr<i>]
+   - lookup     -> arrays [lkb<i>] (breaks), [lkv<i>] (values),
+                   [lks<i>] (slopes)
+   - modal sum  -> global [cfg<i>] (config), array [msw<i>] (weights);
+                   the generated loop bound depends on the config
+                   global, which binary-level analysis cannot see — the
+                   ACG emits the __builtin_annotation("loopbound K")
+                   that the paper's section 3.4 mechanism transports to
+                   the WCET analyzer. *)
+
+module A = Minic.Ast
+
+type gen_state = {
+  mutable globals : (string * A.typ) list;
+  mutable arrays : A.array_def list;
+  mutable volatiles : (string * A.typ * A.vol_dir) list;
+  mutable locals : (string * A.typ) list;
+  mutable stmts : A.stmt list; (* reversed *)
+}
+
+let wire_name (w : Symbol.wire) : string = Printf.sprintf "w%d" w
+
+let typ_of_styp (t : Symbol.styp) : A.typ =
+  match t with
+  | Symbol.Sfloat -> A.Tfloat
+  | Symbol.Sbool -> A.Tbool
+  | Symbol.Sint -> A.Tint
+
+let expr_of_source (s : Symbol.source) : A.expr =
+  match s with
+  | Symbol.Swire w -> A.Evar (wire_name w)
+  | Symbol.Sconstf f -> A.Econst_float f
+  | Symbol.Sconstb b -> A.Econst_bool b
+  | Symbol.Sconsti n -> A.Econst_int n
+
+let cmp_of (c : Symbol.comparison) : A.comparison =
+  match c with
+  | Symbol.CMPlt -> A.Clt
+  | Symbol.CMPle -> A.Cle
+  | Symbol.CMPgt -> A.Cgt
+  | Symbol.CMPge -> A.Cge
+  | Symbol.CMPeq -> A.Ceq
+
+let emit (g : gen_state) (s : A.stmt) : unit = g.stmts <- s :: g.stmts
+
+let add_local (g : gen_state) (x : string) (t : A.typ) : unit =
+  if not (List.mem_assoc x g.locals) then g.locals <- (x, t) :: g.locals
+
+let add_global (g : gen_state) (x : string) (t : A.typ) : unit =
+  g.globals <- (x, t) :: g.globals
+
+let add_array (g : gen_state) (x : string) (t : A.typ) (init : float list) :
+  unit =
+  g.arrays <- { A.arr_name = x; arr_elt = t; arr_init = init } :: g.arrays
+
+let add_volatile (g : gen_state) (x : string) (t : A.typ) (d : A.vol_dir) :
+  unit =
+  if not (List.exists (fun (n, _, _) -> String.equal n x) g.volatiles) then
+    g.volatiles <- (x, t, d) :: g.volatiles
+
+(* float binop shorthands *)
+let ( +: ) a b = A.Ebinop (A.Ofadd, a, b)
+let ( -: ) a b = A.Ebinop (A.Ofsub, a, b)
+let ( *: ) a b = A.Ebinop (A.Ofmul, a, b)
+let ( /: ) a b = A.Ebinop (A.Ofdiv, a, b)
+let fconst f = A.Econst_float f
+let fcmp c a b = A.Ebinop (A.Ofcmp c, a, b)
+
+let gen_instance (g : gen_state) (idx : int) (inst : Symbol.instance) : unit =
+  let dst () =
+    match inst.i_wire with
+    | Some w -> wire_name w
+    | None -> invalid_arg "Acg.gen_instance: value symbol without wire"
+  in
+  let setw (e : A.expr) : unit = emit g (A.Sassign (dst (), e)) in
+  let st_name = Printf.sprintf "st%d" idx in
+  match inst.i_op with
+  | Symbol.Yacq vol ->
+    add_volatile g vol A.Tfloat A.Vol_in;
+    setw (A.Evolatile vol)
+  | Symbol.Yout (vol, s) ->
+    add_volatile g vol A.Tfloat A.Vol_out;
+    emit g (A.Svolstore (vol, expr_of_source s))
+  | Symbol.Youtb (vol, s) ->
+    add_volatile g vol A.Tbool A.Vol_out;
+    emit g (A.Svolstore (vol, expr_of_source s))
+  | Symbol.Ygain (k, s) -> setw (expr_of_source s *: fconst k)
+  | Symbol.Ybias (k, s) -> setw (expr_of_source s +: fconst k)
+  | Symbol.Ysum (a, b) -> setw (expr_of_source a +: expr_of_source b)
+  | Symbol.Ydiff (a, b) -> setw (expr_of_source a -: expr_of_source b)
+  | Symbol.Yprod (a, b) -> setw (expr_of_source a *: expr_of_source b)
+  | Symbol.Ydivsafe (a, b) ->
+    (* w = |b| < 1e-9 ? 0.0 : a / b *)
+    setw
+      (A.Econd
+         (fcmp A.Clt (A.Eunop (A.Ofabs, expr_of_source b)) (fconst 1e-9),
+          fconst 0.0,
+          expr_of_source a /: expr_of_source b))
+  | Symbol.Yabs s -> setw (A.Eunop (A.Ofabs, expr_of_source s))
+  | Symbol.Yneg s -> setw (A.Eunop (A.Ofneg, expr_of_source s))
+  | Symbol.Ysqrt_approx s ->
+    (* guarded 4-step Newton iteration, straight-line *)
+    let x = Printf.sprintf "sq%d_x" idx and gv = Printf.sprintf "sq%d_g" idx in
+    add_local g x A.Tfloat;
+    add_local g gv A.Tfloat;
+    emit g (A.Sassign (x, expr_of_source s));
+    emit g
+      (A.Sif
+         (fcmp A.Cle (A.Evar x) (fconst 0.0),
+          A.Sassign (dst (), fconst 0.0),
+          (let step =
+             A.Sassign
+               (gv, fconst 0.5 *: (A.Evar gv +: (A.Evar x /: A.Evar gv)))
+           in
+           A.Sseq
+             ( A.Sassign (gv, fconst 0.5 *: (A.Evar x +: fconst 1.0)),
+               A.Sseq (step, A.Sseq (step, A.Sseq (step, A.Sseq (step,
+                 A.Sassign (dst (), A.Evar gv)))))))))
+  | Symbol.Ylimiter (lo, hi, s) ->
+    setw
+      (A.Econd
+         (fcmp A.Cgt (expr_of_source s) (fconst hi), fconst hi,
+          A.Econd
+            (fcmp A.Clt (expr_of_source s) (fconst lo), fconst lo,
+             expr_of_source s)))
+  | Symbol.Ydeadband (d, s) ->
+    setw
+      (A.Econd
+         (fcmp A.Cgt (expr_of_source s) (fconst d),
+          expr_of_source s -: fconst d,
+          A.Econd
+            (fcmp A.Clt (expr_of_source s) (fconst (-.d)),
+             expr_of_source s +: fconst d, fconst 0.0)))
+  | Symbol.Yfilter (a, s) ->
+    add_global g st_name A.Tfloat;
+    emit g
+      (A.Sassign
+         (dst (),
+          A.Eglobal st_name +: (fconst a *: (expr_of_source s -: A.Eglobal st_name))));
+    emit g (A.Sglobassign (st_name, A.Evar (dst ())))
+  | Symbol.Ydelay s ->
+    add_global g st_name A.Tfloat;
+    emit g (A.Sassign (dst (), A.Eglobal st_name));
+    emit g (A.Sglobassign (st_name, expr_of_source s))
+  | Symbol.Yintegrator (dt, lo, hi, s) ->
+    add_global g st_name A.Tfloat;
+    emit g
+      (A.Sassign (dst (), A.Eglobal st_name +: (expr_of_source s *: fconst dt)));
+    emit g
+      (A.Sif
+         (fcmp A.Cgt (A.Evar (dst ())) (fconst hi),
+          A.Sassign (dst (), fconst hi),
+          A.Sif
+            (fcmp A.Clt (A.Evar (dst ())) (fconst lo),
+             A.Sassign (dst (), fconst lo), A.Sskip)));
+    emit g (A.Sglobassign (st_name, A.Evar (dst ())))
+  | Symbol.Yratelimit (r, s) ->
+    add_global g st_name A.Tfloat;
+    let d = Printf.sprintf "rl%d_d" idx in
+    add_local g d A.Tfloat;
+    emit g (A.Sassign (d, expr_of_source s -: A.Eglobal st_name));
+    emit g
+      (A.Sif
+         (fcmp A.Cgt (A.Evar d) (fconst r),
+          A.Sassign (dst (), A.Eglobal st_name +: fconst r),
+          A.Sif
+            (fcmp A.Clt (A.Evar d) (fconst (-.r)),
+             A.Sassign (dst (), A.Eglobal st_name -: fconst r),
+             A.Sassign (dst (), expr_of_source s))));
+    emit g (A.Sglobassign (st_name, A.Evar (dst ())))
+  | Symbol.Ylookup (tb, s) ->
+    let n = Array.length tb.Symbol.tb_breaks in
+    let bname = Printf.sprintf "lkb%d" idx in
+    let vname = Printf.sprintf "lkv%d" idx in
+    let sname = Printf.sprintf "lks%d" idx in
+    add_array g bname A.Tfloat (Array.to_list tb.Symbol.tb_breaks);
+    add_array g vname A.Tfloat (Array.to_list tb.Symbol.tb_values);
+    let slopes =
+      List.init (n - 1) (fun i ->
+          (tb.Symbol.tb_values.(i + 1) -. tb.Symbol.tb_values.(i))
+          /. (tb.Symbol.tb_breaks.(i + 1) -. tb.Symbol.tb_breaks.(i)))
+    in
+    add_array g sname A.Tfloat slopes;
+    let x = Printf.sprintf "lk%d_x" idx in
+    let j = Printf.sprintf "lk%d_j" idx in
+    let k = Printf.sprintf "lk%d_k" idx in
+    add_local g x A.Tfloat;
+    add_local g j A.Tint;
+    add_local g k A.Tint;
+    emit g (A.Sassign (x, expr_of_source s));
+    emit g
+      (A.Sif
+         (fcmp A.Cle (A.Evar x) (A.Eindex (bname, A.Econst_int 0l)),
+          A.Sassign (dst (), A.Eindex (vname, A.Econst_int 0l)),
+          A.Sif
+            (fcmp A.Cge (A.Evar x)
+               (A.Eindex (bname, A.Econst_int (Int32.of_int (n - 1)))),
+             A.Sassign
+               (dst (), A.Eindex (vname, A.Econst_int (Int32.of_int (n - 1)))),
+             A.Sseq
+               ( A.Sassign (k, A.Econst_int 0l),
+                 A.Sseq
+                   ( A.Sfor
+                       ( j,
+                         A.Econst_int 1l,
+                         A.Econst_int (Int32.of_int (n - 1)),
+                         A.Sif
+                           (fcmp A.Cge (A.Evar x) (A.Eindex (bname, A.Evar j)),
+                            A.Sassign (k, A.Evar j), A.Sskip) ),
+                     A.Sassign
+                       ( dst (),
+                         A.Eindex (vname, A.Evar k)
+                         +: ((A.Evar x -: A.Eindex (bname, A.Evar k))
+                             *: A.Eindex (sname, A.Evar k)) ) ) ))))
+  | Symbol.Ymovavg (w, s) ->
+    let aname = Printf.sprintf "sta%d" idx in
+    let pname = Printf.sprintf "ptr%d" idx in
+    add_array g aname A.Tfloat (List.init w (fun _ -> 0.0));
+    add_global g pname A.Tint;
+    let j = Printf.sprintf "ma%d_j" idx in
+    let acc = Printf.sprintf "ma%d_acc" idx in
+    add_local g j A.Tint;
+    add_local g acc A.Tfloat;
+    emit g (A.Sstore (aname, A.Eglobal pname, expr_of_source s));
+    emit g
+      (A.Sglobassign (pname, A.Ebinop (A.Oadd, A.Eglobal pname, A.Econst_int 1l)));
+    emit g
+      (A.Sif
+         (A.Ebinop (A.Ocmp A.Cge, A.Eglobal pname, A.Econst_int (Int32.of_int w)),
+          A.Sglobassign (pname, A.Econst_int 0l), A.Sskip));
+    emit g (A.Sassign (acc, fconst 0.0));
+    emit g
+      (A.Sfor
+         ( j, A.Econst_int 0l, A.Econst_int (Int32.of_int w),
+           A.Sassign (acc, A.Evar acc +: A.Eindex (aname, A.Evar j)) ));
+    setw (A.Evar acc /: fconst (float_of_int w))
+  | Symbol.Yselect (c, a, b) ->
+    setw (A.Econd (expr_of_source c, expr_of_source a, expr_of_source b))
+  | Symbol.Ycmp (c, a, b) ->
+    setw (fcmp (cmp_of c) (expr_of_source a) (expr_of_source b))
+  | Symbol.Yhysteresis (on, off, s) ->
+    add_global g st_name A.Tbool;
+    emit g
+      (A.Sassign
+         (dst (),
+          A.Econd
+            (A.Eglobal st_name,
+             A.Eunop (A.Onot, fcmp A.Clt (expr_of_source s) (fconst off)),
+             fcmp A.Cgt (expr_of_source s) (fconst on))));
+    emit g (A.Sglobassign (st_name, A.Evar (dst ())))
+  | Symbol.Yand (a, b) ->
+    setw (A.Ebinop (A.Oband, expr_of_source a, expr_of_source b))
+  | Symbol.Yor (a, b) ->
+    setw (A.Ebinop (A.Obor, expr_of_source a, expr_of_source b))
+  | Symbol.Ynot s -> setw (A.Eunop (A.Onot, expr_of_source s))
+  | Symbol.Ycount s ->
+    add_global g st_name A.Tint;
+    emit g
+      (A.Sif
+         (expr_of_source s,
+          A.Sglobassign
+            (st_name, A.Ebinop (A.Oadd, A.Eglobal st_name, A.Econst_int 1l)),
+          A.Sskip));
+    setw (A.Eglobal st_name)
+  | Symbol.Ymodalsum (k, s) ->
+    (* configuration-dependent loop, bounded only by the annotation *)
+    let cname = Printf.sprintf "cfg%d" idx in
+    let wname = Printf.sprintf "msw%d" idx in
+    add_global g cname A.Tint;
+    add_array g wname A.Tfloat
+      (List.init k (fun i -> 1.0 /. float_of_int (i + 1)));
+    let j = Printf.sprintf "ms%d_j" idx in
+    let acc = Printf.sprintf "ms%d_acc" idx in
+    add_local g j A.Tint;
+    add_local g acc A.Tfloat;
+    emit g (A.Sglobassign (cname, A.Econst_int (Int32.of_int k)));
+    emit g (A.Sassign (acc, fconst 0.0));
+    emit g
+      (A.Sfor
+         ( j, A.Econst_int 0l, A.Eglobal cname,
+           A.Sseq
+             ( A.Sannot (Printf.sprintf "loopbound %d" k, []),
+               A.Sassign
+                 (acc,
+                  A.Evar acc +: (expr_of_source s *: A.Eindex (wname, A.Evar j)))
+             ) ));
+    setw (A.Evar acc)
+
+(* Generate the mini-C program of one node. The entry function is
+   [<node>_main], taking no parameters: a single control cycle. *)
+let generate (n : Symbol.node) : A.program =
+  let typs = Symbol.check_node n in
+  let g =
+    { globals = []; arrays = []; volatiles = []; locals = []; stmts = [] }
+  in
+  (* declare wire locals *)
+  Hashtbl.iter
+    (fun w t -> add_local g (wire_name w) (typ_of_styp t))
+    typs;
+  List.iteri (fun idx inst -> gen_instance g idx inst) n.Symbol.n_instances;
+  let body =
+    List.fold_left
+      (fun acc s -> A.Sseq (s, acc))
+      A.Sskip g.stmts
+  in
+  let fname = n.Symbol.n_name ^ "_main" in
+  { A.prog_globals = List.rev g.globals;
+    prog_arrays = List.rev g.arrays;
+    prog_volatiles = List.rev g.volatiles;
+    prog_funcs =
+      [ { A.fn_name = fname;
+          fn_params = [];
+          fn_locals = List.rev g.locals;
+          fn_ret = None;
+          fn_body = body } ];
+    prog_main = fname }

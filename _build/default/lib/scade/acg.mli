@@ -1,0 +1,8 @@
+(** The qualified automatic code generator: SCADE-like nodes to mini-C,
+    one fixed pattern per symbol instance (naming scheme in the
+    implementation header). The generated entry point [<node>_main]
+    takes no parameters: inputs are volatile acquisitions, state lives
+    in per-instance globals — one control cycle per call. *)
+
+val generate : Symbol.node -> Minic.Ast.program
+(** @raise Symbol.Ill_formed on nodes that fail {!Symbol.check_node}. *)

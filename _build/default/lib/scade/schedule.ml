@@ -1,0 +1,46 @@
+(* Scheduling of a dataflow node: order the symbol instances so that
+   every wire is produced before it is read (Kahn topological sort,
+   stable with respect to the input order so that generated code is
+   deterministic). Output symbols are kept after their producers;
+   volatile acquisitions keep their relative order (the acquisition
+   order is observable). *)
+
+exception Cycle of string
+
+let sort (n : Symbol.node) : Symbol.node =
+  let instances = Array.of_list n.Symbol.n_instances in
+  let count = Array.length instances in
+  (* producer of each wire *)
+  let producer : (Symbol.wire, int) Hashtbl.t = Hashtbl.create 61 in
+  Array.iteri
+    (fun i inst ->
+       match inst.Symbol.i_wire with
+       | Some w -> Hashtbl.replace producer w i
+       | None -> ())
+    instances;
+  let deps (i : int) : int list =
+    List.filter_map
+      (fun w -> Hashtbl.find_opt producer w)
+      (Symbol.wires_read instances.(i).Symbol.i_op)
+  in
+  (* stable Kahn: repeatedly take the first unscheduled instance whose
+     dependencies are all scheduled *)
+  let scheduled = Array.make count false in
+  let order = ref [] in
+  let remaining = ref count in
+  let progress = ref true in
+  while !remaining > 0 && !progress do
+    progress := false;
+    for i = 0 to count - 1 do
+      if (not scheduled.(i))
+         && List.for_all (fun d -> scheduled.(d)) (deps i) then begin
+        scheduled.(i) <- true;
+        order := i :: !order;
+        decr remaining;
+        progress := true
+      end
+    done
+  done;
+  if !remaining > 0 then
+    raise (Cycle (n.Symbol.n_name ^ ": dataflow cycle (missing delay?)"));
+  { n with Symbol.n_instances = List.rev_map (fun i -> instances.(i)) !order }

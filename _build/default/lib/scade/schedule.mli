@@ -1,0 +1,9 @@
+(** Scheduling of dataflow nodes: a stable topological sort ordering
+    every symbol instance after the producers of the wires it reads.
+    Feedback must be cut by a delay *listed after its source* — a
+    purely combinational cycle is an error. *)
+
+exception Cycle of string
+
+val sort : Symbol.node -> Symbol.node
+(** @raise Cycle on combinational cycles. *)

@@ -1,0 +1,218 @@
+(* Independent reference semantics of SCADE-like nodes.
+
+   Evaluates a node cycle-by-cycle directly on the dataflow graph,
+   mirroring bit-for-bit the float operations (and their order) that the
+   ACG patterns perform. The test suite checks that the ACG output run
+   through the mini-C interpreter — and through every compiler and the
+   machine simulator — produces exactly the observable events this
+   evaluator predicts: the end-to-end "development chain" validation of
+   the paper's Figure 1. *)
+
+type value =
+  | Fv of float
+  | Bv of bool
+  | Iv of int32
+
+(* Per-instance persistent state. *)
+type inst_state =
+  | St_none
+  | St_float of float ref
+  | St_bool of bool ref
+  | St_int of int32 ref
+  | St_window of float array * int ref (* moving average: buffer, pointer *)
+
+type state = {
+  node : Symbol.node;
+  inst_states : inst_state array;
+  wire_vals : (Symbol.wire, value) Hashtbl.t;
+  vol_counts : (string, int) Hashtbl.t;
+  mutable events_rev : Minic.Interp.event list;
+}
+
+let init (n : Symbol.node) : state =
+  ignore (Symbol.check_node n);
+  let inst_states =
+    Array.of_list
+      (List.map
+         (fun inst ->
+            match inst.Symbol.i_op with
+            | Symbol.Yfilter _ | Symbol.Ydelay _ | Symbol.Yintegrator _
+            | Symbol.Yratelimit _ -> St_float (ref 0.0)
+            | Symbol.Yhysteresis _ -> St_bool (ref false)
+            | Symbol.Ycount _ -> St_int (ref 0l)
+            | Symbol.Ymovavg (w, _) -> St_window (Array.make w 0.0, ref 0)
+            | _ -> St_none)
+         n.Symbol.n_instances)
+  in
+  { node = n;
+    inst_states;
+    wire_vals = Hashtbl.create 61;
+    vol_counts = Hashtbl.create 17;
+    events_rev = [] }
+
+let as_f (v : value) : float =
+  match v with Fv f -> f | Bv _ | Iv _ -> invalid_arg "Semantics: float expected"
+
+let as_b (v : value) : bool =
+  match v with Bv b -> b | Fv _ | Iv _ -> invalid_arg "Semantics: bool expected"
+
+let source_value (st : state) (s : Symbol.source) : value =
+  match s with
+  | Symbol.Sconstf f -> Fv f
+  | Symbol.Sconstb b -> Bv b
+  | Symbol.Sconsti n -> Iv n
+  | Symbol.Swire w ->
+    (match Hashtbl.find_opt st.wire_vals w with
+     | Some v -> v
+     | None -> invalid_arg "Semantics: wire read before write")
+
+let emit (st : state) (e : Minic.Interp.event) : unit =
+  st.events_rev <- e :: st.events_rev
+
+let read_volatile (st : state) (w : Minic.Interp.world) (x : string) : float =
+  let k = Option.value ~default:0 (Hashtbl.find_opt st.vol_counts x) in
+  Hashtbl.replace st.vol_counts x (k + 1);
+  let v = Minic.Interp.world_value w Minic.Ast.Tfloat x k in
+  emit st (Minic.Interp.Ev_vol_read (x, v));
+  match v with
+  | Minic.Value.Vfloat f -> f
+  | Minic.Value.Vint _ | Minic.Value.Vbool _ -> assert false
+
+let eval_cmp (c : Symbol.comparison) (a : float) (b : float) : bool =
+  match c with
+  | Symbol.CMPlt -> a < b
+  | Symbol.CMPle -> a <= b
+  | Symbol.CMPgt -> a > b
+  | Symbol.CMPge -> a >= b
+  | Symbol.CMPeq -> a = b
+
+(* One instance evaluation; mirrors the ACG pattern exactly. *)
+let eval_instance (st : state) (w : Minic.Interp.world) (idx : int)
+    (inst : Symbol.instance) : unit =
+  let sv = source_value st in
+  let setw (v : value) : unit =
+    match inst.Symbol.i_wire with
+    | Some wr -> Hashtbl.replace st.wire_vals wr v
+    | None -> invalid_arg "Semantics: value symbol without wire"
+  in
+  match inst.Symbol.i_op, st.inst_states.(idx) with
+  | Symbol.Yacq vol, St_none -> setw (Fv (read_volatile st w vol))
+  | Symbol.Yout (vol, s), St_none ->
+    emit st (Minic.Interp.Ev_vol_write (vol, Minic.Value.Vfloat (as_f (sv s))))
+  | Symbol.Youtb (vol, s), St_none ->
+    emit st (Minic.Interp.Ev_vol_write (vol, Minic.Value.Vbool (as_b (sv s))))
+  | Symbol.Ygain (k, s), St_none -> setw (Fv (as_f (sv s) *. k))
+  | Symbol.Ybias (k, s), St_none -> setw (Fv (as_f (sv s) +. k))
+  | Symbol.Ysum (a, b), St_none -> setw (Fv (as_f (sv a) +. as_f (sv b)))
+  | Symbol.Ydiff (a, b), St_none -> setw (Fv (as_f (sv a) -. as_f (sv b)))
+  | Symbol.Yprod (a, b), St_none -> setw (Fv (as_f (sv a) *. as_f (sv b)))
+  | Symbol.Ydivsafe (a, b), St_none ->
+    let bf = as_f (sv b) in
+    setw (Fv (if Float.abs bf < 1e-9 then 0.0 else as_f (sv a) /. bf))
+  | Symbol.Yabs s, St_none -> setw (Fv (Float.abs (as_f (sv s))))
+  | Symbol.Yneg s, St_none -> setw (Fv (Float.neg (as_f (sv s))))
+  | Symbol.Ysqrt_approx s, St_none ->
+    let x = as_f (sv s) in
+    if x <= 0.0 then setw (Fv 0.0)
+    else begin
+      let g = ref (0.5 *. (x +. 1.0)) in
+      for _ = 1 to 4 do
+        g := 0.5 *. (!g +. (x /. !g))
+      done;
+      setw (Fv !g)
+    end
+  | Symbol.Ylimiter (lo, hi, s), St_none ->
+    let x = as_f (sv s) in
+    setw (Fv (if x > hi then hi else if x < lo then lo else x))
+  | Symbol.Ydeadband (d, s), St_none ->
+    let x = as_f (sv s) in
+    setw (Fv (if x > d then x -. d else if x < -.d then x +. d else 0.0))
+  | Symbol.Yfilter (a, s), St_float r ->
+    let v = !r +. (a *. (as_f (sv s) -. !r)) in
+    r := v;
+    setw (Fv v)
+  | Symbol.Ydelay s, St_float r ->
+    let out = !r in
+    r := as_f (sv s);
+    setw (Fv out)
+  | Symbol.Yintegrator (dt, lo, hi, s), St_float r ->
+    let v = !r +. (as_f (sv s) *. dt) in
+    let v = if v > hi then hi else if v < lo then lo else v in
+    r := v;
+    setw (Fv v)
+  | Symbol.Yratelimit (rate, s), St_float r ->
+    let x = as_f (sv s) in
+    let d = x -. !r in
+    let v =
+      if d > rate then !r +. rate
+      else if d < -.rate then !r -. rate
+      else x
+    in
+    r := v;
+    setw (Fv v)
+  | Symbol.Ylookup (tb, s), St_none ->
+    let x = as_f (sv s) in
+    let n = Array.length tb.Symbol.tb_breaks in
+    let v =
+      if x <= tb.Symbol.tb_breaks.(0) then tb.Symbol.tb_values.(0)
+      else if x >= tb.Symbol.tb_breaks.(n - 1) then tb.Symbol.tb_values.(n - 1)
+      else begin
+        let k = ref 0 in
+        for j = 1 to n - 2 do
+          if x >= tb.Symbol.tb_breaks.(j) then k := j
+        done;
+        let slope =
+          (tb.Symbol.tb_values.(!k + 1) -. tb.Symbol.tb_values.(!k))
+          /. (tb.Symbol.tb_breaks.(!k + 1) -. tb.Symbol.tb_breaks.(!k))
+        in
+        tb.Symbol.tb_values.(!k) +. ((x -. tb.Symbol.tb_breaks.(!k)) *. slope)
+      end
+    in
+    setw (Fv v)
+  | Symbol.Ymovavg (w_, s), St_window (buf, ptr) ->
+    buf.(!ptr) <- as_f (sv s);
+    ptr := !ptr + 1;
+    if !ptr >= w_ then ptr := 0;
+    let acc = ref 0.0 in
+    for j = 0 to w_ - 1 do
+      acc := !acc +. buf.(j)
+    done;
+    setw (Fv (!acc /. float_of_int w_))
+  | Symbol.Yselect (c, a, b), St_none ->
+    setw (Fv (if as_b (sv c) then as_f (sv a) else as_f (sv b)))
+  | Symbol.Ycmp (c, a, b), St_none ->
+    setw (Bv (eval_cmp c (as_f (sv a)) (as_f (sv b))))
+  | Symbol.Yhysteresis (on, off, s), St_bool r ->
+    let x = as_f (sv s) in
+    let v = if !r then not (x < off) else x > on in
+    r := v;
+    setw (Bv v)
+  | Symbol.Yand (a, b), St_none -> setw (Bv (as_b (sv a) && as_b (sv b)))
+  | Symbol.Yor (a, b), St_none -> setw (Bv (as_b (sv a) || as_b (sv b)))
+  | Symbol.Ynot s, St_none -> setw (Bv (not (as_b (sv s))))
+  | Symbol.Ycount s, St_int r ->
+    if as_b (sv s) then r := Int32.add !r 1l;
+    setw (Iv !r)
+  | Symbol.Ymodalsum (k, s), St_none ->
+    let x = as_f (sv s) in
+    let acc = ref 0.0 in
+    for j = 0 to k - 1 do
+      emit st (Minic.Interp.Ev_annot (Printf.sprintf "loopbound %d" k, []));
+      acc := !acc +. (x *. (1.0 /. float_of_int (j + 1)))
+    done;
+    setw (Fv !acc)
+  | _, _ -> invalid_arg "Semantics: instance/state mismatch"
+
+(* Run one cycle; events accumulate in the state. *)
+let run_cycle (st : state) (w : Minic.Interp.world) : unit =
+  Hashtbl.reset st.wire_vals;
+  List.iteri (fun idx inst -> eval_instance st w idx inst) st.node.Symbol.n_instances
+
+(* Run [cycles] cycles from the initial state; returns the event trace. *)
+let run (n : Symbol.node) (w : Minic.Interp.world) ~(cycles : int) :
+  Minic.Interp.event list =
+  let st = init n in
+  for _ = 1 to cycles do
+    run_cycle st w
+  done;
+  List.rev st.events_rev

@@ -1,0 +1,17 @@
+(** Independent reference semantics of SCADE-like nodes: evaluates the
+    dataflow graph cycle by cycle, mirroring bit-for-bit the float
+    operations (and their order) of the ACG patterns. The test suite
+    checks that the generated code — through the interpreter, every
+    compiler and the simulator — produces exactly the events this
+    evaluator predicts. *)
+
+type state
+
+val init : Symbol.node -> state
+(** @raise Symbol.Ill_formed on malformed nodes. *)
+
+val run_cycle : state -> Minic.Interp.world -> unit
+
+val run :
+  Symbol.node -> Minic.Interp.world -> cycles:int -> Minic.Interp.event list
+(** Run [cycles] cycles from the initial state; the event trace. *)

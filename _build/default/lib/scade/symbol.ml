@@ -1,0 +1,210 @@
+(* The symbol library of the SCADE-like specification language.
+
+   Flight control laws are written as dataflow graphs of instances of a
+   fixed symbol library (gains, filters, limiters, lookup tables, mode
+   logic...). The qualified code generator ([Acg]) emits one fixed
+   mini-C pattern per symbol — the structure on which the whole
+   pattern-based verification strategy of the paper rests, and the
+   structure whose stack-frame round trips CompCert's register
+   allocation removes. *)
+
+type wire = int
+
+type styp =
+  | Sfloat
+  | Sbool
+  | Sint
+
+(* A data source: a wire produced by an upstream symbol or a literal. *)
+type source =
+  | Swire of wire
+  | Sconstf of float
+  | Sconstb of bool
+  | Sconsti of int32
+
+(* 1-D interpolation table (monotonically increasing breakpoints). *)
+type table = {
+  tb_breaks : float array;
+  tb_values : float array; (* same length, >= 2 *)
+}
+
+type comparison =
+  | CMPlt
+  | CMPle
+  | CMPgt
+  | CMPge
+  | CMPeq
+
+(* The symbol library. Stateful symbols (filter, delay, integrator,
+   rate limiter, hysteresis, counter, moving average) keep their state
+   in globals generated per instance. *)
+type op =
+  | Yacq of string                       (* float signal acquisition *)
+  | Yout of string * source              (* float actuator output; no wire *)
+  | Youtb of string * source             (* boolean discrete output *)
+  | Ygain of float * source
+  | Ybias of float * source
+  | Ysum of source * source
+  | Ydiff of source * source
+  | Yprod of source * source
+  | Ydivsafe of source * source          (* 0 when |divisor| < 1e-9 *)
+  | Yabs of source
+  | Yneg of source
+  | Ysqrt_approx of source               (* 4 Newton steps, straight-line *)
+  | Ylimiter of float * float * source   (* lo, hi *)
+  | Ydeadband of float * source
+  | Yfilter of float * source            (* first-order lag, coeff in [0,1) *)
+  | Ydelay of source                     (* unit delay *)
+  | Yintegrator of float * float * float * source (* dt, lo, hi *)
+  | Yratelimit of float * source         (* max |slope| per cycle *)
+  | Ylookup of table * source            (* interpolation, search loop *)
+  | Ymovavg of int * source              (* moving average, window loop *)
+  | Yselect of source * source * source  (* if b then x else y *)
+  | Ycmp of comparison * source * source (* bool *)
+  | Yhysteresis of float * float * source (* bool, on/off thresholds *)
+  | Yand of source * source
+  | Yor of source * source
+  | Ynot of source
+  | Ycount of source                     (* int: counts cycles while b *)
+  | Ymodalsum of int * source            (* config-bounded loop: the
+                                            annotation showcase of
+                                            paper section 3.4 *)
+
+(* An instance: the produced wire (None for outputs) and the operation. *)
+type instance = {
+  i_wire : wire option;
+  i_op : op;
+}
+
+type node = {
+  n_name : string;
+  n_instances : instance list; (* must be in dependency order *)
+}
+
+(* Result type of a symbol. *)
+let result_typ (op : op) : styp option =
+  match op with
+  | Yout _ | Youtb _ -> None
+  | Ycmp _ | Yhysteresis _ | Yand _ | Yor _ | Ynot _ -> Some Sbool
+  | Ycount _ -> Some Sint
+  | Yacq _ | Ygain _ | Ybias _ | Ysum _ | Ydiff _ | Yprod _ | Ydivsafe _
+  | Yabs _ | Yneg _ | Ysqrt_approx _ | Ylimiter _ | Ydeadband _ | Yfilter _
+  | Ydelay _ | Yintegrator _ | Yratelimit _ | Ylookup _ | Ymovavg _
+  | Yselect _ | Ymodalsum _ -> Some Sfloat
+
+(* Sources read by a symbol. *)
+let sources (op : op) : source list =
+  match op with
+  | Yacq _ -> []
+  | Yout (_, s) | Youtb (_, s) -> [ s ]
+  | Ygain (_, s) | Ybias (_, s) | Yabs s | Yneg s | Ysqrt_approx s
+  | Ylimiter (_, _, s) | Ydeadband (_, s) | Yfilter (_, s) | Ydelay s
+  | Yintegrator (_, _, _, s) | Yratelimit (_, s) | Ylookup (_, s)
+  | Ymovavg (_, s) | Ynot s | Ycount s | Ymodalsum (_, s) -> [ s ]
+  | Ysum (a, b) | Ydiff (a, b) | Yprod (a, b) | Ydivsafe (a, b)
+  | Ycmp (_, a, b) | Yand (a, b) | Yor (a, b) -> [ a; b ]
+  | Yselect (c, a, b) -> [ c; a; b ]
+  | Yhysteresis (_, _, s) -> [ s ]
+
+let wires_read (op : op) : wire list =
+  List.filter_map
+    (fun s -> match s with Swire w -> Some w | Sconstf _ | Sconstb _ | Sconsti _ -> None)
+    (sources op)
+
+(* Does the symbol carry internal state across cycles? *)
+let is_stateful (op : op) : bool =
+  match op with
+  | Yfilter _ | Ydelay _ | Yintegrator _ | Yratelimit _ | Yhysteresis _
+  | Ycount _ | Ymovavg _ -> true
+  | Yacq _ | Yout _ | Youtb _ | Ygain _ | Ybias _ | Ysum _ | Ydiff _
+  | Yprod _ | Ydivsafe _ | Yabs _ | Yneg _ | Ysqrt_approx _ | Ylimiter _
+  | Ydeadband _ | Ylookup _ | Yselect _ | Ycmp _ | Yand _
+  | Yor _ | Ynot _ | Ymodalsum _ -> false
+
+(* Expected type of each source position. *)
+let source_typs (op : op) : styp list =
+  match op with
+  | Yacq _ -> []
+  | Yout _ -> [ Sfloat ]
+  | Youtb _ -> [ Sbool ]
+  | Ygain _ | Ybias _ | Yabs _ | Yneg _ | Ysqrt_approx _ | Ylimiter _
+  | Ydeadband _ | Yfilter _ | Ydelay _ | Yintegrator _ | Yratelimit _
+  | Ylookup _ | Ymovavg _ | Ymodalsum _ -> [ Sfloat ]
+  | Ysum _ | Ydiff _ | Yprod _ | Ydivsafe _ | Ycmp _ -> [ Sfloat; Sfloat ]
+  | Yand _ | Yor _ -> [ Sbool; Sbool ]
+  | Ynot _ | Ycount _ -> [ Sbool ]
+  | Yselect _ -> [ Sbool; Sfloat; Sfloat ]
+  | Yhysteresis _ -> [ Sfloat ]
+
+let symbol_name (op : op) : string =
+  match op with
+  | Yacq _ -> "acq" | Yout _ -> "out" | Youtb _ -> "outb"
+  | Ygain _ -> "gain" | Ybias _ -> "bias" | Ysum _ -> "sum"
+  | Ydiff _ -> "diff" | Yprod _ -> "prod" | Ydivsafe _ -> "divsafe"
+  | Yabs _ -> "abs" | Yneg _ -> "neg" | Ysqrt_approx _ -> "sqrt"
+  | Ylimiter _ -> "limiter" | Ydeadband _ -> "deadband"
+  | Yfilter _ -> "filter" | Ydelay _ -> "delay"
+  | Yintegrator _ -> "integrator" | Yratelimit _ -> "ratelimit"
+  | Ylookup _ -> "lookup" | Ymovavg _ -> "movavg" | Yselect _ -> "select"
+  | Ycmp _ -> "cmp" | Yhysteresis _ -> "hysteresis" | Yand _ -> "and"
+  | Yor _ -> "or" | Ynot _ -> "not" | Ycount _ -> "count"
+  | Ymodalsum _ -> "modalsum"
+
+exception Ill_formed of string
+
+(* Structural validation: wires defined before use, types consistent,
+   tables well-formed. Returns the wire typing. *)
+let check_node (n : node) : (wire, styp) Hashtbl.t =
+  let typs : (wire, styp) Hashtbl.t = Hashtbl.create 61 in
+  let typ_of_source (s : source) : styp =
+    match s with
+    | Sconstf _ -> Sfloat
+    | Sconstb _ -> Sbool
+    | Sconsti _ -> Sint
+    | Swire w ->
+      (match Hashtbl.find_opt typs w with
+       | Some t -> t
+       | None ->
+         raise (Ill_formed (Printf.sprintf "%s: wire %d used before defined"
+                              n.n_name w)))
+  in
+  List.iter
+    (fun inst ->
+       let expected = source_typs inst.i_op in
+       let actual = List.map typ_of_source (sources inst.i_op) in
+       if List.length expected <> List.length actual
+          || not (List.for_all2 ( = ) expected actual) then
+         raise (Ill_formed (Printf.sprintf "%s: type mismatch at symbol %s"
+                              n.n_name (symbol_name inst.i_op)));
+       (match inst.i_op with
+        | Ylookup (tb, _) ->
+          let k = Array.length tb.tb_breaks in
+          if k < 2 || Array.length tb.tb_values <> k then
+            raise (Ill_formed (n.n_name ^ ": malformed lookup table"));
+          for i = 0 to k - 2 do
+            if tb.tb_breaks.(i) >= tb.tb_breaks.(i + 1) then
+              raise (Ill_formed (n.n_name ^ ": non-monotonic breakpoints"))
+          done
+        | Ymovavg (w, _) ->
+          if w < 2 || w > 64 then
+            raise (Ill_formed (n.n_name ^ ": moving average window out of range"))
+        | Ymodalsum (k, _) ->
+          if k < 1 || k > 64 then
+            raise (Ill_formed (n.n_name ^ ": modal sum bound out of range"))
+        | Yfilter (a, _) ->
+          if not (a >= 0.0 && a < 1.0) then
+            raise (Ill_formed (n.n_name ^ ": filter coefficient out of range"))
+        | _ -> ());
+       match inst.i_wire, result_typ inst.i_op with
+       | Some w, Some t ->
+         if Hashtbl.mem typs w then
+           raise (Ill_formed (Printf.sprintf "%s: wire %d defined twice"
+                                n.n_name w));
+         Hashtbl.replace typs w t
+       | None, None -> ()
+       | Some _, None ->
+         raise (Ill_formed (n.n_name ^ ": output symbol cannot define a wire"))
+       | None, Some _ ->
+         raise (Ill_formed (n.n_name ^ ": value symbol must define a wire")))
+    n.n_instances;
+  typs

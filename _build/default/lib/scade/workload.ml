@@ -1,0 +1,201 @@
+(* Synthetic flight-control workload generator.
+
+   The paper's evaluation runs over ≈2500 automatically generated files
+   of Airbus flight control software — proprietary, so per DESIGN.md we
+   substitute seeded synthetic nodes with the same structure: a handful
+   of signal acquisitions, a long mostly-straight-line mix of library
+   symbols (arithmetic, filters, limiters, mode logic), occasional
+   lookup tables, moving-average windows and config-bounded modal loops,
+   and one or two actuator outputs. Sizes and symbol mix are
+   parameterized; generation is deterministic in the seed. *)
+
+type profile = {
+  pf_symbols : int;       (* number of generated value symbols *)
+  pf_acquisitions : int;  (* volatile inputs, >= 1 *)
+  pf_outputs : int;       (* actuator outputs, >= 1 *)
+  pf_loopy : bool;        (* allow lookup/movavg/modalsum symbols *)
+}
+
+let small_node : profile =
+  { pf_symbols = 15; pf_acquisitions = 1; pf_outputs = 1; pf_loopy = false }
+
+let medium_node : profile =
+  { pf_symbols = 45; pf_acquisitions = 2; pf_outputs = 2; pf_loopy = true }
+
+let large_node : profile =
+  { pf_symbols = 110; pf_acquisitions = 4; pf_outputs = 3; pf_loopy = true }
+
+(* Acquisition-dominated node: lots of I/O, little computation — the
+   paper's "strong performance bottleneck" nodes whose WCET barely
+   improves under any compiler. *)
+let io_node : profile =
+  { pf_symbols = 8; pf_acquisitions = 6; pf_outputs = 4; pf_loopy = false }
+
+
+(* Random helpers over a deterministic state. *)
+let pickf (rng : Random.State.t) (lo : float) (hi : float) : float =
+  lo +. Random.State.float rng (hi -. lo)
+
+let pick_list (rng : Random.State.t) (xs : 'a list) : 'a =
+  List.nth xs (Random.State.int rng (List.length xs))
+
+let generate_node ?(profile = medium_node) ~(seed : int) (name : string) :
+  Symbol.node =
+  let rng = Random.State.make [| seed; 0x5CADE |] in
+  (* wire identifiers are local to the node: generation is a pure
+     function of the seed *)
+  let wire_counter = ref 0 in
+  let fresh_wire () =
+    incr wire_counter;
+    !wire_counter
+  in
+  let instances = ref [] in
+  let float_wires = ref [] in
+  let bool_wires = ref [] in
+  (* wires not yet consumed: preferred as sources, so that (like real
+     control laws, where unused signals are modelling errors) almost
+     every computed signal is live — a compiler cannot win by deleting
+     dead subgraphs *)
+  let unused_float = ref [] in
+  let unused_bool = ref [] in
+  let add (op : Symbol.op) : unit =
+    match Symbol.result_typ op with
+    | None -> instances := { Symbol.i_wire = None; i_op = op } :: !instances
+    | Some t ->
+      let w = fresh_wire () in
+      instances := { Symbol.i_wire = Some w; i_op = op } :: !instances;
+      (match t with
+       | Symbol.Sfloat ->
+         float_wires := w :: !float_wires;
+         unused_float := w :: !unused_float
+       | Symbol.Sbool ->
+         bool_wires := w :: !bool_wires;
+         unused_bool := w :: !unused_bool
+       | Symbol.Sint -> ())
+  in
+  let fsrc () : Symbol.source =
+    match !unused_float with
+    | w :: rest when Random.State.int rng 100 < 70 ->
+      unused_float := rest;
+      Symbol.Swire w
+    | _ ->
+      if Random.State.int rng 20 = 0 || !float_wires = [] then
+        Symbol.Sconstf (pickf rng (-8.0) 8.0)
+      else begin
+        let w = pick_list rng !float_wires in
+        unused_float := List.filter (fun x -> x <> w) !unused_float;
+        Symbol.Swire w
+      end
+  in
+  let bsrc () : Symbol.source =
+    match !unused_bool with
+    | w :: rest when Random.State.int rng 100 < 70 ->
+      unused_bool := rest;
+      Symbol.Swire w
+    | _ ->
+      if !bool_wires = [] then Symbol.Sconstb (Random.State.bool rng)
+      else begin
+        let w = pick_list rng !bool_wires in
+        unused_bool := List.filter (fun x -> x <> w) !unused_bool;
+        Symbol.Swire w
+      end
+  in
+  (* acquisitions *)
+  for i = 0 to profile.pf_acquisitions - 1 do
+    add (Symbol.Yacq (Printf.sprintf "%s_in%d" name i))
+  done;
+  (* body *)
+  for _ = 1 to profile.pf_symbols do
+    let r = Random.State.int rng 100 in
+    let op =
+      if r < 12 then Symbol.Ysum (fsrc (), fsrc ())
+      else if r < 22 then Symbol.Ydiff (fsrc (), fsrc ())
+      else if r < 32 then Symbol.Yprod (fsrc (), fsrc ())
+      else if r < 36 then Symbol.Ydivsafe (fsrc (), fsrc ())
+      else if r < 44 then Symbol.Ygain (pickf rng (-3.0) 3.0, fsrc ())
+      else if r < 48 then Symbol.Ybias (pickf rng (-5.0) 5.0, fsrc ())
+      else if r < 52 then Symbol.Yabs (fsrc ())
+      else if r < 58 then begin
+        let lo = pickf rng (-50.0) 0.0 in
+        Symbol.Ylimiter (lo, lo +. pickf rng 1.0 80.0, fsrc ())
+      end
+      else if r < 61 then Symbol.Ydeadband (pickf rng 0.1 2.0, fsrc ())
+      else if r < 69 then Symbol.Yfilter (pickf rng 0.02 0.6, fsrc ())
+      else if r < 73 then Symbol.Ydelay (fsrc ())
+      else if r < 76 then begin
+        let lo = pickf rng (-40.0) (-1.0) in
+        Symbol.Yintegrator (pickf rng 0.005 0.04, lo, -.lo, fsrc ())
+      end
+      else if r < 79 then Symbol.Yratelimit (pickf rng 0.2 4.0, fsrc ())
+      else if r < 84 then
+        Symbol.Ycmp
+          ( pick_list rng
+              [ Symbol.CMPlt; Symbol.CMPle; Symbol.CMPgt; Symbol.CMPge ],
+            fsrc (), fsrc () )
+      else if r < 87 then Symbol.Yand (bsrc (), bsrc ())
+      else if r < 89 then Symbol.Yor (bsrc (), bsrc ())
+      else if r < 90 then Symbol.Ynot (bsrc ())
+      else if r < 94 then Symbol.Yselect (bsrc (), fsrc (), fsrc ())
+      else if r < 95 then begin
+        let on = pickf rng 0.5 5.0 in
+        Symbol.Yhysteresis (on, on -. pickf rng 0.2 1.0, fsrc ())
+      end
+      else if profile.pf_loopy && r < 97 then begin
+        (* monotone random lookup table, 4..8 points *)
+        let k = 4 + Random.State.int rng 5 in
+        let start = pickf rng (-20.0) 0.0 in
+        let breaks = Array.make k start in
+        for i = 1 to k - 1 do
+          breaks.(i) <- breaks.(i - 1) +. pickf rng 0.5 6.0
+        done;
+        let values = Array.init k (fun _ -> pickf rng (-30.0) 30.0) in
+        Symbol.Ylookup
+          ({ Symbol.tb_breaks = breaks; tb_values = values }, fsrc ())
+      end
+      else if profile.pf_loopy && r < 98 then
+        Symbol.Ymovavg (4 + (2 * Random.State.int rng 5), fsrc ())
+      else if profile.pf_loopy && r < 99 then
+        Symbol.Ymodalsum (4 + Random.State.int rng 8, fsrc ())
+      else Symbol.Ysqrt_approx (fsrc ())
+    in
+    add op
+  done;
+  (* consolidation cone: sum together every wire still unconsumed, so
+     no computed signal is dead *)
+  let rec drain () =
+    match !unused_float with
+    | a :: b :: _ ->
+      unused_float := List.filteri (fun i _ -> i >= 2) !unused_float;
+      add (Symbol.Ysum (Symbol.Swire a, Symbol.Swire b));
+      drain ()
+    | [ _ ] | [] -> ()
+  in
+  drain ();
+  List.iter
+    (fun w -> add (Symbol.Youtb (Printf.sprintf "%s_outb%d" name w, Symbol.Swire w)))
+    !unused_bool;
+  unused_bool := [];
+  (* outputs: drive actuators from late float wires (the "result" of
+     the control law) *)
+  for i = 0 to profile.pf_outputs - 1 do
+    add (Symbol.Yout (Printf.sprintf "%s_out%d" name i, fsrc ()))
+  done;
+  Schedule.sort { Symbol.n_name = name; n_instances = List.rev !instances }
+
+(* A whole synthetic flight control program: [n] nodes of mixed sizes.
+   Returns (node, its generated mini-C program) pairs. *)
+let flight_program ~(nodes : int) ~(seed : int) :
+  (Symbol.node * Minic.Ast.program) list =
+  List.init nodes (fun i ->
+      let profile =
+        match i mod 10 with
+        | 0 | 1 | 2 -> io_node
+        | 3 | 4 -> small_node
+        | 5 | 6 | 7 | 8 -> medium_node
+        | _ -> large_node
+      in
+      let node =
+        generate_node ~profile ~seed:(seed + (7919 * i))
+          (Printf.sprintf "n%03d" i)
+      in
+      (node, Acg.generate node))

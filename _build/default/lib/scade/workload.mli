@@ -1,0 +1,28 @@
+(** Synthetic flight-control workload generator: seeded, deterministic
+    stand-in for the paper's ~2500 proprietary generated files (see
+    DESIGN.md section 2). *)
+
+type profile = {
+  pf_symbols : int;       (** generated value symbols *)
+  pf_acquisitions : int;  (** volatile inputs, >= 1 *)
+  pf_outputs : int;       (** actuator outputs, >= 1 *)
+  pf_loopy : bool;        (** allow lookup/movavg/modalsum symbols *)
+}
+
+val small_node : profile
+val medium_node : profile
+val large_node : profile
+
+val io_node : profile
+(** Acquisition-dominated: lots of I/O, little computation — the
+    paper's nodes "with strong performance bottlenecks" whose WCET
+    barely improves under any compiler. *)
+
+val generate_node : ?profile:profile -> seed:int -> string -> Symbol.node
+(** Deterministic in the seed; every computed signal is consumed
+    (compilers cannot win by deleting dead subgraphs). *)
+
+val flight_program :
+  nodes:int -> seed:int -> (Symbol.node * Minic.Ast.program) list
+(** A whole program: [nodes] nodes of mixed profiles with their
+    generated mini-C. *)

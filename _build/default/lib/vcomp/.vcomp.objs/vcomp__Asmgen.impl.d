@@ -1,0 +1,1 @@
+lib/vcomp/asmgen.ml: Array Format Hashtbl Int32 List Minic Regalloc Rtl Target

@@ -1,0 +1,1 @@
+lib/vcomp/asmgen.mli: Rtl Target

@@ -1,0 +1,1 @@
+lib/vcomp/constprop.ml: Hashtbl Int Int32 Int64 List Map Minic Option Queue Rtl Rtl_interp

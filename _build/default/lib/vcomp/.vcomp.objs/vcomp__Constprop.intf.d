@@ -1,0 +1,1 @@
+lib/vcomp/constprop.mli: Rtl

@@ -1,0 +1,1 @@
+lib/vcomp/cse.ml: Hashtbl Int64 List Rtl

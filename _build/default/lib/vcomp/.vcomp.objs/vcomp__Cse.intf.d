@@ -1,0 +1,1 @@
+lib/vcomp/cse.mli: Rtl

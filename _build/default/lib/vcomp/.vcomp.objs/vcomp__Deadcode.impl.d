@@ -1,0 +1,1 @@
+lib/vcomp/deadcode.ml: List Liveness Rtl

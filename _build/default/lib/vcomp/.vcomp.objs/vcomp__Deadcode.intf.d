@@ -1,0 +1,1 @@
+lib/vcomp/deadcode.mli: Rtl

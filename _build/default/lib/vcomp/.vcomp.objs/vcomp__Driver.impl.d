@@ -1,0 +1,1 @@
+lib/vcomp/driver.ml: Asmgen Constprop Cse Deadcode Minic Rtl Selection Target Validate

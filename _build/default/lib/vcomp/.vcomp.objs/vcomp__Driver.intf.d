@@ -1,0 +1,1 @@
+lib/vcomp/driver.mli: Minic Rtl Target

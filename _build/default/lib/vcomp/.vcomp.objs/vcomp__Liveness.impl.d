@@ -1,0 +1,1 @@
+lib/vcomp/liveness.ml: Hashtbl Int List Option Queue Rtl Set

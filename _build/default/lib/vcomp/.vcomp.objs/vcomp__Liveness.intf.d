@@ -1,0 +1,1 @@
+lib/vcomp/liveness.mli: Hashtbl Rtl Set

@@ -1,0 +1,1 @@
+lib/vcomp/regalloc.ml: Hashtbl Int List Liveness Map Option Printf Queue Result Rtl Target

@@ -1,0 +1,1 @@
+lib/vcomp/regalloc.mli: Hashtbl Liveness Result Rtl Target

@@ -1,0 +1,1 @@
+lib/vcomp/rtl.ml: Buffer Hashtbl List Minic Option Printf String

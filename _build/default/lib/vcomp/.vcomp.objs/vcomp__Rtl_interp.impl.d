@@ -1,0 +1,1 @@
+lib/vcomp/rtl_interp.ml: Array Float Format Hashtbl Int32 List Minic Option Rtl String

@@ -1,0 +1,1 @@
+lib/vcomp/rtl_interp.mli: Minic Rtl

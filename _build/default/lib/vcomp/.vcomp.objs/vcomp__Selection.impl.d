@@ -1,0 +1,1 @@
+lib/vcomp/selection.ml: Format Hashtbl List Minic Rtl String

@@ -1,0 +1,1 @@
+lib/vcomp/selection.mli: Minic Rtl

@@ -1,0 +1,1 @@
+lib/vcomp/validate.ml: Format List Minic Result Rtl Rtl_interp String

@@ -1,0 +1,1 @@
+lib/vcomp/validate.mli: Minic Rtl

@@ -1,0 +1,6 @@
+(** Dead-code elimination: pure instructions whose destination is dead
+    become no-ops; iterates with liveness recomputation so chains of
+    dead computations vanish. *)
+
+val transform_func : Rtl.func -> unit
+val transform : Rtl.program -> Rtl.program

@@ -1,0 +1,75 @@
+(* Compilation driver of the verified-style compiler ("vcomp", standing
+   in for CompCert 1.7): selection, constant propagation, CSE, dead-code
+   elimination, graph-coloring register allocation, linearization and
+   assembly emission — the pass list the paper attributes to CompCert
+   ("constant propagation, common subexpression elimination and register
+   allocation by graph coloring, but no loop optimizations").
+
+   Every enabled optimization runs under its translation validator
+   unless [validate] is turned off (benchmark runs disable it for
+   compile-time measurements; correctness tests always keep it on). *)
+
+type options = {
+  opt_constprop : bool;
+  opt_cse : bool;
+  opt_deadcode : bool;
+  opt_validate : bool;
+}
+
+let default_options : options =
+  { opt_constprop = true; opt_cse = true; opt_deadcode = true; opt_validate = true }
+
+(* Ablation configurations used by the design-choice benchmarks. *)
+let no_constprop : options = { default_options with opt_constprop = false }
+let no_cse : options = { default_options with opt_cse = false }
+let no_validation : options = { default_options with opt_validate = false }
+
+let run_pass (opts : options) (name : string)
+    (pass : Rtl.program -> Rtl.program) (p : Rtl.program) : Rtl.program =
+  if opts.opt_validate then begin
+    let before = Rtl.copy_program p in
+    let after = pass p in
+    Validate.check_pass ~pass:name ~before ~after;
+    after
+  end
+  else pass p
+
+(* Compile a type-checked mini-C program to target assembly. *)
+let compile ?(options = default_options) (src : Minic.Ast.program) :
+  Target.Asm.program =
+  Minic.Typecheck.check_program_exn src;
+  let rtl = Selection.trans_program src in
+  let rtl =
+    if options.opt_constprop then
+      run_pass options "constprop" Constprop.transform rtl
+    else rtl
+  in
+  let rtl =
+    if options.opt_cse then run_pass options "cse" Cse.transform rtl else rtl
+  in
+  let rtl =
+    if options.opt_deadcode then
+      run_pass options "deadcode" Deadcode.transform rtl
+    else rtl
+  in
+  Asmgen.translate_program rtl
+
+(* Compile and also return the final RTL, for inspection and tests. *)
+let compile_with_rtl ?(options = default_options) (src : Minic.Ast.program) :
+  Rtl.program * Target.Asm.program =
+  Minic.Typecheck.check_program_exn src;
+  let rtl = Selection.trans_program src in
+  let rtl =
+    if options.opt_constprop then
+      run_pass options "constprop" Constprop.transform rtl
+    else rtl
+  in
+  let rtl =
+    if options.opt_cse then run_pass options "cse" Cse.transform rtl else rtl
+  in
+  let rtl =
+    if options.opt_deadcode then
+      run_pass options "deadcode" Deadcode.transform rtl
+    else rtl
+  in
+  (rtl, Asmgen.translate_program rtl)

@@ -1,0 +1,31 @@
+(** Compilation driver of the verified-style compiler ("vcomp",
+    standing in for CompCert 1.7): selection, constant propagation,
+    CSE, dead-code elimination, graph-coloring register allocation,
+    linearization, emission. Optimizations run under their translation
+    validators unless disabled. *)
+
+type options = {
+  opt_constprop : bool;
+  opt_cse : bool;
+  opt_deadcode : bool;
+  opt_validate : bool;
+      (** run the per-pass differential validators (raises
+          {!Validate.Validation_failed} on any behaviour change) *)
+}
+
+val default_options : options
+(** All optimizations and validation on. *)
+
+val no_constprop : options
+val no_cse : options
+val no_validation : options
+
+val compile : ?options:options -> Minic.Ast.program -> Target.Asm.program
+(** Type-check and compile.
+    @raise Invalid_argument on ill-typed programs;
+    @raise Validate.Validation_failed if a validator rejects a pass;
+    @raise Asmgen.Error if the register-allocation checker rejects. *)
+
+val compile_with_rtl :
+  ?options:options -> Minic.Ast.program -> Rtl.program * Target.Asm.program
+(** Also return the optimized RTL, for inspection and tests. *)

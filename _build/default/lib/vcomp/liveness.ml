@@ -1,0 +1,83 @@
+(* Liveness analysis over RTL: backward dataflow fixpoint computing, for
+   every node, the set of pseudo-registers live *after* the instruction
+   at that node. Used by dead-code elimination and by the interference
+   graph construction of the register allocator. *)
+
+module RegSet = Set.Make (Int)
+
+type t = (Rtl.node, RegSet.t) Hashtbl.t
+
+(* live_before(n) = (live_after(n) \ def(n)) ∪ use(n) *)
+let live_before (i : Rtl.instruction) (after : RegSet.t) : RegSet.t =
+  let minus_def =
+    match Rtl.instr_def i with
+    | Some d -> RegSet.remove d after
+    | None -> after
+  in
+  List.fold_left (fun s r -> RegSet.add r s) minus_def (Rtl.instr_uses i)
+
+(* Compute live-after sets for all reachable nodes with a worklist
+   iteration seeded in postorder (fast convergence for reducible CFGs). *)
+let analyze (f : Rtl.func) : t =
+  let preds = Rtl.predecessors f in
+  let live_after : t = Hashtbl.create 251 in
+  let get (n : Rtl.node) : RegSet.t =
+    Option.value ~default:RegSet.empty (Hashtbl.find_opt live_after n)
+  in
+  let workset = Hashtbl.create 251 in
+  let worklist = Queue.create () in
+  let push (n : Rtl.node) : unit =
+    if not (Hashtbl.mem workset n) then begin
+      Hashtbl.replace workset n ();
+      Queue.add n worklist
+    end
+  in
+  (* postorder = reverse of reverse-postorder *)
+  List.iter push (List.rev (Rtl.reverse_postorder f));
+  while not (Queue.is_empty worklist) do
+    let n = Queue.pop worklist in
+    Hashtbl.remove workset n;
+    let i = Rtl.get_instr f n in
+    let after = get n in
+    let before = live_before i after in
+    (* propagate into predecessors' live-after *)
+    List.iter
+      (fun p ->
+         let old = get p in
+         let updated = RegSet.union old before in
+         if not (RegSet.equal old updated) then begin
+           Hashtbl.replace live_after p updated;
+           push p
+         end)
+      (Option.value ~default:[] (Hashtbl.find_opt preds n))
+  done;
+  live_after
+
+let live_after (lv : t) (n : Rtl.node) : RegSet.t =
+  Option.value ~default:RegSet.empty (Hashtbl.find_opt lv n)
+
+(* Naive recomputation used by property tests: iterate the equations
+   globally until fixpoint, no worklist. *)
+let analyze_naive (f : Rtl.func) : t =
+  let nodes = Rtl.reverse_postorder f in
+  let live_after : t = Hashtbl.create 251 in
+  let get n = Option.value ~default:RegSet.empty (Hashtbl.find_opt live_after n) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun n ->
+         let i = Rtl.get_instr f n in
+         let after =
+           List.fold_left
+             (fun acc s ->
+                RegSet.union acc (live_before (Rtl.get_instr f s) (get s)))
+             RegSet.empty (Rtl.successors i)
+         in
+         if not (RegSet.equal after (get n)) then begin
+           Hashtbl.replace live_after n after;
+           changed := true
+         end)
+      nodes
+  done;
+  live_after

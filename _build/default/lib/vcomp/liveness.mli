@@ -1,0 +1,15 @@
+(** Liveness analysis over RTL: backward dataflow computing, per node,
+    the pseudo-registers live after the instruction. Used by dead-code
+    elimination and the interference graph construction. *)
+
+module RegSet : Set.S with type elt = int
+
+type t = (Rtl.node, RegSet.t) Hashtbl.t
+
+val live_before : Rtl.instruction -> RegSet.t -> RegSet.t
+val analyze : Rtl.func -> t
+val live_after : t -> Rtl.node -> RegSet.t
+
+val analyze_naive : Rtl.func -> t
+(** Global fixpoint without a worklist; property tests compare it with
+    {!analyze}. *)

@@ -1,0 +1,359 @@
+(* Register allocation by graph coloring (Chaitin–Briggs with
+   conservative move coalescing), the optimization the paper singles out
+   as the main source of CompCert's gains over the pattern-based
+   compile: wires between SCADE symbols stay in registers instead of
+   making the stack-frame round trip of Listing 1.
+
+   The allocator colors integer and float pseudo-registers separately
+   against the EABI allocatable banks of [Target.Asm]. Pseudo-registers
+   that cannot be colored are spilled to dedicated stack slots; the
+   assembly generator reloads them through reserved scratch registers.
+
+   [verify] is the structural half of the translation validator: it
+   rechecks, independently of how the coloring was obtained, that no two
+   simultaneously-live pseudo-registers share a location. *)
+
+module RegSet = Liveness.RegSet
+module RegMap = Map.Make (Int)
+
+type loc =
+  | Lireg of Target.Asm.ireg
+  | Lfreg of Target.Asm.freg
+  | Lslot of int (* index of an 8-byte spill slot in the frame *)
+
+type allocation = (Rtl.reg, loc) Hashtbl.t
+
+let loc_equal (a : loc) (b : loc) : bool =
+  match a, b with
+  | Lireg x, Lireg y | Lfreg x, Lfreg y | Lslot x, Lslot y -> x = y
+  | (Lireg _ | Lfreg _ | Lslot _), _ -> false
+
+(* ---- interference graph ------------------------------------------ *)
+
+type graph = {
+  g_adj : (Rtl.reg, RegSet.t) Hashtbl.t;
+  g_uses : (Rtl.reg, int) Hashtbl.t;   (* occurrence count, for spill cost *)
+  g_moves : (Rtl.reg * Rtl.reg) list;  (* move-related pairs, same class *)
+}
+
+let adj (g : graph) (r : Rtl.reg) : RegSet.t =
+  Option.value ~default:RegSet.empty (Hashtbl.find_opt g.g_adj r)
+
+let add_node (g : graph) (r : Rtl.reg) : unit =
+  if not (Hashtbl.mem g.g_adj r) then Hashtbl.replace g.g_adj r RegSet.empty
+
+let add_edge (g : graph) (a : Rtl.reg) (b : Rtl.reg) : unit =
+  if a <> b then begin
+    Hashtbl.replace g.g_adj a (RegSet.add b (adj g a));
+    Hashtbl.replace g.g_adj b (RegSet.add a (adj g b))
+  end
+
+let count_use (g : graph) (r : Rtl.reg) : unit =
+  Hashtbl.replace g.g_uses r
+    (1 + Option.value ~default:0 (Hashtbl.find_opt g.g_uses r))
+
+let build_graph (f : Rtl.func) : graph =
+  let lv = Liveness.analyze f in
+  let g =
+    { g_adj = Hashtbl.create 251;
+      g_uses = Hashtbl.create 251;
+      g_moves = [] }
+  in
+  let moves = ref [] in
+  (* ensure every mentioned register is a node *)
+  List.iter (fun (r, _) -> add_node g r) f.Rtl.f_params;
+  List.iter
+    (fun n ->
+       let i = Rtl.get_instr f n in
+       List.iter
+         (fun r ->
+            add_node g r;
+            count_use g r)
+         (Rtl.instr_uses i);
+       (match Rtl.instr_def i with
+        | Some d ->
+          add_node g d;
+          count_use g d;
+          let live = Liveness.live_after lv n in
+          let exclude =
+            match i with
+            | Rtl.Iop (Rtl.Omove, [ s ], _, _) ->
+              if Rtl.reg_class f s = Rtl.reg_class f d then
+                moves := (d, s) :: !moves;
+              RegSet.of_list [ d; s ]
+            | _ -> RegSet.singleton d
+          in
+          RegSet.iter
+            (fun r ->
+               if not (RegSet.mem r exclude)
+               && Rtl.reg_class f r = Rtl.reg_class f d then add_edge g d r)
+            live
+        | None -> ()))
+    (Rtl.reverse_postorder f);
+  (* parameters interfere with each other (they arrive simultaneously) *)
+  let rec pairs = function
+    | [] -> ()
+    | (a, ca) :: rest ->
+      List.iter (fun (b, cb) -> if ca = cb then add_edge g a b) rest;
+      pairs rest
+  in
+  pairs f.Rtl.f_params;
+  { g with g_moves = !moves }
+
+(* ---- coalescing ---------------------------------------------------- *)
+
+(* Union-find over registers for coalesced move webs. *)
+type uf = (Rtl.reg, Rtl.reg) Hashtbl.t
+
+let rec uf_find (u : uf) (r : Rtl.reg) : Rtl.reg =
+  match Hashtbl.find_opt u r with
+  | None -> r
+  | Some p ->
+    let root = uf_find u p in
+    Hashtbl.replace u r root;
+    root
+
+(* Conservative (Briggs) coalescing: merge the ends of a move if the
+   merged node would have fewer than K neighbors of significant degree. *)
+let coalesce (g : graph) (f : Rtl.func) (kof : Rtl.mclass -> int) : uf =
+  let u : uf = Hashtbl.create 61 in
+  let merged_adj = Hashtbl.create 251 in
+  let madj r =
+    match Hashtbl.find_opt merged_adj r with
+    | Some s -> s
+    | None -> adj g r
+  in
+  List.iter
+    (fun (d, s) ->
+       let rd = uf_find u d and rs = uf_find u s in
+       if rd <> rs then begin
+         let nd = madj rd and ns = madj rs in
+         if not (RegSet.mem rs nd) then begin
+           let k = kof (Rtl.reg_class f d) in
+           let combined = RegSet.union nd ns in
+           let significant =
+             RegSet.fold
+               (fun n acc ->
+                  if RegSet.cardinal (madj n) >= k then acc + 1 else acc)
+               combined 0
+           in
+           if significant < k then begin
+             (* merge rs into rd *)
+             Hashtbl.replace u rs rd;
+             Hashtbl.replace merged_adj rd combined;
+             (* update neighbors to see rd instead of rs *)
+             RegSet.iter
+               (fun n ->
+                  let na = madj n in
+                  Hashtbl.replace merged_adj n (RegSet.add rd (RegSet.remove rs na)))
+               ns
+           end
+         end
+       end)
+    g.g_moves;
+  u
+
+(* ---- coloring ------------------------------------------------------ *)
+
+let color_class (f : Rtl.func) (g : graph) (u : uf) (cls : Rtl.mclass)
+    (palette : int list) (alloc : allocation) (next_slot : int ref) : unit =
+  let k = List.length palette in
+  (* representative nodes of this class *)
+  let nodes =
+    Hashtbl.fold
+      (fun r _ acc ->
+         if Rtl.reg_class f r = cls && uf_find u r = r then RegSet.add r acc
+         else acc)
+      g.g_adj RegSet.empty
+  in
+  (* adjacency among representatives *)
+  let radj = Hashtbl.create 251 in
+  RegSet.iter
+    (fun r ->
+       Hashtbl.replace radj r RegSet.empty)
+    nodes;
+  Hashtbl.iter
+    (fun r ns ->
+       if Rtl.reg_class f r = cls then begin
+         let rr = uf_find u r in
+         RegSet.iter
+           (fun n ->
+              if Rtl.reg_class f n = cls then begin
+                let rn = uf_find u n in
+                if rr <> rn then begin
+                  Hashtbl.replace radj rr
+                    (RegSet.add rn
+                       (Option.value ~default:RegSet.empty
+                          (Hashtbl.find_opt radj rr)));
+                  Hashtbl.replace radj rn
+                    (RegSet.add rr
+                       (Option.value ~default:RegSet.empty
+                          (Hashtbl.find_opt radj rn)))
+                end
+              end)
+           ns
+       end)
+    g.g_adj;
+  let degree = Hashtbl.create 251 in
+  RegSet.iter
+    (fun r ->
+       Hashtbl.replace degree r
+         (RegSet.cardinal
+            (Option.value ~default:RegSet.empty (Hashtbl.find_opt radj r))))
+    nodes;
+  let removed = Hashtbl.create 251 in
+  let stack = ref [] in
+  let remaining = ref (RegSet.cardinal nodes) in
+  let deg r = Option.value ~default:0 (Hashtbl.find_opt degree r) in
+  let spill_cost (r : Rtl.reg) : float =
+    let uses =
+      float_of_int (1 + Option.value ~default:0 (Hashtbl.find_opt g.g_uses r))
+    in
+    uses /. float_of_int (1 + deg r)
+  in
+  (* Simplify worklist: nodes of insignificant degree; when it dries up,
+     optimistically remove the cheapest potential spill. *)
+  let low = Queue.create () in
+  RegSet.iter (fun r -> if deg r < k then Queue.add r low) nodes;
+  let remove_node (r : Rtl.reg) : unit =
+    Hashtbl.replace removed r ();
+    stack := r :: !stack;
+    decr remaining;
+    RegSet.iter
+      (fun n ->
+         if not (Hashtbl.mem removed n) then begin
+           let d = deg n in
+           Hashtbl.replace degree n (d - 1);
+           if d = k then Queue.add n low
+         end)
+      (Option.value ~default:RegSet.empty (Hashtbl.find_opt radj r))
+  in
+  while !remaining > 0 do
+    let rec pop_low () : Rtl.reg option =
+      if Queue.is_empty low then None
+      else
+        let r = Queue.pop low in
+        if Hashtbl.mem removed r then pop_low () else Some r
+    in
+    match pop_low () with
+    | Some r -> remove_node r
+    | None ->
+      (* no trivially colorable node: pick the cheapest potential spill *)
+      let candidate =
+        RegSet.fold
+          (fun r acc ->
+             if Hashtbl.mem removed r then acc
+             else
+               match acc with
+               | Some best when spill_cost best <= spill_cost r -> acc
+               | Some _ | None -> Some r)
+          nodes None
+      in
+      (match candidate with
+       | Some r -> remove_node r
+       | None -> remaining := 0)
+  done;
+  (* pop and assign colors *)
+  let color = Hashtbl.create 251 in
+  List.iter
+    (fun r ->
+       let neighbor_colors =
+         RegSet.fold
+           (fun n acc ->
+              match Hashtbl.find_opt color n with
+              | Some c -> c :: acc
+              | None -> acc)
+           (Option.value ~default:RegSet.empty (Hashtbl.find_opt radj r))
+           []
+       in
+       match List.find_opt (fun c -> not (List.mem c neighbor_colors)) palette with
+       | Some c -> Hashtbl.replace color r c
+       | None ->
+         (* actual spill: a fresh frame slot *)
+         let s = !next_slot in
+         incr next_slot;
+         Hashtbl.replace color r (-1 - s))
+    !stack;
+  (* write out locations for all registers of the class *)
+  Hashtbl.iter
+    (fun r _ ->
+       if Rtl.reg_class f r = cls then begin
+         let rep = uf_find u r in
+         match Hashtbl.find_opt color rep with
+         | Some c when c >= 0 ->
+           Hashtbl.replace alloc r
+             (match cls with
+              | Rtl.Cint -> Lireg c
+              | Rtl.Cfloat -> Lfreg c)
+         | Some c -> Hashtbl.replace alloc r (Lslot (-1 - c))
+         | None ->
+           (* node never appeared (dead register): any location works *)
+           Hashtbl.replace alloc r
+             (match cls with
+              | Rtl.Cint -> Lireg (List.hd palette)
+              | Rtl.Cfloat -> Lfreg (List.hd palette))
+       end)
+    g.g_adj
+
+type result = {
+  ra_alloc : allocation;
+  ra_nslots : int;
+  ra_graph : graph;
+}
+
+let allocate (f : Rtl.func) : result =
+  let g = build_graph f in
+  let kof (c : Rtl.mclass) : int =
+    match c with
+    | Rtl.Cint -> List.length Target.Asm.allocatable_iregs
+    | Rtl.Cfloat -> List.length Target.Asm.allocatable_fregs
+  in
+  let u = coalesce g f kof in
+  let alloc : allocation = Hashtbl.create 251 in
+  let next_slot = ref 0 in
+  color_class f g u Rtl.Cint Target.Asm.allocatable_iregs alloc next_slot;
+  color_class f g u Rtl.Cfloat Target.Asm.allocatable_fregs alloc next_slot;
+  { ra_alloc = alloc; ra_nslots = !next_slot; ra_graph = g }
+
+let location (res : result) (r : Rtl.reg) : loc =
+  match Hashtbl.find_opt res.ra_alloc r with
+  | Some l -> l
+  | None -> invalid_arg (Printf.sprintf "Regalloc.location: x%d unallocated" r)
+
+(* ---- validation ---------------------------------------------------- *)
+
+(* Independent check: rebuild liveness and verify that interfering
+   registers (by the same construction rule as [build_graph]) never
+   share a location. A deliberately corrupted allocation must be
+   rejected — the test suite checks this by mutation. *)
+let verify (f : Rtl.func) (res : result) : (unit, string) Result.t =
+  let lv = Liveness.analyze f in
+  let bad = ref None in
+  List.iter
+    (fun n ->
+       let i = Rtl.get_instr f n in
+       match Rtl.instr_def i with
+       | Some d ->
+         let live = Liveness.live_after lv n in
+         let exclude =
+           match i with
+           | Rtl.Iop (Rtl.Omove, [ s ], _, _) -> RegSet.of_list [ d; s ]
+           | _ -> RegSet.singleton d
+         in
+         RegSet.iter
+           (fun r ->
+              if (not (RegSet.mem r exclude))
+              && Rtl.reg_class f r = Rtl.reg_class f d
+              && loc_equal (location res r) (location res d)
+              && !bad = None then
+                bad :=
+                  Some
+                    (Printf.sprintf
+                       "node %d: x%d and x%d are simultaneously live in the same location"
+                       n d r))
+           live
+       | None -> ())
+    (Rtl.reverse_postorder f);
+  match !bad with
+  | None -> Ok ()
+  | Some msg -> Error msg

@@ -1,0 +1,38 @@
+(** Register allocation by graph coloring (Chaitin–Briggs with
+    conservative move coalescing) — the optimization the paper singles
+    out as CompCert's main gain over the pattern process. Integer and
+    float pseudo-registers are colored separately against the EABI
+    allocatable banks; uncolorable nodes spill to frame slots. *)
+
+module RegSet = Liveness.RegSet
+
+type loc =
+  | Lireg of Target.Asm.ireg
+  | Lfreg of Target.Asm.freg
+  | Lslot of int  (** index of an 8-byte spill slot in the frame *)
+
+type allocation = (Rtl.reg, loc) Hashtbl.t
+
+val loc_equal : loc -> loc -> bool
+
+type graph = {
+  g_adj : (Rtl.reg, RegSet.t) Hashtbl.t;
+  g_uses : (Rtl.reg, int) Hashtbl.t;
+  g_moves : (Rtl.reg * Rtl.reg) list;
+}
+
+val build_graph : Rtl.func -> graph
+
+type result = {
+  ra_alloc : allocation;
+  ra_nslots : int;
+  ra_graph : graph;
+}
+
+val allocate : Rtl.func -> result
+val location : result -> Rtl.reg -> loc
+
+val verify : Rtl.func -> result -> (unit, string) Result.t
+(** Independent structural validator: recomputes liveness and checks
+    that no two simultaneously-live pseudo-registers share a location.
+    Rejects deliberately corrupted allocations (mutation-tested). *)

@@ -1,0 +1,271 @@
+(* Reference interpreter for RTL.
+
+   Produces the same observable [Minic.Interp.result] as the mini-C
+   interpreter and the target simulator. The per-pass translation
+   validators ([Validate]) run RTL before and after each optimization on
+   a battery of input worlds and require identical observables; this is
+   the executable stand-in for CompCert's per-pass semantic preservation
+   proofs (see DESIGN.md section 2). *)
+
+exception Stuck of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Stuck s)) fmt
+
+type state = {
+  st_prog : Rtl.program;
+  st_world : Minic.Interp.world;
+  st_globals : (string, Minic.Value.t) Hashtbl.t;
+  st_arrays : (string, Minic.Value.t array) Hashtbl.t;
+  st_vol_counts : (string, int) Hashtbl.t;
+  mutable st_events_rev : Minic.Interp.event list;
+  mutable st_fuel : int;
+}
+
+(* Machine view of a value: booleans live as 0/1 integers in RTL. *)
+let to_machine (v : Minic.Value.t) : Minic.Value.t =
+  match v with
+  | Minic.Value.Vbool b -> Minic.Value.Vint (if b then 1l else 0l)
+  | Minic.Value.Vint _ | Minic.Value.Vfloat _ -> v
+
+let of_machine (t : Minic.Ast.typ) (v : Minic.Value.t) : Minic.Value.t =
+  match t, v with
+  | Minic.Ast.Tbool, Minic.Value.Vint n ->
+    Minic.Value.Vbool (not (Int32.equal n 0l))
+  | _, _ -> v
+
+let init_state (p : Rtl.program) (w : Minic.Interp.world) ~(fuel : int) : state =
+  let src = p.Rtl.p_source in
+  let st_globals = Hashtbl.create 61 in
+  List.iter
+    (fun (x, t) ->
+       Hashtbl.replace st_globals x (to_machine (Minic.Value.zero_of_typ t)))
+    src.Minic.Ast.prog_globals;
+  let st_arrays = Hashtbl.create 17 in
+  List.iter
+    (fun a ->
+       let conv f =
+         match a.Minic.Ast.arr_elt with
+         | Minic.Ast.Tfloat -> Minic.Value.Vfloat f
+         | Minic.Ast.Tint -> Minic.Value.Vint (Minic.Value.int32_of_float_trunc f)
+         | Minic.Ast.Tbool -> Minic.Value.Vint (if f > 0.0 then 1l else 0l)
+       in
+       Hashtbl.replace st_arrays a.Minic.Ast.arr_name
+         (Array.of_list (List.map conv a.Minic.Ast.arr_init)))
+    src.Minic.Ast.prog_arrays;
+  { st_prog = p;
+    st_world = w;
+    st_globals;
+    st_arrays;
+    st_vol_counts = Hashtbl.create 17;
+    st_events_rev = [];
+    st_fuel = fuel }
+
+let as_int (v : Minic.Value.t) : int32 =
+  match v with
+  | Minic.Value.Vint n -> n
+  | Minic.Value.Vfloat _ | Minic.Value.Vbool _ -> fail "int expected"
+
+let as_float (v : Minic.Value.t) : float =
+  match v with
+  | Minic.Value.Vfloat f -> f
+  | Minic.Value.Vint _ | Minic.Value.Vbool _ -> fail "float expected"
+
+(* Evaluate an RTL operation; shared with [Constprop] for folding, so
+   that folding is correct by construction. *)
+let eval_operation (op : Rtl.operation) (args : Minic.Value.t list) :
+  Minic.Value.t =
+  let i = as_int and fl = as_float in
+  let b v = Minic.Value.Vint (if v then 1l else 0l) in
+  match op, args with
+  | Rtl.Omove, [ v ] -> v
+  | Rtl.Ointconst n, [] -> Minic.Value.Vint n
+  | Rtl.Ofloatconst c, [] -> Minic.Value.Vfloat c
+  | Rtl.Oadd, [ a; c ] -> Minic.Value.Vint (Int32.add (i a) (i c))
+  | Rtl.Osub, [ a; c ] -> Minic.Value.Vint (Int32.sub (i a) (i c))
+  | Rtl.Omul, [ a; c ] -> Minic.Value.Vint (Int32.mul (i a) (i c))
+  | Rtl.Odivs, [ a; c ] -> Minic.Value.Vint (Minic.Value.div32 (i a) (i c))
+  | Rtl.Omods, [ a; c ] -> Minic.Value.Vint (Minic.Value.rem32 (i a) (i c))
+  | Rtl.Oand, [ a; c ] -> Minic.Value.Vint (Int32.logand (i a) (i c))
+  | Rtl.Oor, [ a; c ] -> Minic.Value.Vint (Int32.logor (i a) (i c))
+  | Rtl.Oxor, [ a; c ] -> Minic.Value.Vint (Int32.logxor (i a) (i c))
+  | Rtl.Oshl, [ a; c ] ->
+    Minic.Value.Vint
+      (Int32.shift_left (i a) (Minic.Value.shift_amount (i c)))
+  | Rtl.Oshr, [ a; c ] ->
+    Minic.Value.Vint
+      (Int32.shift_right (i a) (Minic.Value.shift_amount (i c)))
+  | Rtl.Oshlimm k, [ a ] -> Minic.Value.Vint (Int32.shift_left (i a) k)
+  | Rtl.Oaddimm k, [ a ] -> Minic.Value.Vint (Int32.add (i a) k)
+  | Rtl.Oneg, [ a ] -> Minic.Value.Vint (Int32.neg (i a))
+  | Rtl.Onotbool, [ a ] ->
+    Minic.Value.Vint (if Int32.equal (i a) 0l then 1l else 0l)
+  | Rtl.Ofadd, [ a; c ] -> Minic.Value.Vfloat (fl a +. fl c)
+  | Rtl.Ofsub, [ a; c ] -> Minic.Value.Vfloat (fl a -. fl c)
+  | Rtl.Ofmul, [ a; c ] -> Minic.Value.Vfloat (fl a *. fl c)
+  | Rtl.Ofdiv, [ a; c ] -> Minic.Value.Vfloat (fl a /. fl c)
+  | Rtl.Ofneg, [ a ] -> Minic.Value.Vfloat (Float.neg (fl a))
+  | Rtl.Ofabs, [ a ] -> Minic.Value.Vfloat (Float.abs (fl a))
+  | Rtl.Ofloatofint, [ a ] -> Minic.Value.Vfloat (Int32.to_float (i a))
+  | Rtl.Ointoffloat, [ a ] ->
+    Minic.Value.Vint (Minic.Value.int32_of_float_trunc (fl a))
+  | Rtl.Ocmp c, [ a; d ] ->
+    b (Minic.Value.eval_comparison c (Int32.compare (i a) (i d)))
+  | Rtl.Ofcmp c, [ a; d ] -> b (Minic.Value.eval_fcomparison c (fl a) (fl d))
+  | _, _ -> fail "bad operation arity"
+
+let eval_condition (c : Rtl.condition) (args : Minic.Value.t list) : bool =
+  match c, args with
+  | Rtl.Ccomp cmp, [ a; b ] ->
+    Minic.Value.eval_comparison cmp (Int32.compare (as_int a) (as_int b))
+  | Rtl.Ccompimm (cmp, n), [ a ] ->
+    Minic.Value.eval_comparison cmp (Int32.compare (as_int a) n)
+  | Rtl.Cfcomp cmp, [ a; b ] ->
+    Minic.Value.eval_fcomparison cmp (as_float a) (as_float b)
+  | (Rtl.Ccomp _ | Rtl.Ccompimm _ | Rtl.Cfcomp _), _ -> fail "bad condition arity"
+
+let run_func (st : state) (f : Rtl.func) (args : Minic.Value.t list) :
+  Minic.Value.t option =
+  let regs : (Rtl.reg, Minic.Value.t) Hashtbl.t = Hashtbl.create 251 in
+  let getr (r : Rtl.reg) : Minic.Value.t =
+    match Hashtbl.find_opt regs r with
+    | Some v -> v
+    | None -> fail "read of undefined register x%d" r
+  in
+  if List.length args <> List.length f.Rtl.f_params then fail "bad arity";
+  List.iter2
+    (fun (r, _) v -> Hashtbl.replace regs r (to_machine v))
+    f.Rtl.f_params args;
+  let src = st.st_prog.Rtl.p_source in
+  let rec step (n : Rtl.node) : Minic.Value.t option =
+    st.st_fuel <- st.st_fuel - 1;
+    if st.st_fuel <= 0 then fail "out of fuel";
+    match Rtl.get_instr f n with
+    | Rtl.Inop s -> step s
+    | Rtl.Iop (op, rargs, d, s) ->
+      Hashtbl.replace regs d (eval_operation op (List.map getr rargs));
+      step s
+    | Rtl.Iload (_, Rtl.ADglob g, _, d, s) ->
+      (match Hashtbl.find_opt st.st_globals g with
+       | Some v -> Hashtbl.replace regs d v
+       | None -> fail "unbound global %s" g);
+      step s
+    | Rtl.Iload (_, Rtl.ADarr a, [ roff ], d, s) ->
+      let arr =
+        match Hashtbl.find_opt st.st_arrays a with
+        | Some arr -> arr
+        | None -> fail "unbound array %s" a
+      in
+      let adef =
+        List.find
+          (fun x -> String.equal x.Minic.Ast.arr_name a)
+          src.Minic.Ast.prog_arrays
+      in
+      let esz =
+        match adef.Minic.Ast.arr_elt with
+        | Minic.Ast.Tfloat -> 8
+        | Minic.Ast.Tint | Minic.Ast.Tbool -> 4
+      in
+      let off = Int32.to_int (as_int (getr roff)) in
+      let idx = off / esz in
+      if idx < 0 || idx >= Array.length arr then
+        fail "array %s index %d out of bounds" a idx;
+      Hashtbl.replace regs d arr.(idx);
+      step s
+    | Rtl.Iload (_, Rtl.ADarr _, _, _, _) -> fail "bad ADarr arity"
+    | Rtl.Istore (_, Rtl.ADglob g, _, srcreg, s) ->
+      if not (Hashtbl.mem st.st_globals g) then fail "unbound global %s" g;
+      Hashtbl.replace st.st_globals g (getr srcreg);
+      step s
+    | Rtl.Istore (_, Rtl.ADarr a, [ roff ], srcreg, s) ->
+      let arr =
+        match Hashtbl.find_opt st.st_arrays a with
+        | Some arr -> arr
+        | None -> fail "unbound array %s" a
+      in
+      let adef =
+        List.find
+          (fun x -> String.equal x.Minic.Ast.arr_name a)
+          src.Minic.Ast.prog_arrays
+      in
+      let esz =
+        match adef.Minic.Ast.arr_elt with
+        | Minic.Ast.Tfloat -> 8
+        | Minic.Ast.Tint | Minic.Ast.Tbool -> 4
+      in
+      let off = Int32.to_int (as_int (getr roff)) in
+      let idx = off / esz in
+      if idx < 0 || idx >= Array.length arr then
+        fail "array %s index %d out of bounds" a idx;
+      arr.(idx) <- getr srcreg;
+      step s
+    | Rtl.Istore (_, Rtl.ADarr _, _, _, _) -> fail "bad ADarr arity"
+    | Rtl.Icond (c, rargs, s1, s2) ->
+      if eval_condition c (List.map getr rargs) then step s1 else step s2
+    | Rtl.Iacq (x, d, s) ->
+      let t, _ =
+        match Minic.Ast.find_volatile src x with
+        | Some td -> td
+        | None -> fail "unbound volatile %s" x
+      in
+      let k = Option.value ~default:0 (Hashtbl.find_opt st.st_vol_counts x) in
+      Hashtbl.replace st.st_vol_counts x (k + 1);
+      let v = Minic.Interp.world_value st.st_world t x k in
+      st.st_events_rev <- Minic.Interp.Ev_vol_read (x, v) :: st.st_events_rev;
+      Hashtbl.replace regs d (to_machine v);
+      step s
+    | Rtl.Iout (x, srcreg, s) ->
+      let t, _ =
+        match Minic.Ast.find_volatile src x with
+        | Some td -> td
+        | None -> fail "unbound volatile %s" x
+      in
+      let v = of_machine t (getr srcreg) in
+      st.st_events_rev <- Minic.Interp.Ev_vol_write (x, v) :: st.st_events_rev;
+      step s
+    | Rtl.Iannot (text, aargs, s) ->
+      let vs =
+        List.map
+          (fun a ->
+             match a with
+             | Rtl.RA_reg r -> getr r
+             | Rtl.RA_cint n -> Minic.Value.Vint n
+             | Rtl.RA_cfloat c -> Minic.Value.Vfloat c)
+          aargs
+      in
+      st.st_events_rev <- Minic.Interp.Ev_annot (text, vs) :: st.st_events_rev;
+      step s
+    | Rtl.Ireturn None -> None
+    | Rtl.Ireturn (Some r) ->
+      (match f.Rtl.f_ret with
+       | None -> fail "value returned from void function"
+       | Some t -> Some (of_machine t (getr r)))
+  in
+  step f.Rtl.f_entry
+
+let run ?(fuel = 2_000_000) (p : Rtl.program) ?fname (w : Minic.Interp.world)
+    (args : Minic.Value.t list) : Minic.Interp.result =
+  let fname = Option.value ~default:p.Rtl.p_main fname in
+  let f =
+    match List.find_opt (fun f -> String.equal f.Rtl.f_name fname) p.Rtl.p_funcs with
+    | Some f -> f
+    | None -> fail "no function %s" fname
+  in
+  let st = init_state p w ~fuel in
+  let ret = run_func st f args in
+  let src = p.Rtl.p_source in
+  let globals =
+    List.sort
+      (fun (a, _) (b, _) -> String.compare a b)
+      (List.map
+         (fun (x, t) ->
+            let v =
+              match Hashtbl.find_opt st.st_globals x with
+              | Some v -> of_machine t v
+              | None -> fail "global %s lost" x
+            in
+            (x, v))
+         src.Minic.Ast.prog_globals)
+  in
+  { Minic.Interp.res_return = ret;
+    res_events = List.rev st.st_events_rev;
+    res_globals = globals }

@@ -1,0 +1,16 @@
+(** Reference interpreter for RTL, producing observables comparable to
+    the mini-C interpreter's: the executable semantics used by the
+    per-pass translation validators ({!Validate}). *)
+
+exception Stuck of string
+
+val eval_operation : Rtl.operation -> Minic.Value.t list -> Minic.Value.t
+(** Shared with {!Constprop} so constant folding is correct by
+    construction.
+    @raise Stuck on arity or type mismatches. *)
+
+val eval_condition : Rtl.condition -> Minic.Value.t list -> bool
+
+val run :
+  ?fuel:int -> Rtl.program -> ?fname:string -> Minic.Interp.world ->
+  Minic.Value.t list -> Minic.Interp.result

@@ -1,0 +1,77 @@
+(* Per-pass translation validation.
+
+   CompCert's guarantee is a Coq proof of semantic preservation per
+   pass; the practical substitute implemented here (and discussed in the
+   paper's section 4 as "verified translation validation") re-checks
+   each compilation run:
+
+   - [check_pass]: the RTL before and after a transformation must
+     produce identical observable behaviour on a battery of input
+     worlds, exercised through the RTL reference interpreter;
+   - the register-allocation structural validator lives in
+     [Regalloc.verify] and runs inside [Asmgen];
+   - whole-chain validation (source interpreter vs machine simulator)
+     lives in [Fcstack.Chain] and the test suite.
+
+   A validation failure raises: a miscompilation must abort the build,
+   never ship. *)
+
+exception Validation_failed of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Validation_failed s)) fmt
+
+(* Zero argument values for a function's parameters, used to invoke
+   functions uniformly during validation. *)
+let zero_args (f : Rtl.func) : Minic.Value.t list =
+  List.map
+    (fun (_, c) ->
+       match c with
+       | Rtl.Cint -> Minic.Value.Vint 0l
+       | Rtl.Cfloat -> Minic.Value.Vfloat 0.0)
+    f.Rtl.f_params
+
+(* Battery of deterministic worlds exercising different input regimes. *)
+let worlds () : (string * Minic.Interp.world) list =
+  [ ("zero", Minic.Interp.constant_world 0.0);
+    ("one", Minic.Interp.constant_world 1.0);
+    ("neg", Minic.Interp.constant_world (-3.5));
+    ("seed1", Minic.Interp.seeded_world ~seed:1 ());
+    ("seed2", Minic.Interp.seeded_world ~seed:2 ()) ]
+
+let run_rtl (p : Rtl.program) (f : Rtl.func) (w : Minic.Interp.world) :
+  (Minic.Interp.result, string) Result.t =
+  try Ok (Rtl_interp.run ~fuel:400_000 p ~fname:f.Rtl.f_name w (zero_args f))
+  with
+  | Rtl_interp.Stuck msg -> Error ("stuck: " ^ msg)
+  | Minic.Value.Type_error msg -> Error ("type error: " ^ msg)
+
+(* Check that transformation [pass] applied to [prog] preserved the
+   observable behaviour of every function. [before] is a deep copy
+   snapshot taken before the in-place transformation. *)
+let check_pass ~(pass : string) ~(before : Rtl.program) ~(after : Rtl.program) :
+  unit =
+  List.iter2
+    (fun fb fa ->
+       List.iter
+         (fun (wname, w) ->
+            let rb = run_rtl before fb w in
+            let ra = run_rtl after fa w in
+            match rb, ra with
+            | Ok rb, Ok ra ->
+              if not (Minic.Interp.result_equal rb ra) then
+                fail
+                  "pass %s changed the behaviour of %s on world %s:@,\
+                   before: %a@,after: %a"
+                  pass fb.Rtl.f_name wname Minic.Interp.pp_result rb
+                  Minic.Interp.pp_result ra
+            | Error e1, Error e2 ->
+              if not (String.equal e1 e2) then
+                fail "pass %s changed the failure of %s on world %s: %s vs %s"
+                  pass fb.Rtl.f_name wname e1 e2
+            | Ok _, Error e ->
+              fail "pass %s broke %s on world %s: %s" pass fb.Rtl.f_name wname e
+            | Error e, Ok _ ->
+              fail "pass %s fixed a failure of %s on world %s (%s): suspicious"
+                pass fb.Rtl.f_name wname e)
+         (worlds ()))
+    before.Rtl.p_funcs after.Rtl.p_funcs

@@ -1,0 +1,15 @@
+(** Per-pass translation validation — the runtime stand-in for
+    CompCert's Coq proofs (DESIGN.md section 2): the RTL before and
+    after each transformation must produce identical observable
+    behaviour on a battery of input worlds. A failure aborts the
+    compilation; a miscompilation never ships. *)
+
+exception Validation_failed of string
+
+val worlds : unit -> (string * Minic.Interp.world) list
+(** The deterministic validation battery. *)
+
+val check_pass :
+  pass:string -> before:Rtl.program -> after:Rtl.program -> unit
+(** @raise Validation_failed when any function's observable behaviour
+    changed on any world of the battery. *)

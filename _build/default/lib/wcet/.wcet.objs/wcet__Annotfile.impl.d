@@ -1,0 +1,1 @@
+lib/wcet/annotfile.ml: Buffer List Printf String Target

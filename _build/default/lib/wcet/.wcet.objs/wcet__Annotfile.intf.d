@@ -1,0 +1,1 @@
+lib/wcet/annotfile.mli: Target

@@ -1,0 +1,1 @@
+lib/wcet/boundanalysis.ml: Array Cfg Dom Int32 Interval List Loops Minic Printf Result String Target Valueanalysis

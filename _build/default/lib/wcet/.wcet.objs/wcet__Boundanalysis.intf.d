@@ -1,0 +1,1 @@
+lib/wcet/boundanalysis.mli: Cfg Dom Loops Valueanalysis

@@ -1,0 +1,1 @@
+lib/wcet/cacheanalysis.ml: Array Cfg Hashtbl Interval List Option Target Valueanalysis

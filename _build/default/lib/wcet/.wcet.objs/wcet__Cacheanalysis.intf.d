@@ -1,0 +1,1 @@
+lib/wcet/cacheanalysis.mli: Cfg Target Valueanalysis

@@ -1,0 +1,1 @@
+lib/wcet/cfg.ml: Array Format Hashtbl List Printf String Target

@@ -1,0 +1,1 @@
+lib/wcet/cfg.mli: Format Target

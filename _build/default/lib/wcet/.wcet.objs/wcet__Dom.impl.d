@@ -1,0 +1,1 @@
+lib/wcet/dom.ml: Array Cfg List

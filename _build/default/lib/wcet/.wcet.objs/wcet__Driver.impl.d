@@ -1,0 +1,1 @@
+lib/wcet/driver.ml: Boundanalysis Cacheanalysis Cfg Dom Format Hashtbl Ipet List Loops Mustcache Option Pipeline Report Target Valueanalysis

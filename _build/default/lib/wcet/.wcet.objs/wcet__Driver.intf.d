@@ -1,0 +1,1 @@
+lib/wcet/driver.mli: Report Target

@@ -1,0 +1,1 @@
+lib/wcet/interval.ml: Format Int32 List Minic

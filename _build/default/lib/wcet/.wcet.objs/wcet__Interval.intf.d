@@ -1,0 +1,1 @@
+lib/wcet/interval.mli: Format Minic

@@ -1,0 +1,1 @@
+lib/wcet/ipet.ml: Array Boundanalysis Cacheanalysis Cfg Hashtbl List Loops Lp Option Pipeline Printf

@@ -1,0 +1,1 @@
+lib/wcet/loops.ml: Array Cfg Dom Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/wcet/loops.mli: Cfg Dom

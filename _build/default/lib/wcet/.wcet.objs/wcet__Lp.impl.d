@@ -1,0 +1,1 @@
+lib/wcet/lp.ml: Array List Printf

@@ -1,0 +1,1 @@
+lib/wcet/mustcache.ml: Array Cacheanalysis Cfg Int List Map Option Queue Target Valueanalysis

@@ -1,0 +1,1 @@
+lib/wcet/mustcache.mli: Cfg Target Valueanalysis

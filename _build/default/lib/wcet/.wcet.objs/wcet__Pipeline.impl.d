@@ -1,0 +1,1 @@
+lib/wcet/pipeline.ml: Array Cacheanalysis Cfg Target

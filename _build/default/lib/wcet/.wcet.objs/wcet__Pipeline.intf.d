@@ -1,0 +1,1 @@
+lib/wcet/pipeline.mli: Cacheanalysis Cfg

@@ -1,0 +1,1 @@
+lib/wcet/report.ml: Format List

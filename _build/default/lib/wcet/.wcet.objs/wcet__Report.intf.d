@@ -1,0 +1,1 @@
+lib/wcet/report.mli: Format

@@ -1,0 +1,1 @@
+lib/wcet/valueanalysis.ml: Array Cfg Int Int32 Interval List Map Minic Queue String Target

@@ -1,0 +1,26 @@
+(** Loop-bound analysis: automatic bounds for MISRA-style counter loops
+    (register- or stack-slot-resident counters, constant step, loop-
+    invariant limit with a known interval) plus explicit "loopbound N"
+    annotations for data-dependent loops (paper section 3.4). A loop's
+    bound is the maximal number of back-edge traversals per entry. *)
+
+type bound_source =
+  | Bauto   (** derived by the counter analysis *)
+  | Bannot  (** taken from a loopbound annotation *)
+
+type loop_bound = {
+  lb_header : int;
+  lb_bound : int;
+  lb_source : bound_source;
+}
+
+type failure = {
+  fail_header : int;
+  fail_reason : string;
+}
+
+val analyze :
+  Cfg.t -> Dom.t -> Loops.t -> Valueanalysis.result ->
+  (loop_bound list, failure) result
+(** [Error] when some loop has no derivable bound — the analyzer then
+    refuses to produce a WCET, like aiT asking for an annotation. *)

@@ -1,0 +1,20 @@
+(** Analyzer driver: the full aiT-like phase sequence — decode/CFG
+    reconstruction, dominators and natural loops, interval value
+    analysis, loop bounds (automatic counter analysis + annotations),
+    cache analysis (capacity persistence refined by the must-cache
+    ageing analysis), pipeline analysis sharing the simulator's timing
+    model, and IPET path analysis. *)
+
+exception Error of string
+
+val analyze :
+  ?fname:string -> Target.Asm.program -> Target.Layout.t -> Report.t
+(** Analyze one entry point.
+    @raise Error when no sound bound can be produced (irreducible
+    control flow, a loop without derivable bound or annotation, an
+    infeasible path program) — the analyzer refuses rather than
+    under-estimate. *)
+
+val analyze_program :
+  Target.Asm.program -> Target.Layout.t -> (string * Report.t) list
+(** Per-function analysis (the per-node WCET of the paper's Figure 2). *)

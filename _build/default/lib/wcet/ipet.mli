@@ -1,0 +1,19 @@
+(** Path analysis by implicit path enumeration: maximize cycle flow
+    over the CFG under flow conservation and loop bounds, solved as an
+    integer linear program (edge-count variables; block costs charged on
+    outgoing edges). If branch & bound exhausts its budget, the LP
+    relaxation is returned — still a sound upper bound. *)
+
+exception Analysis_failed of string
+
+type result = {
+  ipet_wcet : int;        (** cycles, including the first-miss budget *)
+  ipet_exact : bool;      (** solved to integrality *)
+  ipet_flow_cycles : int; (** objective without the first-miss budget *)
+}
+
+val compute :
+  Cfg.t -> Pipeline.t -> Cacheanalysis.t -> Loops.t ->
+  Boundanalysis.loop_bound list -> result
+(** @raise Analysis_failed on missing bounds, infeasibility, or
+    arithmetic overflow in the exact solver. *)

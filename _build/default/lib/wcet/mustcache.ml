@@ -1,0 +1,201 @@
+(* Ferdinand-style must-cache abstract interpretation.
+
+   The abstract state maps memory lines to an *upper bound on their LRU
+   age* within their cache set; a line with bounded age < associativity
+   is guaranteed resident, so an access to it is classified ALWAYS-HIT
+   at that program point. The join is the classic must-join:
+   intersection of the line sets with the maximum of the age bounds.
+
+   This refines the conflict-capacity classification of
+   [Cacheanalysis]: in an over-subscribed set, individual accesses can
+   still be proven hits (e.g. the reload of a slot stored two
+   instructions earlier). The combination used by [Pipeline] charges a
+   miss penalty only when an access is neither persistent (capacity
+   argument) nor must-hit (ageing argument) — both arguments
+   over-approximate the concrete LRU cache of the simulator, which the
+   property tests check access by access.
+
+   Imprecise accesses (address ranges, unresolved addresses) contribute
+   no hits and age every line of the sets they may touch — the sound
+   treatment of "imprecise memory accesses" the WCET literature warns
+   about. *)
+
+module Asm = Target.Asm
+module LMap = Map.Make (Int)
+
+let line_size = Target.Cache.mpc755_l1.Target.Cache.cfg_line
+let nsets = Target.Cache.mpc755_l1.Target.Cache.cfg_sets
+let assoc = Target.Cache.mpc755_l1.Target.Cache.cfg_assoc
+
+let set_of (line : int) : int = line mod nsets
+
+(* Abstract must-cache: line -> age upper bound in [0, assoc). Absent
+   lines are possibly evicted (age >= assoc). *)
+type acache = int LMap.t
+
+let empty : acache = LMap.empty
+
+let equal (a : acache) (b : acache) : bool = LMap.equal Int.equal a b
+
+(* must-join: keep lines present in both, with the larger age bound *)
+let join (a : acache) (b : acache) : acache =
+  LMap.merge
+    (fun _ x y ->
+       match x, y with
+       | Some x, Some y -> Some (max x y)
+       | Some _, None | None, Some _ | None, None -> None)
+    a b
+
+(* Precise access to one line: the line becomes most-recently-used;
+   other lines of the set younger than its (worst-case) previous age
+   grow older by one. If the line was possibly absent, every line of
+   the set ages. *)
+let access_line (c : acache) (line : int) : acache =
+  let s = set_of line in
+  let old_age = LMap.find_opt line c in
+  let limit = Option.value ~default:assoc old_age in
+  let c =
+    LMap.filter_map
+      (fun l age ->
+         if l <> line && set_of l = s && age < limit then
+           if age + 1 >= assoc then None else Some (age + 1)
+         else Some age)
+      c
+  in
+  LMap.add line 0 c
+
+(* Imprecise access possibly touching any line of [sets]: no line
+   becomes young, every line of those sets may age. *)
+let blur_sets (c : acache) (sets : int list) : acache =
+  LMap.filter_map
+    (fun l age ->
+       if List.mem (set_of l) sets then
+         if age + 1 >= assoc then None else Some (age + 1)
+       else Some age)
+    c
+
+(* Is an access to [line] guaranteed to hit in state [c]? *)
+let must_hit (c : acache) (line : int) : bool =
+  match LMap.find_opt line c with
+  | Some age -> age < assoc
+  | None -> false
+
+(* ---- data-cache analysis over the reconstructed CFG ---- *)
+
+(* Per-instruction data access as seen by the must analysis. *)
+type access =
+  | Aline of int          (* exactly this line *)
+  | Ablur of int list     (* possibly any line of these sets *)
+  | Anone
+
+let access_of_instr (lay : Target.Layout.t) (st : Valueanalysis.state)
+    (i : Asm.instr) : access =
+  match
+    (try Cacheanalysis.data_access lay st i
+     with Cacheanalysis.Not_resolved -> Some (min_int, min_int))
+  with
+  | None -> Anone
+  | Some (lo, hi) when lo = min_int ->
+    ignore hi;
+    (* unresolved: may touch anything — blur every set *)
+    Ablur (List.init nsets (fun s -> s))
+  | Some (lo, hi) ->
+    let l1 = lo / line_size and l2 = hi / line_size in
+    if l1 = l2 then Aline l1
+    else if l2 - l1 < nsets then
+      Ablur (List.sort_uniq compare (List.init (l2 - l1 + 1) (fun k -> set_of (l1 + k))))
+    else Ablur (List.init nsets (fun s -> s))
+
+let transfer_instr (lay : Target.Layout.t) (st : Valueanalysis.state)
+    (c : acache) (i : Asm.instr) : acache =
+  match access_of_instr lay st i with
+  | Anone -> c
+  | Aline l -> access_line c l
+  | Ablur sets -> blur_sets c sets
+
+(* Transfer over one block, using the value analysis for addresses. *)
+let transfer_block (lay : Target.Layout.t) (va : Valueanalysis.result)
+    (b : int) (c : acache) : acache =
+  let blk = Cfg.block va.Valueanalysis.r_cfg b in
+  let state = ref c in
+  Array.iteri
+    (fun idx i ->
+       match Valueanalysis.state_at va b idx with
+       | Some st -> state := transfer_instr lay st !state i
+       | None -> ())
+    blk.Cfg.b_instrs;
+  !state
+
+type result = {
+  mc_entry : acache option array; (* per block; None = unreachable *)
+  mc_lay : Target.Layout.t;
+  mc_va : Valueanalysis.result;
+}
+
+(* Fixpoint: entry states per block. The domain has finite height
+   (ages only grow under join, lines only disappear), so plain
+   iteration terminates. *)
+let analyze (cfg : Cfg.t) (va : Valueanalysis.result) (lay : Target.Layout.t) :
+  result =
+  let n = Cfg.num_blocks cfg in
+  let entry : acache option array = Array.make n None in
+  entry.(cfg.Cfg.c_entry) <- Some empty;
+  let worklist = Queue.create () in
+  let inq = Array.make n false in
+  let push b =
+    if not inq.(b) then begin
+      inq.(b) <- true;
+      Queue.add b worklist
+    end
+  in
+  push cfg.Cfg.c_entry;
+  while not (Queue.is_empty worklist) do
+    let b = Queue.pop worklist in
+    inq.(b) <- false;
+    match entry.(b) with
+    | None -> ()
+    | Some c ->
+      let out = transfer_block lay va b c in
+      List.iter
+        (fun (s, _) ->
+           let updated =
+             match entry.(s) with
+             | None -> Some out
+             | Some old ->
+               let j = join old out in
+               if equal j old then None else Some j
+           in
+           match updated with
+           | Some st ->
+             entry.(s) <- Some st;
+             push s
+           | None -> ())
+        (Cfg.block cfg b).Cfg.b_succs
+  done;
+  { mc_entry = entry; mc_lay = lay; mc_va = va }
+
+(* Classification of every data access of block [b]: for each
+   memory-accessing instruction (in order), true when the access is an
+   ALWAYS-HIT at that point. *)
+let block_hits (res : result) (b : int) : bool list =
+  match res.mc_entry.(b) with
+  | None -> []
+  | Some c0 ->
+    let blk = Cfg.block res.mc_va.Valueanalysis.r_cfg b in
+    let hits = ref [] in
+    let c = ref c0 in
+    Array.iteri
+      (fun idx i ->
+         match Valueanalysis.state_at res.mc_va b idx with
+         | None -> ()
+         | Some st ->
+           (match access_of_instr res.mc_lay st i with
+            | Anone -> ()
+            | Aline l ->
+              hits := must_hit !c l :: !hits;
+              c := access_line !c l
+            | Ablur sets ->
+              hits := false :: !hits;
+              c := blur_sets !c sets))
+      blk.Cfg.b_instrs;
+    List.rev !hits

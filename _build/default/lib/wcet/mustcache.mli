@@ -1,0 +1,20 @@
+(** Ferdinand-style must-cache abstract interpretation for the data
+    cache: upper bounds on LRU ages per line; bounded age proves
+    ALWAYS-HIT. Joins intersect with maximal ages; imprecise accesses
+    age every line of the sets they may touch. Refines the capacity
+    classification of {!Cacheanalysis} via {!Cacheanalysis.refine}. *)
+
+type acache
+
+val empty : acache
+val join : acache -> acache -> acache
+val access_line : acache -> int -> acache
+val must_hit : acache -> int -> bool
+
+type result
+
+val analyze : Cfg.t -> Valueanalysis.result -> Target.Layout.t -> result
+
+val block_hits : result -> int -> bool list
+(** One boolean per data access of the block, in order: true when the
+    access is guaranteed to hit. *)

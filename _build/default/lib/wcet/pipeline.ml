@@ -1,0 +1,45 @@
+(* Pipeline analysis: per-basic-block execution-time bounds.
+
+   Uses the exact same dual-issue pairing and latency model as the
+   simulator ([Target.Timing.static_costs]) — the analyzer and the
+   machine agree on the pipeline by construction, the abstraction only
+   enters through the cache classification ([Cacheanalysis]) and the
+   branch direction (charged per edge by [Ipet]). *)
+
+module Asm = Target.Asm
+
+type t = {
+  pl_block_cost : int array;          (* per-execution cycles, no branches *)
+  pl_edge_cost : (int * int) array;   (* (taken, fallthrough) extra *)
+}
+
+let analyze (cfg : Cfg.t) (cache : Cacheanalysis.t) : t =
+  let nb = Cfg.num_blocks cfg in
+  let block_cost = Array.make nb 0 in
+  let edge_cost = Array.make nb (0, 0) in
+  for b = 0 to nb - 1 do
+    let blk = Cfg.block cfg b in
+    let costs = Target.Timing.static_costs blk.Cfg.b_instrs in
+    let base = Array.fold_left ( + ) 0 costs in
+    block_cost.(b) <-
+      base + cache.Cacheanalysis.ca_dextra.(b) + cache.Cacheanalysis.ca_iextra.(b);
+    (* branch direction costs *)
+    let n = Array.length blk.Cfg.b_instrs in
+    let taken = Target.Timing.branch_cost ~taken:true in
+    let fall = Target.Timing.branch_cost ~taken:false in
+    edge_cost.(b) <-
+      (if n = 0 then (0, 0)
+       else
+         match blk.Cfg.b_instrs.(n - 1) with
+         | Asm.Pbc _ -> (taken, fall)
+         | Asm.Pb _ | Asm.Pblr -> (taken, taken)
+         | _ -> (0, 0))
+  done;
+  { pl_block_cost = block_cost; pl_edge_cost = edge_cost }
+
+(* Cost charged on an edge leaving block [b]. *)
+let edge_cost (t : t) (b : int) (kind : Cfg.edge_kind) : int =
+  let taken, fall = t.pl_edge_cost.(b) in
+  match kind with
+  | Cfg.Etaken -> taken
+  | Cfg.Efall -> fall

@@ -1,0 +1,12 @@
+(** Pipeline analysis: per-basic-block execution-time bounds using the
+    exact timing model of the simulator ({!Target.Timing.static_costs})
+    plus the cache classification's per-execution penalties; branch
+    direction costs are charged per edge by {!Ipet}. *)
+
+type t = {
+  pl_block_cost : int array;        (** per-execution cycles, no branches *)
+  pl_edge_cost : (int * int) array; (** (taken, fall-through) extras *)
+}
+
+val analyze : Cfg.t -> Cacheanalysis.t -> t
+val edge_cost : t -> int -> Cfg.edge_kind -> int

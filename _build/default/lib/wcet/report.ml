@@ -1,0 +1,48 @@
+(* Analysis report: the WCET bound together with the intermediate
+   evidence a certification-minded user wants to inspect (loop bounds
+   and their provenance, cache footprint and classification quality,
+   ILP exactness). *)
+
+type loop_info = {
+  li_header : int;
+  li_bound : int;
+  li_from_annotation : bool;
+}
+
+type t = {
+  rp_function : string;
+  rp_wcet : int;               (* cycles *)
+  rp_exact_ilp : bool;
+  rp_blocks : int;
+  rp_code_bytes : int;
+  rp_loops : loop_info list;
+  rp_cache_first_miss : int;   (* one-time line-fill cycles in the bound *)
+  rp_cache_imprecise : bool;
+  rp_code_lines : int;
+  rp_data_lines : int;
+}
+
+let pp (ppf : Format.formatter) (r : t) : unit =
+  Format.fprintf ppf
+    "@[<v>WCET report for %s@,\
+    \  WCET bound        : %d cycles%s@,\
+    \  blocks / code     : %d blocks, %d bytes@,\
+    \  cache             : %d code lines, %d data lines, first-miss budget %d%s@,"
+    r.rp_function r.rp_wcet
+    (if r.rp_exact_ilp then "" else " (LP relaxation bound)")
+    r.rp_blocks r.rp_code_bytes r.rp_code_lines r.rp_data_lines
+    r.rp_cache_first_miss
+    (if r.rp_cache_imprecise then " [imprecise access: degraded]" else "");
+  (match r.rp_loops with
+   | [] -> Format.fprintf ppf "  loops             : none@,"
+   | loops ->
+     Format.fprintf ppf "  loops             :@,";
+     List.iter
+       (fun l ->
+          Format.fprintf ppf "    header B%d: bound %d (%s)@," l.li_header
+            l.li_bound
+            (if l.li_from_annotation then "annotation" else "auto"))
+       loops);
+  Format.fprintf ppf "@]"
+
+let to_string (r : t) : string = Format.asprintf "%a" pp r

@@ -1,0 +1,24 @@
+(** WCET analysis report: the bound together with the evidence a
+    certification-minded user inspects. *)
+
+type loop_info = {
+  li_header : int;
+  li_bound : int;
+  li_from_annotation : bool;
+}
+
+type t = {
+  rp_function : string;
+  rp_wcet : int;               (** cycles *)
+  rp_exact_ilp : bool;         (** false: LP-relaxation bound (still sound) *)
+  rp_blocks : int;
+  rp_code_bytes : int;
+  rp_loops : loop_info list;
+  rp_cache_first_miss : int;   (** one-time line-fill cycles in the bound *)
+  rp_cache_imprecise : bool;
+  rp_code_lines : int;
+  rp_data_lines : int;
+}
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

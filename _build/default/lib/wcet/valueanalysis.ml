@@ -1,0 +1,438 @@
+(* Value analysis: interval-based abstract interpretation of the machine
+   code, at basic-block granularity with branch refinement and widening
+   at join points. Corresponds to aiT's "value analysis" phase: it
+   delivers the register and stack-slot contents used by the loop-bound
+   analysis and the access addresses used by the data-cache analysis.
+
+   Abstract values distinguish pure integers from symbol- and
+   stack-relative addresses, so that every load/store resolves to a
+   region (stack slot, global, array, constant pool) or is reported as
+   imprecise. *)
+
+module Asm = Target.Asm
+module IMap = Map.Make (Int)
+
+type absval =
+  | Vint of Interval.t            (* plain 32-bit data *)
+  | Vsym of string * Interval.t   (* address of symbol + offset *)
+  | Vsp of Interval.t             (* stack pointer + offset (from entry sp) *)
+  | Vtop                          (* anything, including unknown addresses *)
+
+let vint_top = Vint Interval.top
+
+let absval_equal (a : absval) (b : absval) : bool =
+  match a, b with
+  | Vint x, Vint y -> Interval.equal x y
+  | Vsym (s1, x), Vsym (s2, y) -> String.equal s1 s2 && Interval.equal x y
+  | Vsp x, Vsp y -> Interval.equal x y
+  | Vtop, Vtop -> true
+  | (Vint _ | Vsym _ | Vsp _ | Vtop), _ -> false
+
+let join_absval (a : absval) (b : absval) : absval =
+  match a, b with
+  | Vint x, Vint y -> Vint (Interval.join x y)
+  | Vsym (s1, x), Vsym (s2, y) when String.equal s1 s2 ->
+    Vsym (s1, Interval.join x y)
+  | Vsp x, Vsp y -> Vsp (Interval.join x y)
+  | _, _ -> Vtop
+
+let widen_absval (old_v : absval) (new_v : absval) : absval =
+  match old_v, new_v with
+  | Vint x, Vint y -> Vint (Interval.widen x y)
+  | Vsym (s1, x), Vsym (s2, y) when String.equal s1 s2 ->
+    Vsym (s1, Interval.widen x y)
+  | Vsp x, Vsp y -> Vsp (Interval.widen x y)
+  | _, _ -> if absval_equal old_v new_v then old_v else Vtop
+
+(* Abstract machine state: integer registers and stack slots (keyed by
+   offset from the *entry* value of sp). Float registers carry no
+   analysis information (loop guards are integer — MISRA rule 13.4). *)
+type state = {
+  regs : absval array; (* 32 integer registers *)
+  slots : absval IMap.t;
+}
+
+let init_state : state =
+  let regs = Array.make 32 Vtop in
+  regs.(Asm.sp) <- Vsp (Interval.of_int_const 0);
+  regs.(0) <- vint_top;
+  { regs; slots = IMap.empty }
+
+let state_equal (a : state) (b : state) : bool =
+  let rec regs_eq i =
+    i >= 32 || (absval_equal a.regs.(i) b.regs.(i) && regs_eq (i + 1))
+  in
+  regs_eq 0 && IMap.equal absval_equal a.slots b.slots
+
+let join_state (a : state) (b : state) : state =
+  { regs = Array.init 32 (fun i -> join_absval a.regs.(i) b.regs.(i));
+    slots =
+      IMap.merge
+        (fun _ x y ->
+           match x, y with
+           | Some x, Some y -> Some (join_absval x y)
+           | Some _, None | None, Some _ | None, None -> Some Vtop)
+        a.slots b.slots }
+
+let widen_state (old_s : state) (new_s : state) : state =
+  { regs = Array.init 32 (fun i -> widen_absval old_s.regs.(i) new_s.regs.(i));
+    slots =
+      IMap.merge
+        (fun _ x y ->
+           match x, y with
+           | Some x, Some y -> Some (widen_absval x y)
+           | Some _, None | None, Some _ | None, None -> Some Vtop)
+        old_s.slots new_s.slots }
+
+let get_reg (st : state) (r : Asm.ireg) : absval = st.regs.(r)
+
+let set_reg (st : state) (r : Asm.ireg) (v : absval) : state =
+  let regs = Array.copy st.regs in
+  regs.(r) <- v;
+  { st with regs }
+
+(* Exact stack-slot key of an address, if statically known. *)
+let slot_key (st : state) (a : Asm.address) : int option =
+  match a with
+  | Asm.Aind (b, off) ->
+    (match st.regs.(b) with
+     | Vsp itv ->
+       (match Interval.is_const itv with
+        | Some sp_off -> Some (sp_off + Int32.to_int off)
+        | None -> None)
+     | Vint _ | Vsym _ | Vtop -> None)
+  | Asm.Aindx _ | Asm.Aglob _ | Asm.Asda _ -> None
+
+(* Resolved memory region of an access. *)
+type region =
+  | Rslot of int                       (* exact stack slot (sp0-relative) *)
+  | Rstack of Interval.t               (* imprecise stack range *)
+  | Rsym of string * Interval.t        (* symbol + byte-offset interval *)
+  | Rpool of float                     (* constant pool entry *)
+  | Runknown
+
+let region_of_address (st : state) (a : Asm.address) : region =
+  match a with
+  | Asm.Aglob (s, off) | Asm.Asda (s, off) ->
+    Rsym (s, Interval.of_const off)
+  | Asm.Aind (b, off) ->
+    (match st.regs.(b) with
+     | Vsp itv ->
+       let shifted = Interval.add itv (Interval.of_const off) in
+       (match Interval.is_const shifted with
+        | Some k -> Rslot k
+        | None -> Rstack shifted)
+     | Vsym (s, itv) -> Rsym (s, Interval.add itv (Interval.of_const off))
+     | Vint _ | Vtop -> Runknown)
+  | Asm.Aindx (b, x) ->
+    (match st.regs.(b), st.regs.(x) with
+     | Vsym (s, itv), Vint i -> Rsym (s, Interval.add itv i)
+     | Vsym (s, itv), Vtop -> Rsym (s, Interval.add itv Interval.top)
+     | Vsp itv, Vint i ->
+       let r = Interval.add itv i in
+       (match Interval.is_const r with
+        | Some k -> Rslot k
+        | None -> Rstack r)
+     | Vint i, Vsym (s, itv) -> Rsym (s, Interval.add itv i)
+     | _, _ -> Runknown)
+
+let eval_addi (base : absval) (imm : int) : absval =
+  let itv_imm = Interval.of_int_const imm in
+  match base with
+  | Vint i -> Vint (Interval.add i itv_imm)
+  | Vsym (s, i) -> Vsym (s, Interval.add i itv_imm)
+  | Vsp i -> Vsp (Interval.add i itv_imm)
+  | Vtop -> Vtop
+
+let eval_add (a : absval) (b : absval) : absval =
+  match a, b with
+  | Vint x, Vint y -> Vint (Interval.add x y)
+  | Vsym (s, x), Vint y | Vint y, Vsym (s, x) -> Vsym (s, Interval.add x y)
+  | Vsp x, Vint y | Vint y, Vsp x -> Vsp (Interval.add x y)
+  | _, _ -> Vtop
+
+let eval_sub (a : absval) (b : absval) : absval =
+  (* a - b *)
+  match a, b with
+  | Vint x, Vint y -> Vint (Interval.sub x y)
+  | Vsym (s, x), Vint y -> Vsym (s, Interval.sub x y)
+  | Vsp x, Vint y -> Vsp (Interval.sub x y)
+  | Vsym (s1, x), Vsym (s2, y) when String.equal s1 s2 ->
+    Vint (Interval.sub x y)
+  | Vsp x, Vsp y -> Vint (Interval.sub x y)
+  | _, _ -> Vtop
+
+let as_int_itv (v : absval) : Interval.t =
+  match v with
+  | Vint i -> i
+  | Vsym _ | Vsp _ | Vtop -> Interval.top
+
+(* Annotation handling: a value-range annotation constrains the (single)
+   argument's location at this program point. Two source forms are
+   understood:
+     __builtin_annotation("range 0 359", x)
+     __builtin_annotation("0 <= %1 <= 359", x)   (paper section 3.4 style)
+   The %1 placeholder is substituted by the final location at emission;
+   the analyzer works on the pre-substitution text plus the argument. *)
+let parse_range_annot (text : string) : (int * int) option =
+  let words =
+    List.filter
+      (fun s -> not (String.equal s ""))
+      (String.split_on_char ' ' (String.trim text))
+  in
+  match words with
+  | [ "range"; lo; hi ] | [ lo; "<="; "%1"; "<="; hi ] ->
+    (match int_of_string_opt lo, int_of_string_opt hi with
+     | Some l, Some h when l <= h -> Some (l, h)
+     | _, _ -> None)
+  | _ -> None
+
+let apply_annot (st : state) (text : string) (args : Asm.annot_arg list) :
+  state =
+  match parse_range_annot text, args with
+  | Some (lo, hi), [ Asm.AA_ireg r ] ->
+    let refined =
+      match Interval.meet (as_int_itv (get_reg st r)) (Interval.make lo hi) with
+      | Some itv -> Vint itv
+      | None -> Vint (Interval.make lo hi) (* contradiction: trust annotation *)
+    in
+    set_reg st r refined
+  | Some (lo, hi), [ Asm.AA_stack_int off ] ->
+    (match slot_key st (Asm.Aind (Asm.sp, off)) with
+     | Some key -> { st with slots = IMap.add key (Vint (Interval.make lo hi)) st.slots }
+     | None -> st)
+  | _, _ -> st
+
+(* Transfer function of a single instruction. *)
+let transfer (st : state) (i : Asm.instr) : state =
+  match i with
+  | Asm.Plabel _ | Asm.Pb _ | Asm.Pbc _ | Asm.Pblr -> st
+  | Asm.Pannot (text, args) -> apply_annot st text args
+  | Asm.Padd (d, a, b) -> set_reg st d (eval_add st.regs.(a) st.regs.(b))
+  | Asm.Psubf (d, a, b) -> set_reg st d (eval_sub st.regs.(b) st.regs.(a))
+  | Asm.Pmullw (d, a, b) ->
+    set_reg st d
+      (Vint (Interval.mul (as_int_itv st.regs.(a)) (as_int_itv st.regs.(b))))
+  | Asm.Pdivw (d, _, _) -> set_reg st d vint_top
+  | Asm.Pand (d, _, _) | Asm.Por (d, _, _) | Asm.Pxor (d, _, _)
+  | Asm.Pslw (d, _, _) | Asm.Psraw (d, _, _) -> set_reg st d vint_top
+  | Asm.Pneg (d, a) -> set_reg st d (Vint (Interval.neg (as_int_itv st.regs.(a))))
+  | Asm.Pmr (d, a) -> set_reg st d st.regs.(a)
+  | Asm.Paddi (d, a, imm) ->
+    let base = if a = 0 then Vint (Interval.of_int_const 0) else st.regs.(a) in
+    set_reg st d (eval_addi base (Int32.to_int imm))
+  | Asm.Paddis (d, a, imm) ->
+    let base = if a = 0 then Vint (Interval.of_int_const 0) else st.regs.(a) in
+    let imm16 = Int32.to_int imm * 65536 in
+    (match eval_addi base imm16 with
+     | v -> set_reg st d v)
+  | Asm.Pori (d, a, imm) ->
+    (match st.regs.(a) with
+     | Vint itv ->
+       (match Interval.is_const itv with
+        | Some v ->
+          let result = v lor Int32.to_int imm in
+          set_reg st d
+            (if Interval.in_range result then Vint (Interval.of_int_const result)
+             else vint_top)
+        | None -> set_reg st d vint_top)
+     | _ -> set_reg st d vint_top)
+  | Asm.Pslwi (d, a, k) ->
+    set_reg st d (Vint (Interval.shift_left_const (as_int_itv st.regs.(a)) k))
+  | Asm.Plwz (d, a) ->
+    (match slot_key st a with
+     | Some key ->
+       (match IMap.find_opt key st.slots with
+        | Some v -> set_reg st d v
+        | None -> set_reg st d vint_top)
+     | None -> set_reg st d vint_top)
+  | Asm.Pstw (s, a) ->
+    (match slot_key st a with
+     | Some key -> { st with slots = IMap.add key st.regs.(s) st.slots }
+     | None ->
+       (match region_of_address st a with
+        | Rstack _ | Runknown ->
+          (* imprecise store that may hit the stack: kill all slots *)
+          { st with slots = IMap.empty }
+        | Rslot _ | Rsym _ | Rpool _ -> st))
+  | Asm.Plfd _ | Asm.Pfadd _ | Asm.Pfsub _ | Asm.Pfmul _ | Asm.Pfdiv _
+  | Asm.Pfneg _ | Asm.Pfabs _ | Asm.Pfmr _ | Asm.Plfdc _ | Asm.Pfcfiw _
+  | Asm.Pfmadd _ | Asm.Pfmsub _
+  | Asm.Pacqf _ | Asm.Poutf _ -> st
+  | Asm.Pstfd (_, a) ->
+    (match slot_key st a with
+     | Some key ->
+       (* a float occupies the slot: integer reads would be malformed *)
+       { st with slots = IMap.add key Vtop st.slots }
+     | None ->
+       (match region_of_address st a with
+        | Rstack _ | Runknown -> { st with slots = IMap.empty }
+        | Rslot _ | Rsym _ | Rpool _ -> st))
+  | Asm.Pcmpw _ | Asm.Pcmpwi _ | Asm.Pfcmpu _ -> st
+  | Asm.Psetcc (d, _) -> set_reg st d (Vint (Interval.make 0 1))
+  | Asm.Pfctiwz (d, _) -> set_reg st d vint_top
+  | Asm.Pacqi (d, _) -> set_reg st d vint_top
+  | Asm.Pouti _ -> st
+  | Asm.Pla (d, sym) -> set_reg st d (Vsym (sym, Interval.of_int_const 0))
+  | Asm.Pmovcc (d, s, _) -> set_reg st d (join_absval st.regs.(d) st.regs.(s))
+  | Asm.Pfmovcc _ -> st
+  | Asm.Pallocframe sz ->
+    (match st.regs.(Asm.sp) with
+     | Vsp itv ->
+       set_reg st Asm.sp (Vsp (Interval.sub itv (Interval.of_int_const sz)))
+     | _ -> set_reg st Asm.sp Vtop)
+  | Asm.Pfreeframe sz ->
+    (match st.regs.(Asm.sp) with
+     | Vsp itv ->
+       set_reg st Asm.sp (Vsp (Interval.add itv (Interval.of_int_const sz)))
+     | _ -> set_reg st Asm.sp Vtop)
+
+(* The comparison guarding a block's conditional exit: scans backwards
+   from the end of the block for the Pcmpw/Pcmpwi feeding the final Pbc.
+   Returns (left operand as register, right operand description). *)
+type cmp_operand =
+  | CmpReg of Asm.ireg
+  | CmpImm of int32
+
+let block_compare (blk : Cfg.block) : (Asm.ireg * cmp_operand) option =
+  let n = Array.length blk.Cfg.b_instrs in
+  let rec scan i =
+    if i < 0 then None
+    else
+      match blk.Cfg.b_instrs.(i) with
+      | Asm.Pcmpw (a, b) -> Some (a, CmpReg b)
+      | Asm.Pcmpwi (a, imm) -> Some (a, CmpImm imm)
+      | Asm.Pfcmpu _ -> None (* float guards are not loop-bound material *)
+      | Asm.Pbc _ | Asm.Pannot _ -> scan (i - 1)
+      | _ -> None
+  in
+  scan (n - 1)
+
+(* The branch condition of the block's terminating Pbc, if any. *)
+let block_branch_cond (blk : Cfg.block) : Asm.branch_cond option =
+  let n = Array.length blk.Cfg.b_instrs in
+  if n = 0 then None
+  else
+    match blk.Cfg.b_instrs.(n - 1) with
+    | Asm.Pbc (c, _) -> Some c
+    | _ -> None
+
+(* Comparison satisfied on the taken edge of [Pbc cond] after
+   cmpw(a, b): cond bit holds. *)
+let comparison_of_cond (c : Asm.branch_cond) : Minic.Ast.comparison =
+  match c with
+  | Asm.BT Asm.CRlt -> Minic.Ast.Clt
+  | Asm.BT Asm.CRgt -> Minic.Ast.Cgt
+  | Asm.BT Asm.CReq -> Minic.Ast.Ceq
+  | Asm.BF Asm.CRlt -> Minic.Ast.Cge
+  | Asm.BF Asm.CRgt -> Minic.Ast.Cle
+  | Asm.BF Asm.CReq -> Minic.Ast.Cne
+
+(* Refine [st] assuming the block's comparison holds with [cmp]. *)
+let refine_state (st : state) (blk : Cfg.block) (cmp : Minic.Ast.comparison) :
+  state =
+  match block_compare blk with
+  | None -> st
+  | Some (left, right) ->
+    let right_itv =
+      match right with
+      | CmpReg r -> as_int_itv st.regs.(r)
+      | CmpImm imm -> Interval.of_const imm
+    in
+    let left_itv = as_int_itv st.regs.(left) in
+    let st =
+      match Interval.refine_cmp cmp left_itv right_itv with
+      | Some itv when (match st.regs.(left) with Vint _ | Vtop -> true | _ -> false) ->
+        set_reg st left (Vint itv)
+      | _ -> st
+    in
+    (match right with
+     | CmpReg r ->
+       (match
+          Interval.refine_cmp (Minic.Ast.swap_comparison cmp)
+            (as_int_itv st.regs.(r)) left_itv
+        with
+        | Some itv when (match st.regs.(r) with Vint _ | Vtop -> true | _ -> false) ->
+          set_reg st r (Vint itv)
+        | _ -> st)
+     | CmpImm _ -> st)
+
+(* Run the transfer over a whole block. *)
+let transfer_block (blk : Cfg.block) (st : state) : state =
+  Array.fold_left transfer st blk.Cfg.b_instrs
+
+(* Out-state along a given edge, with branch refinement. *)
+let edge_state (blk : Cfg.block) (out_st : state) (kind : Cfg.edge_kind) :
+  state =
+  match block_branch_cond blk with
+  | None -> out_st
+  | Some c ->
+    let cmp = comparison_of_cond c in
+    (match kind with
+     | Cfg.Etaken -> refine_state out_st blk cmp
+     | Cfg.Efall ->
+       refine_state out_st blk (Minic.Ast.negate_comparison cmp))
+
+type result = {
+  r_entry_states : state option array; (* per block; None = unreachable *)
+  r_cfg : Cfg.t;
+}
+
+(* Fixpoint with widening after [widen_after] joins at the same block. *)
+let analyze ?(widen_after = 3) (cfg : Cfg.t) : result =
+  let n = Cfg.num_blocks cfg in
+  let entry_states : state option array = Array.make n None in
+  let visits = Array.make n 0 in
+  let worklist = Queue.create () in
+  let inqueue = Array.make n false in
+  let push b =
+    if not inqueue.(b) then begin
+      inqueue.(b) <- true;
+      Queue.add b worklist
+    end
+  in
+  entry_states.(cfg.Cfg.c_entry) <- Some init_state;
+  push cfg.Cfg.c_entry;
+  while not (Queue.is_empty worklist) do
+    let b = Queue.pop worklist in
+    inqueue.(b) <- false;
+    match entry_states.(b) with
+    | None -> ()
+    | Some st_in ->
+      let blk = Cfg.block cfg b in
+      let st_out = transfer_block blk st_in in
+      List.iter
+        (fun (s, kind) ->
+           let st_edge = edge_state blk st_out kind in
+           let updated =
+             match entry_states.(s) with
+             | None -> Some st_edge
+             | Some old ->
+               let joined = join_state old st_edge in
+               if state_equal joined old then None
+               else begin
+                 visits.(s) <- visits.(s) + 1;
+                 if visits.(s) > widen_after then Some (widen_state old joined)
+                 else Some joined
+               end
+           in
+           match updated with
+           | Some st' ->
+             entry_states.(s) <- Some st';
+             push s
+           | None -> ())
+        blk.Cfg.b_succs
+  done;
+  { r_entry_states = entry_states; r_cfg = cfg }
+
+(* State just before instruction [idx] of block [b]. *)
+let state_at (res : result) (b : int) (idx : int) : state option =
+  match res.r_entry_states.(b) with
+  | None -> None
+  | Some st ->
+    let blk = Cfg.block res.r_cfg b in
+    let cur = ref st in
+    for i = 0 to idx - 1 do
+      cur := transfer !cur blk.Cfg.b_instrs.(i)
+    done;
+    Some !cur

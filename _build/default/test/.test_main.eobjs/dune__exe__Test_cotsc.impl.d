@@ -1,0 +1,1 @@
+test/test_cotsc.ml: Alcotest Cotsc List Minic Printf QCheck QCheck_alcotest String Target Testlib Vcomp

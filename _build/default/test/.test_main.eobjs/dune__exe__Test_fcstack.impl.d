@@ -1,0 +1,1 @@
+test/test_fcstack.ml: Alcotest Fcstack Lazy List Minic Printf Scade String Target

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_cotsc Test_fcstack Test_minic Test_scade Test_target Test_vcomp Test_wcet

@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Float Int32 List Minic QCheck QCheck_alcotest String Testlib

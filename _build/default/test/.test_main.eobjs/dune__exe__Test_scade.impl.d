@@ -1,0 +1,1 @@
+test/test_scade.ml: Alcotest Fcstack List Minic Printf QCheck QCheck_alcotest Scade

@@ -1,0 +1,1 @@
+test/test_target.ml: Alcotest Array Float Gen List Minic QCheck QCheck_alcotest Target

@@ -1,0 +1,1 @@
+test/test_vcomp.ml: Alcotest Cotsc Hashtbl List Minic QCheck QCheck_alcotest Target Testlib Vcomp

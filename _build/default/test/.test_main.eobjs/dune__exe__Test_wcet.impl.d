@@ -1,0 +1,1 @@
+test/test_wcet.ml: Alcotest Array Fcstack Int32 List Minic QCheck QCheck_alcotest Random Scade String Target Testlib Wcet

@@ -1,0 +1,1 @@
+test/gen.ml: Int32 List Minic Printf Random

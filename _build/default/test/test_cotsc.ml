@@ -1,0 +1,273 @@
+(* Tests for the COTS baseline compiler in its three configurations. *)
+
+let checkb = Alcotest.check Alcotest.bool
+
+let worlds (seed : int) = Minic.Interp.seeded_world ~seed ()
+
+let chain_equal ?(cycles = 3)
+    (compile : Minic.Ast.program -> Target.Asm.program)
+    (p : Minic.Ast.program) (seed : int) : bool =
+  let asm = compile p in
+  let lay = Target.Layout.build p asm in
+  let ri = Minic.Interp.run_cycles p (worlds seed) ~cycles in
+  let rs =
+    (Target.Sim.run ~cycles ~source:p asm lay (worlds seed) []).Target.Sim.rr_result
+  in
+  Minic.Interp.result_equal ri rs
+
+(* every level, exact mode: bit-exact semantics on random programs *)
+let level_prop (name : string) (level : Cotsc.Driver.level) =
+  QCheck.Test.make ~count:100
+    ~name:(Printf.sprintf "cotsc %s: machine = source on random programs" name)
+    QCheck.small_int
+    (fun seed ->
+       let p = Testlib.Gen.gen_program (seed land 0xFFFF) in
+       chain_equal (Cotsc.Driver.compile ~level ~contract_fma:false) p seed)
+
+let o0_prop = level_prop "O0" Cotsc.Driver.Onone
+let o1_prop = level_prop "O1" Cotsc.Driver.Onoregalloc
+let o2_prop = level_prop "O2(exact)" Cotsc.Driver.Ofull
+
+(* chain fusion alone preserves the source semantics *)
+let chainfuse_prop =
+  QCheck.Test.make ~count:100 ~name:"chainfuse: fused source = source"
+    QCheck.small_int
+    (fun seed ->
+       let p = Testlib.Gen.gen_program (seed land 0xFFFF) in
+       let fused = Cotsc.Chainfuse.fuse_program p in
+       Minic.Typecheck.check_program_exn fused;
+       let r1 = Minic.Interp.run_cycles p (worlds seed) ~cycles:3 in
+       let r2 = Minic.Interp.run_cycles fused (worlds seed) ~cycles:3 in
+       Minic.Interp.result_equal r1 r2)
+
+(* constant folding preserves the source semantics *)
+let fold_prop =
+  QCheck.Test.make ~count:100 ~name:"fold: folded source = source"
+    QCheck.small_int
+    (fun seed ->
+       let p = Testlib.Gen.gen_program (seed land 0xFFFF) in
+       let folded = Cotsc.Fold.fold_program p in
+       Minic.Typecheck.check_program_exn folded;
+       let r1 = Minic.Interp.run_cycles p (worlds seed) ~cycles:3 in
+       let r2 = Minic.Interp.run_cycles folded (worlds seed) ~cycles:3 in
+       Minic.Interp.result_equal r1 r2)
+
+(* O2 with FMA contraction: event structure identical, float values may
+   differ only slightly (single vs double rounding) *)
+let fma_structure_prop =
+  QCheck.Test.make ~count:60
+    ~name:"cotsc O2+fma: same event structure, bounded drift"
+    QCheck.small_int
+    (fun seed ->
+       let p = Testlib.Gen.gen_program (seed land 0xFFFF) in
+       let asm = Cotsc.Driver.compile ~level:Cotsc.Driver.Ofull p in
+       let lay = Target.Layout.build p asm in
+       let ri = Minic.Interp.run_cycles p (worlds seed) ~cycles:2 in
+       let rs =
+         (Target.Sim.run ~cycles:2 ~source:p asm lay (worlds seed) [])
+           .Target.Sim.rr_result
+       in
+       let ei = ri.Minic.Interp.res_events
+       and es = rs.Minic.Interp.res_events in
+       List.length ei = List.length es
+       && List.for_all2
+            (fun a b ->
+               match (a, b) with
+               | Minic.Interp.Ev_annot (t1, _), Minic.Interp.Ev_annot (t2, _) ->
+                 String.equal t1 t2
+               | Minic.Interp.Ev_vol_read (x1, v1), Minic.Interp.Ev_vol_read (x2, v2)
+                 ->
+                 (* reads sample the same world: identical *)
+                 String.equal x1 x2 && Minic.Value.equal v1 v2
+               | Minic.Interp.Ev_vol_write (x1, _), Minic.Interp.Ev_vol_write (x2, _)
+                 ->
+                 String.equal x1 x2
+               | _, _ -> false)
+            ei es)
+
+(* the pattern property of Listing 1: in O0 code, every fadd's operands
+   were just loaded and its result is immediately stored *)
+let test_o0_pattern_shape () =
+  let p =
+    Minic.Parser.parse_program
+      {| double m() { var double a; var double b; var double c;
+           a = 1.0; b = 2.0; c = a +. b; return c; } main m; |}
+  in
+  Minic.Typecheck.check_program_exn p;
+  let asm = Cotsc.Driver.compile ~level:Cotsc.Driver.Onone p in
+  let code = (List.hd asm.Target.Asm.pr_funcs).Target.Asm.fn_code in
+  let rec find_fadd_context = function
+    | Target.Asm.Plfd _ :: Target.Asm.Plfd _ :: Target.Asm.Pfadd _
+      :: Target.Asm.Pstfd _ :: _ -> true
+    | _ :: rest -> find_fadd_context rest
+    | [] -> false
+  in
+  checkb "load-load-fadd-store pattern present" true (find_fadd_context code)
+
+(* O2 emits SDA addressing for globals, O0 does not *)
+let test_sda_usage () =
+  let p =
+    Minic.Parser.parse_program
+      {| global double g; double m() { return $g; } main m; |}
+  in
+  Minic.Typecheck.check_program_exn p;
+  let has_sda level =
+    let asm = Cotsc.Driver.compile ~level p in
+    List.exists
+      (fun i ->
+         match i with
+         | Target.Asm.Plfd (_, Target.Asm.Asda _) -> true
+         | _ -> false)
+      (List.hd asm.Target.Asm.pr_funcs).Target.Asm.fn_code
+  in
+  checkb "O0 avoids SDA" false (has_sda Cotsc.Driver.Onone);
+  checkb "O2 uses SDA" true (has_sda Cotsc.Driver.Ofull)
+
+(* O2 contracts a multiply-add *)
+let test_fma_contraction () =
+  let p =
+    Minic.Parser.parse_program
+      {| double m() { var double a; a = volatile(s); return a *. a +. 1.0; }
+         volatile in double s; main m; |}
+  in
+  Minic.Typecheck.check_program_exn p;
+  let count_fma contract =
+    let asm = Cotsc.Driver.compile ~level:Cotsc.Driver.Ofull ~contract_fma:contract p in
+    List.length
+      (List.filter
+         (fun i ->
+            match i with
+            | Target.Asm.Pfmadd _ | Target.Asm.Pfmsub _ -> true
+            | _ -> false)
+         (List.hd asm.Target.Asm.pr_funcs).Target.Asm.fn_code)
+  in
+  Alcotest.check Alcotest.int "contraction on" 1 (count_fma true);
+  Alcotest.check Alcotest.int "contraction off" 0 (count_fma false)
+
+(* peephole and scheduler never change code behaviour (they are inside
+   the O2 pipeline, re-checked here in isolation on compiled programs) *)
+let sched_preserves_prop =
+  QCheck.Test.make ~count:60 ~name:"scheduler: reordered code = original"
+    QCheck.small_int
+    (fun seed ->
+       let p = Testlib.Gen.gen_program (seed land 0xFFFF) in
+       (* compile without the scheduler by using O1, then schedule *)
+       let asm = Cotsc.Driver.compile ~level:Cotsc.Driver.Onoregalloc p in
+       let asm' = Cotsc.Sched.run asm in
+       let lay = Target.Layout.build p asm in
+       let lay' = Target.Layout.build p asm' in
+       let r =
+         (Target.Sim.run ~cycles:2 ~source:p asm lay (worlds seed) [])
+           .Target.Sim.rr_result
+       in
+       let r' =
+         (Target.Sim.run ~cycles:2 ~source:p asm' lay' (worlds seed) [])
+           .Target.Sim.rr_result
+       in
+       Minic.Interp.result_equal r r')
+
+let suite =
+  [ QCheck_alcotest.to_alcotest o0_prop;
+    QCheck_alcotest.to_alcotest o1_prop;
+    QCheck_alcotest.to_alcotest o2_prop;
+    QCheck_alcotest.to_alcotest chainfuse_prop;
+    QCheck_alcotest.to_alcotest fold_prop;
+    QCheck_alcotest.to_alcotest fma_structure_prop;
+    ("O0 emits Listing-1 patterns", `Quick, test_o0_pattern_shape);
+    ("SDA only at O2", `Quick, test_sda_usage);
+    ("FMA contraction toggle", `Quick, test_fma_contraction);
+    QCheck_alcotest.to_alcotest sched_preserves_prop ]
+
+(* ---- corner cases: spill paths and pressure ---- *)
+
+let all_compilers_agree (src : string) : unit =
+  let p = Minic.Parser.parse_program src in
+  Minic.Typecheck.check_program_exn p;
+  List.iter
+    (fun (name, compile) ->
+       List.iter
+         (fun seed -> checkb (name ^ " deep") true (chain_equal compile p seed))
+         [ 1; 2; 9 ])
+    [ ("O0", Cotsc.Driver.compile ~level:Cotsc.Driver.Onone ~contract_fma:false);
+      ("O1", Cotsc.Driver.compile ~level:Cotsc.Driver.Onoregalloc ~contract_fma:false);
+      ("O2", Cotsc.Driver.compile ~level:Cotsc.Driver.Ofull ~contract_fma:false);
+      ("VC", Vcomp.Driver.compile ~options:Vcomp.Driver.no_validation) ]
+
+(* expression deep enough to exhaust the O2 register stack (depth > 11
+   floats): exercises the spill-around-right-operand path of eval2 *)
+let test_deep_expression () =
+  let rec deep n =
+    if n = 0 then "volatile(s)"
+    else Printf.sprintf "(%s +. (volatile(s) *. %s))" (deep (n - 1)) (deep (n - 1))
+  in
+  ignore (deep 0);
+  (* a left-leaning chain of depth 14 forces stack-depth overflow *)
+  let rec chain n = if n = 0 then "volatile(s)" else
+    Printf.sprintf "(%s *. 1.5 +. volatile(s))" (chain (n - 1)) in
+  all_compilers_agree
+    (Printf.sprintf
+       {| volatile in double s; volatile out double o;
+          void m() { volatile(o) = %s; } main m; |}
+       (chain 14));
+  (* and a right-leaning chain, whose depth grows on the right operand *)
+  let rec rchain n = if n = 0 then "volatile(s)" else
+    Printf.sprintf "(1.5 *. volatile(s) +. %s)" (rchain (n - 1)) in
+  all_compilers_agree
+    (Printf.sprintf
+       {| volatile in double s; volatile out double o;
+          void m() { volatile(o) = %s; } main m; |}
+       (rchain 14))
+
+(* more simultaneously-live float locals than any register bank:
+   exercises vcomp spilling and the O2 linear scan slot fallback *)
+let test_register_pressure () =
+  let n = 40 in
+  let decls = List.init n (fun i -> Printf.sprintf "var double x%d;" i) in
+  let defs =
+    List.init n (fun i ->
+        Printf.sprintf "x%d = volatile(s) *. %d.0;" i (i + 1))
+  in
+  let uses =
+    List.init n (fun i -> Printf.sprintf "acc = acc +. x%d;" i)
+  in
+  all_compilers_agree
+    (Printf.sprintf
+       {| volatile in double s; volatile out double o;
+          void m() { %s var double acc;
+            %s
+            acc = 0.0;
+            %s
+            volatile(o) = acc; } main m; |}
+       (String.concat " " decls) (String.concat " " defs)
+       (String.concat " " uses))
+
+(* loop nesting deeper than the O2 limit-register pool *)
+let test_deep_loop_nesting () =
+  let body = ref "$g = $g +. 1.0;" in
+  for k = 0 to 5 do
+    body := Printf.sprintf "for (i%d = 0; i%d < 2) { %s }" k k !body
+  done;
+  let decls = String.concat " " (List.init 6 (fun k -> Printf.sprintf "var int i%d;" k)) in
+  all_compilers_agree
+    (Printf.sprintf
+       {| global double g; void m() { %s %s } main m; |}
+       decls !body)
+
+(* int- and bool-typed conditional expressions through the movcc path *)
+let test_int_movcc () =
+  all_compilers_agree
+    {| volatile in double s; volatile out double o; global int g;
+       void m() { var int a; var bool b; var int c;
+         a = (int)volatile(s);
+         b = a > 10;
+         c = b ? a + 1 : 0 - a;
+         $g = a < 0 ? (0 - 1) : (a > 100 ? 100 : a);
+         volatile(o) = (double)(c + $g); } main m; |}
+
+let suite =
+  suite
+  @ [ ("deep expressions (register-stack spill)", `Quick, test_deep_expression);
+      ("register pressure (allocator spills)", `Quick, test_register_pressure);
+      ("deep loop nesting (limit registers exhausted)", `Quick,
+       test_deep_loop_nesting);
+      ("integer conditional moves", `Quick, test_int_movcc) ]

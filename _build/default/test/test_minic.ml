@@ -1,0 +1,258 @@
+(* Unit and property tests for the mini-C front end: value semantics,
+   type checker, interpreter, lexer/parser round trips. *)
+
+module A = Minic.Ast
+module V = Minic.Value
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+
+(* ---- value semantics ---- *)
+
+let test_div32 () =
+  check Alcotest.int32 "7/2" 3l (V.div32 7l 2l);
+  check Alcotest.int32 "-7/2" (-3l) (V.div32 (-7l) 2l);
+  check Alcotest.int32 "7/-2" (-3l) (V.div32 7l (-2l));
+  check Alcotest.int32 "x/0 is 0" 0l (V.div32 42l 0l);
+  check Alcotest.int32 "min/-1 is 0" 0l (V.div32 Int32.min_int (-1l));
+  check Alcotest.int32 "rem 7 2" 1l (V.rem32 7l 2l);
+  check Alcotest.int32 "rem -7 2" (-1l) (V.rem32 (-7l) 2l);
+  check Alcotest.int32 "rem x 0 = x (machine-aligned)" 5l (V.rem32 5l 0l);
+  check Alcotest.int32 "rem min -1 = min" Int32.min_int (V.rem32 Int32.min_int (-1l))
+
+let test_float_conv () =
+  check Alcotest.int32 "trunc 2.9" 2l (V.int32_of_float_trunc 2.9);
+  check Alcotest.int32 "trunc -2.9" (-2l) (V.int32_of_float_trunc (-2.9));
+  check Alcotest.int32 "trunc nan" 0l (V.int32_of_float_trunc Float.nan);
+  check Alcotest.int32 "trunc +inf saturates" Int32.max_int
+    (V.int32_of_float_trunc Float.infinity);
+  check Alcotest.int32 "trunc -inf saturates" Int32.min_int
+    (V.int32_of_float_trunc Float.neg_infinity)
+
+let test_value_equal () =
+  checkb "nan = nan (bit equality)" true
+    (V.equal (V.Vfloat Float.nan) (V.Vfloat Float.nan));
+  checkb "-0.0 <> 0.0 (bit equality)" false
+    (V.equal (V.Vfloat (-0.0)) (V.Vfloat 0.0));
+  checkb "int/float distinct" false (V.equal (V.Vint 0l) (V.Vfloat 0.0))
+
+let test_fcmp_nan () =
+  let nan = Float.nan in
+  checkb "nan < 1 is false" false (V.eval_fcomparison A.Clt nan 1.0);
+  checkb "nan <= 1 is false" false (V.eval_fcomparison A.Cle nan 1.0);
+  checkb "nan == nan is false" false (V.eval_fcomparison A.Ceq nan nan);
+  checkb "nan != 1 is true" true (V.eval_fcomparison A.Cne nan 1.0);
+  checkb "nan >= 1 is false" false (V.eval_fcomparison A.Cge nan 1.0)
+
+let test_shift_mask () =
+  check Alcotest.int32 "shift by 33 wraps to 1" 2l
+    (V.as_int (V.eval_binop A.Oshl (V.Vint 1l) (V.Vint 33l)));
+  check Alcotest.int32 "shift right arithmetic" (-1l)
+    (V.as_int (V.eval_binop A.Oshr (V.Vint (-2l)) (V.Vint 1l)))
+
+(* ---- type checker ---- *)
+
+let tiny_prog (body : A.stmt) : A.program =
+  { A.prog_globals = [ ("g", A.Tfloat) ];
+    prog_arrays =
+      [ { A.arr_name = "t"; arr_elt = A.Tfloat; arr_init = [ 1.0; 2.0 ] } ];
+    prog_volatiles = [ ("vin", A.Tfloat, A.Vol_in); ("vout", A.Tfloat, A.Vol_out) ];
+    prog_funcs =
+      [ { A.fn_name = "m"; fn_params = []; fn_locals = [ ("x", A.Tfloat); ("i", A.Tint) ];
+          fn_ret = None; fn_body = body } ];
+    prog_main = "m" }
+
+let accepts (s : A.stmt) : bool =
+  match Minic.Typecheck.check_program (tiny_prog s) with
+  | Ok () -> true
+  | Error _ -> false
+
+let test_typecheck_accepts () =
+  checkb "assign float" true (accepts (A.Sassign ("x", A.Eglobal "g")));
+  checkb "volatile roundtrip" true
+    (accepts (A.Svolstore ("vout", A.Evolatile "vin")));
+  checkb "for loop" true
+    (accepts
+       (A.Sfor ("i", A.Econst_int 0l, A.Econst_int 3l,
+                A.Sassign ("x", A.Econst_float 1.0))))
+
+let test_typecheck_rejects () =
+  checkb "int into float" false
+    (accepts (A.Sassign ("x", A.Econst_int 1l)));
+  checkb "read volatile output" false
+    (accepts (A.Sassign ("x", A.Evolatile "vout")));
+  checkb "write volatile input" false
+    (accepts (A.Svolstore ("vin", A.Econst_float 1.0)));
+  checkb "unbound variable" false
+    (accepts (A.Sassign ("nope", A.Econst_float 1.0)));
+  checkb "float array int store" false
+    (accepts (A.Sstore ("t", A.Econst_int 0l, A.Econst_int 1l)));
+  checkb "non-bool guard" false
+    (accepts (A.Sif (A.Econst_int 1l, A.Sskip, A.Sskip)));
+  checkb "bool annotation argument" false
+    (accepts (A.Sannot ("x", [ A.Econst_bool true ])));
+  checkb "counter modified in body (MISRA 13.6)" false
+    (accepts
+       (A.Sfor ("i", A.Econst_int 0l, A.Econst_int 3l,
+                A.Sassign ("i", A.Econst_int 0l))))
+
+(* ---- interpreter ---- *)
+
+let parse (s : string) : A.program =
+  let p = Minic.Parser.parse_program s in
+  Minic.Typecheck.check_program_exn p;
+  p
+
+let run_ret (src : string) : V.t option =
+  let p = parse src in
+  (Minic.Interp.run_cycle p (Minic.Interp.constant_world 1.5)).Minic.Interp.res_return
+
+let test_interp_loop () =
+  match
+    run_ret
+      {| int m() { var int i; var int s; s = 0;
+           for (i = 0; i < 5) { s = s + i; } return s; } main m; |}
+  with
+  | Some (V.Vint 10l) -> ()
+  | r ->
+    Alcotest.failf "expected 10, got %s"
+      (match r with Some v -> V.to_string v | None -> "None")
+
+let test_interp_counter_after_loop () =
+  match
+    run_ret {| int m() { var int i; for (i = 0; i < 4) { skip; } return i; } main m; |}
+  with
+  | Some (V.Vint 4l) -> ()
+  | _ -> Alcotest.fail "counter should equal the bound after the loop"
+
+let test_interp_empty_loop_counter () =
+  match
+    run_ret {| int m() { var int i; for (i = 7; i < 3) { skip; } return i; } main m; |}
+  with
+  | Some (V.Vint 7l) -> ()
+  | _ -> Alcotest.fail "counter keeps the start value when the loop is empty"
+
+let test_interp_implicit_return_zero () =
+  match run_ret {| double m() { var int i; i = 1; } main m; |} with
+  | Some (V.Vfloat 0.0) -> ()
+  | _ -> Alcotest.fail "fall-through of a non-void function returns zero"
+
+let test_interp_volatile_order () =
+  let p =
+    parse
+      {| volatile in double a; volatile in double b; volatile out double o;
+         void m() { volatile(o) = volatile(a) +. volatile(b);
+                    volatile(o) = volatile(a); } main m; |}
+  in
+  let r = Minic.Interp.run_cycle p (Minic.Interp.seeded_world ~seed:3 ()) in
+  let names =
+    List.filter_map
+      (fun e ->
+         match e with
+         | Minic.Interp.Ev_vol_read (x, _) -> Some x
+         | _ -> None)
+      r.Minic.Interp.res_events
+  in
+  check Alcotest.(list string) "left-to-right, repeat reads re-sample"
+    [ "a"; "b"; "a" ] names
+
+let test_interp_annotation_event () =
+  let p =
+    parse
+      {| void m() { var int n; n = 3; __builtin_annotation("range 0 5", n); } main m; |}
+  in
+  let r = Minic.Interp.run_cycle p (Minic.Interp.constant_world 0.0) in
+  match r.Minic.Interp.res_events with
+  | [ Minic.Interp.Ev_annot ("range 0 5", [ V.Vint 3l ]) ] -> ()
+  | _ -> Alcotest.fail "annotation event carries text and argument values"
+
+let test_interp_multicycle_state () =
+  let p =
+    parse
+      {| global int n; int m() { $n = $n + 1; return $n; } main m; |}
+  in
+  let r = Minic.Interp.run_cycles p (Minic.Interp.constant_world 0.0) ~cycles:5 in
+  match r.Minic.Interp.res_return with
+  | Some (V.Vint 5l) -> ()
+  | _ -> Alcotest.fail "globals persist across cycles"
+
+let test_interp_array_oob () =
+  let p =
+    parse
+      {| array double t = {1.0, 2.0}; double m() { return $t[7]; } main m; |}
+  in
+  match Minic.Interp.run_cycle p (Minic.Interp.constant_world 0.0) with
+  | _ -> Alcotest.fail "out-of-bounds read must raise"
+  | exception Minic.Interp.Runtime_error _ -> ()
+
+(* ---- lexer / parser ---- *)
+
+let test_lexer_negative_literals () =
+  (match Minic.Lexer.tokenize "x = -5;" with
+   | [ Minic.Lexer.IDENT "x"; Minic.Lexer.ASSIGN; Minic.Lexer.INT (-5l);
+       Minic.Lexer.SEMI; Minic.Lexer.EOF ] -> ()
+   | _ -> Alcotest.fail "-5 after '=' is a literal");
+  (match Minic.Lexer.tokenize "a - 5" with
+   | [ Minic.Lexer.IDENT "a"; Minic.Lexer.MINUS; Minic.Lexer.INT 5l;
+       Minic.Lexer.EOF ] -> ()
+   | _ -> Alcotest.fail "'a - 5' keeps the binary minus")
+
+let test_lexer_hex_floats () =
+  match Minic.Lexer.tokenize "0x1.8p+1" with
+  | [ Minic.Lexer.FLOAT f; Minic.Lexer.EOF ] when f = 3.0 -> ()
+  | _ -> Alcotest.fail "hex float literal"
+
+let test_parser_precedence () =
+  let p = parse {| int m() { return 1 + 2 * 3; } main m; |} in
+  match (List.hd p.A.prog_funcs).A.fn_body with
+  | A.Sreturn (Some (A.Ebinop (A.Oadd, A.Econst_int 1l,
+                               A.Ebinop (A.Omul, A.Econst_int 2l, A.Econst_int 3l))))
+    -> ()
+  | _ -> Alcotest.fail "multiplication binds tighter than addition"
+
+(* round trip: print a random program and parse it back to an equal AST *)
+let roundtrip_prop =
+  QCheck.Test.make ~count:120 ~name:"pp/parse round trip"
+    QCheck.(map (fun i -> i) small_int)
+    (fun seed ->
+       let p = Testlib.Gen.gen_program (seed land 0xFFFF) in
+       Minic.Typecheck.check_program_exn p;
+       let text = Minic.Pp.program_to_string p in
+       let p' = Minic.Parser.parse_program text in
+       (* compare observable structure: re-print and compare strings,
+          which is robust to the AST's float representations *)
+       String.equal text (Minic.Pp.program_to_string p'))
+
+(* the interpreter is deterministic: two runs over the same world agree *)
+let deterministic_prop =
+  QCheck.Test.make ~count:60 ~name:"interpreter determinism"
+    QCheck.small_int
+    (fun seed ->
+       let p = Testlib.Gen.gen_program (seed land 0xFFFF) in
+       let w () = Minic.Interp.seeded_world ~seed ()
+       in
+       let r1 = Minic.Interp.run_cycles p (w ()) ~cycles:3 in
+       let r2 = Minic.Interp.run_cycles p (w ()) ~cycles:3 in
+       Minic.Interp.result_equal r1 r2)
+
+let suite =
+  [ ("div32 edge cases", `Quick, test_div32);
+    ("float->int conversion", `Quick, test_float_conv);
+    ("value bit equality", `Quick, test_value_equal);
+    ("float comparisons vs NaN", `Quick, test_fcmp_nan);
+    ("shift masking", `Quick, test_shift_mask);
+    ("typecheck accepts", `Quick, test_typecheck_accepts);
+    ("typecheck rejects", `Quick, test_typecheck_rejects);
+    ("interp: counted loop", `Quick, test_interp_loop);
+    ("interp: counter after loop", `Quick, test_interp_counter_after_loop);
+    ("interp: empty loop counter", `Quick, test_interp_empty_loop_counter);
+    ("interp: implicit return is zero", `Quick, test_interp_implicit_return_zero);
+    ("interp: volatile order", `Quick, test_interp_volatile_order);
+    ("interp: annotation event", `Quick, test_interp_annotation_event);
+    ("interp: state across cycles", `Quick, test_interp_multicycle_state);
+    ("interp: array bounds", `Quick, test_interp_array_oob);
+    ("lexer: negative literals", `Quick, test_lexer_negative_literals);
+    ("lexer: hex floats", `Quick, test_lexer_hex_floats);
+    ("parser: precedence", `Quick, test_parser_precedence);
+    QCheck_alcotest.to_alcotest roundtrip_prop;
+    QCheck_alcotest.to_alcotest deterministic_prop ]

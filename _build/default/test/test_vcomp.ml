@@ -1,0 +1,247 @@
+(* Tests for the verified-style compiler: selection, optimization
+   passes (each under its translation validator), register allocation,
+   and full-chain semantic preservation on random programs. *)
+
+let checkb = Alcotest.check Alcotest.bool
+
+let worlds (seed : int) = Minic.Interp.seeded_world ~seed ()
+
+(* full-chain equivalence: interpreter vs simulator *)
+let chain_equal ?(cycles = 3)
+    (compile : Minic.Ast.program -> Target.Asm.program)
+    (p : Minic.Ast.program) (seed : int) : bool =
+  let asm = compile p in
+  let lay = Target.Layout.build p asm in
+  let ri = Minic.Interp.run_cycles p (worlds seed) ~cycles in
+  let rs =
+    (Target.Sim.run ~cycles ~source:p asm lay (worlds seed) []).Target.Sim.rr_result
+  in
+  Minic.Interp.result_equal ri rs
+
+(* ---- selection ---- *)
+
+let selection_preserves_prop =
+  QCheck.Test.make ~count:100 ~name:"selection: RTL = source semantics"
+    QCheck.small_int
+    (fun seed ->
+       let p = Testlib.Gen.gen_program (seed land 0xFFFF) in
+       let rtl = Vcomp.Selection.trans_program p in
+       let ri = Minic.Interp.run_cycle p (worlds seed) in
+       let rr = Vcomp.Rtl_interp.run rtl (worlds seed) [] in
+       Minic.Interp.result_equal ri rr)
+
+(* ---- optimization passes under their validators ---- *)
+
+let pass_preserves (name : string) (pass : Vcomp.Rtl.program -> Vcomp.Rtl.program) =
+  QCheck.Test.make ~count:80 ~name:(name ^ ": validated on random programs")
+    QCheck.small_int
+    (fun seed ->
+       let p = Testlib.Gen.gen_program (seed land 0xFFFF) in
+       let rtl = Vcomp.Selection.trans_program p in
+       let before = Vcomp.Rtl.copy_program rtl in
+       let after = pass rtl in
+       (* the validator raises on any behaviour change *)
+       Vcomp.Validate.check_pass ~pass:name ~before ~after;
+       (* and the result still matches the source *)
+       let ri = Minic.Interp.run_cycle p (worlds seed) in
+       let rr = Vcomp.Rtl_interp.run after (worlds seed) [] in
+       Minic.Interp.result_equal ri rr)
+
+let constprop_prop = pass_preserves "constprop" Vcomp.Constprop.transform
+let cse_prop = pass_preserves "cse" Vcomp.Cse.transform
+
+let deadcode_prop =
+  QCheck.Test.make ~count:80 ~name:"deadcode after cse: validated"
+    QCheck.small_int
+    (fun seed ->
+       let p = Testlib.Gen.gen_program (seed land 0xFFFF) in
+       let rtl = Vcomp.Selection.trans_program p in
+       let rtl = Vcomp.Cse.transform rtl in
+       let before = Vcomp.Rtl.copy_program rtl in
+       let after = Vcomp.Deadcode.transform rtl in
+       Vcomp.Validate.check_pass ~pass:"deadcode" ~before ~after;
+       true)
+
+(* constprop folds a fully constant computation to a constant *)
+let test_constprop_folds () =
+  let p =
+    Minic.Parser.parse_program
+      {| int m() { var int a; var int b; a = 6; b = 7; return a * b; } main m; |}
+  in
+  Minic.Typecheck.check_program_exn p;
+  let rtl = Vcomp.Selection.trans_program p in
+  let rtl = Vcomp.Constprop.transform rtl in
+  let f = List.hd rtl.Vcomp.Rtl.p_funcs in
+  let found_const_42 = ref false in
+  List.iter
+    (fun n ->
+       match Vcomp.Rtl.get_instr f n with
+       | Vcomp.Rtl.Iop (Vcomp.Rtl.Ointconst 42l, _, _, _) ->
+         found_const_42 := true
+       | _ -> ())
+    (Vcomp.Rtl.reverse_postorder f);
+  checkb "6*7 folded to 42" true !found_const_42
+
+(* cse: the duplicate load disappears after cse+deadcode *)
+let test_cse_removes_duplicate_load () =
+  let p =
+    Minic.Parser.parse_program
+      {| global double g; double m() { return $g +. $g; } main m; |}
+  in
+  Minic.Typecheck.check_program_exn p;
+  let count_loads rtl =
+    let f = List.hd rtl.Vcomp.Rtl.p_funcs in
+    List.length
+      (List.filter
+         (fun n ->
+            match Vcomp.Rtl.get_instr f n with
+            | Vcomp.Rtl.Iload _ -> true
+            | _ -> false)
+         (Vcomp.Rtl.reverse_postorder f))
+  in
+  let rtl = Vcomp.Selection.trans_program p in
+  Alcotest.check Alcotest.int "two loads before" 2 (count_loads rtl);
+  let rtl = Vcomp.Deadcode.transform (Vcomp.Cse.transform rtl) in
+  Alcotest.check Alcotest.int "one load after" 1 (count_loads rtl)
+
+(* ---- liveness: worklist vs naive fixpoint ---- *)
+
+let liveness_prop =
+  QCheck.Test.make ~count:60 ~name:"liveness: worklist = naive fixpoint"
+    QCheck.small_int
+    (fun seed ->
+       let p = Testlib.Gen.gen_program (seed land 0xFFFF) in
+       let rtl = Vcomp.Selection.trans_program p in
+       List.for_all
+         (fun f ->
+            let fast = Vcomp.Liveness.analyze f in
+            let slow = Vcomp.Liveness.analyze_naive f in
+            List.for_all
+              (fun n ->
+                 Vcomp.Liveness.RegSet.equal
+                   (Vcomp.Liveness.live_after fast n)
+                   (Vcomp.Liveness.live_after slow n))
+              (Vcomp.Rtl.reverse_postorder f))
+         rtl.Vcomp.Rtl.p_funcs)
+
+(* ---- register allocation ---- *)
+
+let regalloc_valid_prop =
+  QCheck.Test.make ~count:80 ~name:"regalloc: validator accepts all allocations"
+    QCheck.small_int
+    (fun seed ->
+       let p = Testlib.Gen.gen_program (seed land 0xFFFF) in
+       let rtl = Vcomp.Selection.trans_program p in
+       List.for_all
+         (fun f ->
+            let res = Vcomp.Regalloc.allocate f in
+            match Vcomp.Regalloc.verify f res with
+            | Ok () -> true
+            | Error _ -> false)
+         rtl.Vcomp.Rtl.p_funcs)
+
+(* mutation testing of the validator: merging an interfering pair must
+   be rejected *)
+let regalloc_mutation_prop =
+  QCheck.Test.make ~count:60 ~name:"regalloc: corrupted allocation rejected"
+    QCheck.small_int
+    (fun seed ->
+       let p = Testlib.Gen.gen_program (seed land 0xFFFF) in
+       let rtl = Vcomp.Selection.trans_program p in
+       let f = List.hd rtl.Vcomp.Rtl.p_funcs in
+       let res = Vcomp.Regalloc.allocate f in
+       (* find an interfering pair with different locations *)
+       let victim = ref None in
+       Hashtbl.iter
+         (fun a neighbors ->
+            if !victim = None then
+              Vcomp.Regalloc.RegSet.iter
+                (fun b ->
+                   if !victim = None
+                      && Vcomp.Rtl.reg_class f a = Vcomp.Rtl.reg_class f b
+                      && not
+                           (Vcomp.Regalloc.loc_equal
+                              (Vcomp.Regalloc.location res a)
+                              (Vcomp.Regalloc.location res b)) then
+                     victim := Some (a, b))
+                neighbors)
+         res.Vcomp.Regalloc.ra_graph.Vcomp.Regalloc.g_adj;
+       match !victim with
+       | None -> true (* nothing to corrupt in a tiny function *)
+       | Some (a, b) ->
+         Hashtbl.replace res.Vcomp.Regalloc.ra_alloc a
+           (Vcomp.Regalloc.location res b);
+         (match Vcomp.Regalloc.verify f res with
+          | Ok () -> false (* must be rejected *)
+          | Error _ -> true))
+
+(* ---- full chain ---- *)
+
+let full_chain_prop =
+  QCheck.Test.make ~count:120 ~name:"vcomp: machine = source on random programs"
+    QCheck.small_int
+    (fun seed ->
+       let p = Testlib.Gen.gen_program (seed land 0xFFFF) in
+       chain_equal
+         (Vcomp.Driver.compile ~options:Vcomp.Driver.no_validation)
+         p seed)
+
+let full_chain_validated_prop =
+  QCheck.Test.make ~count:30
+    ~name:"vcomp: per-pass validators pass on random programs"
+    QCheck.small_int
+    (fun seed ->
+       let p = Testlib.Gen.gen_program (seed land 0xFFF) in
+       ignore (Vcomp.Driver.compile p); (* validators on: raises on failure *)
+       true)
+
+(* NaN behaviour through the whole chain *)
+let test_nan_comparisons_compiled () =
+  let p =
+    Minic.Parser.parse_program
+      {| global double g;
+         double m() {
+           var double n; var double r;
+           n = 0x0p+0 /. 0x0p+0;
+           if (n <=. 1.0) { r = 1.0; } else { r = 2.0; }
+           if (n >=. 1.0) { r = r +. 10.0; } else { r = r +. 20.0; }
+           if (n !=. n) { r = r +. 100.0; } else { r = r +. 200.0; }
+           return r;
+         } main m; |}
+  in
+  Minic.Typecheck.check_program_exn p;
+  List.iter
+    (fun (name, compile) ->
+       checkb name true (chain_equal compile p 1))
+    [ ("vcomp NaN", Vcomp.Driver.compile ~options:Vcomp.Driver.no_validation);
+      ("cotsc O0 NaN", Cotsc.Driver.compile ~level:Cotsc.Driver.Onone ~contract_fma:false);
+      ("cotsc O2 NaN",
+       Cotsc.Driver.compile ~level:Cotsc.Driver.Ofull ~contract_fma:false) ]
+
+(* ablation configurations stay correct *)
+let ablation_chain_prop =
+  QCheck.Test.make ~count:40 ~name:"vcomp ablations: still semantics-preserving"
+    QCheck.small_int
+    (fun seed ->
+       let p = Testlib.Gen.gen_program (seed land 0xFFF) in
+       List.for_all
+         (fun options ->
+            chain_equal (Vcomp.Driver.compile ~options) p seed)
+         [ Vcomp.Driver.{ no_validation with opt_constprop = false };
+           Vcomp.Driver.{ no_validation with opt_cse = false };
+           Vcomp.Driver.{ no_validation with opt_deadcode = false } ])
+
+let suite =
+  [ QCheck_alcotest.to_alcotest selection_preserves_prop;
+    QCheck_alcotest.to_alcotest constprop_prop;
+    QCheck_alcotest.to_alcotest cse_prop;
+    QCheck_alcotest.to_alcotest deadcode_prop;
+    ("constprop folds constants", `Quick, test_constprop_folds);
+    ("cse removes duplicate loads", `Quick, test_cse_removes_duplicate_load);
+    QCheck_alcotest.to_alcotest liveness_prop;
+    QCheck_alcotest.to_alcotest regalloc_valid_prop;
+    QCheck_alcotest.to_alcotest regalloc_mutation_prop;
+    QCheck_alcotest.to_alcotest full_chain_prop;
+    QCheck_alcotest.to_alcotest full_chain_validated_prop;
+    ("NaN comparisons through the chain", `Quick, test_nan_comparisons_compiled);
+    QCheck_alcotest.to_alcotest ablation_chain_prop ]
