@@ -1,0 +1,139 @@
+(* Assembly printer. One line per instruction, GNU-as flavoured, with
+   pseudo-instructions rendered as comments or their canonical expanded
+   mnemonic. [substitute_annot] resolves the %n placeholders of a
+   source annotation against the locations the compiler assigned —
+   this printed form is what the analyzer-side annotation file (paper
+   section 3.4) carries back to the proof environment. *)
+
+let ireg (r : Asm.ireg) : string = "r" ^ string_of_int r
+let freg (f : Asm.freg) : string = "f" ^ string_of_int f
+let label (l : Asm.label) : string = ".L" ^ string_of_int l
+
+let cond (c : Asm.branch_cond) : string =
+  match c with
+  | Asm.BT Asm.CRlt -> "lt"
+  | Asm.BT Asm.CRgt -> "gt"
+  | Asm.BT Asm.CReq -> "eq"
+  | Asm.BF Asm.CRlt -> "ge"
+  | Asm.BF Asm.CRgt -> "le"
+  | Asm.BF Asm.CReq -> "ne"
+
+let address (a : Asm.address) : string =
+  match a with
+  | Asm.Aind (b, off) -> Printf.sprintf "%ld(%s)" off (ireg b)
+  | Asm.Aindx (b, x) -> Printf.sprintf "%s,%s" (ireg b) (ireg x)
+  | Asm.Aglob (s, off) ->
+    if off = 0l then s else Printf.sprintf "%s+%ld" s off
+  | Asm.Asda (s, off) ->
+    if off = 0l then s ^ "@sda" else Printf.sprintf "%s+%ld@sda" s off
+
+let annot_arg (a : Asm.annot_arg) : string =
+  match a with
+  | Asm.AA_ireg r -> ireg r
+  | Asm.AA_freg f -> freg f
+  | Asm.AA_const_int n -> Int32.to_string n
+  | Asm.AA_const_float c -> Printf.sprintf "%g" c
+  | Asm.AA_stack_int off | Asm.AA_stack_float off -> "@" ^ Int32.to_string off
+
+(* Replace %1, %2, ... in [text] by the printed form of the matching
+   argument. Unmatched placeholders are left in place. *)
+let substitute_annot (text : string) (args : Asm.annot_arg list) : string =
+  let buf = Buffer.create (String.length text + 16) in
+  let n = String.length text in
+  let i = ref 0 in
+  while !i < n do
+    if text.[!i] = '%' && !i + 1 < n && text.[!i + 1] >= '1'
+       && text.[!i + 1] <= '9'
+    then begin
+      let j = ref (!i + 1) in
+      while !j < n && text.[!j] >= '0' && text.[!j] <= '9' do incr j done;
+      let idx = int_of_string (String.sub text (!i + 1) (!j - !i - 1)) in
+      (match List.nth_opt args (idx - 1) with
+       | Some a -> Buffer.add_string buf (annot_arg a)
+       | None -> Buffer.add_string buf (String.sub text !i (!j - !i)));
+      i := !j
+    end
+    else begin
+      Buffer.add_char buf text.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let r3 = Printf.sprintf
+
+let instr_str (i : Asm.instr) : string =
+  match i with
+  | Asm.Plabel l -> label l ^ ":"
+  | Asm.Pb l -> "\tb " ^ label l
+  | Asm.Pbc (c, l) -> r3 "\tb%s %s" (cond c) (label l)
+  | Asm.Pblr -> "\tblr"
+  | Asm.Pannot (text, args) ->
+    "\t# annotation: " ^ substitute_annot text args
+  | Asm.Padd (d, a, b) -> r3 "\tadd %s, %s, %s" (ireg d) (ireg a) (ireg b)
+  | Asm.Psubf (d, a, b) -> r3 "\tsubf %s, %s, %s" (ireg d) (ireg a) (ireg b)
+  | Asm.Pmullw (d, a, b) ->
+    r3 "\tmullw %s, %s, %s" (ireg d) (ireg a) (ireg b)
+  | Asm.Pdivw (d, a, b) -> r3 "\tdivw %s, %s, %s" (ireg d) (ireg a) (ireg b)
+  | Asm.Pand (d, a, b) -> r3 "\tand %s, %s, %s" (ireg d) (ireg a) (ireg b)
+  | Asm.Por (d, a, b) -> r3 "\tor %s, %s, %s" (ireg d) (ireg a) (ireg b)
+  | Asm.Pxor (d, a, b) -> r3 "\txor %s, %s, %s" (ireg d) (ireg a) (ireg b)
+  | Asm.Pslw (d, a, b) -> r3 "\tslw %s, %s, %s" (ireg d) (ireg a) (ireg b)
+  | Asm.Psraw (d, a, b) -> r3 "\tsraw %s, %s, %s" (ireg d) (ireg a) (ireg b)
+  | Asm.Pneg (d, a) -> r3 "\tneg %s, %s" (ireg d) (ireg a)
+  | Asm.Pmr (d, a) -> r3 "\tmr %s, %s" (ireg d) (ireg a)
+  | Asm.Paddi (d, a, n) -> r3 "\taddi %s, %s, %ld" (ireg d) (ireg a) n
+  | Asm.Paddis (d, a, n) -> r3 "\taddis %s, %s, %ld" (ireg d) (ireg a) n
+  | Asm.Pori (d, a, n) -> r3 "\tori %s, %s, %ld" (ireg d) (ireg a) n
+  | Asm.Pslwi (d, a, n) -> r3 "\tslwi %s, %s, %d" (ireg d) (ireg a) n
+  | Asm.Plwz (d, a) -> r3 "\tlwz %s, %s" (ireg d) (address a)
+  | Asm.Pstw (s, a) -> r3 "\tstw %s, %s" (ireg s) (address a)
+  | Asm.Plfd (d, a) -> r3 "\tlfd %s, %s" (freg d) (address a)
+  | Asm.Pstfd (s, a) -> r3 "\tstfd %s, %s" (freg s) (address a)
+  | Asm.Plfdc (d, c) -> r3 "\tlfd %s, .LC[%h]  # %g" (freg d) c c
+  | Asm.Pla (d, s) -> r3 "\tla %s, %s" (ireg d) s
+  | Asm.Pcmpw (a, b) -> r3 "\tcmpw %s, %s" (ireg a) (ireg b)
+  | Asm.Pcmpwi (a, n) -> r3 "\tcmpwi %s, %ld" (ireg a) n
+  | Asm.Pfcmpu (a, b) -> r3 "\tfcmpu %s, %s" (freg a) (freg b)
+  | Asm.Psetcc (d, c) -> r3 "\tset%s %s" (cond c) (ireg d)
+  | Asm.Pmovcc (d, s, c) -> r3 "\tmov%s %s, %s" (cond c) (ireg d) (ireg s)
+  | Asm.Pfmovcc (d, s, c) -> r3 "\tfmov%s %s, %s" (cond c) (freg d) (freg s)
+  | Asm.Pfadd (d, a, b) -> r3 "\tfadd %s, %s, %s" (freg d) (freg a) (freg b)
+  | Asm.Pfsub (d, a, b) -> r3 "\tfsub %s, %s, %s" (freg d) (freg a) (freg b)
+  | Asm.Pfmul (d, a, b) -> r3 "\tfmul %s, %s, %s" (freg d) (freg a) (freg b)
+  | Asm.Pfdiv (d, a, b) -> r3 "\tfdiv %s, %s, %s" (freg d) (freg a) (freg b)
+  | Asm.Pfmadd (d, a, b, c) ->
+    r3 "\tfmadd %s, %s, %s, %s" (freg d) (freg a) (freg b) (freg c)
+  | Asm.Pfmsub (d, a, b, c) ->
+    r3 "\tfmsub %s, %s, %s, %s" (freg d) (freg a) (freg b) (freg c)
+  | Asm.Pfneg (d, a) -> r3 "\tfneg %s, %s" (freg d) (freg a)
+  | Asm.Pfabs (d, a) -> r3 "\tfabs %s, %s" (freg d) (freg a)
+  | Asm.Pfmr (d, a) -> r3 "\tfmr %s, %s" (freg d) (freg a)
+  | Asm.Pfcfiw (d, a) -> r3 "\tfcfiw %s, %s" (freg d) (ireg a)
+  | Asm.Pfctiwz (d, a) -> r3 "\tfctiwz %s, %s" (ireg d) (freg a)
+  | Asm.Pacqi (d, x) -> r3 "\tacqi %s, %s  # volatile read" (ireg d) x
+  | Asm.Pacqf (d, x) -> r3 "\tacqf %s, %s  # volatile read" (freg d) x
+  | Asm.Pouti (x, s) -> r3 "\touti %s, %s  # volatile write" x (ireg s)
+  | Asm.Poutf (x, s) -> r3 "\toutf %s, %s  # volatile write" x (freg s)
+  | Asm.Pallocframe n -> r3 "\tstwu r1, %d(r1)  # allocframe" (-n)
+  | Asm.Pfreeframe n -> r3 "\taddi r1, r1, %d  # freeframe" n
+
+let func_to_string (f : Asm.func) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (f.Asm.fn_name ^ ":\n");
+  List.iter
+    (fun i ->
+       Buffer.add_string buf (instr_str i);
+       Buffer.add_char buf '\n')
+    f.Asm.fn_code;
+  Buffer.contents buf
+
+let program_to_string (p : Asm.program) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "\t.text\n";
+  List.iter
+    (fun f ->
+       Buffer.add_char buf '\n';
+       Buffer.add_string buf (func_to_string f))
+    p.Asm.pr_funcs;
+  Buffer.contents buf

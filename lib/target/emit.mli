@@ -1,0 +1,12 @@
+(** Assembly printer, one line per instruction. [substitute_annot]
+    resolves the %n placeholders of a source annotation against the
+    locations the compiler assigned — the printed form carried by the
+    paper section 3.4 annotation file. *)
+
+val substitute_annot : string -> Asm.annot_arg list -> string
+
+val instr_str : Asm.instr -> string
+(** One line, leading tab (labels flush left). *)
+
+val func_to_string : Asm.func -> string
+val program_to_string : Asm.program -> string

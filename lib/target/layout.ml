@@ -1,0 +1,113 @@
+(* Linker/loader model: assigns concrete addresses to code, globals,
+   arrays and the float constant pool. The WCET cache analysis and the
+   executable simulator both read addresses from here, so both see the
+   same line/set geometry — a prerequisite for the WCET >= cycles
+   invariant.
+
+   Address map:
+     0x01000   code (functions in program order, 16-aligned)
+     0x10000   data (globals then arrays, naturally aligned, 8-aligned)
+     ......    float constant pool (8 bytes per distinct constant)
+     0x80000   initial stack pointer (stack grows down; 32-aligned so
+               sp-relative slot arithmetic matches line arithmetic)
+
+   Scalars are naturally aligned and lines are 32 bytes, so no scalar
+   access ever straddles a line. Volatiles are MMIO — looked up by
+   name, never laid out. *)
+
+type t = {
+  lay_code : (string, int) Hashtbl.t;      (* function -> entry address *)
+  lay_sym : (string, int) Hashtbl.t;       (* global/array -> address *)
+  lay_sym_size : (string, int) Hashtbl.t;  (* global/array -> size in bytes *)
+  lay_consts : (int64, int) Hashtbl.t;     (* float bits -> pool address *)
+  lay_stack_top : int;
+  lay_mem_size : int;
+}
+
+let code_base = 0x1000
+let data_base = 0x10000
+let stack_top = 0x80000
+
+let align (n : int) (a : int) : int = (n + a - 1) / a * a
+
+let typ_size (ty : Minic.Ast.typ) : int =
+  match ty with
+  | Minic.Ast.Tint | Minic.Ast.Tbool -> 4
+  | Minic.Ast.Tfloat -> 8
+
+(* Distinct float-pool constants, in first-use order. *)
+let pool_constants (asm : Asm.program) : float list =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  List.iter
+    (fun f ->
+       List.iter
+         (fun i ->
+            match i with
+            | Asm.Plfdc (_, c) ->
+              let key = Int64.bits_of_float c in
+              if not (Hashtbl.mem seen key) then begin
+                Hashtbl.add seen key ();
+                acc := c :: !acc
+              end
+            | _ -> ())
+         f.Asm.fn_code)
+    asm.Asm.pr_funcs;
+  List.rev !acc
+
+let build (src : Minic.Ast.program) (asm : Asm.program) : t =
+  let lay_code = Hashtbl.create 16 in
+  let lay_sym = Hashtbl.create 16 in
+  let lay_sym_size = Hashtbl.create 16 in
+  let lay_consts = Hashtbl.create 16 in
+  (* code *)
+  let pc = ref code_base in
+  List.iter
+    (fun f ->
+       Hashtbl.replace lay_code f.Asm.fn_name !pc;
+       pc := align (!pc + Asm.func_size f) 16)
+    asm.Asm.pr_funcs;
+  (* data: scalars, then arrays, naturally aligned *)
+  let dp = ref data_base in
+  let place name size =
+    dp := align !dp (if size >= 8 then 8 else size);
+    Hashtbl.replace lay_sym name !dp;
+    Hashtbl.replace lay_sym_size name size;
+    dp := !dp + size
+  in
+  List.iter
+    (fun (x, ty) -> place x (typ_size ty))
+    src.Minic.Ast.prog_globals;
+  List.iter
+    (fun a ->
+       let elt = typ_size a.Minic.Ast.arr_elt in
+       place a.Minic.Ast.arr_name (elt * List.length a.Minic.Ast.arr_init))
+    src.Minic.Ast.prog_arrays;
+  (* float constant pool *)
+  dp := align !dp 8;
+  List.iter
+    (fun c ->
+       Hashtbl.replace lay_consts (Int64.bits_of_float c) !dp;
+       dp := !dp + 8)
+    (pool_constants asm);
+  { lay_code;
+    lay_sym;
+    lay_sym_size;
+    lay_consts;
+    lay_stack_top = stack_top;
+    lay_mem_size = stack_top + 0x10000 }
+
+let const_addr (lay : t) (c : float) : int =
+  match Hashtbl.find_opt lay.lay_consts (Int64.bits_of_float c) with
+  | Some a -> a
+  | None -> invalid_arg "Layout.const_addr: constant not in pool"
+
+let sym_addr (lay : t) (s : string) : int =
+  match Hashtbl.find_opt lay.lay_sym s with
+  | Some a -> a
+  | None -> invalid_arg ("Layout.sym_addr: unknown symbol " ^ s)
+
+let func_addr (lay : t) (f : string) : int =
+  match Hashtbl.find_opt lay.lay_code f with
+  | Some a -> a
+  | None -> invalid_arg ("Layout.func_addr: unknown function " ^ f)

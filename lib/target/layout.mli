@@ -1,0 +1,23 @@
+(** Linker/loader model: concrete addresses for code, globals, arrays
+    and the float constant pool. The cache analysis and the simulator
+    read addresses from the same layout, so both see the same line/set
+    geometry. Scalars are naturally aligned (no line straddling);
+    volatiles are MMIO and never laid out. *)
+
+type t = {
+  lay_code : (string, int) Hashtbl.t;      (** function -> entry address *)
+  lay_sym : (string, int) Hashtbl.t;       (** global/array -> address *)
+  lay_sym_size : (string, int) Hashtbl.t;  (** global/array -> bytes *)
+  lay_consts : (int64, int) Hashtbl.t;     (** float bits -> pool address *)
+  lay_stack_top : int;
+  lay_mem_size : int;
+}
+
+val build : Minic.Ast.program -> Asm.program -> t
+
+val const_addr : t -> float -> int
+(** Pool address of a [Plfdc] constant.
+    @raise Invalid_argument when the constant is not in the pool. *)
+
+val sym_addr : t -> string -> int
+val func_addr : t -> string -> int

@@ -1,0 +1,40 @@
+(** The timing model (DESIGN section 5), shared verbatim by the
+    executable simulator and the WCET analyzer's pipeline phase.
+    Overlap windows reset at labels and branches, so per-block
+    [static_costs] compose exactly with the simulator's per-instruction
+    stepping — the analyzer's only over-approximations are cache
+    classification and worst-path selection. *)
+
+val cache_miss_penalty : int
+(** Extra cycles per missed cache line. *)
+
+val branch_cost : taken:bool -> int
+(** Cost of the control transfer itself, charged per executed edge. *)
+
+(** Cost constants, exposed for reporting; prefer {!step} over summing
+    these by hand. *)
+
+val cost_mullw : int
+val cost_divw : int
+val cost_fdiv : int
+val cost_fpu : int
+val cost_fpu_overlap : int
+val cost_load : int
+val load_use_stall : int
+val cost_acquisition : int
+val cost_actuator : int
+
+type window
+(** Pipeline overlap state: dual-issue pairing, FPU overlap,
+    load-to-use forwarding. *)
+
+val fresh_window : unit -> window
+val reset : window -> unit
+
+val step : window -> Asm.instr -> int
+(** Cost of executing one instruction in the given window state;
+    updates the window. Branch direction costs and cache-miss penalties
+    are NOT included. *)
+
+val static_costs : Asm.instr array -> int array
+(** Per-instruction costs of one basic block, from a fresh window. *)

@@ -102,8 +102,12 @@ let slot_clobbers (va : Valueanalysis.result) (cfg : Cfg.t) (l : Loops.loop)
        !acc')
     0 l.Loops.l_body
 
-(* Find register counters: Paddi (r, r, c) unique def of r in the loop. *)
-let reg_counters (cfg : Cfg.t) (l : Loops.loop) : (Asm.ireg * int) list =
+(* Find register counters: Paddi (r, r, c) unique def of r in the loop.
+   Also records the block holding the increment: a counter only bounds
+   the loop if its step runs on EVERY back-edge traversal, which the
+   caller checks by domination (a conditionally-incremented register
+   looks like a counter but lets the loop spin without progress). *)
+let reg_counters (cfg : Cfg.t) (l : Loops.loop) : (Asm.ireg * int * int) list =
   let candidates = ref [] in
   List.iter
     (fun b ->
@@ -111,16 +115,16 @@ let reg_counters (cfg : Cfg.t) (l : Loops.loop) : (Asm.ireg * int) list =
          (fun i ->
             match i with
             | Asm.Paddi (d, a, c) when d = a && d <> Asm.sp ->
-              candidates := (d, Int32.to_int c) :: !candidates
+              candidates := (d, Int32.to_int c, b) :: !candidates
             | _ -> ())
          (Cfg.block cfg b).Cfg.b_instrs)
     l.Loops.l_body;
-  List.filter (fun (r, _) -> count_reg_defs cfg l r = 1) !candidates
+  List.filter (fun (r, _, _) -> count_reg_defs cfg l r = 1) !candidates
 
 (* Find slot counters: lwz rx, K; addi rx, rx, c; stw rx, K inside one
    block, with no other stores possibly touching K in the loop. *)
 let slot_counters (va : Valueanalysis.result) (cfg : Cfg.t) (l : Loops.loop) :
-  (int * int) list =
+  (int * int * int) list =
   let found = ref [] in
   List.iter
     (fun b ->
@@ -140,7 +144,7 @@ let slot_counters (va : Valueanalysis.result) (cfg : Cfg.t) (l : Loops.loop) :
                with
                | Some k1, Some k2 when k1 = k2 ->
                  if slot_clobbers va cfg l k1 ~skip:(b, idx + 2) = 0 then
-                   found := (k1, Int32.to_int c) :: !found
+                   found := (k1, Int32.to_int c, b) :: !found
                | _, _ -> ())
             | None -> ())
          | _, _, _ -> ()
@@ -310,8 +314,37 @@ let analyze (cfg : Cfg.t) (dom : Dom.t) (loops : Loops.t)
            { lb_header = l.Loops.l_header; lb_bound = n; lb_source = Bannot }
            :: !bounds
        | None ->
-         let regc = reg_counters cfg l in
-         let slotc = slot_counters va cfg l in
+         (* A candidate counter's increment must run exactly once per
+            back-edge traversal: its block has to dominate every
+            back-edge source (else an iteration can skip the step and
+            the loop spins without progress — the bound would be
+            unsound), and must not sit in a loop nested inside this one
+            (else one iteration steps several times and a <> test can
+            jump over its limit). *)
+         let steps_every_iteration bi =
+           List.for_all
+             (fun (src, _) -> Dom.dominates dom bi src)
+             l.Loops.l_back_edges
+           && not
+                (List.exists
+                   (fun l' ->
+                      l'.Loops.l_header <> l.Loops.l_header
+                      && List.mem l'.Loops.l_header l.Loops.l_body
+                      && List.mem bi l'.Loops.l_body)
+                   loops.Loops.loops)
+         in
+         let regc =
+           List.filter_map
+             (fun (r, step, bi) ->
+                if steps_every_iteration bi then Some (r, step) else None)
+             (reg_counters cfg l)
+         in
+         let slotc =
+           List.filter_map
+             (fun (k, step, bi) ->
+                if steps_every_iteration bi then Some (k, step) else None)
+             (slot_counters va cfg l)
+         in
          let candidates =
            List.filter_map
              (fun b ->
