@@ -11,7 +11,12 @@
      bench/main.exe -e ablation    only the ablations
      bench/main.exe -e overestimation   bound tightness study
      bench/main.exe -e micro       only the Bechamel micro-benchmarks
-     bench/main.exe -n 120         workload size (default 60) *)
+     bench/main.exe -n 120         workload size (default 60)
+     bench/main.exe -j 4           per-node parallelism (default 1)
+
+   With -j > 1 every workload-driven experiment is measured both
+   sequentially and in parallel; the wall-clock comparison goes to
+   stderr so the tables on stdout stay byte-identical to a -j 1 run. *)
 
 let ppf = Format.std_formatter
 
@@ -70,9 +75,32 @@ let run_micro () : unit =
          results)
     tests
 
+(* Wall-clock of one run; with -j > 1, run sequentially first and then
+   in parallel, report the comparison on stderr and check the results
+   agree byte-for-byte (the determinism contract of Fcstack.Par). *)
+let timed (f : unit -> 'a) : 'a * float =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let run_maybe_parallel (name : string) (jobs : int) (run : jobs:int -> 'a) : 'a =
+  if jobs <= 1 then run ~jobs:1
+  else begin
+    let seq, t_seq = timed (fun () -> run ~jobs:1) in
+    let par, t_par = timed (fun () -> run ~jobs) in
+    Printf.eprintf
+      "%s: sequential %.2fs, parallel (%d jobs) %.2fs, speedup %.2fx, \
+       results %s\n%!"
+      name t_seq jobs t_par
+      (if t_par > 0.0 then t_seq /. t_par else 0.0)
+      (if seq = par then "identical" else "DIFFERENT (determinism bug!)");
+    par
+  end
+
 let () =
   let experiment = ref "all" in
   let nodes = ref 60 in
+  let jobs = ref 1 in
   let rec parse (args : string list) : unit =
     match args with
     | "-e" :: e :: rest ->
@@ -81,12 +109,19 @@ let () =
     | "-n" :: n :: rest ->
       nodes := int_of_string n;
       parse rest
+    | "-j" :: j :: rest ->
+      jobs := max 1 (int_of_string j);
+      parse rest
     | _ :: rest -> parse rest
     | [] -> ()
   in
   parse (List.tl (Array.to_list Sys.argv));
   let want (e : string) : bool = !experiment = "all" || !experiment = e in
-  let workload = lazy (Fcstack.Experiments.run_workload ~nodes:!nodes ()) in
+  let workload =
+    lazy
+      (run_maybe_parallel "workload" !jobs (fun ~jobs ->
+           Fcstack.Experiments.run_workload ~nodes:!nodes ~jobs ()))
+  in
   if want "listings" then begin
     sep "Experiment listing-1-2";
     Fcstack.Experiments.print_listings ppf
@@ -108,12 +143,13 @@ let () =
   end;
   if want "ablation" then begin
     sep "Experiment ablation";
-    Fcstack.Experiments.print_ablation ppf ~nodes:(min 30 !nodes) ();
+    Fcstack.Experiments.print_ablation ppf ~nodes:(min 30 !nodes) ~jobs:!jobs ();
     Format.fprintf ppf "@."
   end;
   if want "overestimation" then begin
     sep "Experiment overestimation";
-    Fcstack.Experiments.print_overestimation ppf ~nodes:(min 20 !nodes) ();
+    Fcstack.Experiments.print_overestimation ppf ~nodes:(min 20 !nodes)
+      ~jobs:!jobs ();
     Format.fprintf ppf "@."
   end;
   if want "micro" then run_micro ();

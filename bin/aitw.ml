@@ -1,12 +1,15 @@
 (* aitw — static WCET analyzer driver (the aiT stand-in).
 
-   Compiles a mini-C source file under a chosen configuration, links it
-   (memory layout), runs the full analysis chain (CFG reconstruction,
-   loop & value analysis, cache & pipeline analysis, IPET) and prints
-   the WCET report. With --compare it analyzes all four configurations
-   and prints a per-function comparison; with --simulate it also runs
-   the simulator over several input worlds and reports the worst
-   observed cycle count next to the bound. *)
+   Compiles mini-C source files under a chosen configuration, links
+   them (memory layout), runs the full analysis chain (CFG
+   reconstruction, loop & value analysis, cache & pipeline analysis,
+   IPET) and prints the WCET report. With --compare it analyzes all
+   four configurations and prints a per-function comparison; with
+   --simulate it also runs the simulator over several input worlds and
+   reports the worst observed cycle count next to the bound.
+
+   Several files form a multi-node input; -j N analyzes them across N
+   domains with deterministic, input-ordered reports. *)
 
 let read_file (path : string) : string =
   let ic = open_in_bin path in
@@ -23,60 +26,94 @@ let observed_max (b : Fcstack.Chain.built) (seeds : int list) : int =
        max acc rr.Target.Sim.rr_stats.Target.Sim.cycles)
     0 seeds
 
-let run (file : string) (compiler : string) (compare_all : bool)
-    (simulate : bool) (annot_out : string option) : int =
-  try
-    let src = Minic.Parser.parse_program (read_file file) in
-    Minic.Typecheck.check_program_exn src;
-    let analyze_one (comp : Fcstack.Chain.compiler) : unit =
-      let b = Fcstack.Chain.build comp src in
-      (match annot_out with
-       | Some path ->
-         Wcet.Annotfile.write_file path b.Fcstack.Chain.b_asm;
-         Printf.printf "annotation file written to %s\n" path
-       | None -> ());
-      let report = Fcstack.Chain.wcet b in
-      Printf.printf "--- %s ---\n" (Fcstack.Chain.compiler_description comp);
-      print_string (Wcet.Report.to_string report);
-      if simulate then begin
-        let m = observed_max b [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
-        Printf.printf "  max observed      : %d cycles (8 random worlds)\n" m;
-        Printf.printf "  overestimation    : %+.1f%%\n"
-          (100.0
-           *. (float_of_int report.Wcet.Report.rp_wcet /. float_of_int m -. 1.0))
+(* Analyze one file; the report text is accumulated in a buffer so that
+   parallel runs can print results strictly in input order. *)
+let analyze_file (compiler : string) (compare_all : bool) (simulate : bool)
+    (annot_out : string option) (file : string) : string * string * int =
+  let out = Buffer.create 1024 and err = Buffer.create 64 in
+  let code =
+    try
+      let src = Minic.Parser.parse_program (read_file file) in
+      Minic.Typecheck.check_program_exn src;
+      let analyze_one (comp : Fcstack.Chain.compiler) : unit =
+        let b = Fcstack.Chain.build comp src in
+        (match annot_out with
+         | Some path ->
+           Wcet.Annotfile.write_file path b.Fcstack.Chain.b_asm;
+           Buffer.add_string out
+             (Printf.sprintf "annotation file written to %s\n" path)
+         | None -> ());
+        let report = Fcstack.Chain.wcet b in
+        Buffer.add_string out
+          (Printf.sprintf "--- %s ---\n"
+             (Fcstack.Chain.compiler_description comp));
+        Buffer.add_string out (Wcet.Report.to_string report);
+        if simulate then begin
+          let m = observed_max b [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+          Buffer.add_string out
+            (Printf.sprintf "  max observed      : %d cycles (8 random worlds)\n"
+               m);
+          Buffer.add_string out
+            (Printf.sprintf "  overestimation    : %+.1f%%\n"
+               (100.0
+                *. (float_of_int report.Wcet.Report.rp_wcet /. float_of_int m
+                    -. 1.0)))
+        end;
+        Buffer.add_char out '\n'
+      in
+      if compare_all then List.iter analyze_one Fcstack.Chain.all_compilers
+      else begin
+        match
+          (match compiler with
+           | "o0" -> Some Fcstack.Chain.Cdefault_o0
+           | "o1" -> Some Fcstack.Chain.Cdefault_o1
+           | "o2" -> Some Fcstack.Chain.Cdefault_o2
+           | "vcomp" -> Some Fcstack.Chain.Cvcomp
+           | _ -> None)
+        with
+        | Some c -> analyze_one c
+        | None ->
+          Buffer.add_string err
+            (Printf.sprintf "unknown compiler %S\n" compiler);
+          raise Exit
       end;
-      print_newline ()
+      0
+    with
+    | Exit -> 2
+    | Minic.Parser.Parse_error msg | Minic.Lexer.Lex_error (msg, _) ->
+      Buffer.add_string err (Printf.sprintf "%s: parse error: %s\n" file msg);
+      2
+    | Wcet.Driver.Error msg ->
+      Buffer.add_string err
+        (Printf.sprintf "%s: WCET analysis failed: %s\n" file msg);
+      1
+    | Invalid_argument msg ->
+      Buffer.add_string err (Printf.sprintf "%s: %s\n" file msg);
+      2
+  in
+  (Buffer.contents out, Buffer.contents err, code)
+
+let run (files : string list) (compiler : string) (compare_all : bool)
+    (simulate : bool) (annot_out : string option) (jobs : int) : int =
+  if annot_out <> None && List.length files > 1 then begin
+    Printf.eprintf "--annot-out requires a single input file\n";
+    2
+  end
+  else begin
+    let results =
+      Fcstack.Par.map_list ~jobs
+        (analyze_file compiler compare_all simulate annot_out)
+        files
     in
-    if compare_all then List.iter analyze_one Fcstack.Chain.all_compilers
-    else begin
-      match
-        (match compiler with
-         | "o0" -> Some Fcstack.Chain.Cdefault_o0
-         | "o1" -> Some Fcstack.Chain.Cdefault_o1
-         | "o2" -> Some Fcstack.Chain.Cdefault_o2
-         | "vcomp" -> Some Fcstack.Chain.Cvcomp
-         | _ -> None)
-      with
-      | Some c -> analyze_one c
-      | None ->
-        Printf.eprintf "unknown compiler %S\n" compiler;
-        exit 2
-    end;
-    0
-  with
-  | Minic.Parser.Parse_error msg | Minic.Lexer.Lex_error (msg, _) ->
-    Printf.eprintf "%s: parse error: %s\n" file msg;
-    2
-  | Wcet.Driver.Error msg ->
-    Printf.eprintf "%s: WCET analysis failed: %s\n" file msg;
-    1
-  | Invalid_argument msg ->
-    Printf.eprintf "%s: %s\n" file msg;
-    2
+    List.iter (fun (out, _, _) -> print_string out) results;
+    List.iter (fun (_, err, _) -> prerr_string err) results;
+    List.fold_left (fun acc (_, _, code) -> max acc code) 0 results
+  end
 
 open Cmdliner
 
-let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.mc")
+let files_arg =
+  Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE.mc")
 
 let compiler_arg =
   Arg.(value & opt string "vcomp"
@@ -93,14 +130,21 @@ let simulate_arg =
 let annot_out_arg =
   Arg.(value & opt (some string) None
        & info [ "annot-out" ] ~docv:"FILE"
-           ~doc:"Write the generated annotation file (paper section 3.4).")
+           ~doc:"Write the generated annotation file (paper section 3.4). \
+                 Single input file only.")
+
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Analyze input files across $(docv) domains. Reports are \
+                 printed in input order regardless of $(docv).")
 
 let cmd =
   let doc = "static WCET analysis of compiled flight-control code" in
   Cmd.v
     (Cmd.info "aitw" ~doc)
     Term.(
-      const run $ file_arg $ compiler_arg $ compare_arg $ simulate_arg
-      $ annot_out_arg)
+      const run $ files_arg $ compiler_arg $ compare_arg $ simulate_arg
+      $ annot_out_arg $ jobs_arg)
 
 let () = exit (Cmd.eval' cmd)

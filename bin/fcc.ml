@@ -1,10 +1,14 @@
 (* fcc — flight-control compiler driver.
 
-   Compiles a mini-C source file (.mc) under one of the four
+   Compiles mini-C source files (.mc) under one of the four
    configurations of the paper's evaluation and prints (or writes) the
    generated assembly. Optionally runs the whole-chain translation
    validation (source interpreter vs machine simulator) and prints the
-   RTL dump of the verified-style compiler. *)
+   RTL dump of the verified-style compiler.
+
+   Several files form a multi-node input (one node per file, like the
+   paper's ~2,500 generated files); -j N compiles them across N domains
+   with deterministic, input-ordered output. *)
 
 let read_file (path : string) : string =
   let ic = open_in_bin path in
@@ -21,52 +25,86 @@ let compiler_of_string (s : string) : (Fcstack.Chain.compiler, string) Result.t 
   | "vcomp" -> Ok Fcstack.Chain.Cvcomp
   | _ -> Error (Printf.sprintf "unknown compiler %S (o0|o1|o2|vcomp)" s)
 
-let run (file : string) (compiler : string) (output : string option)
-    (validate : bool) (dump_rtl : bool) (exact : bool) : int =
+(* Per-file result, rendered strictly in input order so that -j N
+   output is byte-identical to -j 1. *)
+type file_result = {
+  fr_rtl : string;   (* --dump-rtl text, always on stdout *)
+  fr_asm : string;   (* assembly text; stdout, or the -o file *)
+  fr_stderr : string;
+  fr_code : int;
+}
+
+let compile_file (comp : Fcstack.Chain.compiler) (validate : bool)
+    (dump_rtl : bool) (exact : bool) (file : string) : file_result =
+  let rtl_dump = Buffer.create 64 and err = Buffer.create 64 in
+  let asm = ref "" in
+  let code =
+    try
+      let src = Minic.Parser.parse_program (read_file file) in
+      Minic.Typecheck.check_program_exn src;
+      if dump_rtl then begin
+        let rtl, _ = Vcomp.Driver.compile_with_rtl src in
+        List.iter
+          (fun f -> Buffer.add_string rtl_dump (Vcomp.Rtl.dump_func f))
+          rtl.Vcomp.Rtl.p_funcs
+      end;
+      let b =
+        Fcstack.Chain.build ~exact
+          ~validate:(validate && comp = Fcstack.Chain.Cvcomp) comp src
+      in
+      asm := Target.Emit.program_to_string b.Fcstack.Chain.b_asm;
+      if validate then begin
+        match Fcstack.Chain.validate_chain b with
+        | Ok () ->
+          Buffer.add_string err
+            "validation: machine code matches source semantics\n";
+          0
+        | Error msg ->
+          Buffer.add_string err (Printf.sprintf "validation FAILED:\n%s\n" msg);
+          1
+      end
+      else 0
+    with
+    | Minic.Parser.Parse_error msg | Minic.Lexer.Lex_error (msg, _) ->
+      Buffer.add_string err (Printf.sprintf "%s: parse error: %s\n" file msg);
+      2
+    | Invalid_argument msg ->
+      Buffer.add_string err (Printf.sprintf "%s: %s\n" file msg);
+      2
+  in
+  { fr_rtl = Buffer.contents rtl_dump;
+    fr_asm = !asm;
+    fr_stderr = Buffer.contents err;
+    fr_code = code }
+
+let run (files : string list) (compiler : string) (output : string option)
+    (validate : bool) (dump_rtl : bool) (exact : bool) (jobs : int) : int =
   match compiler_of_string compiler with
   | Error msg ->
     prerr_endline msg;
     2
   | Ok comp ->
-    (try
-       let src = Minic.Parser.parse_program (read_file file) in
-       Minic.Typecheck.check_program_exn src;
-       if dump_rtl then begin
-         let rtl, _ = Vcomp.Driver.compile_with_rtl src in
-         List.iter
-           (fun f -> print_string (Vcomp.Rtl.dump_func f))
-           rtl.Vcomp.Rtl.p_funcs
-       end;
-       let b = Fcstack.Chain.build ~exact ~validate:(validate && comp = Fcstack.Chain.Cvcomp) comp src in
-       let text = Target.Emit.program_to_string b.Fcstack.Chain.b_asm in
-       (match output with
-        | Some path ->
-          let oc = open_out path in
-          output_string oc text;
-          close_out oc
-        | None -> print_string text);
-       if validate then begin
-         match Fcstack.Chain.validate_chain b with
-         | Ok () ->
-           Printf.eprintf "validation: machine code matches source semantics\n";
-           0
-         | Error msg ->
-           Printf.eprintf "validation FAILED:\n%s\n" msg;
-           1
-       end
-       else 0
-     with
-     | Minic.Parser.Parse_error msg | Minic.Lexer.Lex_error (msg, _) ->
-       Printf.eprintf "%s: parse error: %s\n" file msg;
-       2
-     | Invalid_argument msg ->
-       Printf.eprintf "%s: %s\n" file msg;
-       2)
+    let results =
+      Fcstack.Par.map_list ~jobs
+        (compile_file comp validate dump_rtl exact)
+        files
+    in
+    (* deterministic merge: input order, stdout/-o then stderr per file *)
+    (match output with
+     | Some path ->
+       List.iter (fun r -> print_string r.fr_rtl) results;
+       let oc = open_out path in
+       List.iter (fun r -> output_string oc r.fr_asm) results;
+       close_out oc
+     | None ->
+       List.iter (fun r -> print_string r.fr_rtl; print_string r.fr_asm) results);
+    List.iter (fun r -> prerr_string r.fr_stderr) results;
+    List.fold_left (fun acc r -> max acc r.fr_code) 0 results
 
 open Cmdliner
 
-let file_arg =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.mc")
+let files_arg =
+  Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE.mc")
 
 let compiler_arg =
   Arg.(value & opt string "vcomp"
@@ -92,12 +130,18 @@ let exact_arg =
            ~doc:"Disable semantics-relaxing optimizations (the default-O2 \
                  FMA contraction).")
 
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Compile input files across $(docv) domains. Output is \
+                 deterministic (input order) regardless of $(docv).")
+
 let cmd =
   let doc = "compile flight-control mini-C under the paper's configurations" in
   Cmd.v
     (Cmd.info "fcc" ~doc)
     Term.(
-      const run $ file_arg $ compiler_arg $ output_arg $ validate_arg
-      $ dump_rtl_arg $ exact_arg)
+      const run $ files_arg $ compiler_arg $ output_arg $ validate_arg
+      $ dump_rtl_arg $ exact_arg $ jobs_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -74,9 +74,20 @@ let wcet (b : built) : Wcet.Report.t = Wcet.Driver.analyze b.b_asm b.b_layout
    of worlds (several cycles each, to exercise the state-carrying
    symbols). For the fully-optimized default configuration with FMA
    contraction this is expected to FAIL on some inputs — the
-   certification point of the paper — so callers choose [exact]. *)
-let validate_chain ?(cycles = 4) ?(seeds = [ 1; 2; 3 ]) (b : built) :
+   certification point of the paper — so callers choose [exact].
+
+   Validation is batched: one compile+layout ([b], built once by the
+   caller) is exercised against the whole battery, so widening the
+   battery costs only interpreter/simulator runs. [~worlds:n] is the
+   batch form — seeds 1..n — used by the qcheck trace-equivalence
+   harness; [~seeds] picks the battery explicitly. *)
+let validate_chain ?(cycles = 4) ?worlds ?(seeds = [ 1; 2; 3 ]) (b : built) :
   (unit, string) Result.t =
+  let seeds =
+    match worlds with
+    | Some n -> List.init n (fun i -> i + 1)
+    | None -> seeds
+  in
   let check (seed : int) : (unit, string) Result.t =
     let w () = Minic.Interp.seeded_world ~seed () in
     let ri = Minic.Interp.run_cycles b.b_source (w ()) ~cycles in

@@ -35,8 +35,11 @@ val wcet : built -> Wcet.Report.t
 (** @raise Wcet.Driver.Error when the analyzer refuses. *)
 
 val validate_chain :
-  ?cycles:int -> ?seeds:int list -> built -> (unit, string) Result.t
+  ?cycles:int -> ?worlds:int -> ?seeds:int list -> built ->
+  (unit, string) Result.t
 (** Whole-chain differential validation: the machine code must produce
     the same observable behaviour as the source interpreter on every
-    listed world. Expected to fail for [Cdefault_o2] built without
-    [~exact:true] — the paper's certification point. *)
+    listed world. Batched: one compile+layout (the [built]) is checked
+    against the whole battery. [~worlds:n] uses seeds 1..n and takes
+    precedence over [~seeds]. Expected to fail for [Cdefault_o2] built
+    without [~exact:true] — the paper's certification point. *)

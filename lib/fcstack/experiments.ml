@@ -25,11 +25,14 @@ let find_pc (nr : node_result) (c : Chain.compiler) : per_compiler =
   List.find (fun pc -> pc.pc_compiler = c) nr.nr_per
 
 (* Build and measure the whole synthetic flight program under every
-   compiler configuration. *)
-let run_workload ?(nodes = 60) ?(seed = 2026) () : workload_results =
+   compiler configuration. Nodes are independent, so the measurement
+   fans out over [jobs] domains (merged by node index: results are
+   identical to the sequential run regardless of scheduling). *)
+let run_workload ?(nodes = 60) ?(seed = 2026) ?(jobs = 1) () :
+  workload_results =
   let program = Scade.Workload.flight_program ~nodes ~seed in
   let wr_nodes =
-    List.map
+    Par.map_list ~jobs
       (fun (node, src) ->
          let per =
            List.map
@@ -233,16 +236,17 @@ let print_annot_demo (ppf : Format.formatter) : unit =
 (* Not in the paper: contribution of each vcomp optimization, measured
    as total-WCET deltas when individually disabled, plus the effect of
    the default-O2 FMA contraction. *)
-let print_ablation (ppf : Format.formatter) ?(nodes = 30) ?(seed = 2026) () :
-  unit =
+let print_ablation (ppf : Format.formatter) ?(nodes = 30) ?(seed = 2026)
+    ?(jobs = 1) () : unit =
   let program = Scade.Workload.flight_program ~nodes ~seed in
   let measure (compile : Minic.Ast.program -> Target.Asm.program) : int =
-    List.fold_left
-      (fun acc (_, src) ->
-         let asm = compile src in
-         let lay = Target.Layout.build src asm in
-         acc + (Wcet.Driver.analyze asm lay).Wcet.Report.rp_wcet)
-      0 program
+    List.fold_left ( + ) 0
+      (Par.map_list ~jobs
+         (fun (_, src) ->
+            let asm = compile src in
+            let lay = Target.Layout.build src asm in
+            (Wcet.Driver.analyze asm lay).Wcet.Report.rp_wcet)
+         program)
   in
   let full = measure (Vcomp.Driver.compile ~options:Vcomp.Driver.no_validation) in
   let variants =
@@ -278,7 +282,7 @@ let print_ablation (ppf : Format.formatter) ?(nodes = 30) ?(seed = 2026) () :
    selection; acquisition-dominated straight-line nodes are often
    exact. *)
 let print_overestimation (ppf : Format.formatter) ?(nodes = 20) ?(seed = 2026)
-    () : unit =
+    ?(jobs = 1) () : unit =
   let program = Scade.Workload.flight_program ~nodes ~seed in
   Format.fprintf ppf
     "@[<v>WCET overestimation — bound vs worst of 6 observed runs@,@,";
@@ -287,23 +291,37 @@ let print_overestimation (ppf : Format.formatter) ?(nodes = 20) ?(seed = 2026)
     (fun c -> Format.fprintf ppf " %12s" (Chain.compiler_name c))
     Chain.all_compilers;
   Format.fprintf ppf "@,";
+  (* measure in parallel (per-node bound + worst observed cycles),
+     print sequentially in node order *)
+  let measured =
+    Par.map_list ~jobs
+      (fun ((node : Scade.Symbol.node), src) ->
+         let per =
+           List.map
+             (fun c ->
+                let b = Chain.build c src in
+                let bound = (Chain.wcet b).Wcet.Report.rp_wcet in
+                let observed =
+                  List.fold_left
+                    (fun acc s ->
+                       let sim =
+                         Chain.simulate b (Minic.Interp.seeded_world ~seed:s ())
+                       in
+                       max acc sim.Target.Sim.rr_stats.Target.Sim.cycles)
+                    0 [ 1; 2; 3; 4; 5; 6 ]
+                in
+                (c, bound, observed))
+             Chain.all_compilers
+         in
+         (node.Scade.Symbol.n_name, per))
+      program
+  in
   let sums = Hashtbl.create 5 in
   List.iter
-    (fun ((node : Scade.Symbol.node), src) ->
-       Format.fprintf ppf "%-10s" node.Scade.Symbol.n_name;
+    (fun (name, per) ->
+       Format.fprintf ppf "%-10s" name;
        List.iter
-         (fun c ->
-            let b = Chain.build c src in
-            let bound = (Chain.wcet b).Wcet.Report.rp_wcet in
-            let observed =
-              List.fold_left
-                (fun acc s ->
-                   let sim =
-                     Chain.simulate b (Minic.Interp.seeded_world ~seed:s ())
-                   in
-                   max acc sim.Target.Sim.rr_stats.Target.Sim.cycles)
-                0 [ 1; 2; 3; 4; 5; 6 ]
-            in
+         (fun (c, bound, observed) ->
             let over =
               100.0 *. (float_of_int bound /. float_of_int observed -. 1.0)
             in
@@ -312,9 +330,9 @@ let print_overestimation (ppf : Format.formatter) ?(nodes = 20) ?(seed = 2026)
             in
             Hashtbl.replace sums c (sb + bound, so + observed);
             Format.fprintf ppf " %10.1f%%" over)
-         Chain.all_compilers;
+         per;
        Format.fprintf ppf "@,")
-    program;
+    measured;
   Format.fprintf ppf "@,aggregate overestimation:@,";
   List.iter
     (fun c ->

@@ -18,7 +18,12 @@ type node_result = {
 type workload_results = { wr_nodes : node_result list }
 
 val find_pc : node_result -> Chain.compiler -> per_compiler
-val run_workload : ?nodes:int -> ?seed:int -> unit -> workload_results
+
+(** Build and measure every node under every configuration. [jobs > 1]
+    fans the per-node work out over that many domains ({!Par}); results
+    are merged by node index and identical to the sequential run. *)
+val run_workload :
+  ?nodes:int -> ?seed:int -> ?jobs:int -> unit -> workload_results
 val total : workload_results -> Chain.compiler -> (per_compiler -> int) -> int
 
 val print_table1 : Format.formatter -> workload_results -> unit
@@ -41,6 +46,7 @@ val run_annot_demo : unit -> annot_demo
 val print_annot_demo : Format.formatter -> unit
 (** Paper section 3.4 end to end. *)
 
-val print_ablation : Format.formatter -> ?nodes:int -> ?seed:int -> unit -> unit
+val print_ablation :
+  Format.formatter -> ?nodes:int -> ?seed:int -> ?jobs:int -> unit -> unit
 val print_overestimation :
-  Format.formatter -> ?nodes:int -> ?seed:int -> unit -> unit
+  Format.formatter -> ?nodes:int -> ?seed:int -> ?jobs:int -> unit -> unit

@@ -1,0 +1,110 @@
+(* Deterministic parallel work queue over OCaml 5 Domains.
+
+   The paper's evaluation compiles and analyzes ~2,500 *independent*
+   SCADE nodes; every per-node chain stage (ACG, compilation, layout,
+   WCET analysis, differential validation) is a pure function of the
+   node, so the workload fans out across Domains freely. Determinism is
+   non-negotiable for a verification pipeline: results are merged by
+   task index, never by completion order, so the output of a parallel
+   run is byte-identical to the sequential one regardless of
+   scheduling.
+
+   Domain-safety audit (this PR): every compilation/analysis library
+   the workers call ([Cotsc], [Vcomp], [Wcet], [Target], [Scade],
+   [Minic]) keeps its mutable state in per-call records — codegen
+   contexts ([Cotsc.Codegen.ctx], [Scade.Acg.gen_state]), per-function
+   fresh-name counters ([Vcomp.Rtl.f_next_reg]/[f_next_node]),
+   per-analysis hashtables ([Wcet.*], [Target.Layout]), per-run machine
+   state ([Target.Sim.machine]) and seeded [Random.State] values
+   ([Scade.Workload], [Testlib.Gen]). No module-level refs, memo tables
+   or shared formatters exist, so workers need no locks; the regression
+   test in [test/test_par.ml] runs two compilations concurrently from
+   two Domains to keep it that way. *)
+
+let default_jobs () : int = max 1 (Domain.recommended_domain_count ())
+
+(* Run [tasks.(i) ()] for every [i] on up to [jobs] domains and return
+   the results in task order. [jobs <= 1] runs sequentially in the
+   calling domain (no Domain is spawned), which is the reference
+   behaviour the parallel path must reproduce exactly. A raised
+   exception is re-raised in the caller; when several tasks raise, the
+   one with the smallest index wins, again for determinism. *)
+let run ?(jobs = default_jobs ()) (tasks : (unit -> 'a) array) : 'a array =
+  let n = Array.length tasks in
+  if jobs <= 1 || n <= 1 then Array.map (fun t -> t ()) tasks
+  else begin
+    let jobs = min jobs n in
+    let results : ('a, exn * Printexc.raw_backtrace) Result.t option array =
+      Array.make n None
+    in
+    let next = Atomic.make 0 in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (* each index is claimed by exactly one domain, so the slot
+           write is race-free; Domain.join publishes it to the caller *)
+        results.(i) <-
+          Some
+            (try Ok (tasks.(i) ())
+             with e -> Error (e, Printexc.get_raw_backtrace ()));
+        worker ()
+      end
+    in
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    Array.map
+      (fun slot ->
+         match slot with
+         | Some (Ok v) -> v
+         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+         | None -> assert false (* every index below [n] was claimed *))
+      results
+  end
+
+(* Order-preserving parallel map over a list. *)
+let map_list ?jobs (f : 'a -> 'b) (xs : 'a list) : 'b list =
+  Array.to_list (run ?jobs (Array.map (fun x () -> f x) (Array.of_list xs)))
+
+(* ---- the per-node chain as a parallel workload ---------------------- *)
+
+(* What the paper's toolchain produces per node: the compiled assembly,
+   its static WCET bound, and the whole-chain differential-validation
+   verdict. Plain structural data, so parallel and sequential runs are
+   comparable with [=]. *)
+type node_result = {
+  pn_name : string;
+  pn_asm : Target.Asm.program;
+  pn_wcet : int;
+  pn_validation : (unit, string) Result.t;
+}
+
+(* Run the full per-node chain — ACG when given a SCADE node, then
+   compile under [compiler], link ([Layout.build] inside
+   [Chain.build]), analyze and validate — for every node of a
+   workload, fanned out over [jobs] domains. *)
+let run_chain ?jobs ?exact ?validate ?cycles ?worlds
+    (compiler : Chain.compiler) (nodes : (string * Minic.Ast.program) list) :
+  node_result list =
+  map_list ?jobs
+    (fun (name, src) ->
+       let b = Chain.build ?exact ?validate compiler src in
+       { pn_name = name;
+         pn_asm = b.Chain.b_asm;
+         pn_wcet = (Chain.wcet b).Wcet.Report.rp_wcet;
+         pn_validation = Chain.validate_chain ?cycles ?worlds b })
+    nodes
+
+(* Same, starting from SCADE nodes (runs the ACG inside the worker). *)
+let run_chain_nodes ?jobs ?exact ?validate ?cycles ?worlds
+    (compiler : Chain.compiler) (nodes : Scade.Symbol.node list) :
+  node_result list =
+  map_list ?jobs
+    (fun node ->
+       let src = Scade.Acg.generate node in
+       let b = Chain.build ?exact ?validate compiler src in
+       { pn_name = node.Scade.Symbol.n_name;
+         pn_asm = b.Chain.b_asm;
+         pn_wcet = (Chain.wcet b).Wcet.Report.rp_wcet;
+         pn_validation = Chain.validate_chain ?cycles ?worlds b })
+    nodes

@@ -1,0 +1,39 @@
+(** Deterministic parallel work queue over OCaml 5 Domains.
+
+    Nodes of a flight-control workload are independent, so the per-node
+    chain (ACG → compile → link → WCET analysis → differential
+    validation) fans out across domains. Results are merged by task
+    index, never by completion order: a parallel run is observably
+    identical to the sequential one regardless of scheduling. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count], at least 1. *)
+
+val run : ?jobs:int -> (unit -> 'a) array -> 'a array
+(** [run ~jobs tasks] evaluates every task on up to [jobs] domains and
+    returns results in task order. [jobs <= 1] runs sequentially in the
+    calling domain. If tasks raise, the exception of the
+    smallest-indexed raising task is re-raised in the caller. *)
+
+val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map. *)
+
+type node_result = {
+  pn_name : string;
+  pn_asm : Target.Asm.program;
+  pn_wcet : int;
+  pn_validation : (unit, string) Result.t;
+}
+(** Per-node toolchain output: assembly, WCET bound, whole-chain
+    differential-validation verdict. Structural — compare runs with [=]. *)
+
+val run_chain :
+  ?jobs:int -> ?exact:bool -> ?validate:bool -> ?cycles:int -> ?worlds:int ->
+  Chain.compiler -> (string * Minic.Ast.program) list -> node_result list
+(** Full per-node chain over named mini-C programs, [jobs]-parallel.
+    [cycles]/[worlds] are passed to {!Chain.validate_chain}. *)
+
+val run_chain_nodes :
+  ?jobs:int -> ?exact:bool -> ?validate:bool -> ?cycles:int -> ?worlds:int ->
+  Chain.compiler -> Scade.Symbol.node list -> node_result list
+(** Same, from SCADE nodes: the ACG also runs inside the workers. *)

@@ -18,18 +18,75 @@ let ratio (c : Fcstack.Chain.compiler) (f : Fcstack.Experiments.per_compiler -> 
 
 let test_chain_validation_all () =
   (* every compiler configuration (exact mode) is bit-exact on a sample
-     of workload nodes over several cycles *)
+     of workload nodes over several cycles; the world battery is
+     batched against one compile+layout per (node, compiler) *)
   let program = Scade.Workload.flight_program ~nodes:8 ~seed:11 in
   List.iter
     (fun (_, src) ->
        List.iter
          (fun comp ->
             let b = Fcstack.Chain.build ~exact:true comp src in
-            match Fcstack.Chain.validate_chain ~cycles:4 b with
+            match Fcstack.Chain.validate_chain ~cycles:4 ~worlds:3 b with
             | Ok () -> ()
             | Error msg -> Alcotest.fail msg)
          Fcstack.Chain.all_compilers)
     program
+
+(* qcheck trace equivalence, batched: one build per (program, compiler)
+   amortized over a battery of worlds — the harness the ROADMAP's
+   "batched differential validation" item asks for. Replaces the old
+   per-world rebuild pattern. *)
+let batched_validation_prop =
+  QCheck.Test.make ~count:40
+    ~name:"chain: batched differential validation on random programs"
+    QCheck.small_int
+    (fun seed ->
+       let p = Testlib.Gen.gen_program (seed land 0xFFF) in
+       List.for_all
+         (fun comp ->
+            let b = Fcstack.Chain.build ~exact:true comp p in
+            Result.is_ok (Fcstack.Chain.validate_chain ~cycles:2 ~worlds:6 b))
+         Fcstack.Chain.all_compilers)
+
+(* mutation check: the batch really exercises its battery — a corrupted
+   build must be rejected, and the honest one accepted, by the same
+   [~worlds] run *)
+let test_batched_validation_catches_corruption () =
+  let p =
+    Minic.Parser.parse_program
+      {| global double g; double m() { return 5.0 -. $g; } main m; |}
+  in
+  Minic.Typecheck.check_program_exn p;
+  let b = Fcstack.Chain.build ~exact:true Fcstack.Chain.Cvcomp p in
+  checkb "honest build passes 8 worlds" true
+    (Result.is_ok (Fcstack.Chain.validate_chain ~cycles:2 ~worlds:8 b));
+  (* swap the operands of the subtraction: 5.0 -. g becomes g -. 5.0,
+     observably different on any world with g <> 2.5; same code size,
+     so the original layout stays valid *)
+  let changed = ref false in
+  let bad_funcs =
+    List.map
+      (fun f ->
+         { f with
+           Target.Asm.fn_code =
+             List.map
+               (fun i ->
+                  match i with
+                  | Target.Asm.Pfsub (d, a, b) when not !changed ->
+                    changed := true;
+                    Target.Asm.Pfsub (d, b, a)
+                  | _ -> i)
+               f.Target.Asm.fn_code })
+      b.Fcstack.Chain.b_asm.Target.Asm.pr_funcs
+  in
+  checkb "program contains the subtraction" true !changed;
+  let b' =
+    { b with
+      Fcstack.Chain.b_asm =
+        { b.Fcstack.Chain.b_asm with Target.Asm.pr_funcs = bad_funcs } }
+  in
+  checkb "corrupted build rejected by the battery" true
+    (Result.is_error (Fcstack.Chain.validate_chain ~cycles:2 ~worlds:8 b'))
 
 let test_band_o1_negligible () =
   (* paper: -0.5%; band: within [-3%, 0%] *)
@@ -129,6 +186,9 @@ let suite =
     ("band: cache reads (paper -76%)", `Slow, test_band_cache_reads);
     ("band: cache writes (paper -65%)", `Slow, test_band_cache_writes);
     ("band: code size (paper -26%)", `Slow, test_band_code_size);
+    QCheck_alcotest.to_alcotest batched_validation_prop;
+    ("batched validation catches corruption", `Quick,
+     test_batched_validation_catches_corruption);
     ("annotation flow demo", `Quick, test_annot_demo);
     ("listing shapes", `Quick, test_listing_shapes);
     ("file round trip through the tools", `Quick, test_fcc_roundtrip_via_files) ]

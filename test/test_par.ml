@@ -1,0 +1,165 @@
+(* Tests of the parallel per-node pipeline (Fcstack.Par): the work
+   queue itself, determinism of parallel runs against the sequential
+   reference, the WCET-soundness oracle over a parallel run, and a
+   domain-safety regression that compiles concurrently from two
+   Domains (catching hidden global state the audit might have missed). *)
+
+let checkb = Alcotest.check Alcotest.bool
+
+(* ---- the work queue itself ---- *)
+
+let test_run_order () =
+  (* results are merged by task index, not completion order; make the
+     early tasks slow so completion order inverts submission order *)
+  let tasks =
+    Array.init 16 (fun i () ->
+        let spin = ref 0 in
+        for _ = 1 to (16 - i) * 10_000 do incr spin done;
+        ignore !spin;
+        i * i)
+  in
+  let expect = Array.init 16 (fun i -> i * i) in
+  Alcotest.check (Alcotest.array Alcotest.int) "jobs=4 keeps task order"
+    expect (Fcstack.Par.run ~jobs:4 tasks);
+  Alcotest.check (Alcotest.array Alcotest.int) "jobs=1 reference"
+    expect (Fcstack.Par.run ~jobs:1 tasks)
+
+let test_run_more_jobs_than_tasks () =
+  let tasks = Array.init 3 (fun i () -> i + 1) in
+  Alcotest.check (Alcotest.array Alcotest.int) "jobs=8 over 3 tasks"
+    [| 1; 2; 3 |] (Fcstack.Par.run ~jobs:8 tasks)
+
+exception Boom of int
+
+let test_run_exception_deterministic () =
+  (* several tasks raise: the smallest-indexed exception must win *)
+  let tasks =
+    Array.init 12 (fun i () -> if i mod 3 = 1 then raise (Boom i) else i)
+  in
+  List.iter
+    (fun jobs ->
+       match Fcstack.Par.run ~jobs tasks with
+       | _ -> Alcotest.fail "expected an exception"
+       | exception Boom i ->
+         Alcotest.check Alcotest.int
+           (Printf.sprintf "smallest raising index (jobs=%d)" jobs) 1 i)
+    [ 1; 4 ]
+
+let test_map_list_empty_and_single () =
+  Alcotest.check (Alcotest.list Alcotest.int) "empty" []
+    (Fcstack.Par.map_list ~jobs:4 (fun x -> x) []);
+  Alcotest.check (Alcotest.list Alcotest.int) "single" [ 7 ]
+    (Fcstack.Par.map_list ~jobs:4 (fun x -> x + 1) [ 6 ])
+
+(* ---- determinism of the parallel per-node chain ---- *)
+
+let named_workload ~(nodes : int) ~(seed : int) :
+  (string * Minic.Ast.program) list =
+  List.map
+    (fun (n, src) -> (n.Scade.Symbol.n_name, src))
+    (Scade.Workload.flight_program ~nodes ~seed)
+
+let par_equals_seq_prop =
+  QCheck.Test.make ~count:6
+    ~name:"par: run_chain jobs:4 = sequential (asm, wcet, validation)"
+    QCheck.small_int
+    (fun seed ->
+       let nodes = 3 + (seed land 3) in
+       let workload = named_workload ~nodes ~seed:(1000 + seed) in
+       List.for_all
+         (fun comp ->
+            let seq =
+              Fcstack.Par.run_chain ~jobs:1 ~exact:true ~cycles:2 ~worlds:2
+                comp workload
+            in
+            let par =
+              Fcstack.Par.run_chain ~jobs:4 ~exact:true ~cycles:2 ~worlds:2
+                comp workload
+            in
+            seq = par)
+         [ Fcstack.Chain.Cvcomp; Fcstack.Chain.Cdefault_o0 ])
+
+(* workload measurement (the bench path) is deterministic under -j *)
+let workload_par_equals_seq_prop =
+  QCheck.Test.make ~count:4
+    ~name:"par: Experiments.run_workload jobs:4 = jobs:1"
+    QCheck.small_int
+    (fun seed ->
+       let nodes = 4 + (seed land 3) in
+       Fcstack.Experiments.run_workload ~nodes ~seed:(2000 + seed) ~jobs:4 ()
+       = Fcstack.Experiments.run_workload ~nodes ~seed:(2000 + seed) ~jobs:1 ())
+
+(* ---- soundness oracle over a parallel run ---- *)
+
+let test_parallel_wcet_soundness () =
+  (* WCET >= simulated cycles for every node of a parallel run: the
+     ROADMAP invariant must survive the fan-out *)
+  let program = Scade.Workload.flight_program ~nodes:8 ~seed:3131 in
+  let named = List.map (fun (n, src) -> (n.Scade.Symbol.n_name, src)) program in
+  let results =
+    Fcstack.Par.run_chain ~jobs:4 ~exact:true Fcstack.Chain.Cvcomp named
+  in
+  List.iter2
+    (fun (name, src) r ->
+       checkb (name ^ " validated") true (Result.is_ok r.Fcstack.Par.pn_validation);
+       let b = Fcstack.Chain.build ~exact:true Fcstack.Chain.Cvcomp src in
+       List.iter
+         (fun seed ->
+            let sim =
+              Fcstack.Chain.simulate b (Minic.Interp.seeded_world ~seed ())
+            in
+            let cycles = sim.Target.Sim.rr_stats.Target.Sim.cycles in
+            checkb
+              (Printf.sprintf "%s: WCET %d >= simulated %d (seed %d)" name
+                 r.Fcstack.Par.pn_wcet cycles seed)
+              true
+              (r.Fcstack.Par.pn_wcet >= cycles))
+         [ 1; 2; 3 ])
+    named results
+
+(* ---- domain-safety regression ---- *)
+
+let test_concurrent_compilations_isolated () =
+  (* two Domains compile *different* programs concurrently, repeatedly;
+     both must equal their sequential counterparts. This catches hidden
+     global mutable state (fresh-name counters, memo tables) that the
+     audit missed: cross-domain interference would perturb generated
+     names, register numbers or analysis results. *)
+  let p1 = Testlib.Gen.gen_program 101 and p2 = Testlib.Gen.gen_program 202 in
+  let compile (p : Minic.Ast.program) :
+    Target.Asm.program * Target.Asm.program * int =
+    let vasm = Vcomp.Driver.compile ~options:Vcomp.Driver.no_validation p in
+    let casm =
+      Cotsc.Driver.compile ~level:Cotsc.Driver.Ofull ~contract_fma:false p
+    in
+    let lay = Target.Layout.build p vasm in
+    (vasm, casm, (Wcet.Driver.analyze vasm lay).Wcet.Report.rp_wcet)
+  in
+  let expected1 = compile p1 and expected2 = compile p2 in
+  let rounds = 6 in
+  let d1 = Domain.spawn (fun () -> List.init rounds (fun _ -> compile p1)) in
+  let d2 = Domain.spawn (fun () -> List.init rounds (fun _ -> compile p2)) in
+  let r1 = Domain.join d1 and r2 = Domain.join d2 in
+  List.iteri
+    (fun i r ->
+       checkb (Printf.sprintf "domain 1 round %d = sequential" i) true
+         (r = expected1))
+    r1;
+  List.iteri
+    (fun i r ->
+       checkb (Printf.sprintf "domain 2 round %d = sequential" i) true
+         (r = expected2))
+    r2
+
+let suite =
+  [ ("par: results merged by task index", `Quick, test_run_order);
+    ("par: more jobs than tasks", `Quick, test_run_more_jobs_than_tasks);
+    ("par: deterministic exception choice", `Quick,
+     test_run_exception_deterministic);
+    ("par: map_list edge cases", `Quick, test_map_list_empty_and_single);
+    QCheck_alcotest.to_alcotest par_equals_seq_prop;
+    QCheck_alcotest.to_alcotest workload_par_equals_seq_prop;
+    ("par: WCET >= simulated cycles on a parallel run", `Slow,
+     test_parallel_wcet_soundness);
+    ("par: concurrent compilations from two Domains", `Slow,
+     test_concurrent_compilations_isolated) ]
