@@ -13,10 +13,19 @@
      bench/main.exe -e micro       only the Bechamel micro-benchmarks
      bench/main.exe -n 120         workload size (default 60)
      bench/main.exe -j 4           per-node parallelism (default 1)
+     bench/main.exe --no-cache     disable the shared WCET-analysis cache
 
    With -j > 1 every workload-driven experiment is measured both
    sequentially and in parallel; the wall-clock comparison goes to
-   stderr so the tables on stdout stay byte-identical to a -j 1 run. *)
+   stderr so the tables on stdout stay byte-identical to a -j 1 run.
+
+   One content-addressed WCET-analysis cache (Wcet.Memo) is shared by
+   all experiments and all domains of the process; the sequential
+   reference leg of a -j comparison deliberately runs uncached, so the
+   stderr line is a seq-uncached vs parallel-cached wall-clock
+   comparison. Hit/miss/phase accounting also goes to stderr
+   (Report.pp_stats); stdout tables are byte-identical with and
+   without the cache — the cache changes wall clock, never results. *)
 
 let ppf = Format.std_formatter
 
@@ -77,21 +86,39 @@ let run_micro () : unit =
 
 (* Wall-clock of one run; with -j > 1, run sequentially first and then
    in parallel, report the comparison on stderr and check the results
-   agree byte-for-byte (the determinism contract of Fcstack.Par). *)
+   agree byte-for-byte (the determinism contract of Fcstack.Par and
+   the cached-equals-uncached contract of Wcet.Memo: the sequential
+   reference leg runs without the cache). *)
 let timed (f : unit -> 'a) : 'a * float =
   let t0 = Unix.gettimeofday () in
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
-let run_maybe_parallel (name : string) (jobs : int) (run : jobs:int -> 'a) : 'a =
-  if jobs <= 1 then run ~jobs:1
+let run_maybe_parallel (name : string) (jobs : int)
+    (cache : Wcet.Memo.t option)
+    (run : jobs:int -> cache:Wcet.Memo.t option -> 'a) : 'a =
+  if jobs <= 1 then run ~jobs:1 ~cache
   else begin
-    let seq, t_seq = timed (fun () -> run ~jobs:1) in
-    let par, t_par = timed (fun () -> run ~jobs) in
+    let seq, t_seq = timed (fun () -> run ~jobs:1 ~cache:None) in
+    let hits0 =
+      match cache with
+      | None -> 0
+      | Some c -> (Wcet.Memo.stats c).Wcet.Report.st_hits
+    in
+    let par, t_par = timed (fun () -> run ~jobs ~cache) in
+    let cache_note =
+      match cache with
+      | None -> "uncached"
+      | Some c ->
+        let st = Wcet.Memo.stats c in
+        Printf.sprintf "cached: +%d hits, %.1f%% cumulative hit rate"
+          (st.Wcet.Report.st_hits - hits0)
+          (Wcet.Report.hit_rate st)
+    in
     Printf.eprintf
-      "%s: sequential %.2fs, parallel (%d jobs) %.2fs, speedup %.2fx, \
-       results %s\n%!"
-      name t_seq jobs t_par
+      "%s: sequential uncached %.2fs, parallel (%d jobs, %s) %.2fs, \
+       speedup %.2fx, results %s\n%!"
+      name t_seq jobs cache_note t_par
       (if t_par > 0.0 then t_seq /. t_par else 0.0)
       (if seq = par then "identical" else "DIFFERENT (determinism bug!)");
     par
@@ -101,6 +128,7 @@ let () =
   let experiment = ref "all" in
   let nodes = ref 60 in
   let jobs = ref 1 in
+  let use_cache = ref true in
   let rec parse (args : string list) : unit =
     match args with
     | "-e" :: e :: rest ->
@@ -112,15 +140,22 @@ let () =
     | "-j" :: j :: rest ->
       jobs := max 1 (int_of_string j);
       parse rest
+    | "--no-cache" :: rest ->
+      use_cache := false;
+      parse rest
     | _ :: rest -> parse rest
     | [] -> ()
   in
   parse (List.tl (Array.to_list Sys.argv));
   let want (e : string) : bool = !experiment = "all" || !experiment = e in
+  (* one shared analysis cache for the whole process: experiments and
+     domains all feed it (content-addressed, so sharing across compiler
+     configurations is sound) *)
+  let cache = if !use_cache then Some (Wcet.Memo.create ()) else None in
   let workload =
     lazy
-      (run_maybe_parallel "workload" !jobs (fun ~jobs ->
-           Fcstack.Experiments.run_workload ~nodes:!nodes ~jobs ()))
+      (run_maybe_parallel "workload" !jobs cache (fun ~jobs ~cache ->
+           Fcstack.Experiments.run_workload ~nodes:!nodes ~jobs ?cache ()))
   in
   if want "listings" then begin
     sep "Experiment listing-1-2";
@@ -143,14 +178,21 @@ let () =
   end;
   if want "ablation" then begin
     sep "Experiment ablation";
-    Fcstack.Experiments.print_ablation ppf ~nodes:(min 30 !nodes) ~jobs:!jobs ();
+    Fcstack.Experiments.print_ablation ppf ~nodes:(min 30 !nodes) ~jobs:!jobs
+      ?cache ();
     Format.fprintf ppf "@."
   end;
   if want "overestimation" then begin
     sep "Experiment overestimation";
     Fcstack.Experiments.print_overestimation ppf ~nodes:(min 20 !nodes)
-      ~jobs:!jobs ();
+      ~jobs:!jobs ?cache ();
     Format.fprintf ppf "@."
   end;
   if want "micro" then run_micro ();
-  Format.pp_print_flush ppf ()
+  Format.pp_print_flush ppf ();
+  (* cache accounting to stderr only: stdout tables stay byte-identical
+     with and without the cache (CI cmp-enforces this) *)
+  match cache with
+  | Some c ->
+    Format.eprintf "%a@." Wcet.Report.pp_stats (Wcet.Memo.stats c)
+  | None -> ()

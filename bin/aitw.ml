@@ -9,7 +9,13 @@
    reports the worst observed cycle count next to the bound.
 
    Several files form a multi-node input; -j N analyzes them across N
-   domains with deterministic, input-ordered reports. *)
+   domains with deterministic, input-ordered reports.
+
+   One content-addressed WCET-analysis cache (Wcet.Memo) is shared by
+   all files, configurations and domains of a run: a function whose
+   code and placement were already analyzed is served from the cache
+   (reports are identical either way — the cache changes wall clock,
+   never results). --no-cache is the escape hatch. *)
 
 let read_file (path : string) : string =
   let ic = open_in_bin path in
@@ -28,8 +34,9 @@ let observed_max (b : Fcstack.Chain.built) (seeds : int list) : int =
 
 (* Analyze one file; the report text is accumulated in a buffer so that
    parallel runs can print results strictly in input order. *)
-let analyze_file (compiler : string) (compare_all : bool) (simulate : bool)
-    (annot_out : string option) (file : string) : string * string * int =
+let analyze_file ?cache (compiler : string) (compare_all : bool)
+    (simulate : bool) (annot_out : string option) (file : string) :
+  string * string * int =
   let out = Buffer.create 1024 and err = Buffer.create 64 in
   let code =
     try
@@ -39,11 +46,19 @@ let analyze_file (compiler : string) (compare_all : bool) (simulate : bool)
         let b = Fcstack.Chain.build comp src in
         (match annot_out with
          | Some path ->
-           Wcet.Annotfile.write_file path b.Fcstack.Chain.b_asm;
+           (* cache-aware assembly: fragments of already-analyzed
+              functions come from the cache (same bytes either way) *)
+           let entries =
+             Wcet.Driver.annotations ?cache b.Fcstack.Chain.b_asm
+               b.Fcstack.Chain.b_layout
+           in
+           let oc = open_out path in
+           output_string oc (Wcet.Annotfile.render entries);
+           close_out oc;
            Buffer.add_string out
              (Printf.sprintf "annotation file written to %s\n" path)
          | None -> ());
-        let report = Fcstack.Chain.wcet b in
+        let report = Fcstack.Chain.wcet ?cache b in
         Buffer.add_string out
           (Printf.sprintf "--- %s ---\n"
              (Fcstack.Chain.compiler_description comp));
@@ -94,15 +109,19 @@ let analyze_file (compiler : string) (compare_all : bool) (simulate : bool)
   (Buffer.contents out, Buffer.contents err, code)
 
 let run (files : string list) (compiler : string) (compare_all : bool)
-    (simulate : bool) (annot_out : string option) (jobs : int) : int =
+    (simulate : bool) (annot_out : string option) (jobs : int)
+    (no_cache : bool) : int =
   if annot_out <> None && List.length files > 1 then begin
     Printf.eprintf "--annot-out requires a single input file\n";
     2
   end
   else begin
+    (* one cache for all files and configurations; Wcet.Memo is sharded
+       and mutex-protected, so the -j domains share it directly *)
+    let cache = if no_cache then None else Some (Wcet.Memo.create ()) in
     let results =
       Fcstack.Par.map_list ~jobs
-        (analyze_file compiler compare_all simulate annot_out)
+        (analyze_file ?cache compiler compare_all simulate annot_out)
         files
     in
     List.iter (fun (out, _, _) -> print_string out) results;
@@ -139,12 +158,19 @@ let jobs_arg =
            ~doc:"Analyze input files across $(docv) domains. Reports are \
                  printed in input order regardless of $(docv).")
 
+let no_cache_arg =
+  Arg.(value & flag
+       & info [ "no-cache" ]
+           ~doc:"Disable the shared WCET-analysis cache. Reports are \
+                 byte-identical with and without it; this only trades \
+                 wall clock for memory.")
+
 let cmd =
   let doc = "static WCET analysis of compiled flight-control code" in
   Cmd.v
     (Cmd.info "aitw" ~doc)
     Term.(
       const run $ files_arg $ compiler_arg $ compare_arg $ simulate_arg
-      $ annot_out_arg $ jobs_arg)
+      $ annot_out_arg $ jobs_arg $ no_cache_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -66,8 +66,12 @@ let build ?exact ?validate (c : compiler) (src : Minic.Ast.program) : built =
 let simulate ?cycles (b : built) (w : Minic.Interp.world) : Target.Sim.run_result =
   Target.Sim.run ?cycles ~source:b.b_source b.b_asm b.b_layout w []
 
-(* Static WCET of the built node's entry point. *)
-let wcet (b : built) : Wcet.Report.t = Wcet.Driver.analyze b.b_asm b.b_layout
+(* Static WCET of the built node's entry point. [cache] shares finished
+   per-function analyses across nodes and compiler configurations
+   (content-addressed: hits require identical code and placement, so
+   results never change — see Wcet.Memo). *)
+let wcet ?cache (b : built) : Wcet.Report.t =
+  Wcet.Driver.analyze ?cache b.b_asm b.b_layout
 
 (* Whole-chain differential validation: the machine code must produce
    the same observable behaviour as the source interpreter on a battery

@@ -31,8 +31,10 @@ val build :
 val simulate :
   ?cycles:int -> built -> Minic.Interp.world -> Target.Sim.run_result
 
-val wcet : built -> Wcet.Report.t
-(** @raise Wcet.Driver.Error when the analyzer refuses. *)
+val wcet : ?cache:Wcet.Memo.t -> built -> Wcet.Report.t
+(** [cache] shares finished analyses across nodes/configurations
+    (identical results, fewer recomputations).
+    @raise Wcet.Driver.Error when the analyzer refuses. *)
 
 val validate_chain :
   ?cycles:int -> ?worlds:int -> ?seeds:int list -> built ->

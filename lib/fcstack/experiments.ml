@@ -27,8 +27,11 @@ let find_pc (nr : node_result) (c : Chain.compiler) : per_compiler =
 (* Build and measure the whole synthetic flight program under every
    compiler configuration. Nodes are independent, so the measurement
    fans out over [jobs] domains (merged by node index: results are
-   identical to the sequential run regardless of scheduling). *)
-let run_workload ?(nodes = 60) ?(seed = 2026) ?(jobs = 1) () :
+   identical to the sequential run regardless of scheduling). [cache]
+   shares WCET analyses across nodes *and* configurations — the
+   workload instantiates the same symbol bodies many times, so most
+   analyses beyond the first few hundred nodes are hits. *)
+let run_workload ?(nodes = 60) ?(seed = 2026) ?(jobs = 1) ?cache () :
   workload_results =
   let program = Scade.Workload.flight_program ~nodes ~seed in
   let wr_nodes =
@@ -38,7 +41,7 @@ let run_workload ?(nodes = 60) ?(seed = 2026) ?(jobs = 1) () :
            List.map
              (fun c ->
                 let b = Chain.build c src in
-                let report = Chain.wcet b in
+                let report = Chain.wcet ?cache b in
                 let sim =
                   Chain.simulate b (Minic.Interp.seeded_world ~seed:17 ())
                 in
@@ -237,7 +240,7 @@ let print_annot_demo (ppf : Format.formatter) : unit =
    as total-WCET deltas when individually disabled, plus the effect of
    the default-O2 FMA contraction. *)
 let print_ablation (ppf : Format.formatter) ?(nodes = 30) ?(seed = 2026)
-    ?(jobs = 1) () : unit =
+    ?(jobs = 1) ?cache () : unit =
   let program = Scade.Workload.flight_program ~nodes ~seed in
   let measure (compile : Minic.Ast.program -> Target.Asm.program) : int =
     List.fold_left ( + ) 0
@@ -245,7 +248,7 @@ let print_ablation (ppf : Format.formatter) ?(nodes = 30) ?(seed = 2026)
          (fun (_, src) ->
             let asm = compile src in
             let lay = Target.Layout.build src asm in
-            (Wcet.Driver.analyze asm lay).Wcet.Report.rp_wcet)
+            (Wcet.Driver.analyze ?cache asm lay).Wcet.Report.rp_wcet)
          program)
   in
   let full = measure (Vcomp.Driver.compile ~options:Vcomp.Driver.no_validation) in
@@ -282,7 +285,7 @@ let print_ablation (ppf : Format.formatter) ?(nodes = 30) ?(seed = 2026)
    selection; acquisition-dominated straight-line nodes are often
    exact. *)
 let print_overestimation (ppf : Format.formatter) ?(nodes = 20) ?(seed = 2026)
-    ?(jobs = 1) () : unit =
+    ?(jobs = 1) ?cache () : unit =
   let program = Scade.Workload.flight_program ~nodes ~seed in
   Format.fprintf ppf
     "@[<v>WCET overestimation — bound vs worst of 6 observed runs@,@,";
@@ -300,7 +303,7 @@ let print_overestimation (ppf : Format.formatter) ?(nodes = 20) ?(seed = 2026)
            List.map
              (fun c ->
                 let b = Chain.build c src in
-                let bound = (Chain.wcet b).Wcet.Report.rp_wcet in
+                let bound = (Chain.wcet ?cache b).Wcet.Report.rp_wcet in
                 let observed =
                   List.fold_left
                     (fun acc s ->

@@ -21,9 +21,12 @@ val find_pc : node_result -> Chain.compiler -> per_compiler
 
 (** Build and measure every node under every configuration. [jobs > 1]
     fans the per-node work out over that many domains ({!Par}); results
-    are merged by node index and identical to the sequential run. *)
+    are merged by node index and identical to the sequential run.
+    [cache] shares WCET analyses across nodes and configurations
+    ({!Wcet.Memo}); it changes wall clock, never results. *)
 val run_workload :
-  ?nodes:int -> ?seed:int -> ?jobs:int -> unit -> workload_results
+  ?nodes:int -> ?seed:int -> ?jobs:int -> ?cache:Wcet.Memo.t -> unit ->
+  workload_results
 val total : workload_results -> Chain.compiler -> (per_compiler -> int) -> int
 
 val print_table1 : Format.formatter -> workload_results -> unit
@@ -47,6 +50,8 @@ val print_annot_demo : Format.formatter -> unit
 (** Paper section 3.4 end to end. *)
 
 val print_ablation :
-  Format.formatter -> ?nodes:int -> ?seed:int -> ?jobs:int -> unit -> unit
+  Format.formatter -> ?nodes:int -> ?seed:int -> ?jobs:int ->
+  ?cache:Wcet.Memo.t -> unit -> unit
 val print_overestimation :
-  Format.formatter -> ?nodes:int -> ?seed:int -> ?jobs:int -> unit -> unit
+  Format.formatter -> ?nodes:int -> ?seed:int -> ?jobs:int ->
+  ?cache:Wcet.Memo.t -> unit -> unit

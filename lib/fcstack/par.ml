@@ -82,8 +82,11 @@ type node_result = {
 (* Run the full per-node chain — ACG when given a SCADE node, then
    compile under [compiler], link ([Layout.build] inside
    [Chain.build]), analyze and validate — for every node of a
-   workload, fanned out over [jobs] domains. *)
-let run_chain ?jobs ?exact ?validate ?cycles ?worlds
+   workload, fanned out over [jobs] domains. [cache] is the shared
+   WCET-analysis cache: Wcet.Memo is sharded and mutex-protected, so
+   one cache may be handed to any number of concurrent workers without
+   perturbing results (a hit returns what a miss would compute). *)
+let run_chain ?jobs ?cache ?exact ?validate ?cycles ?worlds
     (compiler : Chain.compiler) (nodes : (string * Minic.Ast.program) list) :
   node_result list =
   map_list ?jobs
@@ -91,12 +94,12 @@ let run_chain ?jobs ?exact ?validate ?cycles ?worlds
        let b = Chain.build ?exact ?validate compiler src in
        { pn_name = name;
          pn_asm = b.Chain.b_asm;
-         pn_wcet = (Chain.wcet b).Wcet.Report.rp_wcet;
+         pn_wcet = (Chain.wcet ?cache b).Wcet.Report.rp_wcet;
          pn_validation = Chain.validate_chain ?cycles ?worlds b })
     nodes
 
 (* Same, starting from SCADE nodes (runs the ACG inside the worker). *)
-let run_chain_nodes ?jobs ?exact ?validate ?cycles ?worlds
+let run_chain_nodes ?jobs ?cache ?exact ?validate ?cycles ?worlds
     (compiler : Chain.compiler) (nodes : Scade.Symbol.node list) :
   node_result list =
   map_list ?jobs
@@ -105,6 +108,6 @@ let run_chain_nodes ?jobs ?exact ?validate ?cycles ?worlds
        let b = Chain.build ?exact ?validate compiler src in
        { pn_name = node.Scade.Symbol.n_name;
          pn_asm = b.Chain.b_asm;
-         pn_wcet = (Chain.wcet b).Wcet.Report.rp_wcet;
+         pn_wcet = (Chain.wcet ?cache b).Wcet.Report.rp_wcet;
          pn_validation = Chain.validate_chain ?cycles ?worlds b })
     nodes

@@ -28,12 +28,16 @@ type node_result = {
     differential-validation verdict. Structural — compare runs with [=]. *)
 
 val run_chain :
-  ?jobs:int -> ?exact:bool -> ?validate:bool -> ?cycles:int -> ?worlds:int ->
+  ?jobs:int -> ?cache:Wcet.Memo.t -> ?exact:bool -> ?validate:bool ->
+  ?cycles:int -> ?worlds:int ->
   Chain.compiler -> (string * Minic.Ast.program) list -> node_result list
 (** Full per-node chain over named mini-C programs, [jobs]-parallel.
+    [cache] is a WCET-analysis cache safely shared by all workers
+    (sharded, mutex-per-shard; results are unchanged by hits).
     [cycles]/[worlds] are passed to {!Chain.validate_chain}. *)
 
 val run_chain_nodes :
-  ?jobs:int -> ?exact:bool -> ?validate:bool -> ?cycles:int -> ?worlds:int ->
+  ?jobs:int -> ?cache:Wcet.Memo.t -> ?exact:bool -> ?validate:bool ->
+  ?cycles:int -> ?worlds:int ->
   Chain.compiler -> Scade.Symbol.node list -> node_result list
 (** Same, from SCADE nodes: the ACG also runs inside the workers. *)

@@ -10,6 +10,7 @@ type entry = {
 }
 
 val entry_equal : entry -> entry -> bool
+val extract_func : Target.Asm.func -> entry list
 val extract : Target.Asm.program -> entry list
 val render : entry list -> string
 

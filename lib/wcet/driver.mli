@@ -3,18 +3,42 @@
     analysis, loop bounds (automatic counter analysis + annotations),
     cache analysis (capacity persistence refined by the must-cache
     ageing analysis), pipeline analysis sharing the simulator's timing
-    model, and IPET path analysis. *)
+    model, and IPET path analysis.
+
+    Every entry point takes an optional content-addressed {!Memo.t}
+    cache. Caching is observationally invisible: a hit returns exactly
+    the report (and annotation fragment) the analysis would recompute,
+    with the function name re-stamped (the name is not part of the
+    content key — see [lib/wcet/README.md]). Only successful analyses
+    are cached; refusals ([Error]) re-run every time. *)
 
 exception Error of string
 
 val analyze :
-  ?fname:string -> Target.Asm.program -> Target.Layout.t -> Report.t
+  ?cache:Memo.t -> ?fname:string -> Target.Asm.program -> Target.Layout.t ->
+  Report.t
 (** Analyze one entry point.
     @raise Error when no sound bound can be produced (irreducible
     control flow, a loop without derivable bound or annotation, an
     infeasible path program) — the analyzer refuses rather than
     under-estimate. *)
 
+val analyze_full :
+  ?cache:Memo.t -> ?fname:string -> Target.Asm.program -> Target.Layout.t ->
+  Report.t * Annotfile.entry list
+(** [analyze] plus the function's annotation-file fragment, served from
+    the cache on a hit without re-scanning the instruction stream. *)
+
 val analyze_program :
-  Target.Asm.program -> Target.Layout.t -> (string * Report.t) list
-(** Per-function analysis (the per-node WCET of the paper's Figure 2). *)
+  ?cache:Memo.t -> Target.Asm.program -> Target.Layout.t ->
+  (string * Report.t) list
+(** Per-function analysis (the per-node WCET of the paper's Figure 2).
+    Iterates the program's functions directly — one pass, no repeated
+    [Asm.find_func] linear scans. *)
+
+val annotations :
+  ?cache:Memo.t -> Target.Asm.program -> Target.Layout.t ->
+  Annotfile.entry list
+(** The whole program's annotation entries, taking each function's
+    fragment from the cache when its analysis is already there
+    (without disturbing the hit/miss accounting). *)

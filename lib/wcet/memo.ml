@@ -1,0 +1,236 @@
+(* Content-addressed cache of per-function WCET analysis.
+
+   Re-analyzing a function whose machine code and memory placement are
+   unchanged is pure waste: every analysis phase ([Cfg.build] through
+   [Ipet.compute]) is a function of (instruction stream, entry address,
+   addresses/sizes of the data symbols the code touches). [bench
+   --compare] and the ablation tables recompute exactly that, thousands
+   of times, because flight-program workloads instantiate the same
+   handful of SCADE symbol bodies over and over.
+
+   The cache is *content-addressed*: the key is an MD5 digest of a
+   canonical serialization of everything the analysis consumes —
+
+     - the instruction list, with analysis-irrelevant identifiers
+       normalized away: volatile MMIO signal names (the timing model
+       charges a fixed per-kind cost and the value analysis returns
+       top regardless of the name) — so structurally identical nodes
+       hit each other even though the ACG prefixes their signal names;
+     - the function's entry address (block addresses, hence the
+       instruction-cache geometry, derive from it);
+     - the layout slice actually visible to the analysis: for every
+       global/SDA symbol named by the code its (name, address, size),
+       for every float-pool constant its (bits, pool address), and the
+       stack top.
+
+   The function *name* is deliberately not part of the key: it only
+   ever reaches the output ([Report.rp_function], annotation-entry
+   function fields), so [Driver] re-stamps it on a hit. Annotation
+   *text* stays in the key — loop-bound annotations drive the bound
+   analysis.
+
+   Domain safety: the table is sharded by key digest with one [Mutex]
+   per shard, so [Fcstack.Par] workers share one cache without
+   serializing on a single lock. This is the repository's only shared
+   mutable state in a library (the PR-2 audit rule): it is an explicit
+   record threaded through [Driver.analyze ?cache] — never a module
+   global — and a hit returns the same report a miss would compute, so
+   the determinism contract survives by construction (and is
+   qcheck-tested).
+
+   A digest collision must not smuggle a wrong bound into a
+   certification artifact, however unlikely: each entry stores the full
+   key payload and a lookup whose payload differs is treated as a miss
+   (the entry is then overwritten by the new analysis). *)
+
+module Asm = Target.Asm
+
+type value = {
+  cv_report : Report.t;
+  cv_annots : Annotfile.entry list;
+}
+
+type key = {
+  k_digest : string;   (* MD5 of [k_payload]: shard + table key *)
+  k_payload : string;  (* canonical serialization: collision guard *)
+}
+
+let digest (k : key) : string = k.k_digest
+
+(* ---- key construction ---- *)
+
+(* Volatile signal names are invisible to the analysis (see above);
+   blanking them makes structurally identical nodes share an entry. *)
+let normalize_instr (i : Asm.instr) : Asm.instr =
+  match i with
+  | Asm.Pacqi (r, _) -> Asm.Pacqi (r, "")
+  | Asm.Pacqf (f, _) -> Asm.Pacqf (f, "")
+  | Asm.Pouti (_, r) -> Asm.Pouti ("", r)
+  | Asm.Poutf (_, f) -> Asm.Poutf ("", f)
+  | _ -> i
+
+let key (lay : Target.Layout.t) ~(base : int) (f : Asm.func) : key =
+  (* data symbols and pool constants the code can name, in first-use
+     order (deterministic for a given instruction stream) *)
+  let syms = ref [] and seen_syms = Hashtbl.create 8 in
+  let consts = ref [] and seen_consts = Hashtbl.create 8 in
+  let sym (s : string) : unit =
+    if not (Hashtbl.mem seen_syms s) then begin
+      Hashtbl.add seen_syms s ();
+      syms := s :: !syms
+    end
+  in
+  let const (c : float) : unit =
+    let bits = Int64.bits_of_float c in
+    if not (Hashtbl.mem seen_consts bits) then begin
+      Hashtbl.add seen_consts bits ();
+      consts := bits :: !consts
+    end
+  in
+  let addr (a : Asm.address) : unit =
+    match a with
+    | Asm.Aglob (s, _) | Asm.Asda (s, _) -> sym s
+    | Asm.Aind _ | Asm.Aindx _ -> ()
+  in
+  List.iter
+    (fun i ->
+       match i with
+       | Asm.Plwz (_, a) | Asm.Pstw (_, a) | Asm.Plfd (_, a)
+       | Asm.Pstfd (_, a) -> addr a
+       | Asm.Pla (_, s) -> sym s
+       | Asm.Plfdc (_, c) -> const c
+       | _ -> ())
+    f.Asm.fn_code;
+  let slice =
+    ( List.rev_map
+        (fun s ->
+           ( s,
+             Hashtbl.find_opt lay.Target.Layout.lay_sym s,
+             Hashtbl.find_opt lay.Target.Layout.lay_sym_size s ))
+        !syms,
+      List.rev_map
+        (fun bits -> (bits, Hashtbl.find_opt lay.Target.Layout.lay_consts bits))
+        !consts,
+      lay.Target.Layout.lay_stack_top )
+  in
+  let payload =
+    Marshal.to_string
+      (List.map normalize_instr f.Asm.fn_code, base, slice)
+      []
+  in
+  { k_digest = Digest.string payload; k_payload = payload }
+
+(* ---- the sharded table ---- *)
+
+type shard = {
+  sh_mutex : Mutex.t;
+  sh_table : (string, string * value) Hashtbl.t;  (* digest -> payload, value *)
+  mutable sh_hits : int;
+  mutable sh_misses : int;
+}
+
+type t = {
+  shards : shard array;
+  (* phase-run counters (filled by [Driver] on misses), one mutex: six
+     increments per miss are negligible next to the analysis itself *)
+  ph_mutex : Mutex.t;
+  mutable ph_decode : int;
+  mutable ph_value : int;
+  mutable ph_bounds : int;
+  mutable ph_cache : int;
+  mutable ph_pipeline : int;
+  mutable ph_ipet : int;
+}
+
+let create ?(shards = 16) () : t =
+  let shards = max 1 shards in
+  { shards =
+      Array.init shards (fun _ ->
+          { sh_mutex = Mutex.create ();
+            sh_table = Hashtbl.create 64;
+            sh_hits = 0;
+            sh_misses = 0 });
+    ph_mutex = Mutex.create ();
+    ph_decode = 0;
+    ph_value = 0;
+    ph_bounds = 0;
+    ph_cache = 0;
+    ph_pipeline = 0;
+    ph_ipet = 0 }
+
+let shard_of (t : t) (k : key) : shard =
+  (* first two digest bytes: uniform for MD5, independent of shard count *)
+  let h = Char.code k.k_digest.[0] lor (Char.code k.k_digest.[1] lsl 8) in
+  t.shards.(h mod Array.length t.shards)
+
+let locked (m : Mutex.t) (f : unit -> 'a) : 'a =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let find (t : t) (k : key) : value option =
+  let sh = shard_of t k in
+  locked sh.sh_mutex (fun () ->
+      match Hashtbl.find_opt sh.sh_table k.k_digest with
+      | Some (payload, v) when String.equal payload k.k_payload ->
+        sh.sh_hits <- sh.sh_hits + 1;
+        Some v
+      | Some _ (* digest collision: never serve the other entry *) | None ->
+        sh.sh_misses <- sh.sh_misses + 1;
+        None)
+
+(* Lookup without touching the hit/miss counters: for secondary
+   consumers (annotation-file assembly) whose lookups would otherwise
+   distort the analysis accounting. *)
+let peek (t : t) (k : key) : value option =
+  let sh = shard_of t k in
+  locked sh.sh_mutex (fun () ->
+      match Hashtbl.find_opt sh.sh_table k.k_digest with
+      | Some (payload, v) when String.equal payload k.k_payload -> Some v
+      | Some _ | None -> None)
+
+let add (t : t) (k : key) (v : value) : unit =
+  let sh = shard_of t k in
+  locked sh.sh_mutex (fun () ->
+      Hashtbl.replace sh.sh_table k.k_digest (k.k_payload, v))
+
+let length (t : t) : int =
+  Array.fold_left
+    (fun acc sh -> acc + locked sh.sh_mutex (fun () -> Hashtbl.length sh.sh_table))
+    0 t.shards
+
+(* ---- phase accounting ---- *)
+
+type phase = Pdecode | Pvalue | Pbounds | Pcache | Ppipeline | Pipet
+
+let count_phase (t : t option) (p : phase) : unit =
+  match t with
+  | None -> ()
+  | Some t ->
+    locked t.ph_mutex (fun () ->
+        match p with
+        | Pdecode -> t.ph_decode <- t.ph_decode + 1
+        | Pvalue -> t.ph_value <- t.ph_value + 1
+        | Pbounds -> t.ph_bounds <- t.ph_bounds + 1
+        | Pcache -> t.ph_cache <- t.ph_cache + 1
+        | Ppipeline -> t.ph_pipeline <- t.ph_pipeline + 1
+        | Pipet -> t.ph_ipet <- t.ph_ipet + 1)
+
+let stats (t : t) : Report.analysis_stats =
+  let hits = ref 0 and misses = ref 0 and entries = ref 0 in
+  Array.iter
+    (fun sh ->
+       locked sh.sh_mutex (fun () ->
+           hits := !hits + sh.sh_hits;
+           misses := !misses + sh.sh_misses;
+           entries := !entries + Hashtbl.length sh.sh_table))
+    t.shards;
+  locked t.ph_mutex (fun () ->
+      { Report.st_hits = !hits;
+        st_misses = !misses;
+        st_entries = !entries;
+        st_decode = t.ph_decode;
+        st_value = t.ph_value;
+        st_bounds = t.ph_bounds;
+        st_cache = t.ph_cache;
+        st_pipeline = t.ph_pipeline;
+        st_ipet = t.ph_ipet })

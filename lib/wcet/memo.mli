@@ -1,0 +1,63 @@
+(** Content-addressed, Domain-safe cache of per-function WCET analysis.
+
+    The key digests everything the analysis consumes — the instruction
+    stream (with analysis-irrelevant volatile signal names normalized
+    away), the entry address, and the layout slice of symbols/constants
+    the code touches; see [lib/wcet/README.md] for the exact contract.
+    The value is the finished {!Report.t} plus the function's
+    annotation-file fragment. The function {e name} is not part of the
+    key (it only reaches the output), so structurally identical nodes
+    share one entry; {!Driver} re-stamps names on hits.
+
+    The table is sharded by digest with one [Mutex] per shard:
+    [Fcstack.Par] workers on different Domains share one [t] without
+    serializing. A hit returns the same value a miss would compute, so
+    caching never changes results (qcheck-enforced).
+
+    This is the only shared mutable state in the libraries; it exists
+    solely as an explicit record threaded through
+    [Driver.analyze ?cache] — never a module-level global. *)
+
+type t
+
+type value = {
+  cv_report : Report.t;
+  cv_annots : Annotfile.entry list;
+      (** the function's annotation entries, with final argument
+          locations substituted — the exchangeable aiT artifact *)
+}
+
+type key
+
+val key : Target.Layout.t -> base:int -> Target.Asm.func -> key
+(** Canonical content key of analyzing [func] placed at [base] under
+    the given layout. *)
+
+val digest : key -> string
+(** The key's MD5 digest (16 raw bytes), for logging/tests. *)
+
+val create : ?shards:int -> unit -> t
+(** Fresh empty cache; [shards] mutex-protected shards (default 16). *)
+
+val find : t -> key -> value option
+(** Lookup; counts a hit or a miss. A digest collision with a different
+    payload is reported as a miss, never as the colliding entry. *)
+
+val peek : t -> key -> value option
+(** Like {!find} but leaves the hit/miss counters untouched — for
+    secondary consumers (annotation-file assembly). *)
+
+val add : t -> key -> value -> unit
+
+val length : t -> int
+(** Number of cached analyses. *)
+
+type phase = Pdecode | Pvalue | Pbounds | Pcache | Ppipeline | Pipet
+
+val count_phase : t option -> phase -> unit
+(** Record one run of an analysis phase ([None]: no accounting).
+    {!Driver} calls this as phases actually execute, so failed analyses
+    show partial phase counts. *)
+
+val stats : t -> Report.analysis_stats
+(** Snapshot of hit/miss/entry counts and phase-run counters. *)

@@ -46,3 +46,37 @@ let pp (ppf : Format.formatter) (r : t) : unit =
   Format.fprintf ppf "@]"
 
 let to_string (r : t) : string = Format.asprintf "%a" pp r
+
+(* Accounting for a batch of analyses (the [Memo] cache snapshot): how
+   many bounds were served from cache versus recomputed, and how often
+   each phase actually ran — the evidence that a speedup is real, not
+   asserted. Phase counts are per *attempted* analysis, so a refused
+   analysis (e.g. unbounded loop) shows decode > ipet. *)
+
+type analysis_stats = {
+  st_hits : int;
+  st_misses : int;
+  st_entries : int;
+  st_decode : int;
+  st_value : int;
+  st_bounds : int;
+  st_cache : int;
+  st_pipeline : int;
+  st_ipet : int;
+}
+
+let hit_rate (st : analysis_stats) : float =
+  let total = st.st_hits + st.st_misses in
+  if total = 0 then 0.0
+  else 100.0 *. float_of_int st.st_hits /. float_of_int total
+
+let pp_stats (ppf : Format.formatter) (st : analysis_stats) : unit =
+  Format.fprintf ppf
+    "@[<v>analysis cache   : %d hits, %d misses (%.1f%% hit rate), %d entries@,\
+     phases run       : decode %d, value %d, bounds %d, cache %d, \
+     pipeline %d, IPET %d@]"
+    st.st_hits st.st_misses (hit_rate st) st.st_entries st.st_decode
+    st.st_value st.st_bounds st.st_cache st.st_pipeline st.st_ipet
+
+let stats_to_string (st : analysis_stats) : string =
+  Format.asprintf "%a" pp_stats st

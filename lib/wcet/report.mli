@@ -22,3 +22,24 @@ type t = {
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+(** Accounting for a batch of analyses run against a {!Memo} cache:
+    hit/miss/entry counts plus how often each analysis phase actually
+    ran (a hit runs none). Snapshots come from [Memo.stats]. *)
+type analysis_stats = {
+  st_hits : int;
+  st_misses : int;
+  st_entries : int;    (** distinct cached analyses *)
+  st_decode : int;     (** CFG reconstructions run *)
+  st_value : int;
+  st_bounds : int;
+  st_cache : int;
+  st_pipeline : int;
+  st_ipet : int;
+}
+
+val hit_rate : analysis_stats -> float
+(** Percentage of lookups served from cache (0 when no lookups). *)
+
+val pp_stats : Format.formatter -> analysis_stats -> unit
+val stats_to_string : analysis_stats -> string

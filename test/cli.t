@@ -54,3 +54,22 @@ and so does the WCET analyzer:
   $ ../bin/aitw.exe -j 1 gen/n000.mc gen/n001.mc > seq_report.txt
   $ cmp seq_report.txt par_report.txt && echo reports-identical
   reports-identical
+
+The shared analysis cache never changes results: --no-cache produces
+byte-identical reports (single file, and multi-file across two domains
+sharing one cache against an uncached sequential run):
+
+  $ ../bin/aitw.exe -c vcomp --no-cache gen/n000.mc > nocache_report.txt
+  $ ../bin/aitw.exe -c vcomp gen/n000.mc > cache_report.txt
+  $ cmp nocache_report.txt cache_report.txt && echo reports-identical
+  reports-identical
+  $ ../bin/aitw.exe --compare -j 2 gen/n000.mc gen/n001.mc > par_cached.txt
+  $ ../bin/aitw.exe --compare -j 1 --no-cache gen/n000.mc gen/n001.mc > seq_uncached.txt
+  $ cmp seq_uncached.txt par_cached.txt && echo reports-identical
+  reports-identical
+
+and neither do the bench tables (cache accounting goes to stderr):
+
+  $ ../bench/main.exe -e table1 -n 8 --no-cache 2>/dev/null > nocache_table.out
+  $ cmp seq_table.out nocache_table.out && echo tables-identical
+  tables-identical

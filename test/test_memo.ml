@@ -1,0 +1,294 @@
+(* Tests of the content-addressed WCET-analysis cache (Wcet.Memo):
+   cached analysis is observationally identical to uncached analysis
+   (the qcheck contract), a one-byte code change misses, structurally
+   identical functions under different names/signal names hit with the
+   name re-stamped, cache hits keep the annotation fragment intact, and
+   hits run no analysis phases. *)
+
+module Asm = Target.Asm
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let build_src (text : string) : Minic.Ast.program =
+  let p = Minic.Parser.parse_program text in
+  Minic.Typecheck.check_program_exn p;
+  p
+
+(* ---- cached == uncached, on random programs, with a cache shared
+   across iterations and compilers so hits actually occur ---- *)
+
+let cached_equals_uncached_prop =
+  QCheck.Test.make ~count:40
+    ~name:"memo: analyze ?cache = analyze (report and annotations)"
+    QCheck.small_int
+    (fun seed ->
+       let cache = Wcet.Memo.create () in
+       List.for_all
+         (fun s ->
+            let p = Testlib.Gen.gen_program s in
+            List.for_all
+              (fun comp ->
+                 let b = Fcstack.Chain.build ~exact:true comp p in
+                 let cached =
+                   try
+                     Ok
+                       (Wcet.Driver.analyze_full ~cache b.Fcstack.Chain.b_asm
+                          b.Fcstack.Chain.b_layout)
+                   with Wcet.Driver.Error m -> Error m
+                 in
+                 let plain =
+                   try
+                     Ok
+                       (Wcet.Driver.analyze_full b.Fcstack.Chain.b_asm
+                          b.Fcstack.Chain.b_layout)
+                   with Wcet.Driver.Error m -> Error m
+                 in
+                 cached = plain)
+              Fcstack.Chain.all_compilers)
+         (* same seed twice: the second round must be all hits and still
+            agree with the uncached reference *)
+         [ seed land 0xFFF; (seed land 0xFFF) + 1; seed land 0xFFF ])
+
+(* WCET >= simulated cycles must hold through cache hits: analyze twice
+   (second run served from cache) and compare the cached bound against
+   the simulator. *)
+let soundness_through_hits_prop =
+  QCheck.Test.make ~count:25
+    ~name:"memo: WCET >= simulated cycles through cache hits"
+    QCheck.small_int
+    (fun seed ->
+       let cache = Wcet.Memo.create () in
+       let p = Testlib.Gen.gen_program (seed land 0xFFF) in
+       List.for_all
+         (fun comp ->
+            let b = Fcstack.Chain.build ~exact:true comp p in
+            match
+              ( Fcstack.Chain.wcet ~cache b,
+                Fcstack.Chain.wcet ~cache b (* hit *) )
+            with
+            | r1, r2 ->
+              r1 = r2
+              && List.for_all
+                   (fun s ->
+                      let sim =
+                        Fcstack.Chain.simulate b
+                          (Minic.Interp.seeded_world ~seed:s ())
+                      in
+                      r2.Wcet.Report.rp_wcet
+                      >= sim.Target.Sim.rr_stats.Target.Sim.cycles)
+                   [ 1; 2; 3 ]
+            | exception Wcet.Driver.Error _ -> true)
+         Fcstack.Chain.all_compilers)
+
+(* ---- a one-byte instruction change must miss ---- *)
+
+let test_mutation_misses () =
+  let src =
+    build_src
+      {| global int g; void m() { var int x; x = 5; $g = x + 1; } main m; |}
+  in
+  let b = Fcstack.Chain.build Fcstack.Chain.Cvcomp src in
+  let cache = Wcet.Memo.create () in
+  let r1 = Wcet.Driver.analyze ~cache b.Fcstack.Chain.b_asm b.Fcstack.Chain.b_layout in
+  checki "one miss after first analysis" 1
+    (Wcet.Memo.stats cache).Wcet.Report.st_misses;
+  (* flip one immediate in the entry function's code *)
+  let mutated = ref false in
+  let mutate_instr (i : Asm.instr) : Asm.instr =
+    match i with
+    | Asm.Paddi (d, s, imm) when not !mutated ->
+      mutated := true;
+      Asm.Paddi (d, s, Int32.add imm 1l)
+    | _ -> i
+  in
+  let asm' =
+    { b.Fcstack.Chain.b_asm with
+      Asm.pr_funcs =
+        List.map
+          (fun f -> { f with Asm.fn_code = List.map mutate_instr f.Asm.fn_code })
+          b.Fcstack.Chain.b_asm.Asm.pr_funcs }
+  in
+  checkb "an immediate was mutated" true !mutated;
+  let r2 = Wcet.Driver.analyze ~cache asm' b.Fcstack.Chain.b_layout in
+  checki "mutated code misses the cache" 2
+    (Wcet.Memo.stats cache).Wcet.Report.st_misses;
+  checki "two distinct entries" 2 (Wcet.Memo.length cache);
+  (* the recomputed report is the uncached analysis of the mutated
+     code, not the stale entry *)
+  checkb "mutated report = fresh uncached analysis" true
+    (r2 = Wcet.Driver.analyze asm' b.Fcstack.Chain.b_layout);
+  ignore r1
+
+(* the key itself: identical inputs agree, a mutated body differs *)
+let test_key_digest () =
+  let src = build_src {| global int g; void m() { $g = 3; } main m; |} in
+  let b = Fcstack.Chain.build Fcstack.Chain.Cvcomp src in
+  let f = List.hd b.Fcstack.Chain.b_asm.Asm.pr_funcs in
+  let lay = b.Fcstack.Chain.b_layout in
+  let k1 = Wcet.Memo.key lay ~base:0x1000 f in
+  let k2 = Wcet.Memo.key lay ~base:0x1000 f in
+  checks "same content, same digest" (Wcet.Memo.digest k1) (Wcet.Memo.digest k2);
+  let k3 = Wcet.Memo.key lay ~base:0x1020 f in
+  checkb "different base address, different digest" false
+    (String.equal (Wcet.Memo.digest k1) (Wcet.Memo.digest k3))
+
+(* ---- structurally identical nodes hit across names ---- *)
+
+let test_hit_across_names () =
+  (* same body; different function name and volatile signal names (the
+     ACG node-prefixes both) — the second analysis must be a hit, with
+     the report carrying the *second* name *)
+  let srcA =
+    build_src
+      {| volatile in int sigA; global int g;
+         void nodeA_main() { $g = volatile(sigA) + 2; } main nodeA_main; |}
+  in
+  let srcB =
+    build_src
+      {| volatile in int sigB; global int g;
+         void nodeB_main() { $g = volatile(sigB) + 2; } main nodeB_main; |}
+  in
+  let bA = Fcstack.Chain.build Fcstack.Chain.Cvcomp srcA in
+  let bB = Fcstack.Chain.build Fcstack.Chain.Cvcomp srcB in
+  let cache = Wcet.Memo.create () in
+  let rA = Fcstack.Chain.wcet ~cache bA in
+  let rB = Fcstack.Chain.wcet ~cache bB in
+  let st = Wcet.Memo.stats cache in
+  checki "second analysis is a hit" 1 st.Wcet.Report.st_hits;
+  checki "one analysis computed" 1 st.Wcet.Report.st_misses;
+  checks "hit re-stamps the function name" "nodeB_main"
+    rB.Wcet.Report.rp_function;
+  checkb "identical bounds" true
+    (rA.Wcet.Report.rp_wcet = rB.Wcet.Report.rp_wcet);
+  (* and the hit is exactly what the uncached analysis computes *)
+  checkb "hit = uncached analysis" true (rB = Fcstack.Chain.wcet bB)
+
+(* ---- annotation fragments survive hits (with re-stamped names) ---- *)
+
+let test_annotations_through_hits () =
+  let text (n : string) : string =
+    Printf.sprintf
+      {| global int cfg; global double g;
+         void %s() { var int i;
+           $cfg = 6;
+           for (i = 0; i < $cfg) {
+             __builtin_annotation("loopbound 6");
+             $g = $g +. 1.0; } } main %s; |}
+      n n
+  in
+  let bA = Fcstack.Chain.build Fcstack.Chain.Cvcomp (build_src (text "fa")) in
+  let bB = Fcstack.Chain.build Fcstack.Chain.Cvcomp (build_src (text "fb")) in
+  let cache = Wcet.Memo.create () in
+  let _, annotsA =
+    Wcet.Driver.analyze_full ~cache bA.Fcstack.Chain.b_asm
+      bA.Fcstack.Chain.b_layout
+  in
+  let _, annotsB =
+    Wcet.Driver.analyze_full ~cache bB.Fcstack.Chain.b_asm
+      bB.Fcstack.Chain.b_layout
+  in
+  checki "hit" 1 (Wcet.Memo.stats cache).Wcet.Report.st_hits;
+  checkb "fragments non-empty" true (annotsA <> [] && annotsB <> []);
+  List.iter
+    (fun e -> checks "fragment function re-stamped" "fb" e.Wcet.Annotfile.an_function)
+    annotsB;
+  checkb "fragment equals direct extraction" true
+    (List.for_all2 Wcet.Annotfile.entry_equal annotsB
+       (Wcet.Annotfile.extract bB.Fcstack.Chain.b_asm));
+  (* Driver.annotations assembles the program's file from the cache *)
+  let from_cache =
+    Wcet.Driver.annotations ~cache bB.Fcstack.Chain.b_asm
+      bB.Fcstack.Chain.b_layout
+  in
+  checkb "program annotations from cache = extract" true
+    (List.for_all2 Wcet.Annotfile.entry_equal from_cache
+       (Wcet.Annotfile.extract bB.Fcstack.Chain.b_asm))
+
+(* ---- hits run no phases; stats add up ---- *)
+
+let test_phase_accounting () =
+  let src = build_src {| global double g; void m() { var int i;
+      for (i = 0; i < 12) { $g = $g +. 1.0; } } main m; |}
+  in
+  let b = Fcstack.Chain.build Fcstack.Chain.Cvcomp src in
+  let cache = Wcet.Memo.create () in
+  ignore (Fcstack.Chain.wcet ~cache b);
+  let st1 = Wcet.Memo.stats cache in
+  checki "decode ran once" 1 st1.Wcet.Report.st_decode;
+  checki "IPET ran once" 1 st1.Wcet.Report.st_ipet;
+  ignore (Fcstack.Chain.wcet ~cache b);
+  ignore (Fcstack.Chain.wcet ~cache b);
+  let st2 = Wcet.Memo.stats cache in
+  checki "hits counted" 2 st2.Wcet.Report.st_hits;
+  checki "no further decode" 1 st2.Wcet.Report.st_decode;
+  checki "no further IPET" 1 st2.Wcet.Report.st_ipet;
+  checki "one entry" 1 st2.Wcet.Report.st_entries;
+  checkb "hit rate reported" true (Wcet.Report.hit_rate st2 > 0.0);
+  checkb "stats render" true
+    (String.length (Wcet.Report.stats_to_string st2) > 0)
+
+(* a refused analysis is never cached: each attempt re-runs phases *)
+let test_failure_not_cached () =
+  let src =
+    build_src
+      {| global int cfg; global double g;
+         void m() { var int i;
+           $cfg = 6;
+           for (i = 0; i < $cfg) { $g = $g +. 1.0; } } main m; |}
+  in
+  let b = Fcstack.Chain.build Fcstack.Chain.Cvcomp src in
+  let cache = Wcet.Memo.create () in
+  let attempt () =
+    match Fcstack.Chain.wcet ~cache b with
+    | _ -> Alcotest.fail "unbounded loop must be refused"
+    | exception Wcet.Driver.Error _ -> ()
+  in
+  attempt ();
+  attempt ();
+  let st = Wcet.Memo.stats cache in
+  checki "no entries cached" 0 st.Wcet.Report.st_entries;
+  checki "two misses" 2 st.Wcet.Report.st_misses;
+  checki "decode ran twice" 2 st.Wcet.Report.st_decode;
+  checki "IPET never reached" 0 st.Wcet.Report.st_ipet
+
+(* analyze_program: one report per function, same as one-by-one analyze *)
+let test_analyze_program_matches () =
+  let src =
+    build_src
+      {| global int g; global double h;
+         void f1() { $g = 1; }
+         void f2() { $h = 2.5; }
+         void m() { $g = 3; }
+         main m; |}
+  in
+  let b = Fcstack.Chain.build Fcstack.Chain.Cvcomp src in
+  let cache = Wcet.Memo.create () in
+  let all =
+    Wcet.Driver.analyze_program ~cache b.Fcstack.Chain.b_asm
+      b.Fcstack.Chain.b_layout
+  in
+  checki "one report per function" 3 (List.length all);
+  List.iter
+    (fun (name, r) ->
+       checks "report carries its function" name r.Wcet.Report.rp_function;
+       checkb (name ^ ": = analyze ~fname") true
+         (r
+          = Wcet.Driver.analyze ~fname:name b.Fcstack.Chain.b_asm
+              b.Fcstack.Chain.b_layout))
+    all
+
+let suite =
+  [ QCheck_alcotest.to_alcotest cached_equals_uncached_prop;
+    QCheck_alcotest.to_alcotest soundness_through_hits_prop;
+    ("memo: one-byte mutation misses", `Quick, test_mutation_misses);
+    ("memo: key digest stability", `Quick, test_key_digest);
+    ("memo: structurally identical nodes hit across names", `Quick,
+     test_hit_across_names);
+    ("memo: annotation fragments through hits", `Quick,
+     test_annotations_through_hits);
+    ("memo: phase accounting", `Quick, test_phase_accounting);
+    ("memo: refused analyses are not cached", `Quick, test_failure_not_cached);
+    ("memo: analyze_program = per-function analyze", `Quick,
+     test_analyze_program_matches) ]

@@ -151,6 +151,48 @@ let test_concurrent_compilations_isolated () =
          (r = expected2))
     r2
 
+let test_shared_cache_across_domains () =
+  (* two Domains hammer ONE Wcet.Memo from both sides, analyzing
+     overlapping programs repeatedly: every result — hit or miss, under
+     whatever interleaving — must equal the uncached sequential
+     reference. This is the race regression for the sharded cache:
+     a torn entry, a lost update or a cross-function mixup would
+     surface as a differing report. *)
+  let programs =
+    List.map Testlib.Gen.gen_program [ 301; 302; 303; 301 (* overlap *) ]
+  in
+  let builds =
+    List.map (Fcstack.Chain.build ~exact:true Fcstack.Chain.Cvcomp) programs
+  in
+  let analyze ?cache (b : Fcstack.Chain.built) :
+    (Wcet.Report.t, string) Result.t =
+    match Fcstack.Chain.wcet ?cache b with
+    | r -> Ok r
+    | exception Wcet.Driver.Error m -> Error m
+  in
+  let expected = List.map (fun b -> analyze b) builds in
+  let cache = Wcet.Memo.create () in
+  let rounds = 8 in
+  let worker () = List.init rounds (fun _ -> List.map (analyze ~cache) builds) in
+  let d1 = Domain.spawn worker and d2 = Domain.spawn worker in
+  let r1 = Domain.join d1 and r2 = Domain.join d2 in
+  List.iteri
+    (fun i r ->
+       checkb (Printf.sprintf "domain 1 round %d = uncached sequential" i) true
+         (r = expected))
+    r1;
+  List.iteri
+    (fun i r ->
+       checkb (Printf.sprintf "domain 2 round %d = uncached sequential" i) true
+         (r = expected))
+    r2;
+  (* both domains analyzed the same content: the cache must have served
+     hits (the point of sharing) without double-counting entries *)
+  let st = Wcet.Memo.stats cache in
+  checkb "shared cache produced hits" true (st.Wcet.Report.st_hits > 0);
+  checkb "entries bounded by distinct analyses" true
+    (st.Wcet.Report.st_entries <= st.Wcet.Report.st_misses)
+
 let suite =
   [ ("par: results merged by task index", `Quick, test_run_order);
     ("par: more jobs than tasks", `Quick, test_run_more_jobs_than_tasks);
@@ -162,4 +204,6 @@ let suite =
     ("par: WCET >= simulated cycles on a parallel run", `Slow,
      test_parallel_wcet_soundness);
     ("par: concurrent compilations from two Domains", `Slow,
-     test_concurrent_compilations_isolated) ]
+     test_concurrent_compilations_isolated);
+    ("par: one shared analysis cache from two Domains", `Slow,
+     test_shared_cache_across_domains) ]
