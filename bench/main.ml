@@ -14,18 +14,24 @@
      bench/main.exe -n 120         workload size (default 60)
      bench/main.exe -j 4           per-node parallelism (default 1)
      bench/main.exe --no-cache     disable the shared WCET-analysis cache
+     bench/main.exe --cache-dir D  persist the cache across runs
+     bench/main.exe --cache-gc-mb M  LRU-bound the persistent cache
 
    With -j > 1 every workload-driven experiment is measured both
    sequentially and in parallel; the wall-clock comparison goes to
    stderr so the tables on stdout stay byte-identical to a -j 1 run.
 
+   All flags fold into one Fcstack.Toolchain.config (the cache trio and
+   -j are the shared Fcstack.Cliopts terms, same surface as fcc/aitw).
    One content-addressed WCET-analysis cache (Wcet.Memo) is shared by
-   all experiments and all domains of the process; the sequential
-   reference leg of a -j comparison deliberately runs uncached, so the
-   stderr line is a seq-uncached vs parallel-cached wall-clock
-   comparison. Hit/miss/phase accounting also goes to stderr
-   (Report.pp_stats); stdout tables are byte-identical with and
-   without the cache — the cache changes wall clock, never results. *)
+   all experiments and all domains of the process — and, with
+   --cache-dir, across process runs; the sequential reference leg of a
+   -j comparison deliberately runs uncached, so the stderr line is a
+   seq-uncached vs parallel-cached wall-clock comparison.
+   Hit/miss/phase accounting also goes to stderr (Report.pp_stats);
+   stdout tables are byte-identical with and without the cache — cold,
+   warm or --no-cache, the cache changes wall clock, never results
+   (CI cmp-enforces all three). *)
 
 let ppf = Format.std_formatter
 
@@ -94,25 +100,27 @@ let timed (f : unit -> 'a) : 'a * float =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
-let run_maybe_parallel (name : string) (jobs : int)
-    (cache : Wcet.Memo.t option)
-    (run : jobs:int -> cache:Wcet.Memo.t option -> 'a) : 'a =
-  if jobs <= 1 then run ~jobs:1 ~cache
+let run_maybe_parallel (name : string) (config : Fcstack.Toolchain.config)
+    (run : config:Fcstack.Toolchain.config -> 'a) : 'a =
+  let { Fcstack.Toolchain.jobs; cache; _ } = config in
+  if jobs <= 1 then run ~config
   else begin
-    let seq, t_seq = timed (fun () -> run ~jobs:1 ~cache:None) in
-    let hits0 =
-      match cache with
-      | None -> 0
-      | Some c -> (Wcet.Memo.stats c).Wcet.Report.st_hits
+    let seq_config = { config with Fcstack.Toolchain.jobs = 1; cache = None } in
+    let seq, t_seq = timed (fun () -> run ~config:seq_config) in
+    let all_hits (st : Wcet.Report.analysis_stats) : int =
+      st.Wcet.Report.st_hits + st.Wcet.Report.st_disk_hits
     in
-    let par, t_par = timed (fun () -> run ~jobs ~cache) in
+    let hits0 =
+      match cache with None -> 0 | Some c -> all_hits (Wcet.Memo.stats c)
+    in
+    let par, t_par = timed (fun () -> run ~config) in
     let cache_note =
       match cache with
       | None -> "uncached"
       | Some c ->
         let st = Wcet.Memo.stats c in
         Printf.sprintf "cached: +%d hits, %.1f%% cumulative hit rate"
-          (st.Wcet.Report.st_hits - hits0)
+          (all_hits st - hits0)
           (Wcet.Report.hit_rate st)
     in
     Printf.eprintf
@@ -124,38 +132,17 @@ let run_maybe_parallel (name : string) (jobs : int)
     par
   end
 
-let () =
-  let experiment = ref "all" in
-  let nodes = ref 60 in
-  let jobs = ref 1 in
-  let use_cache = ref true in
-  let rec parse (args : string list) : unit =
-    match args with
-    | "-e" :: e :: rest ->
-      experiment := e;
-      parse rest
-    | "-n" :: n :: rest ->
-      nodes := int_of_string n;
-      parse rest
-    | "-j" :: j :: rest ->
-      jobs := max 1 (int_of_string j);
-      parse rest
-    | "--no-cache" :: rest ->
-      use_cache := false;
-      parse rest
-    | _ :: rest -> parse rest
-    | [] -> ()
-  in
-  parse (List.tl (Array.to_list Sys.argv));
-  let want (e : string) : bool = !experiment = "all" || !experiment = e in
+let run_bench (experiment : string) (nodes : int) (jobs : int)
+    (copts : Fcstack.Cliopts.cache_opts) : int =
+  let want (e : string) : bool = experiment = "all" || experiment = e in
   (* one shared analysis cache for the whole process: experiments and
      domains all feed it (content-addressed, so sharing across compiler
-     configurations is sound) *)
-  let cache = if !use_cache then Some (Wcet.Memo.create ()) else None in
+     configurations — and, when persistent, across runs — is sound) *)
+  let config = Fcstack.Cliopts.config_of_opts ~jobs copts in
   let workload =
     lazy
-      (run_maybe_parallel "workload" !jobs cache (fun ~jobs ~cache ->
-           Fcstack.Experiments.run_workload ~nodes:!nodes ~jobs ?cache ()))
+      (run_maybe_parallel "workload" config (fun ~config ->
+           Fcstack.Experiments.run_workload ~nodes ~config ()))
   in
   if want "listings" then begin
     sep "Experiment listing-1-2";
@@ -178,21 +165,47 @@ let () =
   end;
   if want "ablation" then begin
     sep "Experiment ablation";
-    Fcstack.Experiments.print_ablation ppf ~nodes:(min 30 !nodes) ~jobs:!jobs
-      ?cache ();
+    Fcstack.Experiments.print_ablation ppf ~nodes:(min 30 nodes) ~config ();
     Format.fprintf ppf "@."
   end;
   if want "overestimation" then begin
     sep "Experiment overestimation";
-    Fcstack.Experiments.print_overestimation ppf ~nodes:(min 20 !nodes)
-      ~jobs:!jobs ?cache ();
+    Fcstack.Experiments.print_overestimation ppf ~nodes:(min 20 nodes) ~config
+      ();
     Format.fprintf ppf "@."
   end;
   if want "micro" then run_micro ();
   Format.pp_print_flush ppf ();
   (* cache accounting to stderr only: stdout tables stay byte-identical
      with and without the cache (CI cmp-enforces this) *)
-  match cache with
-  | Some c ->
-    Format.eprintf "%a@." Wcet.Report.pp_stats (Wcet.Memo.stats c)
-  | None -> ()
+  Fcstack.Cliopts.report_stats ~always:true config;
+  Fcstack.Cliopts.finalize config;
+  0
+
+open Cmdliner
+
+let experiment_arg =
+  Arg.(value & opt string "all"
+       & info [ "e"; "experiment" ] ~docv:"EXPERIMENT"
+           ~doc:"Run only $(docv): listings, table1, figure2, annot, \
+                 ablation, overestimation or micro (default: all).")
+
+let nodes_arg =
+  Arg.(value & opt int 60
+       & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Workload size (default 60).")
+
+let jobs_arg =
+  Fcstack.Cliopts.jobs_term
+    ~doc:"Per-node parallelism; with $(docv) > 1 every workload-driven \
+          experiment is also timed sequentially and the comparison goes \
+          to stderr (stdout tables stay byte-identical)."
+
+let cmd =
+  let doc = "regenerate the paper's evaluation tables and figures" in
+  Cmd.v
+    (Cmd.info "bench" ~doc)
+    Term.(
+      const run_bench $ experiment_arg $ nodes_arg $ jobs_arg
+      $ Fcstack.Cliopts.cache_term)
+
+let () = exit (Cmd.eval' cmd)

@@ -11,11 +11,14 @@
    Several files form a multi-node input; -j N analyzes them across N
    domains with deterministic, input-ordered reports.
 
-   One content-addressed WCET-analysis cache (Wcet.Memo) is shared by
-   all files, configurations and domains of a run: a function whose
-   code and placement were already analyzed is served from the cache
-   (reports are identical either way — the cache changes wall clock,
-   never results). --no-cache is the escape hatch. *)
+   All flags fold into one Fcstack.Toolchain.config. The analysis
+   cache (Wcet.Memo) is shared by all files, configurations and
+   domains of a run — and, with --cache-dir (or FCSTACK_CACHE_DIR),
+   persists across runs, so a warm invocation serves repeated analyses
+   from disk. Reports are byte-identical either way: the cache changes
+   wall clock, never results. --no-cache is the escape hatch;
+   --cache-gc-mb bounds the store (LRU) at the end of the run. With a
+   persistent cache, hit/miss accounting goes to stderr. *)
 
 let read_file (path : string) : string =
   let ic = open_in_bin path in
@@ -34,7 +37,7 @@ let observed_max (b : Fcstack.Chain.built) (seeds : int list) : int =
 
 (* Analyze one file; the report text is accumulated in a buffer so that
    parallel runs can print results strictly in input order. *)
-let analyze_file ?cache (compiler : string) (compare_all : bool)
+let analyze_file ~(config : Fcstack.Toolchain.config) (compare_all : bool)
     (simulate : bool) (annot_out : string option) (file : string) :
   string * string * int =
   let out = Buffer.create 1024 and err = Buffer.create 64 in
@@ -49,8 +52,8 @@ let analyze_file ?cache (compiler : string) (compare_all : bool)
            (* cache-aware assembly: fragments of already-analyzed
               functions come from the cache (same bytes either way) *)
            let entries =
-             Wcet.Driver.annotations ?cache b.Fcstack.Chain.b_asm
-               b.Fcstack.Chain.b_layout
+             Wcet.Driver.annotations ?cache:config.Fcstack.Toolchain.cache
+               b.Fcstack.Chain.b_asm b.Fcstack.Chain.b_layout
            in
            let oc = open_out path in
            output_string oc (Wcet.Annotfile.render entries);
@@ -58,7 +61,7 @@ let analyze_file ?cache (compiler : string) (compare_all : bool)
            Buffer.add_string out
              (Printf.sprintf "annotation file written to %s\n" path)
          | None -> ());
-        let report = Fcstack.Chain.wcet ?cache b in
+        let report = Fcstack.Chain.wcet ~config b in
         Buffer.add_string out
           (Printf.sprintf "--- %s ---\n"
              (Fcstack.Chain.compiler_description comp));
@@ -77,24 +80,9 @@ let analyze_file ?cache (compiler : string) (compare_all : bool)
         Buffer.add_char out '\n'
       in
       if compare_all then List.iter analyze_one Fcstack.Chain.all_compilers
-      else begin
-        match
-          (match compiler with
-           | "o0" -> Some Fcstack.Chain.Cdefault_o0
-           | "o1" -> Some Fcstack.Chain.Cdefault_o1
-           | "o2" -> Some Fcstack.Chain.Cdefault_o2
-           | "vcomp" -> Some Fcstack.Chain.Cvcomp
-           | _ -> None)
-        with
-        | Some c -> analyze_one c
-        | None ->
-          Buffer.add_string err
-            (Printf.sprintf "unknown compiler %S\n" compiler);
-          raise Exit
-      end;
+      else analyze_one config.Fcstack.Toolchain.compiler;
       0
     with
-    | Exit -> 2
     | Minic.Parser.Parse_error msg | Minic.Lexer.Lex_error (msg, _) ->
       Buffer.add_string err (Printf.sprintf "%s: parse error: %s\n" file msg);
       2
@@ -110,24 +98,36 @@ let analyze_file ?cache (compiler : string) (compare_all : bool)
 
 let run (files : string list) (compiler : string) (compare_all : bool)
     (simulate : bool) (annot_out : string option) (jobs : int)
-    (no_cache : bool) : int =
-  if annot_out <> None && List.length files > 1 then begin
-    Printf.eprintf "--annot-out requires a single input file\n";
+    (copts : Fcstack.Cliopts.cache_opts) : int =
+  match Fcstack.Chain.compiler_of_string compiler with
+  | Error msg ->
+    prerr_endline msg;
     2
-  end
-  else begin
-    (* one cache for all files and configurations; Wcet.Memo is sharded
-       and mutex-protected, so the -j domains share it directly *)
-    let cache = if no_cache then None else Some (Wcet.Memo.create ()) in
-    let results =
-      Fcstack.Par.map_list ~jobs
-        (analyze_file ?cache compiler compare_all simulate annot_out)
-        files
-    in
-    List.iter (fun (out, _, _) -> print_string out) results;
-    List.iter (fun (_, err, _) -> prerr_string err) results;
-    List.fold_left (fun acc (_, _, code) -> max acc code) 0 results
-  end
+  | Ok comp ->
+    if annot_out <> None && List.length files > 1 then begin
+      Printf.eprintf "--annot-out requires a single input file\n";
+      2
+    end
+    else begin
+      (* one config for the whole run: one cache (possibly persistent)
+         for all files and configurations; Wcet.Memo is sharded and
+         mutex-protected, so the -j domains share it directly *)
+      let config =
+        Fcstack.Cliopts.config_of_opts ~jobs ~compiler:comp copts
+      in
+      let results =
+        Fcstack.Par.map_list ~jobs:config.Fcstack.Toolchain.jobs
+          (analyze_file ~config compare_all simulate annot_out)
+          files
+      in
+      List.iter (fun (out, _, _) -> print_string out) results;
+      List.iter (fun (_, err, _) -> prerr_string err) results;
+      (* stderr only (and only for persistent caches): stdout reports
+         stay byte-identical across cache configurations *)
+      Fcstack.Cliopts.report_stats config;
+      Fcstack.Cliopts.finalize config;
+      List.fold_left (fun acc (_, _, code) -> max acc code) 0 results
+    end
 
 open Cmdliner
 
@@ -153,17 +153,9 @@ let annot_out_arg =
                  Single input file only.")
 
 let jobs_arg =
-  Arg.(value & opt int 1
-       & info [ "j"; "jobs" ] ~docv:"N"
-           ~doc:"Analyze input files across $(docv) domains. Reports are \
-                 printed in input order regardless of $(docv).")
-
-let no_cache_arg =
-  Arg.(value & flag
-       & info [ "no-cache" ]
-           ~doc:"Disable the shared WCET-analysis cache. Reports are \
-                 byte-identical with and without it; this only trades \
-                 wall clock for memory.")
+  Fcstack.Cliopts.jobs_term
+    ~doc:"Analyze input files across $(docv) domains. Reports are printed \
+          in input order regardless of $(docv)."
 
 let cmd =
   let doc = "static WCET analysis of compiled flight-control code" in
@@ -171,6 +163,6 @@ let cmd =
     (Cmd.info "aitw" ~doc)
     Term.(
       const run $ files_arg $ compiler_arg $ compare_arg $ simulate_arg
-      $ annot_out_arg $ jobs_arg $ no_cache_arg)
+      $ annot_out_arg $ jobs_arg $ Fcstack.Cliopts.cache_term)
 
 let () = exit (Cmd.eval' cmd)

@@ -8,7 +8,14 @@
 
    Several files form a multi-node input (one node per file, like the
    paper's ~2,500 generated files); -j N compiles them across N domains
-   with deterministic, input-ordered output. *)
+   with deterministic, input-ordered output.
+
+   All flags fold into one Fcstack.Toolchain.config. fcc accepts the
+   same cache trio as aitw/bench (--no-cache/--cache-dir/--cache-gc-mb)
+   for a uniform toolchain surface — compilation itself never consults
+   the WCET cache, but --cache-gc-mb still applies the size budget to a
+   shared cache directory, so fcc can do store maintenance in a
+   pipeline that interleaves compiles and analyses. *)
 
 let read_file (path : string) : string =
   let ic = open_in_bin path in
@@ -16,14 +23,6 @@ let read_file (path : string) : string =
   let s = really_input_string ic n in
   close_in ic;
   s
-
-let compiler_of_string (s : string) : (Fcstack.Chain.compiler, string) Result.t =
-  match s with
-  | "o0" | "default-O0" -> Ok Fcstack.Chain.Cdefault_o0
-  | "o1" | "default-O1" -> Ok Fcstack.Chain.Cdefault_o1
-  | "o2" | "default-O2" -> Ok Fcstack.Chain.Cdefault_o2
-  | "vcomp" -> Ok Fcstack.Chain.Cvcomp
-  | _ -> Error (Printf.sprintf "unknown compiler %S (o0|o1|o2|vcomp)" s)
 
 (* Per-file result, rendered strictly in input order so that -j N
    output is byte-identical to -j 1. *)
@@ -78,15 +77,17 @@ let compile_file (comp : Fcstack.Chain.compiler) (validate : bool)
     fr_code = code }
 
 let run (files : string list) (compiler : string) (output : string option)
-    (validate : bool) (dump_rtl : bool) (exact : bool) (jobs : int) : int =
-  match compiler_of_string compiler with
+    (validate : bool) (dump_rtl : bool) (exact : bool) (jobs : int)
+    (copts : Fcstack.Cliopts.cache_opts) : int =
+  match Fcstack.Chain.compiler_of_string compiler with
   | Error msg ->
     prerr_endline msg;
     2
   | Ok comp ->
+    let config = Fcstack.Cliopts.config_of_opts ~jobs ~compiler:comp copts in
     let results =
-      Fcstack.Par.map_list ~jobs
-        (compile_file comp validate dump_rtl exact)
+      Fcstack.Par.map_list ~jobs:config.Fcstack.Toolchain.jobs
+        (compile_file config.Fcstack.Toolchain.compiler validate dump_rtl exact)
         files
     in
     (* deterministic merge: input order, stdout/-o then stderr per file *)
@@ -99,6 +100,8 @@ let run (files : string list) (compiler : string) (output : string option)
      | None ->
        List.iter (fun r -> print_string r.fr_rtl; print_string r.fr_asm) results);
     List.iter (fun r -> prerr_string r.fr_stderr) results;
+    (* cache maintenance only: fcc never analyzes, so no stats *)
+    Fcstack.Cliopts.finalize config;
     List.fold_left (fun acc r -> max acc r.fr_code) 0 results
 
 open Cmdliner
@@ -131,10 +134,9 @@ let exact_arg =
                  FMA contraction).")
 
 let jobs_arg =
-  Arg.(value & opt int 1
-       & info [ "j"; "jobs" ] ~docv:"N"
-           ~doc:"Compile input files across $(docv) domains. Output is \
-                 deterministic (input order) regardless of $(docv).")
+  Fcstack.Cliopts.jobs_term
+    ~doc:"Compile input files across $(docv) domains. Output is \
+          deterministic (input order) regardless of $(docv)."
 
 let cmd =
   let doc = "compile flight-control mini-C under the paper's configurations" in
@@ -142,6 +144,6 @@ let cmd =
     (Cmd.info "fcc" ~doc)
     Term.(
       const run $ files_arg $ compiler_arg $ output_arg $ validate_arg
-      $ dump_rtl_arg $ exact_arg $ jobs_arg)
+      $ dump_rtl_arg $ exact_arg $ jobs_arg $ Fcstack.Cliopts.cache_term)
 
 let () = exit (Cmd.eval' cmd)

@@ -8,7 +8,10 @@
    differential validation (source interpreter vs machine simulator)
    for every compiler. *)
 
-type compiler =
+(* The configuration type lives in [Toolchain] (so [Toolchain.config]
+   can carry one); re-exported here as an equation, so [Chain.Cvcomp]
+   and friends keep working. *)
+type compiler = Toolchain.compiler =
   | Cdefault_o0   (* COTS baseline, certified pattern configuration *)
   | Cdefault_o1   (* COTS baseline, optimized without register allocation *)
   | Cdefault_o2   (* COTS baseline, fully optimized (incl. FMA contraction) *)
@@ -22,6 +25,15 @@ let compiler_name (c : compiler) : string =
   | Cdefault_o1 -> "default-O1"
   | Cdefault_o2 -> "default-O2"
   | Cvcomp -> "vcomp"
+
+(* CLI spelling of a configuration (fcc/aitw share this parser). *)
+let compiler_of_string (s : string) : (compiler, string) Result.t =
+  match s with
+  | "o0" | "default-O0" -> Ok Cdefault_o0
+  | "o1" | "default-O1" -> Ok Cdefault_o1
+  | "o2" | "default-O2" -> Ok Cdefault_o2
+  | "vcomp" -> Ok Cvcomp
+  | _ -> Error (Printf.sprintf "unknown compiler %S (o0|o1|o2|vcomp)" s)
 
 let compiler_description (c : compiler) : string =
   match c with
@@ -66,11 +78,17 @@ let build ?exact ?validate (c : compiler) (src : Minic.Ast.program) : built =
 let simulate ?cycles (b : built) (w : Minic.Interp.world) : Target.Sim.run_result =
   Target.Sim.run ?cycles ~source:b.b_source b.b_asm b.b_layout w []
 
-(* Static WCET of the built node's entry point. [cache] shares finished
-   per-function analyses across nodes and compiler configurations
+(* Static WCET of the built node's entry point. The config's cache
+   shares finished per-function analyses across nodes, compiler
+   configurations and — when persistent — process runs
    (content-addressed: hits require identical code and placement, so
-   results never change — see Wcet.Memo). *)
-let wcet ?cache (b : built) : Wcet.Report.t =
+   results never change — see Wcet.Memo). Only the [cache] field is
+   consulted: the node is already built. *)
+let wcet ?(config = Toolchain.default) (b : built) : Wcet.Report.t =
+  Wcet.Driver.analyze ?cache:config.Toolchain.cache b.b_asm b.b_layout
+
+(* pre-Toolchain.config surface, kept one PR for incremental migration *)
+let wcet_cached ?cache (b : built) : Wcet.Report.t =
   Wcet.Driver.analyze ?cache b.b_asm b.b_layout
 
 (* Whole-chain differential validation: the machine code must produce

@@ -2,15 +2,21 @@
     through compilation to executable simulation and WCET analysis,
     with the verification activities around it. *)
 
-type compiler =
+type compiler = Toolchain.compiler =
   | Cdefault_o0  (** COTS baseline, certified pattern configuration *)
   | Cdefault_o1  (** COTS baseline, optimized without register allocation *)
   | Cdefault_o2  (** COTS baseline, fully optimized (FMA contraction on) *)
   | Cvcomp       (** verified-style optimizing compiler *)
+(** Re-export of {!Toolchain.compiler} (the type lives there so
+    {!Toolchain.config} can carry it). *)
 
 val all_compilers : compiler list
 val compiler_name : compiler -> string
 val compiler_description : compiler -> string
+
+val compiler_of_string : string -> (compiler, string) Result.t
+(** Parse the CLI spelling ([o0]/[o1]/[o2]/[vcomp], or the long
+    [default-O*] names); [Error] carries the usage message. *)
 
 val compile :
   ?exact:bool -> ?validate:bool -> compiler -> Minic.Ast.program ->
@@ -31,10 +37,17 @@ val build :
 val simulate :
   ?cycles:int -> built -> Minic.Interp.world -> Target.Sim.run_result
 
-val wcet : ?cache:Wcet.Memo.t -> built -> Wcet.Report.t
-(** [cache] shares finished analyses across nodes/configurations
-    (identical results, fewer recomputations).
+val wcet : ?config:Toolchain.config -> built -> Wcet.Report.t
+(** Static WCET of the built node's entry point. Only the config's
+    [cache] field is consulted (the node is already built); it shares
+    finished analyses across nodes, configurations and — when
+    persistent — process runs (identical results, fewer
+    recomputations).
     @raise Wcet.Driver.Error when the analyzer refuses. *)
+
+val wcet_cached : ?cache:Wcet.Memo.t -> built -> Wcet.Report.t
+[@@ocaml.deprecated "build a Toolchain.config and call Chain.wcet ?config"]
+(** Pre-{!Toolchain.config} surface; removed next PR. *)
 
 val validate_chain :
   ?cycles:int -> ?worlds:int -> ?seeds:int list -> built ->

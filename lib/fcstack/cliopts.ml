@@ -1,0 +1,77 @@
+(* The one shared cache/parallelism flag surface of bench, fcc and
+   aitw: before this module each CLI carried its own copy of the cache
+   flags (and fcc had none at all), so the surfaces drifted. The three
+   tools now splice the same Cmdliner terms and hand the result to
+   [Toolchain.config]. *)
+
+open Cmdliner
+
+type cache_opts = {
+  co_no_cache : bool;
+  co_dir : string option;
+  co_gc_mb : int option;
+}
+
+let no_cache_arg : bool Term.t =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:
+          "Disable the shared WCET-analysis cache (memory and disk). \
+           Results are byte-identical with and without it; this only \
+           trades wall clock for memory.")
+
+let cache_dir_arg : string option Term.t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~env:(Cmd.Env.info "FCSTACK_CACHE_DIR")
+        ~doc:
+          "Persist the WCET-analysis cache under $(docv), shared across \
+           runs and across concurrent processes (crash-safe writes; \
+           corrupted or stale entries silently re-analyze). Results are \
+           byte-identical with and without it.")
+
+let cache_gc_mb_arg : int option Term.t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cache-gc-mb" ] ~docv:"MB"
+        ~doc:
+          "Bound the on-disk cache to $(docv) MiB: least-recently-used \
+           entries are evicted at the end of the run. Requires \
+           $(b,--cache-dir).")
+
+let cache_term : cache_opts Term.t =
+  Term.(
+    const (fun co_no_cache co_dir co_gc_mb -> { co_no_cache; co_dir; co_gc_mb })
+    $ no_cache_arg $ cache_dir_arg $ cache_gc_mb_arg)
+
+let jobs_term ~(doc : string) : int Term.t =
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let memo_of_opts (o : cache_opts) : Wcet.Memo.t option =
+  if o.co_no_cache then None
+  else Some (Wcet.Memo.create ?dir:o.co_dir ?gc_mb:o.co_gc_mb ())
+
+let config_of_opts ?jobs ?worlds ?compiler (o : cache_opts) :
+  Toolchain.config =
+  Toolchain.config ?jobs ?cache:(memo_of_opts o) ?worlds ?compiler ()
+
+(* End-of-run maintenance: apply the GC budget to a persistent cache.
+   Deliberately at the end — the LRU index then reflects this run's
+   hits, and a kill -9 before this point only leaves the store
+   oversized until the next completed run. *)
+let finalize (config : Toolchain.config) : unit =
+  Option.iter Wcet.Memo.gc config.Toolchain.cache
+
+(* Cache accounting on stderr. CLIs print it only for persistent
+   caches (opting into --cache-dir opts into the stats line); bench
+   passes ~always:true to keep its PR-3 behaviour of printing whenever
+   any cache is on. stdout never sees any of this. *)
+let report_stats ?(always = false) (config : Toolchain.config) : unit =
+  match config.Toolchain.cache with
+  | Some m when always || Wcet.Memo.store_dir m <> None ->
+    Format.eprintf "%a@." Wcet.Report.pp_stats (Wcet.Memo.stats m)
+  | Some _ | None -> ()

@@ -1,0 +1,36 @@
+(** Shared Cmdliner flag surface for the toolchain CLIs (bench, fcc,
+    aitw): the cache trio [--no-cache]/[--cache-dir]/[--cache-gc-mb]
+    (with [FCSTACK_CACHE_DIR] as the [--cache-dir] default) and [-j],
+    assembled into one {!Toolchain.config}. One definition instead of a
+    copy per tool, so the flag surfaces cannot drift again. *)
+
+type cache_opts = {
+  co_no_cache : bool;        (** [--no-cache]: no cache at all *)
+  co_dir : string option;    (** [--cache-dir]/[FCSTACK_CACHE_DIR] *)
+  co_gc_mb : int option;     (** [--cache-gc-mb] size budget *)
+}
+
+val cache_term : cache_opts Cmdliner.Term.t
+(** The cache flag trio, identical in every CLI. *)
+
+val jobs_term : doc:string -> int Cmdliner.Term.t
+(** [-j]/[--jobs N] (default 1); [doc] describes the tool's fan-out. *)
+
+val memo_of_opts : cache_opts -> Wcet.Memo.t option
+(** The cache the flags ask for: [None] under [--no-cache], persistent
+    when a directory is configured, memory-only otherwise. *)
+
+val config_of_opts :
+  ?jobs:int -> ?worlds:int -> ?compiler:Toolchain.compiler -> cache_opts ->
+  Toolchain.config
+(** One config from the parsed flags ({!memo_of_opts} for the cache). *)
+
+val finalize : Toolchain.config -> unit
+(** End-of-run maintenance: apply the [--cache-gc-mb] LRU budget to a
+    persistent cache (no-op otherwise). Call once before exiting. *)
+
+val report_stats : ?always:bool -> Toolchain.config -> unit
+(** Print cache accounting ([Report.pp_stats]) to stderr — for
+    persistent caches, or for any cache with [~always:true]. Never
+    touches stdout: tables/reports stay byte-identical across cache
+    configurations. *)

@@ -26,22 +26,25 @@ let find_pc (nr : node_result) (c : Chain.compiler) : per_compiler =
 
 (* Build and measure the whole synthetic flight program under every
    compiler configuration. Nodes are independent, so the measurement
-   fans out over [jobs] domains (merged by node index: results are
-   identical to the sequential run regardless of scheduling). [cache]
-   shares WCET analyses across nodes *and* configurations — the
-   workload instantiates the same symbol bodies many times, so most
-   analyses beyond the first few hundred nodes are hits. *)
-let run_workload ?(nodes = 60) ?(seed = 2026) ?(jobs = 1) ?cache () :
+   fans out over [config.jobs] domains (merged by node index: results
+   are identical to the sequential run regardless of scheduling). The
+   config's cache shares WCET analyses across nodes *and*
+   configurations — the workload instantiates the same symbol bodies
+   many times, so most analyses beyond the first few hundred nodes are
+   hits; a persistent cache extends the sharing across process runs.
+   The config's [compiler] field is ignored: the whole point here is
+   measuring all four. *)
+let run_workload ?(nodes = 60) ?(seed = 2026) ?(config = Toolchain.default) () :
   workload_results =
   let program = Scade.Workload.flight_program ~nodes ~seed in
   let wr_nodes =
-    Par.map_list ~jobs
+    Par.map_list ~jobs:config.Toolchain.jobs
       (fun (node, src) ->
          let per =
            List.map
              (fun c ->
                 let b = Chain.build c src in
-                let report = Chain.wcet ?cache b in
+                let report = Chain.wcet ~config b in
                 let sim =
                   Chain.simulate b (Minic.Interp.seeded_world ~seed:17 ())
                 in
@@ -240,15 +243,16 @@ let print_annot_demo (ppf : Format.formatter) : unit =
    as total-WCET deltas when individually disabled, plus the effect of
    the default-O2 FMA contraction. *)
 let print_ablation (ppf : Format.formatter) ?(nodes = 30) ?(seed = 2026)
-    ?(jobs = 1) ?cache () : unit =
+    ?(config = Toolchain.default) () : unit =
   let program = Scade.Workload.flight_program ~nodes ~seed in
   let measure (compile : Minic.Ast.program -> Target.Asm.program) : int =
     List.fold_left ( + ) 0
-      (Par.map_list ~jobs
+      (Par.map_list ~jobs:config.Toolchain.jobs
          (fun (_, src) ->
             let asm = compile src in
             let lay = Target.Layout.build src asm in
-            (Wcet.Driver.analyze ?cache asm lay).Wcet.Report.rp_wcet)
+            (Wcet.Driver.analyze ?cache:config.Toolchain.cache asm lay)
+              .Wcet.Report.rp_wcet)
          program)
   in
   let full = measure (Vcomp.Driver.compile ~options:Vcomp.Driver.no_validation) in
@@ -285,7 +289,7 @@ let print_ablation (ppf : Format.formatter) ?(nodes = 30) ?(seed = 2026)
    selection; acquisition-dominated straight-line nodes are often
    exact. *)
 let print_overestimation (ppf : Format.formatter) ?(nodes = 20) ?(seed = 2026)
-    ?(jobs = 1) ?cache () : unit =
+    ?(config = Toolchain.default) () : unit =
   let program = Scade.Workload.flight_program ~nodes ~seed in
   Format.fprintf ppf
     "@[<v>WCET overestimation — bound vs worst of 6 observed runs@,@,";
@@ -297,13 +301,13 @@ let print_overestimation (ppf : Format.formatter) ?(nodes = 20) ?(seed = 2026)
   (* measure in parallel (per-node bound + worst observed cycles),
      print sequentially in node order *)
   let measured =
-    Par.map_list ~jobs
+    Par.map_list ~jobs:config.Toolchain.jobs
       (fun ((node : Scade.Symbol.node), src) ->
          let per =
            List.map
              (fun c ->
                 let b = Chain.build c src in
-                let bound = (Chain.wcet ?cache b).Wcet.Report.rp_wcet in
+                let bound = (Chain.wcet ~config b).Wcet.Report.rp_wcet in
                 let observed =
                   List.fold_left
                     (fun acc s ->
@@ -344,3 +348,20 @@ let print_overestimation (ppf : Format.formatter) ?(nodes = 20) ?(seed = 2026)
          (100.0 *. (float_of_int sb /. float_of_int so -. 1.0)))
     Chain.all_compilers;
   Format.fprintf ppf "@]"
+
+(* ---- pre-Toolchain.config surface, kept one PR for migration ------- *)
+
+let legacy_config ?(jobs = 1) ?cache () : Toolchain.config =
+  { Toolchain.default with Toolchain.jobs; cache }
+
+let run_workload_opts ?nodes ?seed ?jobs ?cache () : workload_results =
+  run_workload ?nodes ?seed ~config:(legacy_config ?jobs ?cache ()) ()
+
+let print_ablation_opts (ppf : Format.formatter) ?nodes ?seed ?jobs ?cache () :
+  unit =
+  print_ablation ppf ?nodes ?seed ~config:(legacy_config ?jobs ?cache ()) ()
+
+let print_overestimation_opts (ppf : Format.formatter) ?nodes ?seed ?jobs
+    ?cache () : unit =
+  print_overestimation ppf ?nodes ?seed
+    ~config:(legacy_config ?jobs ?cache ()) ()

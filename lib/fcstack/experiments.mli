@@ -19,13 +19,15 @@ type workload_results = { wr_nodes : node_result list }
 
 val find_pc : node_result -> Chain.compiler -> per_compiler
 
-(** Build and measure every node under every configuration. [jobs > 1]
-    fans the per-node work out over that many domains ({!Par}); results
-    are merged by node index and identical to the sequential run.
-    [cache] shares WCET analyses across nodes and configurations
-    ({!Wcet.Memo}); it changes wall clock, never results. *)
+(** Build and measure every node under every configuration.
+    [config.jobs > 1] fans the per-node work out over that many domains
+    ({!Par}); results are merged by node index and identical to the
+    sequential run. [config.cache] shares WCET analyses across nodes,
+    configurations and (when persistent) process runs ({!Wcet.Memo});
+    it changes wall clock, never results. [config.compiler] is ignored:
+    the workload measures all four. *)
 val run_workload :
-  ?nodes:int -> ?seed:int -> ?jobs:int -> ?cache:Wcet.Memo.t -> unit ->
+  ?nodes:int -> ?seed:int -> ?config:Toolchain.config -> unit ->
   workload_results
 val total : workload_results -> Chain.compiler -> (per_compiler -> int) -> int
 
@@ -50,8 +52,26 @@ val print_annot_demo : Format.formatter -> unit
 (** Paper section 3.4 end to end. *)
 
 val print_ablation :
-  Format.formatter -> ?nodes:int -> ?seed:int -> ?jobs:int ->
-  ?cache:Wcet.Memo.t -> unit -> unit
+  Format.formatter -> ?nodes:int -> ?seed:int -> ?config:Toolchain.config ->
+  unit -> unit
 val print_overestimation :
+  Format.formatter -> ?nodes:int -> ?seed:int -> ?config:Toolchain.config ->
+  unit -> unit
+
+(** Pre-{!Toolchain.config} surface; removed next PR. *)
+
+val run_workload_opts :
+  ?nodes:int -> ?seed:int -> ?jobs:int -> ?cache:Wcet.Memo.t -> unit ->
+  workload_results
+[@@ocaml.deprecated "build a Toolchain.config and call run_workload ?config"]
+
+val print_ablation_opts :
   Format.formatter -> ?nodes:int -> ?seed:int -> ?jobs:int ->
   ?cache:Wcet.Memo.t -> unit -> unit
+[@@ocaml.deprecated "build a Toolchain.config and call print_ablation ?config"]
+
+val print_overestimation_opts :
+  Format.formatter -> ?nodes:int -> ?seed:int -> ?jobs:int ->
+  ?cache:Wcet.Memo.t -> unit -> unit
+[@@ocaml.deprecated
+  "build a Toolchain.config and call print_overestimation ?config"]

@@ -80,34 +80,57 @@ type node_result = {
 }
 
 (* Run the full per-node chain — ACG when given a SCADE node, then
-   compile under [compiler], link ([Layout.build] inside
+   compile under the config's compiler, link ([Layout.build] inside
    [Chain.build]), analyze and validate — for every node of a
-   workload, fanned out over [jobs] domains. [cache] is the shared
-   WCET-analysis cache: Wcet.Memo is sharded and mutex-protected, so
-   one cache may be handed to any number of concurrent workers without
-   perturbing results (a hit returns what a miss would compute). *)
-let run_chain ?jobs ?cache ?exact ?validate ?cycles ?worlds
-    (compiler : Chain.compiler) (nodes : (string * Minic.Ast.program) list) :
-  node_result list =
-  map_list ?jobs
+   workload, fanned out over [config.jobs] domains. The config's cache
+   is the shared WCET-analysis cache: Wcet.Memo is sharded and
+   mutex-protected, so one cache may be handed to any number of
+   concurrent workers without perturbing results (a hit returns what a
+   miss would compute). [exact]/[validate]/[cycles] stay per-call
+   knobs: they pick the semantics being checked, not how the toolchain
+   runs. *)
+let run_chain ?(config = Toolchain.default) ?exact ?validate ?cycles
+    (nodes : (string * Minic.Ast.program) list) : node_result list =
+  map_list ~jobs:config.Toolchain.jobs
     (fun (name, src) ->
-       let b = Chain.build ?exact ?validate compiler src in
+       let b = Chain.build ?exact ?validate config.Toolchain.compiler src in
        { pn_name = name;
          pn_asm = b.Chain.b_asm;
-         pn_wcet = (Chain.wcet ?cache b).Wcet.Report.rp_wcet;
-         pn_validation = Chain.validate_chain ?cycles ?worlds b })
+         pn_wcet = (Chain.wcet ~config b).Wcet.Report.rp_wcet;
+         pn_validation =
+           Chain.validate_chain ?cycles ?worlds:config.Toolchain.worlds b })
     nodes
 
 (* Same, starting from SCADE nodes (runs the ACG inside the worker). *)
-let run_chain_nodes ?jobs ?cache ?exact ?validate ?cycles ?worlds
-    (compiler : Chain.compiler) (nodes : Scade.Symbol.node list) :
-  node_result list =
-  map_list ?jobs
+let run_chain_nodes ?(config = Toolchain.default) ?exact ?validate ?cycles
+    (nodes : Scade.Symbol.node list) : node_result list =
+  map_list ~jobs:config.Toolchain.jobs
     (fun node ->
        let src = Scade.Acg.generate node in
-       let b = Chain.build ?exact ?validate compiler src in
+       let b = Chain.build ?exact ?validate config.Toolchain.compiler src in
        { pn_name = node.Scade.Symbol.n_name;
          pn_asm = b.Chain.b_asm;
-         pn_wcet = (Chain.wcet ?cache b).Wcet.Report.rp_wcet;
-         pn_validation = Chain.validate_chain ?cycles ?worlds b })
+         pn_wcet = (Chain.wcet ~config b).Wcet.Report.rp_wcet;
+         pn_validation =
+           Chain.validate_chain ?cycles ?worlds:config.Toolchain.worlds b })
     nodes
+
+(* pre-Toolchain.config surface, kept one PR for incremental migration *)
+let config_of ?jobs ?cache ?worlds (compiler : Chain.compiler) :
+  Toolchain.config =
+  { Toolchain.jobs = Option.value ~default:(default_jobs ()) jobs;
+    cache;
+    worlds;
+    compiler }
+
+let run_chain_opts ?jobs ?cache ?exact ?validate ?cycles ?worlds
+    (compiler : Chain.compiler) (nodes : (string * Minic.Ast.program) list) :
+  node_result list =
+  run_chain ~config:(config_of ?jobs ?cache ?worlds compiler) ?exact ?validate
+    ?cycles nodes
+
+let run_chain_nodes_opts ?jobs ?cache ?exact ?validate ?cycles ?worlds
+    (compiler : Chain.compiler) (nodes : Scade.Symbol.node list) :
+  node_result list =
+  run_chain_nodes ~config:(config_of ?jobs ?cache ?worlds compiler) ?exact
+    ?validate ?cycles nodes

@@ -28,16 +28,33 @@ type node_result = {
     differential-validation verdict. Structural — compare runs with [=]. *)
 
 val run_chain :
+  ?config:Toolchain.config -> ?exact:bool -> ?validate:bool -> ?cycles:int ->
+  (string * Minic.Ast.program) list -> node_result list
+(** Full per-node chain over named mini-C programs under one
+    {!Toolchain.config}: compiled with [config.compiler],
+    [config.jobs]-parallel, analyses shared through [config.cache]
+    (safely: sharded, mutex-per-shard; results are unchanged by hits),
+    validation battery from [config.worlds]. [exact]/[validate]/
+    [cycles] remain per-call semantic knobs. Default config:
+    sequential, memory-only cacheless, vcomp. *)
+
+val run_chain_nodes :
+  ?config:Toolchain.config -> ?exact:bool -> ?validate:bool -> ?cycles:int ->
+  Scade.Symbol.node list -> node_result list
+(** Same, from SCADE nodes: the ACG also runs inside the workers. *)
+
+val run_chain_opts :
   ?jobs:int -> ?cache:Wcet.Memo.t -> ?exact:bool -> ?validate:bool ->
   ?cycles:int -> ?worlds:int ->
   Chain.compiler -> (string * Minic.Ast.program) list -> node_result list
-(** Full per-node chain over named mini-C programs, [jobs]-parallel.
-    [cache] is a WCET-analysis cache safely shared by all workers
-    (sharded, mutex-per-shard; results are unchanged by hits).
-    [cycles]/[worlds] are passed to {!Chain.validate_chain}. *)
+[@@ocaml.deprecated "build a Toolchain.config and call run_chain ?config"]
+(** Pre-{!Toolchain.config} surface; removed next PR. Note its [jobs]
+    default is {!default_jobs}, as before. *)
 
-val run_chain_nodes :
+val run_chain_nodes_opts :
   ?jobs:int -> ?cache:Wcet.Memo.t -> ?exact:bool -> ?validate:bool ->
   ?cycles:int -> ?worlds:int ->
   Chain.compiler -> Scade.Symbol.node list -> node_result list
-(** Same, from SCADE nodes: the ACG also runs inside the workers. *)
+[@@ocaml.deprecated
+  "build a Toolchain.config and call run_chain_nodes ?config"]
+(** Pre-{!Toolchain.config} surface; removed next PR. *)

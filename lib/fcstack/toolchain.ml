@@ -1,0 +1,42 @@
+(* The unified toolchain configuration.
+
+   PR 3 left the public surface with ?cache/?jobs/?worlds optionals
+   scattered across Chain, Par and Experiments, and every new knob
+   multiplied across that surface. [config] consolidates them: one
+   record, built once (typically from CLI flags), threaded as a single
+   ?config through the chain entry points.
+
+   The compiler *type* lives here rather than in [Chain] so that the
+   config can name a configuration without a dependency cycle; [Chain]
+   re-exports it as an equation ([type compiler = Toolchain.compiler =
+   ...]), so [Chain.Cvcomp] et al. keep working. *)
+
+type compiler =
+  | Cdefault_o0   (* COTS baseline, certified pattern configuration *)
+  | Cdefault_o1   (* COTS baseline, optimized without register allocation *)
+  | Cdefault_o2   (* COTS baseline, fully optimized (incl. FMA contraction) *)
+  | Cvcomp        (* verified-style optimizing compiler (CompCert stand-in) *)
+
+type config = {
+  jobs : int;
+  (* WCET-analysis cache, possibly persistent (Wcet.Memo.create ?dir).
+     The handle lives here — in an explicit record the caller created —
+     never in a module-level global (the PR-2/PR-3 repo rule). *)
+  cache : Wcet.Memo.t option;
+  (* differential-validation battery size (None: Chain's default seeds) *)
+  worlds : int option;
+  compiler : compiler;
+}
+
+let default : config =
+  { jobs = 1; cache = None; worlds = None; compiler = Cvcomp }
+
+let config ?(jobs = 1) ?cache ?worlds ?(compiler = Cvcomp) () : config =
+  { jobs = max 1 jobs; cache; worlds; compiler }
+
+let with_jobs (jobs : int) (c : config) : config = { c with jobs = max 1 jobs }
+let with_cache (cache : Wcet.Memo.t option) (c : config) : config =
+  { c with cache }
+let with_worlds (worlds : int option) (c : config) : config = { c with worlds }
+let with_compiler (compiler : compiler) (c : config) : config =
+  { c with compiler }

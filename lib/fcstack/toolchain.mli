@@ -1,0 +1,41 @@
+(** The unified toolchain configuration: one record carrying the knobs
+    that used to be scattered [?cache]/[?jobs]/[?worlds] optionals
+    across {!Chain}, {!Par} and {!Experiments}, plus the compiler
+    configuration. Build it once (typically from CLI flags) and thread
+    it as a single [?config].
+
+    Invariant for future PRs: anything process-wide a chain entry point
+    needs belongs in this record — never a new scattered optional, and
+    never a module-level global (the cache handle in particular lives
+    only here and in the explicit [Wcet.Memo.t] the caller created). *)
+
+type compiler =
+  | Cdefault_o0  (** COTS baseline, certified pattern configuration *)
+  | Cdefault_o1  (** COTS baseline, optimized without register allocation *)
+  | Cdefault_o2  (** COTS baseline, fully optimized (FMA contraction on) *)
+  | Cvcomp       (** verified-style optimizing compiler *)
+(** Defined here (not in {!Chain}) so [config] can carry it; {!Chain}
+    re-exports the constructors, so [Chain.Cvcomp] remains valid. *)
+
+type config = {
+  jobs : int;                  (** Domains for per-node fan-out (≥ 1) *)
+  cache : Wcet.Memo.t option;  (** shared WCET-analysis cache, possibly
+                                   persistent ([Wcet.Memo.create ?dir]) *)
+  worlds : int option;         (** validation battery size (None: default
+                                   seeds of {!Chain.validate_chain}) *)
+  compiler : compiler;
+}
+
+val default : config
+(** [{ jobs = 1; cache = None; worlds = None; compiler = Cvcomp }] —
+    sequential, memory-only, verified-style. *)
+
+val config :
+  ?jobs:int -> ?cache:Wcet.Memo.t -> ?worlds:int -> ?compiler:compiler ->
+  unit -> config
+(** Build a config in one call; omitted fields take {!default}s. *)
+
+val with_jobs : int -> config -> config
+val with_cache : Wcet.Memo.t option -> config -> config
+val with_worlds : int option -> config -> config
+val with_compiler : compiler -> config -> config

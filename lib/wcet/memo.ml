@@ -126,11 +126,17 @@ type shard = {
   sh_mutex : Mutex.t;
   sh_table : (string, string * value) Hashtbl.t;  (* digest -> payload, value *)
   mutable sh_hits : int;
+  mutable sh_disk_hits : int;
   mutable sh_misses : int;
+  mutable sh_writes : int;
 }
 
 type t = {
   shards : shard array;
+  (* the persistent half ([Store]): probed on memory misses, written
+     through on [add]. [None] for a memory-only cache, or when the
+     directory turned out not to be writable (silent degradation). *)
+  store : Store.t option;
   (* phase-run counters (filled by [Driver] on misses), one mutex: six
      increments per miss are negligible next to the analysis itself *)
   ph_mutex : Mutex.t;
@@ -142,14 +148,17 @@ type t = {
   mutable ph_ipet : int;
 }
 
-let create ?(shards = 16) () : t =
+let create ?(shards = 16) ?dir ?gc_mb () : t =
   let shards = max 1 shards in
   { shards =
       Array.init shards (fun _ ->
           { sh_mutex = Mutex.create ();
             sh_table = Hashtbl.create 64;
             sh_hits = 0;
-            sh_misses = 0 });
+            sh_disk_hits = 0;
+            sh_misses = 0;
+            sh_writes = 0 });
+    store = Option.bind dir (fun dir -> Store.create ?gc_mb ~dir ());
     ph_mutex = Mutex.create ();
     ph_decode = 0;
     ph_value = 0;
@@ -157,6 +166,11 @@ let create ?(shards = 16) () : t =
     ph_cache = 0;
     ph_pipeline = 0;
     ph_ipet = 0 }
+
+let store_dir (t : t) : string option = Option.map Store.dir t.store
+
+let gc ?max_bytes (t : t) : unit =
+  Option.iter (Store.gc ?max_bytes) t.store
 
 let shard_of (t : t) (k : key) : shard =
   (* first two digest bytes: uniform for MD5, independent of shard count *)
@@ -167,6 +181,22 @@ let locked (m : Mutex.t) (f : unit -> 'a) : 'a =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
+(* Probe the persistent store on a memory miss. Runs under the shard
+   lock: other shards proceed, and a verified disk entry is promoted
+   into the memory table exactly once. A load failure of any kind
+   (absent, truncated, bit-flipped, version-mismatched entry) is
+   [None] by Store's contract — never an exception. *)
+let disk_probe (t : t) (sh : shard) (k : key) : value option =
+  match t.store with
+  | None -> None
+  | Some st ->
+    (match Store.load st ~digest:k.k_digest ~payload:k.k_payload with
+     | Some (report, annots) ->
+       let v = { cv_report = report; cv_annots = annots } in
+       Hashtbl.replace sh.sh_table k.k_digest (k.k_payload, v);
+       Some v
+     | None -> None)
+
 let find (t : t) (k : key) : value option =
   let sh = shard_of t k in
   locked sh.sh_mutex (fun () ->
@@ -175,8 +205,13 @@ let find (t : t) (k : key) : value option =
         sh.sh_hits <- sh.sh_hits + 1;
         Some v
       | Some _ (* digest collision: never serve the other entry *) | None ->
-        sh.sh_misses <- sh.sh_misses + 1;
-        None)
+        (match disk_probe t sh k with
+         | Some v ->
+           sh.sh_disk_hits <- sh.sh_disk_hits + 1;
+           Some v
+         | None ->
+           sh.sh_misses <- sh.sh_misses + 1;
+           None))
 
 (* Lookup without touching the hit/miss counters: for secondary
    consumers (annotation-file assembly) whose lookups would otherwise
@@ -186,12 +221,19 @@ let peek (t : t) (k : key) : value option =
   locked sh.sh_mutex (fun () ->
       match Hashtbl.find_opt sh.sh_table k.k_digest with
       | Some (payload, v) when String.equal payload k.k_payload -> Some v
-      | Some _ | None -> None)
+      | Some _ | None -> disk_probe t sh k)
 
 let add (t : t) (k : key) (v : value) : unit =
   let sh = shard_of t k in
   locked sh.sh_mutex (fun () ->
-      Hashtbl.replace sh.sh_table k.k_digest (k.k_payload, v))
+      Hashtbl.replace sh.sh_table k.k_digest (k.k_payload, v);
+      match t.store with
+      | None -> ()
+      | Some st ->
+        if
+          Store.save st ~digest:k.k_digest ~payload:k.k_payload
+            (v.cv_report, v.cv_annots)
+        then sh.sh_writes <- sh.sh_writes + 1)
 
 let length (t : t) : int =
   Array.fold_left
@@ -216,17 +258,22 @@ let count_phase (t : t option) (p : phase) : unit =
         | Pipet -> t.ph_ipet <- t.ph_ipet + 1)
 
 let stats (t : t) : Report.analysis_stats =
-  let hits = ref 0 and misses = ref 0 and entries = ref 0 in
+  let hits = ref 0 and disk_hits = ref 0 and misses = ref 0 in
+  let writes = ref 0 and entries = ref 0 in
   Array.iter
     (fun sh ->
        locked sh.sh_mutex (fun () ->
            hits := !hits + sh.sh_hits;
+           disk_hits := !disk_hits + sh.sh_disk_hits;
            misses := !misses + sh.sh_misses;
+           writes := !writes + sh.sh_writes;
            entries := !entries + Hashtbl.length sh.sh_table))
     t.shards;
   locked t.ph_mutex (fun () ->
       { Report.st_hits = !hits;
+        st_disk_hits = !disk_hits;
         st_misses = !misses;
+        st_writes = !writes;
         st_entries = !entries;
         st_decode = t.ph_decode;
         st_value = t.ph_value;

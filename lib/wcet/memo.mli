@@ -14,6 +14,12 @@
     serializing. A hit returns the same value a miss would compute, so
     caching never changes results (qcheck-enforced).
 
+    With [create ?dir] the cache gains a persistent on-disk half
+    ({!Store}): memory misses probe the store, finished analyses are
+    written through with crash-safe tmp+fsync+rename publication, and
+    a corrupted, truncated or version-mismatched entry is silently a
+    miss — never an error, never a wrong report.
+
     This is the only shared mutable state in the libraries; it exists
     solely as an explicit record threaded through
     [Driver.analyze ?cache] — never a module-level global. *)
@@ -36,12 +42,30 @@ val key : Target.Layout.t -> base:int -> Target.Asm.func -> key
 val digest : key -> string
 (** The key's MD5 digest (16 raw bytes), for logging/tests. *)
 
-val create : ?shards:int -> unit -> t
-(** Fresh empty cache; [shards] mutex-protected shards (default 16). *)
+val create : ?shards:int -> ?dir:string -> ?gc_mb:int -> unit -> t
+(** Fresh cache; [shards] mutex-protected shards (default 16).
+
+    [dir] attaches the persistent on-disk half ({!Store}): memory
+    misses probe [dir], and finished analyses are written through, so
+    analyses survive across process runs and may be shared by
+    concurrent processes pointing at one directory. An unusable [dir]
+    silently degrades to a memory-only cache. [gc_mb] is the size
+    budget {!gc} enforces. *)
+
+val store_dir : t -> string option
+(** The attached store's directory, when the cache is persistent. *)
+
+val gc : ?max_bytes:int -> t -> unit
+(** Evict least-recently-used store entries until the on-disk size fits
+    the budget ([max_bytes], defaulting to [create]'s [gc_mb]); no-op
+    for a memory-only cache or when no budget was configured. Callers
+    run this once at the end of a process run. *)
 
 val find : t -> key -> value option
-(** Lookup; counts a hit or a miss. A digest collision with a different
-    payload is reported as a miss, never as the colliding entry. *)
+(** Lookup; counts a memory hit, a disk hit or a miss. A digest
+    collision with a different payload is reported as a miss, never as
+    the colliding entry; so is a corrupted or version-mismatched disk
+    entry (the store re-verifies both stamps on every load). *)
 
 val peek : t -> key -> value option
 (** Like {!find} but leaves the hit/miss counters untouched — for

@@ -54,8 +54,10 @@ let to_string (r : t) : string = Format.asprintf "%a" pp r
    analysis (e.g. unbounded loop) shows decode > ipet. *)
 
 type analysis_stats = {
-  st_hits : int;
+  st_hits : int;        (* served from the in-memory table *)
+  st_disk_hits : int;   (* served from the persistent store *)
   st_misses : int;
+  st_writes : int;      (* entries persisted to the store *)
   st_entries : int;
   st_decode : int;
   st_value : int;
@@ -66,17 +68,19 @@ type analysis_stats = {
 }
 
 let hit_rate (st : analysis_stats) : float =
-  let total = st.st_hits + st.st_misses in
-  if total = 0 then 0.0
-  else 100.0 *. float_of_int st.st_hits /. float_of_int total
+  let hits = st.st_hits + st.st_disk_hits in
+  let total = hits + st.st_misses in
+  if total = 0 then 0.0 else 100.0 *. float_of_int hits /. float_of_int total
 
 let pp_stats (ppf : Format.formatter) (st : analysis_stats) : unit =
   Format.fprintf ppf
-    "@[<v>analysis cache   : %d hits, %d misses (%.1f%% hit rate), %d entries@,\
+    "@[<v>analysis cache   : %d memory hits, %d disk hits, %d misses \
+     (%.1f%% hit rate), %d entries, %d disk writes@,\
      phases run       : decode %d, value %d, bounds %d, cache %d, \
      pipeline %d, IPET %d@]"
-    st.st_hits st.st_misses (hit_rate st) st.st_entries st.st_decode
-    st.st_value st.st_bounds st.st_cache st.st_pipeline st.st_ipet
+    st.st_hits st.st_disk_hits st.st_misses (hit_rate st) st.st_entries
+    st.st_writes st.st_decode st.st_value st.st_bounds st.st_cache
+    st.st_pipeline st.st_ipet
 
 let stats_to_string (st : analysis_stats) : string =
   Format.asprintf "%a" pp_stats st

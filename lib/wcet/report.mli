@@ -27,9 +27,11 @@ val to_string : t -> string
     hit/miss/entry counts plus how often each analysis phase actually
     ran (a hit runs none). Snapshots come from [Memo.stats]. *)
 type analysis_stats = {
-  st_hits : int;
+  st_hits : int;       (** served from the in-memory table *)
+  st_disk_hits : int;  (** served from the persistent on-disk store *)
   st_misses : int;
-  st_entries : int;    (** distinct cached analyses *)
+  st_writes : int;     (** entries persisted to the store this run *)
+  st_entries : int;    (** distinct cached analyses (in memory) *)
   st_decode : int;     (** CFG reconstructions run *)
   st_value : int;
   st_bounds : int;
@@ -39,7 +41,8 @@ type analysis_stats = {
 }
 
 val hit_rate : analysis_stats -> float
-(** Percentage of lookups served from cache (0 when no lookups). *)
+(** Percentage of lookups served from cache — memory or disk (0 when
+    no lookups). *)
 
 val pp_stats : Format.formatter -> analysis_stats -> unit
 val stats_to_string : analysis_stats -> string

@@ -1,0 +1,76 @@
+(** Disk-backed persistence for the content-addressed analysis cache.
+
+    A {!Store.t} is the on-disk half of {!Memo}: one file per finished
+    analysis under [<dir>/<first-2-hex>/<digest-hex>], so analyses
+    survive across process runs ([bench]/[aitw]/[fcc] invocations) and
+    may be shared by concurrent processes pointing at one directory.
+
+    {b Entry format.} [ "VCWS1" ^ md5(body) ^ body ] where [body] is the
+    marshalled quadruple [(toolchain_version, key payload, Report.t,
+    Annotfile.entry list)]. A load verifies the magic, the whole-body
+    MD5 (catching truncation and bit flips), the version stamp and the
+    stored key payload; {e any} mismatch — including an unreadable or
+    partially written file — is silently a miss, never an error.
+
+    {b Crash safety.} A save marshals to a [.tmp] file in the same
+    subdirectory, [fsync]s it and [rename]s it into place, so a
+    [kill -9] mid-write or a concurrent [bench -j] process can never
+    publish a torn entry: readers see either the old state or the
+    complete new entry.
+
+    {b GC.} Entry use (disk hit or write) appends the digest to a small
+    [index] file; {!gc} evicts least-recently-used entries until the
+    store fits the configured byte budget. The index is advisory: if it
+    is lost or corrupted, eviction order degrades to file mtimes, and
+    entries remain valid.
+
+    The store itself holds no analysis logic — {!Memo} decides what to
+    look up and what to publish. *)
+
+type t
+
+val toolchain_version : string
+(** Version stamp written into every entry and required on load.
+    {b Bump this whenever the analysis semantics, [Report.t] or
+    [Annotfile.entry] change}: stale entries then miss and are
+    recomputed (the stamp is the first, always-[string] component of
+    the marshalled body, so the check is safe even across type
+    changes). The OCaml compiler version is included because the
+    entries are [Marshal] images. *)
+
+val create : ?gc_mb:int -> dir:string -> unit -> t option
+(** Open (creating if needed) the store rooted at [dir]. [gc_mb] is the
+    size budget {!gc} enforces, in MiB. Returns [None] when the
+    directory cannot be created or written — callers degrade to a
+    memory-only cache. *)
+
+val dir : t -> string
+
+val load :
+  t -> digest:string -> payload:string ->
+  (Report.t * Annotfile.entry list) option
+(** Look the entry up on disk and verify magic, body MD5, version stamp
+    and [payload]. A verified hit records a use in the index. Never
+    raises: corruption of any kind is a miss. *)
+
+val save :
+  t -> digest:string -> payload:string ->
+  Report.t * Annotfile.entry list -> bool
+(** Publish an entry (tmp + fsync + rename). Returns [true] iff a new
+    file was written; an already-present entry is only touched in the
+    index. I/O failure is silent ([false]) — the cache degrades, the
+    toolchain does not. *)
+
+val gc : ?max_bytes:int -> t -> unit
+(** Evict least-recently-used entries until total entry size is within
+    [max_bytes] (default: the budget from [create ?gc_mb]; no-op when
+    neither is given). Recency is the index order; entries unknown to
+    the index are evicted first, oldest mtime first. Robust against
+    concurrent writers: a vanished file is skipped, and the index is
+    rewritten atomically. *)
+
+val size_bytes : t -> int
+(** Total size of all entry files (for tests and accounting). *)
+
+val entries : t -> string list
+(** Hex digests of the entries currently on disk (unordered). *)

@@ -16,6 +16,11 @@ let build_src (text : string) : Minic.Ast.program =
   Minic.Typecheck.check_program_exn p;
   p
 
+(* Chain.wcet takes a whole Toolchain.config; these tests only vary the
+   cache field *)
+let wcet_c ~(cache : Wcet.Memo.t) (b : Fcstack.Chain.built) : Wcet.Report.t =
+  Fcstack.Chain.wcet ~config:(Fcstack.Toolchain.config ~cache ()) b
+
 (* ---- cached == uncached, on random programs, with a cache shared
    across iterations and compilers so hits actually occur ---- *)
 
@@ -65,8 +70,8 @@ let soundness_through_hits_prop =
          (fun comp ->
             let b = Fcstack.Chain.build ~exact:true comp p in
             match
-              ( Fcstack.Chain.wcet ~cache b,
-                Fcstack.Chain.wcet ~cache b (* hit *) )
+              ( wcet_c ~cache b,
+                wcet_c ~cache b (* hit *) )
             with
             | r1, r2 ->
               r1 = r2
@@ -153,8 +158,8 @@ let test_hit_across_names () =
   let bA = Fcstack.Chain.build Fcstack.Chain.Cvcomp srcA in
   let bB = Fcstack.Chain.build Fcstack.Chain.Cvcomp srcB in
   let cache = Wcet.Memo.create () in
-  let rA = Fcstack.Chain.wcet ~cache bA in
-  let rB = Fcstack.Chain.wcet ~cache bB in
+  let rA = wcet_c ~cache bA in
+  let rB = wcet_c ~cache bB in
   let st = Wcet.Memo.stats cache in
   checki "second analysis is a hit" 1 st.Wcet.Report.st_hits;
   checki "one analysis computed" 1 st.Wcet.Report.st_misses;
@@ -214,12 +219,12 @@ let test_phase_accounting () =
   in
   let b = Fcstack.Chain.build Fcstack.Chain.Cvcomp src in
   let cache = Wcet.Memo.create () in
-  ignore (Fcstack.Chain.wcet ~cache b);
+  ignore (wcet_c ~cache b);
   let st1 = Wcet.Memo.stats cache in
   checki "decode ran once" 1 st1.Wcet.Report.st_decode;
   checki "IPET ran once" 1 st1.Wcet.Report.st_ipet;
-  ignore (Fcstack.Chain.wcet ~cache b);
-  ignore (Fcstack.Chain.wcet ~cache b);
+  ignore (wcet_c ~cache b);
+  ignore (wcet_c ~cache b);
   let st2 = Wcet.Memo.stats cache in
   checki "hits counted" 2 st2.Wcet.Report.st_hits;
   checki "no further decode" 1 st2.Wcet.Report.st_decode;
@@ -241,7 +246,7 @@ let test_failure_not_cached () =
   let b = Fcstack.Chain.build Fcstack.Chain.Cvcomp src in
   let cache = Wcet.Memo.create () in
   let attempt () =
-    match Fcstack.Chain.wcet ~cache b with
+    match wcet_c ~cache b with
     | _ -> Alcotest.fail "unbounded loop must be refused"
     | exception Wcet.Driver.Error _ -> ()
   in

@@ -67,14 +67,17 @@ let par_equals_seq_prop =
        let nodes = 3 + (seed land 3) in
        let workload = named_workload ~nodes ~seed:(1000 + seed) in
        List.for_all
-         (fun comp ->
+         (fun compiler ->
+            let config jobs =
+              Fcstack.Toolchain.config ~jobs ~worlds:2 ~compiler ()
+            in
             let seq =
-              Fcstack.Par.run_chain ~jobs:1 ~exact:true ~cycles:2 ~worlds:2
-                comp workload
+              Fcstack.Par.run_chain ~config:(config 1) ~exact:true ~cycles:2
+                workload
             in
             let par =
-              Fcstack.Par.run_chain ~jobs:4 ~exact:true ~cycles:2 ~worlds:2
-                comp workload
+              Fcstack.Par.run_chain ~config:(config 4) ~exact:true ~cycles:2
+                workload
             in
             seq = par)
          [ Fcstack.Chain.Cvcomp; Fcstack.Chain.Cdefault_o0 ])
@@ -86,8 +89,11 @@ let workload_par_equals_seq_prop =
     QCheck.small_int
     (fun seed ->
        let nodes = 4 + (seed land 3) in
-       Fcstack.Experiments.run_workload ~nodes ~seed:(2000 + seed) ~jobs:4 ()
-       = Fcstack.Experiments.run_workload ~nodes ~seed:(2000 + seed) ~jobs:1 ())
+       let config jobs = Fcstack.Toolchain.config ~jobs () in
+       Fcstack.Experiments.run_workload ~nodes ~seed:(2000 + seed)
+         ~config:(config 4) ()
+       = Fcstack.Experiments.run_workload ~nodes ~seed:(2000 + seed)
+           ~config:(config 1) ())
 
 (* ---- soundness oracle over a parallel run ---- *)
 
@@ -97,7 +103,9 @@ let test_parallel_wcet_soundness () =
   let program = Scade.Workload.flight_program ~nodes:8 ~seed:3131 in
   let named = List.map (fun (n, src) -> (n.Scade.Symbol.n_name, src)) program in
   let results =
-    Fcstack.Par.run_chain ~jobs:4 ~exact:true Fcstack.Chain.Cvcomp named
+    Fcstack.Par.run_chain
+      ~config:(Fcstack.Toolchain.config ~jobs:4 ~compiler:Fcstack.Chain.Cvcomp ())
+      ~exact:true named
   in
   List.iter2
     (fun (name, src) r ->
@@ -166,7 +174,9 @@ let test_shared_cache_across_domains () =
   in
   let analyze ?cache (b : Fcstack.Chain.built) :
     (Wcet.Report.t, string) Result.t =
-    match Fcstack.Chain.wcet ?cache b with
+    match
+      Fcstack.Chain.wcet ~config:(Fcstack.Toolchain.config ?cache ()) b
+    with
     | r -> Ok r
     | exception Wcet.Driver.Error m -> Error m
   in
