@@ -132,8 +132,20 @@ let run_maybe_parallel (name : string) (config : Fcstack.Toolchain.config)
     par
   end
 
+(* Hidden chaos mode (--chaos): run the deterministic fault-injection
+   harness (Fcstack.Chaos) instead of the experiments. Everything goes
+   to stderr; exit 0 when every containment check held, 1 otherwise.
+   CI drives this with a pinned seed. *)
+let run_chaos (seed : int) : int =
+  let r = Fcstack.Chaos.run ~seed () in
+  Format.eprintf "%a@." Fcstack.Chaos.print_report r;
+  if r.Fcstack.Chaos.ch_problems = [] then 0 else 1
+
 let run_bench (experiment : string) (nodes : int) (jobs : int)
+    (chaos : bool) (chaos_seed : int)
     (copts : Fcstack.Cliopts.cache_opts) : int =
+  if chaos then run_chaos chaos_seed
+  else begin
   let want (e : string) : bool = experiment = "all" || experiment = e in
   (* one shared analysis cache for the whole process: experiments and
      domains all feed it (content-addressed, so sharing across compiler
@@ -141,8 +153,14 @@ let run_bench (experiment : string) (nodes : int) (jobs : int)
   let config = Fcstack.Cliopts.config_of_opts ~jobs copts in
   let workload =
     lazy
-      (run_maybe_parallel "workload" config (fun ~config ->
-           Fcstack.Experiments.run_workload ~nodes ~config ()))
+      (let wr =
+         run_maybe_parallel "workload" config (fun ~config ->
+             Fcstack.Experiments.run_workload ~nodes ~config ())
+       in
+       (* per-node failures: stderr-only summary, tables show survivors *)
+       Fcstack.Diag.print_summary ~total:nodes
+         wr.Fcstack.Experiments.wr_diags;
+       wr)
   in
   if want "listings" then begin
     sep "Experiment listing-1-2";
@@ -181,6 +199,7 @@ let run_bench (experiment : string) (nodes : int) (jobs : int)
   Fcstack.Cliopts.report_stats ~always:true config;
   Fcstack.Cliopts.finalize config;
   0
+  end
 
 open Cmdliner
 
@@ -200,12 +219,25 @@ let jobs_arg =
           experiment is also timed sequentially and the comparison goes \
           to stderr (stdout tables stay byte-identical)."
 
+(* maintenance flags, hidden from the man page *)
+let chaos_arg =
+  Arg.(value & flag
+       & info [ "chaos" ] ~docs:Manpage.s_none
+           ~doc:"Run the deterministic fault-injection harness instead \
+                 of the experiments (report on stderr; exit 1 on any \
+                 containment violation).")
+
+let chaos_seed_arg =
+  Arg.(value & opt int 20260806
+       & info [ "chaos-seed" ] ~docv:"SEED" ~docs:Manpage.s_none
+           ~doc:"Seed for --chaos fault selection.")
+
 let cmd =
   let doc = "regenerate the paper's evaluation tables and figures" in
   Cmd.v
     (Cmd.info "bench" ~doc)
     Term.(
       const run_bench $ experiment_arg $ nodes_arg $ jobs_arg
-      $ Fcstack.Cliopts.cache_term)
+      $ chaos_arg $ chaos_seed_arg $ Fcstack.Cliopts.cache_term)
 
 let () = exit (Cmd.eval' cmd)

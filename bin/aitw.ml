@@ -35,70 +35,77 @@ let observed_max (b : Fcstack.Chain.built) (seeds : int list) : int =
        max acc rr.Target.Sim.rr_stats.Target.Sim.cycles)
     0 seeds
 
-(* Analyze one file; the report text is accumulated in a buffer so that
-   parallel runs can print results strictly in input order. *)
+(* Analyze one file with per-stage containment: any failure becomes a
+   [Diag.t] naming the file and the stage and costs exactly this file.
+   The report text is accumulated in a buffer so that parallel runs can
+   print results strictly in input order. *)
 let analyze_file ~(config : Fcstack.Toolchain.config) (compare_all : bool)
     (simulate : bool) (annot_out : string option) (file : string) :
-  string * string * int =
-  let out = Buffer.create 1024 and err = Buffer.create 64 in
-  let code =
-    try
-      let src = Minic.Parser.parse_program (read_file file) in
-      Minic.Typecheck.check_program_exn src;
-      let analyze_one (comp : Fcstack.Chain.compiler) : unit =
-        let b = Fcstack.Chain.build comp src in
-        (match annot_out with
-         | Some path ->
-           (* cache-aware assembly: fragments of already-analyzed
-              functions come from the cache (same bytes either way) *)
-           let entries =
-             Wcet.Driver.annotations ?cache:config.Fcstack.Toolchain.cache
-               b.Fcstack.Chain.b_asm b.Fcstack.Chain.b_layout
-           in
-           let oc = open_out path in
-           output_string oc (Wcet.Annotfile.render entries);
-           close_out oc;
-           Buffer.add_string out
-             (Printf.sprintf "annotation file written to %s\n" path)
-         | None -> ());
-        let report = Fcstack.Chain.wcet ~config b in
-        Buffer.add_string out
-          (Printf.sprintf "--- %s ---\n"
-             (Fcstack.Chain.compiler_description comp));
-        Buffer.add_string out (Wcet.Report.to_string report);
-        if simulate then begin
-          let m = observed_max b [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  string * Fcstack.Diag.t option =
+  let open Fcstack in
+  let out = Buffer.create 1024 in
+  let ( let* ) = Result.bind in
+  let outcome : (unit, Diag.t) Result.t =
+    let* src =
+      Diag.capture ~node:file ~stage:Diag.Parse (fun () ->
+          Minic.Parser.parse_program (read_file file))
+    in
+    let* () =
+      match Minic.Typecheck.check_program src with
+      | Ok () -> Ok ()
+      | Error e ->
+        Error
+          (Diag.make ~node:file ~stage:Diag.Typecheck
+             (Minic.Typecheck.error_to_string e))
+    in
+    (* the remaining chain is analysis-dominated; [Diag.of_exn] routes
+       recognizable escapes (refusals, simulator errors) to their own
+       stages regardless of this fallback *)
+    Diag.capture ~node:file ~stage:Diag.Wcet (fun () ->
+        let analyze_one (comp : Fcstack.Chain.compiler) : unit =
+          let b = Fcstack.Chain.build comp src in
+          (match annot_out with
+           | Some path ->
+             (* cache-aware assembly: fragments of already-analyzed
+                functions come from the cache (same bytes either way) *)
+             let entries =
+               Wcet.Driver.annotations ?cache:config.Fcstack.Toolchain.cache
+                 ~fuel:config.Fcstack.Toolchain.analysis_fuel
+                 b.Fcstack.Chain.b_asm b.Fcstack.Chain.b_layout
+             in
+             let oc = open_out path in
+             output_string oc (Wcet.Annotfile.render entries);
+             close_out oc;
+             Buffer.add_string out
+               (Printf.sprintf "annotation file written to %s\n" path)
+           | None -> ());
+          let report = Fcstack.Chain.wcet ~config b in
           Buffer.add_string out
-            (Printf.sprintf "  max observed      : %d cycles (8 random worlds)\n"
-               m);
-          Buffer.add_string out
-            (Printf.sprintf "  overestimation    : %+.1f%%\n"
-               (100.0
-                *. (float_of_int report.Wcet.Report.rp_wcet /. float_of_int m
-                    -. 1.0)))
-        end;
-        Buffer.add_char out '\n'
-      in
-      if compare_all then List.iter analyze_one Fcstack.Chain.all_compilers
-      else analyze_one config.Fcstack.Toolchain.compiler;
-      0
-    with
-    | Minic.Parser.Parse_error msg | Minic.Lexer.Lex_error (msg, _) ->
-      Buffer.add_string err (Printf.sprintf "%s: parse error: %s\n" file msg);
-      2
-    | Wcet.Driver.Error msg ->
-      Buffer.add_string err
-        (Printf.sprintf "%s: WCET analysis failed: %s\n" file msg);
-      1
-    | Invalid_argument msg ->
-      Buffer.add_string err (Printf.sprintf "%s: %s\n" file msg);
-      2
+            (Printf.sprintf "--- %s ---\n"
+               (Fcstack.Chain.compiler_description comp));
+          Buffer.add_string out (Wcet.Report.to_string report);
+          if simulate then begin
+            let m = observed_max b [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+            Buffer.add_string out
+              (Printf.sprintf
+                 "  max observed      : %d cycles (8 random worlds)\n" m);
+            Buffer.add_string out
+              (Printf.sprintf "  overestimation    : %+.1f%%\n"
+                 (100.0
+                  *. (float_of_int report.Wcet.Report.rp_wcet /. float_of_int m
+                      -. 1.0)))
+          end;
+          Buffer.add_char out '\n'
+        in
+        if compare_all then List.iter analyze_one Fcstack.Chain.all_compilers
+        else analyze_one config.Fcstack.Toolchain.compiler)
   in
-  (Buffer.contents out, Buffer.contents err, code)
+  (Buffer.contents out,
+   match outcome with Ok () -> None | Error d -> Some d)
 
 let run (files : string list) (compiler : string) (compare_all : bool)
     (simulate : bool) (annot_out : string option) (jobs : int)
-    (copts : Fcstack.Cliopts.cache_opts) : int =
+    (fail_fast : bool) (copts : Fcstack.Cliopts.cache_opts) : int =
   match Fcstack.Chain.compiler_of_string compiler with
   | Error msg ->
     prerr_endline msg;
@@ -113,20 +120,36 @@ let run (files : string list) (compiler : string) (compare_all : bool)
          for all files and configurations; Wcet.Memo is sharded and
          mutex-protected, so the -j domains share it directly *)
       let config =
-        Fcstack.Cliopts.config_of_opts ~jobs ~compiler:comp copts
+        Fcstack.Cliopts.config_of_opts ~jobs ~compiler:comp ~fail_fast copts
       in
+      let total = List.length files in
       let results =
         Fcstack.Par.map_list ~jobs:config.Fcstack.Toolchain.jobs
           (analyze_file ~config compare_all simulate annot_out)
           files
       in
-      List.iter (fun (out, _, _) -> print_string out) results;
-      List.iter (fun (_, err, _) -> prerr_string err) results;
-      (* stderr only (and only for persistent caches): stdout reports
-         stay byte-identical across cache configurations *)
+      (* --fail-fast: the first failing file (input order) aborts the
+         run; nothing after it is reported *)
+      let results =
+        if fail_fast then
+          let rec upto = function
+            | [] -> []
+            | ((_, d) as r) :: rest ->
+              if d = None then r :: upto rest else [ r ]
+          in
+          upto results
+        else results
+      in
+      List.iter (fun (out, _) -> print_string out) results;
+      let diags = List.filter_map snd results in
+      (* diagnostics, failure summary and cache accounting are
+         stderr-only: stdout reports stay byte-identical across
+         fail_fast/cache/jobs configurations *)
+      Fcstack.Diag.print_summary ~total diags;
       Fcstack.Cliopts.report_stats config;
       Fcstack.Cliopts.finalize config;
-      List.fold_left (fun acc (_, _, code) -> max acc code) 0 results
+      if fail_fast && diags <> [] then 2
+      else Fcstack.Diag.exit_code ~total ~failed:(List.length diags)
     end
 
 open Cmdliner
@@ -163,6 +186,7 @@ let cmd =
     (Cmd.info "aitw" ~doc)
     Term.(
       const run $ files_arg $ compiler_arg $ compare_arg $ simulate_arg
-      $ annot_out_arg $ jobs_arg $ Fcstack.Cliopts.cache_term)
+      $ annot_out_arg $ jobs_arg $ Fcstack.Cliopts.fail_fast_term
+      $ Fcstack.Cliopts.cache_term)
 
 let () = exit (Cmd.eval' cmd)

@@ -25,70 +25,99 @@ let read_file (path : string) : string =
   s
 
 (* Per-file result, rendered strictly in input order so that -j N
-   output is byte-identical to -j 1. *)
+   output is byte-identical to -j 1. A failed file carries its
+   diagnostic instead of output; successful files are unaffected. *)
 type file_result = {
   fr_rtl : string;   (* --dump-rtl text, always on stdout *)
   fr_asm : string;   (* assembly text; stdout, or the -o file *)
   fr_stderr : string;
-  fr_code : int;
+  fr_diag : Fcstack.Diag.t option;
 }
 
+(* Compile one file with per-stage containment: a failure at any stage
+   becomes a [Diag.t] naming the file and the stage, and costs exactly
+   this file — exceptions never escape. *)
 let compile_file (comp : Fcstack.Chain.compiler) (validate : bool)
-    (dump_rtl : bool) (exact : bool) (file : string) : file_result =
+    (dump_rtl : bool) (exact : bool)
+    (sim_fuel : int option) (file : string) : file_result =
+  let open Fcstack in
   let rtl_dump = Buffer.create 64 and err = Buffer.create 64 in
   let asm = ref "" in
-  let code =
-    try
-      let src = Minic.Parser.parse_program (read_file file) in
-      Minic.Typecheck.check_program_exn src;
-      if dump_rtl then begin
-        let rtl, _ = Vcomp.Driver.compile_with_rtl src in
-        List.iter
-          (fun f -> Buffer.add_string rtl_dump (Vcomp.Rtl.dump_func f))
-          rtl.Vcomp.Rtl.p_funcs
-      end;
-      let b =
-        Fcstack.Chain.build ~exact
-          ~validate:(validate && comp = Fcstack.Chain.Cvcomp) comp src
+  let ( let* ) = Result.bind in
+  let outcome : (unit, Diag.t) Result.t =
+    let* src =
+      Diag.capture ~node:file ~stage:Diag.Parse (fun () ->
+          Minic.Parser.parse_program (read_file file))
+    in
+    let* () =
+      match Minic.Typecheck.check_program src with
+      | Ok () -> Ok ()
+      | Error e ->
+        Error
+          (Diag.make ~node:file ~stage:Diag.Typecheck
+             (Minic.Typecheck.error_to_string e))
+    in
+    let* b =
+      Diag.capture ~node:file ~stage:Diag.Compile (fun () ->
+          if dump_rtl then begin
+            let rtl, _ = Vcomp.Driver.compile_with_rtl src in
+            List.iter
+              (fun f -> Buffer.add_string rtl_dump (Vcomp.Rtl.dump_func f))
+              rtl.Vcomp.Rtl.p_funcs
+          end;
+          Fcstack.Chain.build ~exact
+            ~validate:(validate && comp = Fcstack.Chain.Cvcomp) comp src)
+    in
+    asm := Target.Emit.program_to_string b.Fcstack.Chain.b_asm;
+    if validate then
+      let* verdict =
+        Diag.capture ~node:file ~stage:Diag.Sim (fun () ->
+            Fcstack.Chain.validate_chain ?sim_fuel b)
       in
-      asm := Target.Emit.program_to_string b.Fcstack.Chain.b_asm;
-      if validate then begin
-        match Fcstack.Chain.validate_chain b with
-        | Ok () ->
-          Buffer.add_string err
-            "validation: machine code matches source semantics\n";
-          0
-        | Error msg ->
-          Buffer.add_string err (Printf.sprintf "validation FAILED:\n%s\n" msg);
-          1
-      end
-      else 0
-    with
-    | Minic.Parser.Parse_error msg | Minic.Lexer.Lex_error (msg, _) ->
-      Buffer.add_string err (Printf.sprintf "%s: parse error: %s\n" file msg);
-      2
-    | Invalid_argument msg ->
-      Buffer.add_string err (Printf.sprintf "%s: %s\n" file msg);
-      2
+      match verdict with
+      | Ok () ->
+        Buffer.add_string err
+          "validation: machine code matches source semantics\n";
+        Ok ()
+      | Error msg ->
+        Error
+          (Diag.make ~node:file ~stage:Diag.Sim ("validation FAILED: " ^ msg))
+    else Ok ()
   in
   { fr_rtl = Buffer.contents rtl_dump;
     fr_asm = !asm;
     fr_stderr = Buffer.contents err;
-    fr_code = code }
+    fr_diag = (match outcome with Ok () -> None | Error d -> Some d) }
 
 let run (files : string list) (compiler : string) (output : string option)
     (validate : bool) (dump_rtl : bool) (exact : bool) (jobs : int)
-    (copts : Fcstack.Cliopts.cache_opts) : int =
+    (fail_fast : bool) (copts : Fcstack.Cliopts.cache_opts) : int =
   match Fcstack.Chain.compiler_of_string compiler with
   | Error msg ->
     prerr_endline msg;
     2
   | Ok comp ->
-    let config = Fcstack.Cliopts.config_of_opts ~jobs ~compiler:comp copts in
+    let config =
+      Fcstack.Cliopts.config_of_opts ~jobs ~compiler:comp ~fail_fast copts
+    in
+    let total = List.length files in
     let results =
       Fcstack.Par.map_list ~jobs:config.Fcstack.Toolchain.jobs
-        (compile_file config.Fcstack.Toolchain.compiler validate dump_rtl exact)
+        (compile_file config.Fcstack.Toolchain.compiler validate dump_rtl
+           exact config.Fcstack.Toolchain.sim_fuel)
         files
+    in
+    (* --fail-fast: the first failing file (input order) aborts the
+       run — nothing after it is emitted, its diagnostic is the only
+       one reported, and the exit is total failure *)
+    let results =
+      if fail_fast then
+        let rec upto = function
+          | [] -> []
+          | r :: rest -> if r.fr_diag = None then r :: upto rest else [ r ]
+        in
+        upto results
+      else results
     in
     (* deterministic merge: input order, stdout/-o then stderr per file *)
     (match output with
@@ -100,9 +129,14 @@ let run (files : string list) (compiler : string) (output : string option)
      | None ->
        List.iter (fun r -> print_string r.fr_rtl; print_string r.fr_asm) results);
     List.iter (fun r -> prerr_string r.fr_stderr) results;
+    let diags = List.filter_map (fun r -> r.fr_diag) results in
+    (* diagnostics and the failure summary are stderr-only: stdout is
+       byte-identical across fail_fast/cache/jobs configurations *)
+    Fcstack.Diag.print_summary ~total diags;
     (* cache maintenance only: fcc never analyzes, so no stats *)
     Fcstack.Cliopts.finalize config;
-    List.fold_left (fun acc r -> max acc r.fr_code) 0 results
+    if fail_fast && diags <> [] then 2
+    else Fcstack.Diag.exit_code ~total ~failed:(List.length diags)
 
 open Cmdliner
 
@@ -144,6 +178,7 @@ let cmd =
     (Cmd.info "fcc" ~doc)
     Term.(
       const run $ files_arg $ compiler_arg $ output_arg $ validate_arg
-      $ dump_rtl_arg $ exact_arg $ jobs_arg $ Fcstack.Cliopts.cache_term)
+      $ dump_rtl_arg $ exact_arg $ jobs_arg $ Fcstack.Cliopts.fail_fast_term
+      $ Fcstack.Cliopts.cache_term)
 
 let () = exit (Cmd.eval' cmd)

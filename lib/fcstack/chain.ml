@@ -74,22 +74,23 @@ let build ?exact ?validate (c : compiler) (src : Minic.Ast.program) : built =
     b_layout = Target.Layout.build src asm;
     b_compiler = c }
 
-(* Run the built node on the simulator. *)
-let simulate ?cycles (b : built) (w : Minic.Interp.world) : Target.Sim.run_result =
-  Target.Sim.run ?cycles ~source:b.b_source b.b_asm b.b_layout w []
+(* Run the built node on the simulator. [fuel] bounds the executed
+   steps (Target.Sim's default otherwise): a diverging program raises
+   Minic.Interp.Out_of_fuel instead of hanging the pipeline. *)
+let simulate ?cycles ?fuel (b : built) (w : Minic.Interp.world) :
+  Target.Sim.run_result =
+  Target.Sim.run ?cycles ?fuel ~source:b.b_source b.b_asm b.b_layout w []
 
 (* Static WCET of the built node's entry point. The config's cache
    shares finished per-function analyses across nodes, compiler
    configurations and — when persistent — process runs
-   (content-addressed: hits require identical code and placement, so
-   results never change — see Wcet.Memo). Only the [cache] field is
-   consulted: the node is already built. *)
+   (content-addressed: hits require identical code, placement and fuel
+   budgets, so results never change — see Wcet.Memo). Only the [cache]
+   and [analysis_fuel] fields are consulted: the node is already
+   built. *)
 let wcet ?(config = Toolchain.default) (b : built) : Wcet.Report.t =
-  Wcet.Driver.analyze ?cache:config.Toolchain.cache b.b_asm b.b_layout
-
-(* pre-Toolchain.config surface, kept one PR for incremental migration *)
-let wcet_cached ?cache (b : built) : Wcet.Report.t =
-  Wcet.Driver.analyze ?cache b.b_asm b.b_layout
+  Wcet.Driver.analyze ?cache:config.Toolchain.cache
+    ~fuel:config.Toolchain.analysis_fuel b.b_asm b.b_layout
 
 (* Whole-chain differential validation: the machine code must produce
    the same observable behaviour as the source interpreter on a battery
@@ -103,8 +104,8 @@ let wcet_cached ?cache (b : built) : Wcet.Report.t =
    battery costs only interpreter/simulator runs. [~worlds:n] is the
    batch form — seeds 1..n — used by the qcheck trace-equivalence
    harness; [~seeds] picks the battery explicitly. *)
-let validate_chain ?(cycles = 4) ?worlds ?(seeds = [ 1; 2; 3 ]) (b : built) :
-  (unit, string) Result.t =
+let validate_chain ?(cycles = 4) ?worlds ?(seeds = [ 1; 2; 3 ]) ?sim_fuel
+    (b : built) : (unit, string) Result.t =
   let seeds =
     match worlds with
     | Some n -> List.init n (fun i -> i + 1)
@@ -113,7 +114,7 @@ let validate_chain ?(cycles = 4) ?worlds ?(seeds = [ 1; 2; 3 ]) (b : built) :
   let check (seed : int) : (unit, string) Result.t =
     let w () = Minic.Interp.seeded_world ~seed () in
     let ri = Minic.Interp.run_cycles b.b_source (w ()) ~cycles in
-    let rs = (simulate ~cycles b (w ())).Target.Sim.rr_result in
+    let rs = (simulate ~cycles ?fuel:sim_fuel b (w ())).Target.Sim.rr_result in
     if Minic.Interp.result_equal ri rs then Ok ()
     else
       Error

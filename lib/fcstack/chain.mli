@@ -35,22 +35,25 @@ val build :
   ?exact:bool -> ?validate:bool -> compiler -> Minic.Ast.program -> built
 
 val simulate :
-  ?cycles:int -> built -> Minic.Interp.world -> Target.Sim.run_result
+  ?cycles:int -> ?fuel:int -> built -> Minic.Interp.world ->
+  Target.Sim.run_result
+(** [fuel] bounds the executed machine steps ([Target.Sim]'s default
+    otherwise).
+    @raise Minic.Interp.Out_of_fuel when it runs out — a diverging
+    program never hangs the pipeline. *)
 
 val wcet : ?config:Toolchain.config -> built -> Wcet.Report.t
 (** Static WCET of the built node's entry point. Only the config's
-    [cache] field is consulted (the node is already built); it shares
-    finished analyses across nodes, configurations and — when
-    persistent — process runs (identical results, fewer
-    recomputations).
-    @raise Wcet.Driver.Error when the analyzer refuses. *)
-
-val wcet_cached : ?cache:Wcet.Memo.t -> built -> Wcet.Report.t
-[@@ocaml.deprecated "build a Toolchain.config and call Chain.wcet ?config"]
-(** Pre-{!Toolchain.config} surface; removed next PR. *)
+    [cache] and [analysis_fuel] fields are consulted (the node is
+    already built); the cache shares finished analyses across nodes,
+    configurations and — when persistent — process runs (identical
+    results, fewer recomputations).
+    @raise Wcet.Driver.Error when the analyzer refuses — including
+    "analysis diverged" on an exhausted fuel budget (a refusal is
+    never cached and never an unsound bound). *)
 
 val validate_chain :
-  ?cycles:int -> ?worlds:int -> ?seeds:int list -> built ->
+  ?cycles:int -> ?worlds:int -> ?seeds:int list -> ?sim_fuel:int -> built ->
   (unit, string) Result.t
 (** Whole-chain differential validation: the machine code must produce
     the same observable behaviour as the source interpreter on every

@@ -1,0 +1,325 @@
+(* Deterministic chaos harness for the fault-isolated pipeline.
+
+   The harness takes a fault-free workload, injects a seeded, exactly
+   reproducible set of per-node faults, and re-runs the chain under a
+   matrix of configurations (sequential/parallel, cacheless/shared
+   cache/corrupted persistent store). It then *proves* the containment
+   contract rather than eyeballing it:
+
+     - every non-victim node's result is byte-identical to the
+       fault-free reference run;
+     - the diagnostics name exactly the victim nodes, each at the
+       expected stage;
+     - the exit code classifies the run (0 all ok / 1 partial / 2
+       total failure);
+     - a truncated persistent store causes ZERO failures — store
+       corruption is a cache miss, never an error.
+
+   Faults are injected at the mini-C source level (so every chain
+   stage downstream is exercised for real) or through the per-node
+   config (starved analysis fuel). All randomness flows from one
+   [Random.State] seeded by the caller: the same seed always picks the
+   same victims with the same faults. *)
+
+type fault =
+  | Fcorrupt_source  (* undeclared-variable write: fails typecheck *)
+  | Frefusal         (* unbounded volatile-driven loop: analyzer refuses *)
+  | Ffuel            (* starved analysis fuel: "analysis diverged" refusal *)
+
+let fault_name = function
+  | Fcorrupt_source -> "corrupt-source"
+  | Frefusal -> "refusal"
+  | Ffuel -> "fuel-exhaustion"
+
+(* The stage at which each fault must surface as a diagnostic. *)
+let expected_stage = function
+  | Fcorrupt_source -> Diag.Typecheck
+  | Frefusal | Ffuel -> Diag.Wcet
+
+type plan = (int * fault) list  (* victim node index -> injected fault *)
+
+(* Pick [victims] distinct node indices and a fault for each, entirely
+   determined by [seed]. Victims cycle through all three fault kinds so
+   every run exercises every containment path. *)
+let make_plan ~(seed : int) ~(nodes : int) ~(victims : int) : plan =
+  let rng = Random.State.make [| seed; nodes; victims |] in
+  let victims = min victims (max 0 (nodes - 1)) in
+  let chosen = Hashtbl.create 8 in
+  let rec pick () =
+    let i = Random.State.int rng nodes in
+    if Hashtbl.mem chosen i then pick () else (Hashtbl.add chosen i (); i)
+  in
+  List.init victims (fun k ->
+      let kinds = [| Fcorrupt_source; Frefusal; Ffuel |] in
+      (pick (), kinds.(k mod Array.length kinds)))
+  |> List.sort compare
+
+(* ---- source-level fault injectors ----------------------------------- *)
+
+let map_main (src : Minic.Ast.program)
+    (f : Minic.Ast.func -> Minic.Ast.func) : Minic.Ast.program =
+  { src with
+    Minic.Ast.prog_funcs =
+      List.map
+        (fun fn ->
+           if fn.Minic.Ast.fn_name = src.Minic.Ast.prog_main then f fn else fn)
+        src.Minic.Ast.prog_funcs }
+
+(* A write to a variable no scope declares: the typechecker rejects the
+   program, exercising the earliest containment stage. *)
+let corrupt_source (src : Minic.Ast.program) : Minic.Ast.program =
+  map_main src (fun fn ->
+      { fn with
+        Minic.Ast.fn_body =
+          Minic.Ast.Sseq
+            ( fn.Minic.Ast.fn_body,
+              Minic.Ast.Sassign ("__chaos_undeclared", Minic.Ast.Econst_int 0l)
+            ) })
+
+(* A loop whose trip count depends on a volatile acquisition: the value
+   analysis knows nothing about the signal, so the bound analysis finds
+   no loop bound and the analyzer *refuses* — a genuine aiT-style
+   analysis failure, not a crash. The program still typechecks. *)
+let inject_refusal (src : Minic.Ast.program) : Minic.Ast.program =
+  let open Minic.Ast in
+  let src =
+    { src with
+      prog_volatiles = ("__chaos_sig", Tint, Vol_in) :: src.prog_volatiles }
+  in
+  map_main src (fun fn ->
+      let loop =
+        Sseq
+          ( Sassign ("__chaos_i", Evolatile "__chaos_sig"),
+            Swhile
+              ( Ebinop (Ocmp Cgt, Evar "__chaos_i", Econst_int 0l),
+                Sassign
+                  ("__chaos_i", Ebinop (Oadd, Evar "__chaos_i", Econst_int 1l))
+              ) )
+      in
+      { fn with
+        fn_locals = ("__chaos_i", Tint) :: fn.fn_locals;
+        fn_body = Sseq (loop, fn.fn_body) })
+
+let apply_fault (f : fault) (src : Minic.Ast.program) : Minic.Ast.program =
+  match f with
+  | Fcorrupt_source -> corrupt_source src
+  | Frefusal -> inject_refusal src
+  | Ffuel -> src  (* injected through the per-node config, not the source *)
+
+(* ---- result canonicalization ---------------------------------------- *)
+
+(* Canonical byte rendering of one node's full chain output; the
+   containment contract is stated as string equality of these. *)
+let render_result (r : Par.node_result) : string =
+  Printf.sprintf "node %s\nwcet %d\nvalidation %s\n%s" r.Par.pn_name
+    r.Par.pn_wcet
+    (match r.Par.pn_validation with
+     | Ok () -> "ok"
+     | Error m -> "FAIL " ^ m)
+    (Target.Emit.program_to_string r.Par.pn_asm)
+
+(* ---- the harness ----------------------------------------------------- *)
+
+type leg = {
+  leg_name : string;
+  leg_jobs : int;
+  leg_cache : unit -> Wcet.Memo.t option;  (* fresh cache per leg *)
+}
+
+let run_leg ~(plan : plan) ~(base : Toolchain.config)
+    (named : (string * Minic.Ast.program) list) (leg : leg) :
+  (Par.node_result, Diag.t) Result.t list =
+  let config =
+    { base with Toolchain.jobs = leg.leg_jobs; cache = leg.leg_cache () }
+  in
+  Par.map_list ~jobs:config.Toolchain.jobs
+    (fun (i, (name, src)) ->
+       match List.assoc_opt i plan with
+       | None -> Par.chain_node ~config name src
+       | Some fault ->
+         let config =
+           if fault = Ffuel then
+             { config with Toolchain.analysis_fuel = Wcet.Fuel.starved }
+           else config
+         in
+         Par.chain_node ~config name (apply_fault fault src))
+    (List.mapi (fun i n -> (i, n)) named)
+
+(* Check one leg's outcomes against the reference renderings and the
+   plan; returns the violations (empty = contract holds). *)
+let check_leg ~(plan : plan) ~(reference : string array)
+    (named : (string * Minic.Ast.program) list) (leg_name : string)
+    (outcomes : (Par.node_result, Diag.t) Result.t list) : string list =
+  let problems = ref [] in
+  let bad fmt = Printf.ksprintf (fun s -> problems := (leg_name ^ ": " ^ s) :: !problems) fmt in
+  List.iteri
+    (fun i outcome ->
+       let name = fst (List.nth named i) in
+       match List.assoc_opt i plan, outcome with
+       | None, Ok r ->
+         if render_result r <> reference.(i) then
+           bad "survivor %s diverged from the fault-free run" name
+       | None, Error d ->
+         bad "non-victim %s failed: %s" name (Diag.to_string d)
+       | Some fault, Error d ->
+         if d.Diag.d_node <> name then
+           bad "diagnostic for %s names node %s" name d.Diag.d_node;
+         if d.Diag.d_stage <> expected_stage fault then
+           bad "%s fault on %s surfaced at stage %s, expected %s"
+             (fault_name fault) name
+             (Diag.stage_name d.Diag.d_stage)
+             (Diag.stage_name (expected_stage fault));
+         let has_sub s sub =
+           let n = String.length sub in
+           let rec go i =
+             i + n <= String.length s
+             && (String.sub s i n = sub || go (i + 1))
+           in
+           go 0
+         in
+         if fault = Ffuel && not (has_sub d.Diag.d_message "diverged") then
+           bad "fuel exhaustion on %s not reported as divergence: %s" name
+             d.Diag.d_message
+       | Some fault, Ok _ ->
+         bad "%s fault on %s went undetected" (fault_name fault) name)
+    outcomes;
+  let failed = List.length (Diag.errors_of outcomes) in
+  let code = Diag.exit_code ~total:(List.length outcomes) ~failed in
+  let expected_code = if plan = [] then 0 else 1 in
+  if code <> expected_code then
+    bad "exit code %d, expected %d (%d/%d failed)" code expected_code failed
+      (List.length outcomes);
+  List.rev !problems
+
+(* Truncate every entry of a persistent store to half its size —
+   simulating a crash mid-write or disk corruption. Recursive: store
+   entries may live in subdirectories. *)
+let rec truncate_store (dir : string) : unit =
+  Array.iter
+    (fun f ->
+       let path = Filename.concat dir f in
+       if Sys.is_directory path then truncate_store path
+       else begin
+         let ic = open_in_bin path in
+         let len = in_channel_length ic in
+         let keep = len / 2 in
+         let buf = really_input_string ic keep in
+         close_in ic;
+         let oc = open_out_bin path in
+         output_string oc buf;
+         close_out oc
+       end)
+    (Sys.readdir dir)
+
+let rec rm_rf (path : string) : unit =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      try Sys.rmdir path with Sys_error _ -> ()
+    end
+    else Sys.remove path
+
+type report = {
+  ch_nodes : int;
+  ch_victims : (string * fault) list;
+  ch_legs : string list;
+  ch_problems : string list;  (* empty = every containment check held *)
+}
+
+(* Run the whole chaos matrix. [victims] faults are injected into a
+   [nodes]-node workload; each leg re-runs the faulted workload under a
+   different (jobs x cache) configuration and is checked against the
+   fault-free reference. The final leg corrupts a warmed persistent
+   store and re-runs *fault-free*: corruption must be invisible. *)
+let run ?(seed = 20260806) ?(nodes = 14) ?(victims = 3) () : report =
+  let program = Scade.Workload.flight_program ~nodes ~seed:2026 in
+  let named =
+    List.map
+      (fun ((n : Scade.Symbol.node), src) -> (n.Scade.Symbol.n_name, src))
+      program
+  in
+  let nodes = List.length named in
+  let plan = make_plan ~seed ~nodes ~victims in
+  let base = Toolchain.default in
+  (* fault-free reference: sequential, cacheless *)
+  let reference =
+    Array.of_list
+      (List.map
+         (fun (name, src) ->
+            match Par.chain_node ~config:base name src with
+            | Ok r -> render_result r
+            | Error d ->
+              failwith ("chaos: fault-free reference failed: "
+                        ^ Diag.to_string d))
+         named)
+  in
+  let legs =
+    [ { leg_name = "j1/nocache"; leg_jobs = 1; leg_cache = (fun () -> None) };
+      { leg_name = "j4/nocache"; leg_jobs = 4; leg_cache = (fun () -> None) };
+      { leg_name = "j1/memcache"; leg_jobs = 1;
+        leg_cache = (fun () -> Some (Wcet.Memo.create ())) };
+      { leg_name = "j4/memcache"; leg_jobs = 4;
+        leg_cache = (fun () -> Some (Wcet.Memo.create ())) } ]
+  in
+  let problems =
+    List.concat_map
+      (fun leg ->
+         check_leg ~plan ~reference named leg.leg_name
+           (run_leg ~plan ~base named leg))
+      legs
+  in
+  (* persistent-store corruption leg: warm a store, truncate every
+     entry mid-byte, re-run fault-free — corruption is a miss, so the
+     run must have zero failures and reference-identical results *)
+  let store_problems =
+    let rng = Random.State.make [| seed |] in
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "fcchaos-%d-%d" seed (Random.State.bits rng))
+    in
+    rm_rf dir;  (* a previous run may have left the deterministic name *)
+    Sys.mkdir dir 0o755;
+    let warm = Wcet.Memo.create ~dir () in
+    let _ =
+      Par.map_list ~jobs:2
+        (fun (name, src) ->
+           Par.chain_node ~config:{ base with Toolchain.cache = Some warm }
+             name src)
+        named
+    in
+    truncate_store dir;
+    let cold = Wcet.Memo.create ~dir () in
+    let outcomes =
+      Par.map_list ~jobs:2
+        (fun (name, src) ->
+           Par.chain_node ~config:{ base with Toolchain.cache = Some cold }
+             name src)
+        named
+    in
+    let ps =
+      check_leg ~plan:[] ~reference named "truncated-store" outcomes
+    in
+    rm_rf dir;
+    ps
+  in
+  { ch_nodes = nodes;
+    ch_victims =
+      List.map (fun (i, f) -> (fst (List.nth named i), f)) plan;
+    ch_legs =
+      List.map (fun l -> l.leg_name) legs @ [ "truncated-store" ];
+    ch_problems = problems @ store_problems }
+
+let print_report (ppf : Format.formatter) (r : report) : unit =
+  Format.fprintf ppf "@[<v>chaos: %d nodes, %d faults injected@,"
+    r.ch_nodes (List.length r.ch_victims);
+  List.iter
+    (fun (name, f) ->
+       Format.fprintf ppf "  victim %-10s %s@," name (fault_name f))
+    r.ch_victims;
+  Format.fprintf ppf "  legs: %s@," (String.concat ", " r.ch_legs);
+  (match r.ch_problems with
+   | [] -> Format.fprintf ppf "chaos: all containment checks held@,"
+   | ps ->
+     List.iter (fun p -> Format.fprintf ppf "chaos VIOLATION: %s@," p) ps);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,46 @@
+(** Deterministic chaos harness: seeded fault injection against the
+    per-node containment contract.
+
+    The harness runs a fault-free reference, injects a seeded set of
+    per-node faults (corrupted source, analyzer refusal, starved
+    analysis fuel), re-runs the chain under a matrix of
+    (jobs x cache) legs plus a truncated-persistent-store leg, and
+    checks that: survivors are byte-identical to the reference, the
+    diagnostics name exactly the victims at the expected stages, the
+    exit code classifies the run, and store corruption causes zero
+    failures. [test/test_chaos.ml] and [bench --chaos] both drive
+    {!run}. *)
+
+type fault =
+  | Fcorrupt_source  (** undeclared-variable write: fails typecheck *)
+  | Frefusal         (** unbounded volatile-driven loop: analyzer refuses *)
+  | Ffuel            (** starved analysis fuel: "analysis diverged" *)
+
+val fault_name : fault -> string
+val expected_stage : fault -> Diag.stage
+
+type plan = (int * fault) list
+
+val make_plan : seed:int -> nodes:int -> victims:int -> plan
+(** Victim indices and faults, a pure function of [seed]. *)
+
+val apply_fault : fault -> Minic.Ast.program -> Minic.Ast.program
+(** Source-level injection ({!Ffuel} leaves the source untouched — it
+    is injected through the per-node config instead). *)
+
+val render_result : Par.node_result -> string
+(** Canonical byte rendering of one node's chain output; the
+    containment contract is string equality of these. *)
+
+type report = {
+  ch_nodes : int;
+  ch_victims : (string * fault) list;
+  ch_legs : string list;
+  ch_problems : string list;  (** empty = every containment check held *)
+}
+
+val run : ?seed:int -> ?nodes:int -> ?victims:int -> unit -> report
+(** Run the whole matrix (defaults: seed 20260806, 14 nodes, 3
+    victims). Deterministic for a given seed. *)
+
+val print_report : Format.formatter -> report -> unit

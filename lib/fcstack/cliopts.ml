@@ -51,13 +51,23 @@ let cache_term : cache_opts Term.t =
 let jobs_term ~(doc : string) : int Term.t =
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let fail_fast_term : bool Term.t =
+  Arg.(
+    value & flag
+    & info [ "fail-fast" ]
+        ~doc:
+          "Abort the whole run on the first failing input with its \
+           original error, instead of containing the failure to that \
+           input and completing the rest (the default). Successful \
+           inputs produce byte-identical output either way.")
+
 let memo_of_opts (o : cache_opts) : Wcet.Memo.t option =
   if o.co_no_cache then None
   else Some (Wcet.Memo.create ?dir:o.co_dir ?gc_mb:o.co_gc_mb ())
 
-let config_of_opts ?jobs ?worlds ?compiler (o : cache_opts) :
+let config_of_opts ?jobs ?worlds ?compiler ?fail_fast (o : cache_opts) :
   Toolchain.config =
-  Toolchain.config ?jobs ?cache:(memo_of_opts o) ?worlds ?compiler ()
+  Toolchain.config ?jobs ?cache:(memo_of_opts o) ?worlds ?compiler ?fail_fast ()
 
 (* End-of-run maintenance: apply the GC budget to a persistent cache.
    Deliberately at the end — the LRU index then reflects this run's

@@ -16,13 +16,17 @@ val cache_term : cache_opts Cmdliner.Term.t
 val jobs_term : doc:string -> int Cmdliner.Term.t
 (** [-j]/[--jobs N] (default 1); [doc] describes the tool's fan-out. *)
 
+val fail_fast_term : bool Cmdliner.Term.t
+(** [--fail-fast]: abort on the first failing input with its original
+    error instead of containing per-input failures (the default). *)
+
 val memo_of_opts : cache_opts -> Wcet.Memo.t option
 (** The cache the flags ask for: [None] under [--no-cache], persistent
     when a directory is configured, memory-only otherwise. *)
 
 val config_of_opts :
-  ?jobs:int -> ?worlds:int -> ?compiler:Toolchain.compiler -> cache_opts ->
-  Toolchain.config
+  ?jobs:int -> ?worlds:int -> ?compiler:Toolchain.compiler ->
+  ?fail_fast:bool -> cache_opts -> Toolchain.config
 (** One config from the parsed flags ({!memo_of_opts} for the cache). *)
 
 val finalize : Toolchain.config -> unit

@@ -1,0 +1,128 @@
+(* Structured diagnostics: the failure currency of the toolchain.
+
+   A certification pipeline over thousands of independent nodes must
+   contain failure, not propagate it: one malformed node, one analyzer
+   refusal or one diverging fixpoint must cost exactly that node, with
+   a record of which node died, at which stage, and why — while the
+   rest of the workload completes and stays byte-identical to a run
+   without the faulty node. Every catchable failure in the per-node
+   chain therefore becomes a [Diag.t] instead of an escaping exception;
+   exceptions never cross the [Par] boundary (unless the caller
+   explicitly asks for the old abort-on-first-error behaviour with
+   [Toolchain.config.fail_fast]).
+
+   Rendering is deliberately stable and one-line (newlines inside
+   messages are flattened), so diagnostics are greppable in CI logs and
+   comparable across runs. Diagnostics go to stderr only: stdout stays
+   byte-identical across failure configurations. *)
+
+type stage =
+  | Parse      (* .mc text -> AST *)
+  | Typecheck  (* AST well-formedness *)
+  | Compile    (* ACG / codegen / translation validation *)
+  | Layout     (* link/load address map *)
+  | Sim        (* simulator runs, differential validation *)
+  | Wcet       (* static analysis (refusals, diverging fixpoints) *)
+  | Cache      (* analysis-store access *)
+
+type severity =
+  | Error
+  | Warning
+
+type t = {
+  d_node : string;       (* node (or file) the failure belongs to *)
+  d_stage : stage;
+  d_severity : severity;
+  d_message : string;
+  d_context : (string * string) list;  (* extra key=value detail *)
+}
+
+let stage_name (s : stage) : string =
+  match s with
+  | Parse -> "parse"
+  | Typecheck -> "typecheck"
+  | Compile -> "compile"
+  | Layout -> "layout"
+  | Sim -> "sim"
+  | Wcet -> "wcet"
+  | Cache -> "cache"
+
+let severity_name (s : severity) : string =
+  match s with Error -> "error" | Warning -> "warning"
+
+let make ?(severity = Error) ?(context = []) ~(node : string)
+    ~(stage : stage) (message : string) : t =
+  { d_node = node;
+    d_stage = stage;
+    d_severity = severity;
+    d_message = message;
+    d_context = context }
+
+(* One line, always: embedded newlines become "; " so a multi-line
+   validation trace still renders as a single greppable record. *)
+let flatten (s : string) : string =
+  String.concat "; "
+    (List.filter
+       (fun l -> l <> "")
+       (List.map String.trim (String.split_on_char '\n' s)))
+
+let to_string (d : t) : string =
+  let ctx =
+    match d.d_context with
+    | [] -> ""
+    | kvs ->
+      Printf.sprintf " [%s]"
+        (String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) kvs))
+  in
+  Printf.sprintf "%s: %s %s: %s%s" d.d_node (stage_name d.d_stage)
+    (severity_name d.d_severity) (flatten d.d_message) ctx
+
+let pp (ppf : Format.formatter) (d : t) : unit =
+  Format.pp_print_string ppf (to_string d)
+
+(* Exception -> diagnostic. [stage] is where the chain was when the
+   exception escaped; recognizable exceptions override it (a parse
+   error is a parse error wherever it was caught). *)
+let of_exn ~(node : string) ~(stage : stage) (e : exn) : t =
+  match e with
+  | Minic.Parser.Parse_error msg -> make ~node ~stage:Parse msg
+  | Minic.Lexer.Lex_error (msg, pos) ->
+    make ~node ~stage:Parse ~context:[ ("pos", string_of_int pos) ] msg
+  | Wcet.Driver.Error msg -> make ~node ~stage:Wcet msg
+  | Minic.Interp.Out_of_fuel ->
+    make ~node ~stage:Sim "simulation step budget exhausted"
+  | Minic.Interp.Runtime_error msg -> make ~node ~stage:Sim msg
+  | Invalid_argument msg -> make ~node ~stage msg
+  | Failure msg -> make ~node ~stage msg
+  | e -> make ~node ~stage (Printexc.to_string e)
+
+let capture ~(node : string) ~(stage : stage) (f : unit -> 'a) :
+  ('a, t) Result.t =
+  match f () with
+  | v -> Ok v
+  | exception e -> Result.Error (of_exn ~node ~stage e)
+
+(* ---- aggregation over a per-node run ---- *)
+
+let errors_of (results : ('a, t) Result.t list) : t list =
+  List.filter_map (function Ok _ -> None | Result.Error d -> Some d) results
+
+(* The whole-run exit-code contract: 0 = every node ok, 1 = some nodes
+   failed (the run completed, survivors' output is intact), 2 = total
+   failure (nothing usable came out — including the degenerate
+   single-node run whose one node failed). *)
+let exit_code ~(total : int) ~(failed : int) : int =
+  if failed = 0 then 0 else if failed >= total then 2 else 1
+
+(* Stable stderr summary: one line per diagnostic (input order), then a
+   count. Callers print it only when something failed, so fault-free
+   runs keep a clean stderr. *)
+let pp_summary (ppf : Format.formatter) ~(total : int) (diags : t list) : unit =
+  List.iter (fun d -> Format.fprintf ppf "%a@." pp d) diags;
+  let failed = List.length diags in
+  if failed > 0 then
+    Format.fprintf ppf "%d/%d nodes failed (%d ok)@." failed total
+      (total - failed)
+
+let print_summary ~(total : int) (diags : t list) : unit =
+  if diags <> [] then Format.eprintf "%a" (fun ppf -> pp_summary ppf ~total) diags

@@ -18,11 +18,24 @@ type node_result = {
 }
 
 type workload_results = {
-  wr_nodes : node_result list;
+  wr_nodes : node_result list;   (* successfully measured nodes *)
+  wr_diags : Diag.t list;        (* one per failed node, input order *)
 }
 
 let find_pc (nr : node_result) (c : Chain.compiler) : per_compiler =
   List.find (fun pc -> pc.pc_compiler = c) nr.nr_per
+
+(* Per-node containment for the measurement drivers: a failing node
+   becomes a diagnostic and is dropped from the tables (the survivors'
+   rows are byte-identical to a run without the faulty node); under
+   [config.fail_fast] the exception escapes instead and Par aborts the
+   run on the smallest-indexed failure. The fallback [stage] is
+   overridden by recognizable exceptions ([Diag.of_exn]): an analyzer
+   refusal surfaces as Wcet, a simulator fuel/runtime error as Sim. *)
+let contain ~(config : Toolchain.config) ~(node : string) (f : unit -> 'a) :
+  ('a, Diag.t) Result.t =
+  if config.Toolchain.fail_fast then Ok (f ())
+  else Diag.capture ~node ~stage:Diag.Compile f
 
 (* Build and measure the whole synthetic flight program under every
    compiler configuration. Nodes are independent, so the measurement
@@ -37,29 +50,32 @@ let find_pc (nr : node_result) (c : Chain.compiler) : per_compiler =
 let run_workload ?(nodes = 60) ?(seed = 2026) ?(config = Toolchain.default) () :
   workload_results =
   let program = Scade.Workload.flight_program ~nodes ~seed in
-  let wr_nodes =
+  let outcomes =
     Par.map_list ~jobs:config.Toolchain.jobs
       (fun (node, src) ->
-         let per =
-           List.map
-             (fun c ->
-                let b = Chain.build c src in
-                let report = Chain.wcet ~config b in
-                let sim =
-                  Chain.simulate b (Minic.Interp.seeded_world ~seed:17 ())
-                in
-                let stats = sim.Target.Sim.rr_stats in
-                { pc_compiler = c;
-                  pc_wcet = report.Wcet.Report.rp_wcet;
-                  pc_size = Target.Asm.program_size b.Chain.b_asm;
-                  pc_reads = stats.Target.Sim.dcache_reads;
-                  pc_writes = stats.Target.Sim.dcache_writes })
-             Chain.all_compilers
-         in
-         { nr_name = node.Scade.Symbol.n_name; nr_per = per })
+         contain ~config ~node:node.Scade.Symbol.n_name (fun () ->
+             let per =
+               List.map
+                 (fun c ->
+                    let b = Chain.build c src in
+                    let report = Chain.wcet ~config b in
+                    let sim =
+                      Chain.simulate ?fuel:config.Toolchain.sim_fuel b
+                        (Minic.Interp.seeded_world ~seed:17 ())
+                    in
+                    let stats = sim.Target.Sim.rr_stats in
+                    { pc_compiler = c;
+                      pc_wcet = report.Wcet.Report.rp_wcet;
+                      pc_size = Target.Asm.program_size b.Chain.b_asm;
+                      pc_reads = stats.Target.Sim.dcache_reads;
+                      pc_writes = stats.Target.Sim.dcache_writes })
+                 Chain.all_compilers
+             in
+             { nr_name = node.Scade.Symbol.n_name; nr_per = per }))
       program
   in
-  { wr_nodes }
+  { wr_nodes = List.filter_map Result.to_option outcomes;
+    wr_diags = Diag.errors_of outcomes }
 
 let total (wr : workload_results) (c : Chain.compiler)
     (f : per_compiler -> int) : int =
@@ -245,15 +261,26 @@ let print_annot_demo (ppf : Format.formatter) : unit =
 let print_ablation (ppf : Format.formatter) ?(nodes = 30) ?(seed = 2026)
     ?(config = Toolchain.default) () : unit =
   let program = Scade.Workload.flight_program ~nodes ~seed in
+  let diags = ref [] in
+  let measured = ref 0 in
+  (* a failing node drops out of *this variant's* sum (and is reported
+     on stderr); the printed percentages then compare totals over the
+     respective survivor sets *)
   let measure (compile : Minic.Ast.program -> Target.Asm.program) : int =
-    List.fold_left ( + ) 0
-      (Par.map_list ~jobs:config.Toolchain.jobs
-         (fun (_, src) ->
-            let asm = compile src in
-            let lay = Target.Layout.build src asm in
-            (Wcet.Driver.analyze ?cache:config.Toolchain.cache asm lay)
-              .Wcet.Report.rp_wcet)
-         program)
+    let outcomes =
+      Par.map_list ~jobs:config.Toolchain.jobs
+        (fun ((node : Scade.Symbol.node), src) ->
+           contain ~config ~node:node.Scade.Symbol.n_name (fun () ->
+               let asm = compile src in
+               let lay = Target.Layout.build src asm in
+               (Wcet.Driver.analyze ?cache:config.Toolchain.cache
+                  ~fuel:config.Toolchain.analysis_fuel asm lay)
+                 .Wcet.Report.rp_wcet))
+        program
+    in
+    measured := !measured + List.length outcomes;
+    diags := !diags @ Diag.errors_of outcomes;
+    List.fold_left ( + ) 0 (List.filter_map Result.to_option outcomes)
   in
   let full = measure (Vcomp.Driver.compile ~options:Vcomp.Driver.no_validation) in
   let variants =
@@ -279,7 +306,8 @@ let print_ablation (ppf : Format.formatter) ?(nodes = 30) ?(seed = 2026)
   Format.fprintf ppf
     "  %-42s %9d@,  %-42s %9d  (%+.2f%%)@,@]"
     "default-O2 without FMA contraction" o2_exact
-    "default-O2 with FMA contraction" o2_fma (pct o2_fma o2_exact -. 100.0)
+    "default-O2 with FMA contraction" o2_fma (pct o2_fma o2_exact -. 100.0);
+  Diag.print_summary ~total:!measured !diags
 
 (* ---- WCET overestimation study (not in the paper) ------------------ *)
 
@@ -300,29 +328,32 @@ let print_overestimation (ppf : Format.formatter) ?(nodes = 20) ?(seed = 2026)
   Format.fprintf ppf "@,";
   (* measure in parallel (per-node bound + worst observed cycles),
      print sequentially in node order *)
-  let measured =
+  let outcomes =
     Par.map_list ~jobs:config.Toolchain.jobs
       (fun ((node : Scade.Symbol.node), src) ->
-         let per =
-           List.map
-             (fun c ->
-                let b = Chain.build c src in
-                let bound = (Chain.wcet ~config b).Wcet.Report.rp_wcet in
-                let observed =
-                  List.fold_left
-                    (fun acc s ->
-                       let sim =
-                         Chain.simulate b (Minic.Interp.seeded_world ~seed:s ())
-                       in
-                       max acc sim.Target.Sim.rr_stats.Target.Sim.cycles)
-                    0 [ 1; 2; 3; 4; 5; 6 ]
-                in
-                (c, bound, observed))
-             Chain.all_compilers
-         in
-         (node.Scade.Symbol.n_name, per))
+         contain ~config ~node:node.Scade.Symbol.n_name (fun () ->
+             let per =
+               List.map
+                 (fun c ->
+                    let b = Chain.build c src in
+                    let bound = (Chain.wcet ~config b).Wcet.Report.rp_wcet in
+                    let observed =
+                      List.fold_left
+                        (fun acc s ->
+                           let sim =
+                             Chain.simulate ?fuel:config.Toolchain.sim_fuel b
+                               (Minic.Interp.seeded_world ~seed:s ())
+                           in
+                           max acc sim.Target.Sim.rr_stats.Target.Sim.cycles)
+                        0 [ 1; 2; 3; 4; 5; 6 ]
+                    in
+                    (c, bound, observed))
+                 Chain.all_compilers
+             in
+             (node.Scade.Symbol.n_name, per)))
       program
   in
+  let measured = List.filter_map Result.to_option outcomes in
   let sums = Hashtbl.create 5 in
   List.iter
     (fun (name, per) ->
@@ -347,21 +378,5 @@ let print_overestimation (ppf : Format.formatter) ?(nodes = 20) ?(seed = 2026)
        Format.fprintf ppf "  %-14s %+6.1f%%@," (Chain.compiler_name c)
          (100.0 *. (float_of_int sb /. float_of_int so -. 1.0)))
     Chain.all_compilers;
-  Format.fprintf ppf "@]"
-
-(* ---- pre-Toolchain.config surface, kept one PR for migration ------- *)
-
-let legacy_config ?(jobs = 1) ?cache () : Toolchain.config =
-  { Toolchain.default with Toolchain.jobs; cache }
-
-let run_workload_opts ?nodes ?seed ?jobs ?cache () : workload_results =
-  run_workload ?nodes ?seed ~config:(legacy_config ?jobs ?cache ()) ()
-
-let print_ablation_opts (ppf : Format.formatter) ?nodes ?seed ?jobs ?cache () :
-  unit =
-  print_ablation ppf ?nodes ?seed ~config:(legacy_config ?jobs ?cache ()) ()
-
-let print_overestimation_opts (ppf : Format.formatter) ?nodes ?seed ?jobs
-    ?cache () : unit =
-  print_overestimation ppf ?nodes ?seed
-    ~config:(legacy_config ?jobs ?cache ()) ()
+  Format.fprintf ppf "@]";
+  Diag.print_summary ~total:(List.length program) (Diag.errors_of outcomes)

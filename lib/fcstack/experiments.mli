@@ -15,7 +15,10 @@ type node_result = {
   nr_per : per_compiler list;
 }
 
-type workload_results = { wr_nodes : node_result list }
+type workload_results = {
+  wr_nodes : node_result list;   (** successfully measured nodes *)
+  wr_diags : Diag.t list;        (** one per failed node, input order *)
+}
 
 val find_pc : node_result -> Chain.compiler -> per_compiler
 
@@ -25,7 +28,12 @@ val find_pc : node_result -> Chain.compiler -> per_compiler
     sequential run. [config.cache] shares WCET analyses across nodes,
     configurations and (when persistent) process runs ({!Wcet.Memo});
     it changes wall clock, never results. [config.compiler] is ignored:
-    the workload measures all four. *)
+    the workload measures all four.
+
+    A failing node becomes a {!Diag.t} in [wr_diags] and is dropped
+    from [wr_nodes]; the surviving rows are identical to a run without
+    the faulty node. With [config.fail_fast] the original exception
+    escapes instead. *)
 val run_workload :
   ?nodes:int -> ?seed:int -> ?config:Toolchain.config -> unit ->
   workload_results
@@ -57,21 +65,5 @@ val print_ablation :
 val print_overestimation :
   Format.formatter -> ?nodes:int -> ?seed:int -> ?config:Toolchain.config ->
   unit -> unit
-
-(** Pre-{!Toolchain.config} surface; removed next PR. *)
-
-val run_workload_opts :
-  ?nodes:int -> ?seed:int -> ?jobs:int -> ?cache:Wcet.Memo.t -> unit ->
-  workload_results
-[@@ocaml.deprecated "build a Toolchain.config and call run_workload ?config"]
-
-val print_ablation_opts :
-  Format.formatter -> ?nodes:int -> ?seed:int -> ?jobs:int ->
-  ?cache:Wcet.Memo.t -> unit -> unit
-[@@ocaml.deprecated "build a Toolchain.config and call print_ablation ?config"]
-
-val print_overestimation_opts :
-  Format.formatter -> ?nodes:int -> ?seed:int -> ?jobs:int ->
-  ?cache:Wcet.Memo.t -> unit -> unit
-[@@ocaml.deprecated
-  "build a Toolchain.config and call print_overestimation ?config"]
+(** Both tables contain per-node failures like {!run_workload}: failed
+    nodes drop out of the rows/sums and are summarized on stderr. *)

@@ -79,6 +79,58 @@ type node_result = {
   pn_validation : (unit, string) Result.t;
 }
 
+(* The raw per-node body: every stage failure escapes as its original
+   exception. This is the [fail_fast] path — [run] rethrows the
+   smallest-indexed exception, aborting the whole run deterministically
+   (the pre-diagnostic behaviour). *)
+let chain_node_exn ~(config : Toolchain.config) ?exact ?validate ?cycles
+    (name : string) (src : Minic.Ast.program) : node_result =
+  let b = Chain.build ?exact ?validate config.Toolchain.compiler src in
+  { pn_name = name;
+    pn_asm = b.Chain.b_asm;
+    pn_wcet = (Chain.wcet ~config b).Wcet.Report.rp_wcet;
+    pn_validation =
+      Chain.validate_chain ?cycles ?worlds:config.Toolchain.worlds
+        ?sim_fuel:config.Toolchain.sim_fuel b }
+
+(* The contained per-node body: each stage runs under [Diag.capture],
+   so a failure costs exactly this node — the caller's other nodes
+   proceed, and the diagnostic records node, stage and message. The
+   contained path also typechecks the source first (the CLIs always
+   did; a corrupted AST then fails at the Typecheck stage instead of
+   crashing somewhere inside a code generator). Exceptions never
+   escape this function unless [config.fail_fast] is set. *)
+let chain_node ~(config : Toolchain.config) ?exact ?validate ?cycles
+    (name : string) (src : Minic.Ast.program) :
+  (node_result, Diag.t) Result.t =
+  if config.Toolchain.fail_fast then
+    Ok (chain_node_exn ~config ?exact ?validate ?cycles name src)
+  else
+    match Minic.Typecheck.check_program src with
+    | Error e ->
+      Result.Error
+        (Diag.make ~node:name ~stage:Diag.Typecheck
+           (Minic.Typecheck.error_to_string e))
+    | Ok () ->
+      Result.bind
+        (Diag.capture ~node:name ~stage:Diag.Compile (fun () ->
+             Chain.build ?exact ?validate config.Toolchain.compiler src))
+        (fun b ->
+           Result.bind
+             (Diag.capture ~node:name ~stage:Diag.Wcet (fun () ->
+                  Chain.wcet ~config b))
+             (fun report ->
+                Result.map
+                  (fun validation ->
+                     { pn_name = name;
+                       pn_asm = b.Chain.b_asm;
+                       pn_wcet = report.Wcet.Report.rp_wcet;
+                       pn_validation = validation })
+                  (Diag.capture ~node:name ~stage:Diag.Sim (fun () ->
+                       Chain.validate_chain ?cycles
+                         ?worlds:config.Toolchain.worlds
+                         ?sim_fuel:config.Toolchain.sim_fuel b))))
+
 (* Run the full per-node chain — ACG when given a SCADE node, then
    compile under the config's compiler, link ([Layout.build] inside
    [Chain.build]), analyze and validate — for every node of a
@@ -88,49 +140,35 @@ type node_result = {
    concurrent workers without perturbing results (a hit returns what a
    miss would compute). [exact]/[validate]/[cycles] stay per-call
    knobs: they pick the semantics being checked, not how the toolchain
-   runs. *)
+   runs.
+
+   Failure containment: each node's outcome is a [Result.t] — a
+   failing node is recorded as its [Diag.t] and *skipped*; every other
+   node completes and merges by index exactly as before, so the
+   successful entries of a partially-failed run are byte-identical to
+   a fault-free run restricted to those nodes. With
+   [config.fail_fast], the first (smallest-indexed) failure aborts the
+   whole run with its original exception instead. *)
 let run_chain ?(config = Toolchain.default) ?exact ?validate ?cycles
-    (nodes : (string * Minic.Ast.program) list) : node_result list =
+    (nodes : (string * Minic.Ast.program) list) :
+  (node_result, Diag.t) Result.t list =
   map_list ~jobs:config.Toolchain.jobs
-    (fun (name, src) ->
-       let b = Chain.build ?exact ?validate config.Toolchain.compiler src in
-       { pn_name = name;
-         pn_asm = b.Chain.b_asm;
-         pn_wcet = (Chain.wcet ~config b).Wcet.Report.rp_wcet;
-         pn_validation =
-           Chain.validate_chain ?cycles ?worlds:config.Toolchain.worlds b })
+    (fun (name, src) -> chain_node ~config ?exact ?validate ?cycles name src)
     nodes
 
-(* Same, starting from SCADE nodes (runs the ACG inside the worker). *)
+(* Same, starting from SCADE nodes (runs the ACG inside the worker; an
+   ACG failure is a Compile-stage diagnostic). *)
 let run_chain_nodes ?(config = Toolchain.default) ?exact ?validate ?cycles
-    (nodes : Scade.Symbol.node list) : node_result list =
+    (nodes : Scade.Symbol.node list) : (node_result, Diag.t) Result.t list =
   map_list ~jobs:config.Toolchain.jobs
     (fun node ->
-       let src = Scade.Acg.generate node in
-       let b = Chain.build ?exact ?validate config.Toolchain.compiler src in
-       { pn_name = node.Scade.Symbol.n_name;
-         pn_asm = b.Chain.b_asm;
-         pn_wcet = (Chain.wcet ~config b).Wcet.Report.rp_wcet;
-         pn_validation =
-           Chain.validate_chain ?cycles ?worlds:config.Toolchain.worlds b })
+       let name = node.Scade.Symbol.n_name in
+       if config.Toolchain.fail_fast then
+         let src = Scade.Acg.generate node in
+         Ok (chain_node_exn ~config ?exact ?validate ?cycles name src)
+       else
+         Result.bind
+           (Diag.capture ~node:name ~stage:Diag.Compile (fun () ->
+                Scade.Acg.generate node))
+           (fun src -> chain_node ~config ?exact ?validate ?cycles name src))
     nodes
-
-(* pre-Toolchain.config surface, kept one PR for incremental migration *)
-let config_of ?jobs ?cache ?worlds (compiler : Chain.compiler) :
-  Toolchain.config =
-  { Toolchain.jobs = Option.value ~default:(default_jobs ()) jobs;
-    cache;
-    worlds;
-    compiler }
-
-let run_chain_opts ?jobs ?cache ?exact ?validate ?cycles ?worlds
-    (compiler : Chain.compiler) (nodes : (string * Minic.Ast.program) list) :
-  node_result list =
-  run_chain ~config:(config_of ?jobs ?cache ?worlds compiler) ?exact ?validate
-    ?cycles nodes
-
-let run_chain_nodes_opts ?jobs ?cache ?exact ?validate ?cycles ?worlds
-    (compiler : Chain.compiler) (nodes : Scade.Symbol.node list) :
-  node_result list =
-  run_chain_nodes ~config:(config_of ?jobs ?cache ?worlds compiler) ?exact
-    ?validate ?cycles nodes

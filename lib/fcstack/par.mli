@@ -27,34 +27,42 @@ type node_result = {
 (** Per-node toolchain output: assembly, WCET bound, whole-chain
     differential-validation verdict. Structural — compare runs with [=]. *)
 
+val chain_node :
+  config:Toolchain.config -> ?exact:bool -> ?validate:bool -> ?cycles:int ->
+  string -> Minic.Ast.program -> (node_result, Diag.t) Result.t
+(** One node's chain (typecheck → compile/link → WCET → validation)
+    with per-stage failure containment: any failure becomes a
+    {!Diag.t} naming the node and the stage; exceptions never escape.
+    With [config.fail_fast] the stages run raw instead and exceptions
+    propagate. This is the per-node body of {!run_chain}; the chaos
+    harness drives it directly with per-node configs. *)
+
+val chain_node_exn :
+  config:Toolchain.config -> ?exact:bool -> ?validate:bool -> ?cycles:int ->
+  string -> Minic.Ast.program -> node_result
+(** The raw (uncontained, untypechecked) body: stage failures escape
+    as their original exceptions. *)
+
 val run_chain :
   ?config:Toolchain.config -> ?exact:bool -> ?validate:bool -> ?cycles:int ->
-  (string * Minic.Ast.program) list -> node_result list
+  (string * Minic.Ast.program) list -> (node_result, Diag.t) Result.t list
 (** Full per-node chain over named mini-C programs under one
     {!Toolchain.config}: compiled with [config.compiler],
     [config.jobs]-parallel, analyses shared through [config.cache]
     (safely: sharded, mutex-per-shard; results are unchanged by hits),
     validation battery from [config.worlds]. [exact]/[validate]/
     [cycles] remain per-call semantic knobs. Default config:
-    sequential, memory-only cacheless, vcomp. *)
+    sequential, memory-only cacheless, vcomp.
+
+    Per-node failure containment: a failing node yields [Error diag]
+    and is skipped; all other nodes complete and merge by index, their
+    results byte-identical to a fault-free run restricted to them.
+    With [config.fail_fast] the first (smallest-indexed) failure
+    aborts the run with its original exception — the pre-diagnostic
+    behaviour. *)
 
 val run_chain_nodes :
   ?config:Toolchain.config -> ?exact:bool -> ?validate:bool -> ?cycles:int ->
-  Scade.Symbol.node list -> node_result list
-(** Same, from SCADE nodes: the ACG also runs inside the workers. *)
-
-val run_chain_opts :
-  ?jobs:int -> ?cache:Wcet.Memo.t -> ?exact:bool -> ?validate:bool ->
-  ?cycles:int -> ?worlds:int ->
-  Chain.compiler -> (string * Minic.Ast.program) list -> node_result list
-[@@ocaml.deprecated "build a Toolchain.config and call run_chain ?config"]
-(** Pre-{!Toolchain.config} surface; removed next PR. Note its [jobs]
-    default is {!default_jobs}, as before. *)
-
-val run_chain_nodes_opts :
-  ?jobs:int -> ?cache:Wcet.Memo.t -> ?exact:bool -> ?validate:bool ->
-  ?cycles:int -> ?worlds:int ->
-  Chain.compiler -> Scade.Symbol.node list -> node_result list
-[@@ocaml.deprecated
-  "build a Toolchain.config and call run_chain_nodes ?config"]
-(** Pre-{!Toolchain.config} surface; removed next PR. *)
+  Scade.Symbol.node list -> (node_result, Diag.t) Result.t list
+(** Same, from SCADE nodes: the ACG also runs inside the workers (an
+    ACG failure is a Compile-stage diagnostic). *)

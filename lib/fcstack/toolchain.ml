@@ -26,13 +26,36 @@ type config = {
   (* differential-validation battery size (None: Chain's default seeds) *)
   worlds : int option;
   compiler : compiler;
+  (* abort the whole run on the first failing node (the pre-diagnostic
+     behaviour: the exception escapes and Par rethrows the
+     smallest-indexed one) instead of containing it as a Diag *)
+  fail_fast : bool;
+  (* simulator step budget per run (None: Target.Sim's default) *)
+  sim_fuel : int option;
+  (* iteration budgets for every fixpoint/solver loop of the analyzer;
+     part of the analysis-cache content key (see Wcet.Fuel) *)
+  analysis_fuel : Wcet.Fuel.t;
 }
 
 let default : config =
-  { jobs = 1; cache = None; worlds = None; compiler = Cvcomp }
+  { jobs = 1;
+    cache = None;
+    worlds = None;
+    compiler = Cvcomp;
+    fail_fast = false;
+    sim_fuel = None;
+    analysis_fuel = Wcet.Fuel.default }
 
-let config ?(jobs = 1) ?cache ?worlds ?(compiler = Cvcomp) () : config =
-  { jobs = max 1 jobs; cache; worlds; compiler }
+let config ?(jobs = 1) ?cache ?worlds ?(compiler = Cvcomp)
+    ?(fail_fast = false) ?sim_fuel ?(analysis_fuel = Wcet.Fuel.default) () :
+  config =
+  { jobs = max 1 jobs;
+    cache;
+    worlds;
+    compiler;
+    fail_fast;
+    sim_fuel;
+    analysis_fuel }
 
 let with_jobs (jobs : int) (c : config) : config = { c with jobs = max 1 jobs }
 let with_cache (cache : Wcet.Memo.t option) (c : config) : config =
@@ -40,3 +63,9 @@ let with_cache (cache : Wcet.Memo.t option) (c : config) : config =
 let with_worlds (worlds : int option) (c : config) : config = { c with worlds }
 let with_compiler (compiler : compiler) (c : config) : config =
   { c with compiler }
+let with_fail_fast (fail_fast : bool) (c : config) : config =
+  { c with fail_fast }
+let with_sim_fuel (sim_fuel : int option) (c : config) : config =
+  { c with sim_fuel }
+let with_analysis_fuel (analysis_fuel : Wcet.Fuel.t) (c : config) : config =
+  { c with analysis_fuel }

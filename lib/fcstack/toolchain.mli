@@ -24,14 +24,24 @@ type config = {
   worlds : int option;         (** validation battery size (None: default
                                    seeds of {!Chain.validate_chain}) *)
   compiler : compiler;
+  fail_fast : bool;            (** abort the run on the first failing
+                                   node (exception escapes; {!Par}
+                                   rethrows the smallest-indexed one)
+                                   instead of containing it as a
+                                   {!Diag.t} *)
+  sim_fuel : int option;       (** simulator step budget per run (None:
+                                   [Target.Sim]'s default) *)
+  analysis_fuel : Wcet.Fuel.t; (** fixpoint/solver iteration budgets;
+                                   part of the analysis-cache key *)
 }
 
 val default : config
-(** [{ jobs = 1; cache = None; worlds = None; compiler = Cvcomp }] —
-    sequential, memory-only, verified-style. *)
+(** Sequential, memory-only, verified-style, fault-containing
+    ([fail_fast = false]), default fuel. *)
 
 val config :
   ?jobs:int -> ?cache:Wcet.Memo.t -> ?worlds:int -> ?compiler:compiler ->
+  ?fail_fast:bool -> ?sim_fuel:int -> ?analysis_fuel:Wcet.Fuel.t ->
   unit -> config
 (** Build a config in one call; omitted fields take {!default}s. *)
 
@@ -39,3 +49,6 @@ val with_jobs : int -> config -> config
 val with_cache : Wcet.Memo.t option -> config -> config
 val with_worlds : int option -> config -> config
 val with_compiler : compiler -> config -> config
+val with_fail_fast : bool -> config -> config
+val with_sim_fuel : int option -> config -> config
+val with_analysis_fuel : Wcet.Fuel.t -> config -> config

@@ -22,9 +22,16 @@ let fail fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
 
 (* The phase sequence proper, on a function already resolved to its
    entry address. Phase-run accounting goes to the cache (if any), so
-   hit/miss arithmetic in [Report.analysis_stats] is observable. *)
-let compute ?cache (fname : string) (f : Target.Asm.func) (base_addr : int)
-    (lay : Target.Layout.t) : Report.t * Annotfile.entry list =
+   hit/miss arithmetic in [Report.analysis_stats] is observable.
+
+   [fuel] budgets every iterative phase (see [Fuel]); exhaustion is
+   caught here and converted into a refusal ([Error "analysis
+   diverged: ..."]) — the analyzer never hangs and never trades a
+   blown budget for an unsound bound. *)
+let compute ?cache ?(fuel = Fuel.default) (fname : string)
+    (f : Target.Asm.func) (base_addr : int) (lay : Target.Layout.t) :
+  Report.t * Annotfile.entry list =
+  try
   (* 1. decode *)
   Memo.count_phase cache Memo.Pdecode;
   let cfg =
@@ -39,7 +46,7 @@ let compute ?cache (fname : string) (f : Target.Asm.func) (base_addr : int)
   in
   (* 3. value analysis *)
   Memo.count_phase cache Memo.Pvalue;
-  let va = Valueanalysis.analyze cfg in
+  let va = Valueanalysis.analyze ~fuel:fuel.Fuel.fl_widen cfg in
   (* 4. loop bounds *)
   Memo.count_phase cache Memo.Pbounds;
   let bounds =
@@ -51,7 +58,7 @@ let compute ?cache (fname : string) (f : Target.Asm.func) (base_addr : int)
      the Ferdinand-style must-cache ageing analysis *)
   Memo.count_phase cache Memo.Pcache;
   let cache_cls = Cacheanalysis.analyze cfg va lay in
-  let must = Mustcache.analyze cfg va lay in
+  let must = Mustcache.analyze ~fuel:fuel.Fuel.fl_widen cfg va lay in
   let cache_cls = Cacheanalysis.refine cache_cls (Mustcache.block_hits must) in
   (* 6. pipeline analysis *)
   Memo.count_phase cache Memo.Ppipeline;
@@ -59,7 +66,7 @@ let compute ?cache (fname : string) (f : Target.Asm.func) (base_addr : int)
   (* 7. path analysis *)
   Memo.count_phase cache Memo.Pipet;
   let res =
-    try Ipet.compute cfg pl cache_cls loops bounds
+    try Ipet.compute ~fuel cfg pl cache_cls loops bounds
     with Ipet.Analysis_failed msg -> fail "path analysis: %s" msg
   in
   ( { Report.rp_function = fname;
@@ -79,17 +86,25 @@ let compute ?cache (fname : string) (f : Target.Asm.func) (base_addr : int)
       rp_code_lines = cache_cls.Cacheanalysis.ca_ilines;
       rp_data_lines = cache_cls.Cacheanalysis.ca_dlines },
     Annotfile.extract_func f )
+  with Fuel.Exhausted what ->
+    fail "analysis diverged: %s exhausted its fuel budget (refusing to bound)"
+      what
 
 (* One function, cache-aware. The cached report/annotations may carry
    the name of whichever structurally identical function was analyzed
    first; re-stamp ours (nothing else in the output depends on it). *)
-let analyze_func ?cache (f : Target.Asm.func) (base_addr : int)
+let analyze_func ?cache ?fuel (f : Target.Asm.func) (base_addr : int)
     (lay : Target.Layout.t) : Report.t * Annotfile.entry list =
   let fname = f.Target.Asm.fn_name in
   match cache with
-  | None -> compute fname f base_addr lay
+  | None -> compute ?fuel fname f base_addr lay
   | Some c ->
-    let key = Memo.key lay ~base:base_addr f in
+    (* the fuel triple is part of the content key: a different budget
+       can change the outcome (success vs refusal, exact vs relaxation
+       bound), so budgets never share an entry. Refusals ([Error],
+       including fuel exhaustion) are never cached at all — only the
+       successful [compute] below reaches [Memo.add]. *)
+    let key = Memo.key ?fuel lay ~base:base_addr f in
     (match Memo.find c key with
      | Some v ->
        ( { v.Memo.cv_report with Report.rp_function = fname },
@@ -97,7 +112,7 @@ let analyze_func ?cache (f : Target.Asm.func) (base_addr : int)
            (fun e -> { e with Annotfile.an_function = fname })
            v.Memo.cv_annots )
      | None ->
-       let report, annots = compute ~cache:c fname f base_addr lay in
+       let report, annots = compute ~cache:c ?fuel fname f base_addr lay in
        Memo.add c key { Memo.cv_report = report; cv_annots = annots };
        (report, annots))
 
@@ -112,15 +127,15 @@ let resolve (asm : Target.Asm.program) (lay : Target.Layout.t)
   | Some a -> (f, a)
   | None -> fail "function %s not in layout" fname
 
-let analyze_full ?cache ?fname (asm : Target.Asm.program)
+let analyze_full ?cache ?fuel ?fname (asm : Target.Asm.program)
     (lay : Target.Layout.t) : Report.t * Annotfile.entry list =
   let fname = Option.value ~default:asm.Target.Asm.pr_main fname in
   let f, base_addr = resolve asm lay fname in
-  analyze_func ?cache f base_addr lay
+  analyze_func ?cache ?fuel f base_addr lay
 
-let analyze ?cache ?fname (asm : Target.Asm.program) (lay : Target.Layout.t) :
-  Report.t =
-  fst (analyze_full ?cache ?fname asm lay)
+let analyze ?cache ?fuel ?fname (asm : Target.Asm.program)
+    (lay : Target.Layout.t) : Report.t =
+  fst (analyze_full ?cache ?fuel ?fname asm lay)
 
 (* WCET of every function in a program (the per-node analysis of the
    paper's Figure 2). The functions are iterated directly — no repeated
@@ -128,8 +143,8 @@ let analyze ?cache ?fname (asm : Target.Asm.program) (lay : Target.Layout.t) :
    [Asm.find_func] scan per function, making whole-program analysis
    quadratic in the function count. Entry addresses still come from the
    layout's constant-time code table. *)
-let analyze_program ?cache (asm : Target.Asm.program) (lay : Target.Layout.t) :
-  (string * Report.t) list =
+let analyze_program ?cache ?fuel (asm : Target.Asm.program)
+    (lay : Target.Layout.t) : (string * Report.t) list =
   List.map
     (fun (f : Target.Asm.func) ->
        let base_addr =
@@ -137,14 +152,14 @@ let analyze_program ?cache (asm : Target.Asm.program) (lay : Target.Layout.t) :
          | Some a -> a
          | None -> fail "function %s not in layout" f.Target.Asm.fn_name
        in
-       (f.Target.Asm.fn_name, fst (analyze_func ?cache f base_addr lay)))
+       (f.Target.Asm.fn_name, fst (analyze_func ?cache ?fuel f base_addr lay)))
     asm.Target.Asm.pr_funcs
 
 (* The whole program's annotation file, through the cache: a function
    whose analysis already hit contributes its cached fragment without
    re-scanning the instruction stream. *)
-let annotations ?cache (asm : Target.Asm.program) (lay : Target.Layout.t) :
-  Annotfile.entry list =
+let annotations ?cache ?fuel (asm : Target.Asm.program)
+    (lay : Target.Layout.t) : Annotfile.entry list =
   List.concat_map
     (fun (f : Target.Asm.func) ->
        match cache with
@@ -153,7 +168,7 @@ let annotations ?cache (asm : Target.Asm.program) (lay : Target.Layout.t) :
          (match Hashtbl.find_opt lay.Target.Layout.lay_code f.Target.Asm.fn_name with
           | None -> Annotfile.extract_func f
           | Some base ->
-            (match Memo.peek c (Memo.key lay ~base f) with
+            (match Memo.peek c (Memo.key ?fuel lay ~base f) with
              | Some v ->
                List.map
                  (fun e ->

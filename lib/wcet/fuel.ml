@@ -1,0 +1,41 @@
+(* Fuel budgets for every iterative analysis in this library.
+
+   The analyzer's fixpoints and the IPET solver are all proved (or
+   argued) terminating, but a certification pipeline cannot afford
+   "argued": a pathological program, a bug in a transfer function or a
+   degenerate LP must yield a *refusal* in bounded time, never a hang
+   and never an unsound number. Every unbounded iteration site —
+   simplex pivoting, branch & bound, the value-analysis widening loop,
+   the must-cache ageing fixpoint — therefore counts against an
+   explicit budget from this record; exhaustion raises [Exhausted],
+   which [Driver] turns into an analysis refusal ([Driver.Error]).
+
+   The defaults reproduce the constants that were previously hard-coded
+   at each site, so default-fuel analyses are bit-identical to the
+   pre-fuel analyzer. The fuel triple is part of the [Memo] content key:
+   changing a budget can turn a success into a refusal (or, for the
+   branch & bound budget, an exact bound into a relaxation bound), so
+   analyses under different budgets must never share a cache entry. *)
+
+type t = {
+  fl_widen : int;
+    (* worklist iterations of the value-analysis and must-cache
+       fixpoints (each processed block counts one) *)
+  fl_simplex : int;
+    (* simplex pivoting iterations per [Lp.solve] phase *)
+  fl_bb_nodes : int;
+    (* branch & bound nodes in [Lp.solve_integer]; exhaustion here is
+       NOT a refusal — the LP relaxation bound is still sound and is
+       returned with [is_exact = false] *)
+}
+
+let default : t = { fl_widen = 1_000_000; fl_simplex = 20_000; fl_bb_nodes = 200 }
+
+(* A starved budget: every guarded loop refuses on its first iteration.
+   The chaos harness injects this to prove exhaustion is contained. *)
+let starved : t = { fl_widen = 0; fl_simplex = 0; fl_bb_nodes = 0 }
+
+exception Exhausted of string
+(* [Exhausted what]: the iteration site [what] ran out of budget. *)
+
+let exhaust (what : string) : 'a = raise (Exhausted what)

@@ -1,0 +1,35 @@
+(** Fuel budgets for every iterative analysis in [lib/wcet]: no
+    fixpoint or solver loop may run unboundedly. Exhaustion raises
+    {!Exhausted}, which {!Driver} converts into an analysis *refusal*
+    ([Driver.Error] — "analysis diverged"), never a wrong bound and
+    never a hang. Defaults reproduce the previously hard-coded
+    constants, so default-fuel analyses are bit-identical to the
+    pre-fuel analyzer.
+
+    The triple is part of the {!Memo} content key: a budget change can
+    flip success into refusal (or exact into relaxation bound), so
+    analyses under different budgets never share a cache entry. *)
+
+type t = {
+  fl_widen : int;
+      (** worklist iterations of the value-analysis / must-cache
+          fixpoints (one per processed block) *)
+  fl_simplex : int;  (** simplex pivots per [Lp.solve] phase *)
+  fl_bb_nodes : int;
+      (** branch & bound nodes in [Lp.solve_integer]; exhaustion here
+          is not a refusal — the LP relaxation bound is still sound
+          ([is_exact = false]) *)
+}
+
+val default : t
+(** [{ fl_widen = 1_000_000; fl_simplex = 20_000; fl_bb_nodes = 200 }]. *)
+
+val starved : t
+(** All budgets zero: every guarded loop refuses immediately. The chaos
+    harness injects this to prove exhaustion is contained. *)
+
+exception Exhausted of string
+(** [Exhausted what]: iteration site [what] ran out of budget. *)
+
+val exhaust : string -> 'a
+(** [exhaust what] raises [Exhausted what]. *)

@@ -22,8 +22,9 @@ type result = {
   ipet_flow_cycles : int;   (* objective without the first-miss budget *)
 }
 
-let compute (cfg : Cfg.t) (pl : Pipeline.t) (cache : Cacheanalysis.t)
-    (loops : Loops.t) (bounds : Boundanalysis.loop_bound list) : result =
+let compute ?(fuel = Fuel.default) (cfg : Cfg.t) (pl : Pipeline.t)
+    (cache : Cacheanalysis.t) (loops : Loops.t)
+    (bounds : Boundanalysis.loop_bound list) : result =
   let reachable = Cfg.reverse_postorder cfg in
   let in_reach = Array.make (Cfg.num_blocks cfg) false in
   List.iter (fun b -> in_reach.(b) <- true) reachable;
@@ -136,7 +137,10 @@ let compute (cfg : Cfg.t) (pl : Pipeline.t) (cache : Cacheanalysis.t)
       pb_objective = objective;
       pb_constraints = !constraints }
   in
-  match Lp.solve_integer pb with
+  match
+    Lp.solve_integer ~fuel:fuel.Fuel.fl_simplex
+      ~max_nodes:fuel.Fuel.fl_bb_nodes pb
+  with
   | exception Lp.Infeasible -> raise (Analysis_failed "IPET infeasible")
   | exception Lp.Unbounded ->
     raise (Analysis_failed "IPET unbounded (missing loop bound?)")

@@ -13,7 +13,11 @@ type result = {
 }
 
 val compute :
-  Cfg.t -> Pipeline.t -> Cacheanalysis.t -> Loops.t ->
+  ?fuel:Fuel.t -> Cfg.t -> Pipeline.t -> Cacheanalysis.t -> Loops.t ->
   Boundanalysis.loop_bound list -> result
-(** @raise Analysis_failed on missing bounds, infeasibility, or
-    arithmetic overflow in the exact solver. *)
+(** [fuel] budgets the solver ([fl_simplex] pivots per phase,
+    [fl_bb_nodes] branch & bound nodes; running out of nodes degrades
+    to the sound LP relaxation bound).
+    @raise Analysis_failed on missing bounds, infeasibility, or
+    arithmetic overflow in the exact solver.
+    @raise Fuel.Exhausted when the pivot budget runs out. *)

@@ -99,8 +99,12 @@ type solution = {
   sol_values : Q.t array;
 }
 
-(* Two-phase dense-tableau simplex, maximizing, all variables >= 0. *)
-let solve (pb : problem) : solution =
+(* Two-phase dense-tableau simplex, maximizing, all variables >= 0.
+   [fuel] bounds the pivoting iterations of each phase; exhaustion
+   raises [Fuel.Exhausted] (Bland's rule guarantees termination in
+   theory, but a budget guarantees it against bugs and degenerate
+   inputs too — the analyzer turns the exhaustion into a refusal). *)
+let solve ?(fuel = Fuel.default.Fuel.fl_simplex) (pb : problem) : solution =
   let n = pb.pb_nvars in
   let constrs =
     (* normalize to rhs >= 0 *)
@@ -176,7 +180,7 @@ let solve (pb : problem) : solution =
     let continue_ = ref true in
     while !continue_ do
       incr iterations;
-      if !iterations > 20000 then raise Overflow;
+      if !iterations > fuel then Fuel.exhaust "simplex pivoting";
       (* Dantzig rule normally; Bland's anti-cycling rule after many
          iterations (guarantees termination on degenerate problems). *)
       let bland = !iterations > 500 in
@@ -277,11 +281,12 @@ type int_solution = {
   is_exact : bool;          (* true when the bound is attained integrally *)
 }
 
-let solve_integer ?(max_nodes = 200) (pb : problem) : int_solution =
+let solve_integer ?fuel ?(max_nodes = Fuel.default.Fuel.fl_bb_nodes)
+    (pb : problem) : int_solution =
   let nodes = ref 0 in
   let rec go (pb : problem) (depth : int) : int_solution =
     incr nodes;
-    match solve pb with
+    match solve ?fuel pb with
     | exception Infeasible -> { is_objective_bound = min_int; is_exact = true }
     | sol ->
       let frac =

@@ -56,9 +56,12 @@ type solution = {
   sol_values : Q.t array;
 }
 
-val solve : problem -> solution
-(** Two-phase simplex with Bland's anti-cycling fallback.
-    @raise Infeasible / @raise Unbounded / @raise Overflow. *)
+val solve : ?fuel:int -> problem -> solution
+(** Two-phase simplex with Bland's anti-cycling fallback. [fuel]
+    bounds the pivots of each phase (default
+    [Fuel.default.fl_simplex]).
+    @raise Infeasible / @raise Unbounded / @raise Overflow
+    @raise Fuel.Exhausted when the pivot budget runs out. *)
 
 type int_solution = {
   is_objective_bound : int;
@@ -67,4 +70,8 @@ type int_solution = {
   is_exact : bool;
 }
 
-val solve_integer : ?max_nodes:int -> problem -> int_solution
+val solve_integer : ?fuel:int -> ?max_nodes:int -> problem -> int_solution
+(** [fuel] is {!solve}'s pivot budget; [max_nodes] bounds the branch &
+    bound tree (default [Fuel.default.fl_bb_nodes]) — running out of
+    nodes degrades to the (sound) LP relaxation bound, it never
+    raises. *)

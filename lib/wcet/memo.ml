@@ -69,7 +69,8 @@ let normalize_instr (i : Asm.instr) : Asm.instr =
   | Asm.Poutf (_, f) -> Asm.Poutf ("", f)
   | _ -> i
 
-let key (lay : Target.Layout.t) ~(base : int) (f : Asm.func) : key =
+let key ?(fuel = Fuel.default) (lay : Target.Layout.t) ~(base : int)
+    (f : Asm.func) : key =
   (* data symbols and pool constants the code can name, in first-use
      order (deterministic for a given instruction stream) *)
   let syms = ref [] and seen_syms = Hashtbl.create 8 in
@@ -113,9 +114,16 @@ let key (lay : Target.Layout.t) ~(base : int) (f : Asm.func) : key =
         !consts,
       lay.Target.Layout.lay_stack_top )
   in
+  (* the fuel triple widens the key (the ROADMAP blind-spot rule): a
+     budget change can flip an analysis between success and refusal or
+     between an exact and a relaxation bound, so analyses under
+     different budgets must never share an entry *)
   let payload =
     Marshal.to_string
-      (List.map normalize_instr f.Asm.fn_code, base, slice)
+      ( List.map normalize_instr f.Asm.fn_code,
+        base,
+        slice,
+        (fuel.Fuel.fl_widen, fuel.Fuel.fl_simplex, fuel.Fuel.fl_bb_nodes) )
       []
   in
   { k_digest = Digest.string payload; k_payload = payload }

@@ -35,9 +35,12 @@ type value = {
 
 type key
 
-val key : Target.Layout.t -> base:int -> Target.Asm.func -> key
+val key : ?fuel:Fuel.t -> Target.Layout.t -> base:int -> Target.Asm.func -> key
 (** Canonical content key of analyzing [func] placed at [base] under
-    the given layout. *)
+    the given layout with the given fuel budgets (default
+    {!Fuel.default}). The budget triple is part of the key: analyses
+    under different budgets never share an entry (a budget change can
+    flip success into refusal or exact into relaxation bound). *)
 
 val digest : key -> string
 (** The key's MD5 digest (16 raw bytes), for logging/tests. *)

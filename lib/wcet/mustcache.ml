@@ -134,9 +134,10 @@ type result = {
 
 (* Fixpoint: entry states per block. The domain has finite height
    (ages only grow under join, lines only disappear), so plain
-   iteration terminates. *)
-let analyze (cfg : Cfg.t) (va : Valueanalysis.result) (lay : Target.Layout.t) :
-  result =
+   iteration terminates — and [fuel] bounds the worklist iterations
+   anyway, so a join/transfer bug is a refusal upstream, not a hang. *)
+let analyze ?(fuel = Fuel.default.Fuel.fl_widen) (cfg : Cfg.t)
+    (va : Valueanalysis.result) (lay : Target.Layout.t) : result =
   let n = Cfg.num_blocks cfg in
   let entry : acache option array = Array.make n None in
   entry.(cfg.Cfg.c_entry) <- Some empty;
@@ -149,7 +150,10 @@ let analyze (cfg : Cfg.t) (va : Valueanalysis.result) (lay : Target.Layout.t) :
     end
   in
   push cfg.Cfg.c_entry;
+  let iters = ref 0 in
   while not (Queue.is_empty worklist) do
+    incr iters;
+    if !iters > fuel then Fuel.exhaust "must-cache ageing fixpoint";
     let b = Queue.pop worklist in
     inq.(b) <- false;
     match entry.(b) with

@@ -13,7 +13,11 @@ val must_hit : acache -> int -> bool
 
 type result
 
-val analyze : Cfg.t -> Valueanalysis.result -> Target.Layout.t -> result
+val analyze :
+  ?fuel:int -> Cfg.t -> Valueanalysis.result -> Target.Layout.t -> result
+(** [fuel] bounds the worklist iterations (default
+    [Fuel.default.fl_widen]).
+    @raise Fuel.Exhausted when the budget runs out. *)
 
 val block_hits : result -> int -> bool list
 (** One boolean per data access of the block, in order: true when the

@@ -378,8 +378,13 @@ type result = {
   r_cfg : Cfg.t;
 }
 
-(* Fixpoint with widening after [widen_after] joins at the same block. *)
-let analyze ?(widen_after = 3) (cfg : Cfg.t) : result =
+(* Fixpoint with widening after [widen_after] joins at the same block.
+   Widening bounds the chain height in theory; [fuel] bounds the
+   worklist iterations unconditionally (one per processed block), so a
+   transfer-function bug or a pathological CFG yields a refusal
+   upstream, never a hang. *)
+let analyze ?(widen_after = 3) ?(fuel = Fuel.default.Fuel.fl_widen)
+    (cfg : Cfg.t) : result =
   let n = Cfg.num_blocks cfg in
   let entry_states : state option array = Array.make n None in
   let visits = Array.make n 0 in
@@ -393,7 +398,10 @@ let analyze ?(widen_after = 3) (cfg : Cfg.t) : result =
   in
   entry_states.(cfg.Cfg.c_entry) <- Some init_state;
   push cfg.Cfg.c_entry;
+  let iters = ref 0 in
   while not (Queue.is_empty worklist) do
+    incr iters;
+    if !iters > fuel then Fuel.exhaust "value-analysis widening fixpoint";
     let b = Queue.pop worklist in
     inqueue.(b) <- false;
     match entry_states.(b) with

@@ -128,3 +128,50 @@ After the GC the next analyzer run simply recomputes and repopulates:
   $ ../bin/aitw.exe -c vcomp --cache-dir wcache gen/n000.mc > regen_report.txt 2>/dev/null
   $ cmp nocache_report.txt regen_report.txt && echo regen-identical
   regen-identical
+
+Failure containment: a malformed node costs exactly that node. A
+single failing file is a total failure (exit 2) with a one-line
+diagnostic and a summary on stderr, stdout untouched:
+
+  $ echo 'int main( {' > bad.mc
+  $ ../bin/fcc.exe -c vcomp bad.mc > bad.s 2> bad_diag.txt
+  [2]
+  $ test -s bad.s || echo stdout-empty
+  stdout-empty
+  $ grep -c "^bad.mc: parse error:" bad_diag.txt
+  1
+  $ grep -c "1/1 nodes failed (0 ok)" bad_diag.txt
+  1
+
+In a multi-file -j 2 run the bad node is contained: the run completes
+with exit 1 and the survivors' assembly is byte-identical to a run
+without the faulty file:
+
+  $ ../bin/fcc.exe -c vcomp -j 2 gen/n000.mc bad.mc gen/n001.mc > partial.s 2> partial_diag.txt
+  [1]
+  $ cmp seq_multi.s partial.s && echo survivors-identical
+  survivors-identical
+  $ grep -c "1/3 nodes failed (2 ok)" partial_diag.txt
+  1
+
+--fail-fast restores abort-on-first-error: files after the failure are
+not emitted and the whole run is a failure (exit 2):
+
+  $ ../bin/fcc.exe -c vcomp --fail-fast gen/n000.mc bad.mc gen/n001.mc > ff.s 2> ff_diag.txt
+  [2]
+  $ cmp n000.s ff.s && echo only-first-file-emitted
+  only-first-file-emitted
+  $ grep -c "^bad.mc: parse error:" ff_diag.txt
+  1
+
+The analyzer contains failures the same way:
+
+  $ ../bin/aitw.exe -c vcomp bad.mc > /dev/null 2> aitw_diag.txt
+  [2]
+  $ grep -c "^bad.mc: parse error:" aitw_diag.txt
+  1
+  $ ../bin/aitw.exe -c vcomp -j 2 gen/n000.mc bad.mc > partial_report.txt 2>/dev/null
+  [1]
+  $ ../bin/aitw.exe -c vcomp gen/n000.mc 2>/dev/null > solo_report.txt
+  $ cmp solo_report.txt partial_report.txt && echo survivor-report-identical
+  survivor-report-identical

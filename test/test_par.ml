@@ -108,7 +108,13 @@ let test_parallel_wcet_soundness () =
       ~exact:true named
   in
   List.iter2
-    (fun (name, src) r ->
+    (fun (name, src) outcome ->
+       let r =
+         match outcome with
+         | Ok r -> r
+         | Error d ->
+           Alcotest.failf "%s failed: %s" name (Fcstack.Diag.to_string d)
+       in
        checkb (name ^ " validated") true (Result.is_ok r.Fcstack.Par.pn_validation);
        let b = Fcstack.Chain.build ~exact:true Fcstack.Chain.Cvcomp src in
        List.iter
