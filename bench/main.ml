@@ -141,7 +141,8 @@ let run_chaos (seed : int) : int =
   Format.eprintf "%a@." Fcstack.Chaos.print_report r;
   if r.Fcstack.Chaos.ch_problems = [] then 0 else 1
 
-let run_bench (experiment : string) (nodes : int) (jobs : int)
+let run_bench (experiment : string) (nodes : int)
+    (passes : Vcomp.Pass.options) (jobs : int)
     (chaos : bool) (chaos_seed : int)
     (copts : Fcstack.Cliopts.cache_opts) : int =
   if chaos then run_chaos chaos_seed
@@ -150,7 +151,7 @@ let run_bench (experiment : string) (nodes : int) (jobs : int)
   (* one shared analysis cache for the whole process: experiments and
      domains all feed it (content-addressed, so sharing across compiler
      configurations — and, when persistent, across runs — is sound) *)
-  let config = Fcstack.Cliopts.config_of_opts ~jobs copts in
+  let config = Fcstack.Cliopts.config_of_opts ~jobs ~passes copts in
   let workload =
     lazy
       (let wr =
@@ -160,8 +161,23 @@ let run_bench (experiment : string) (nodes : int) (jobs : int)
        (* per-node failures: stderr-only summary, tables show survivors *)
        Fcstack.Diag.print_summary ~total:nodes
          wr.Fcstack.Experiments.wr_diags;
+       (* per-pass middle-end accounting: stderr-only, like the cache
+          stats below — stdout tables stay byte-identical across -O *)
+       Format.eprintf "%a@?" Vcomp.Pass.pp_stats
+         wr.Fcstack.Experiments.wr_pass_stats;
        wr)
   in
+  if experiment = "gvnlicm" then begin
+    (* pure JSON on stdout (no separator banner): the published
+       BENCH_gvn_licm.json is exactly this output *)
+    Fcstack.Experiments.print_gvn_licm_json ppf ~nodes:(min 30 nodes) ~config
+      ();
+    Format.pp_print_flush ppf ();
+    Fcstack.Cliopts.report_stats ~always:true config;
+    Fcstack.Cliopts.finalize config;
+    0
+  end
+  else begin
   if want "listings" then begin
     sep "Experiment listing-1-2";
     Fcstack.Experiments.print_listings ppf
@@ -200,6 +216,7 @@ let run_bench (experiment : string) (nodes : int) (jobs : int)
   Fcstack.Cliopts.finalize config;
   0
   end
+  end
 
 open Cmdliner
 
@@ -207,7 +224,8 @@ let experiment_arg =
   Arg.(value & opt string "all"
        & info [ "e"; "experiment" ] ~docv:"EXPERIMENT"
            ~doc:"Run only $(docv): listings, table1, figure2, annot, \
-                 ablation, overestimation or micro (default: all).")
+                 ablation, overestimation, micro, or gvnlicm (pure-JSON \
+                 GVN/LICM deltas; never part of $(b,all)) (default: all).")
 
 let nodes_arg =
   Arg.(value & opt int 60
@@ -237,7 +255,8 @@ let cmd =
   Cmd.v
     (Cmd.info "bench" ~doc)
     Term.(
-      const run_bench $ experiment_arg $ nodes_arg $ jobs_arg
+      const run_bench $ experiment_arg $ nodes_arg
+      $ Fcstack.Cliopts.passes_term $ jobs_arg
       $ chaos_arg $ chaos_seed_arg $ Fcstack.Cliopts.cache_term)
 
 let () = exit (Cmd.eval' cmd)

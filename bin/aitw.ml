@@ -63,7 +63,10 @@ let analyze_file ~(config : Fcstack.Toolchain.config) (compare_all : bool)
        stages regardless of this fallback *)
     Diag.capture ~node:file ~stage:Diag.Wcet (fun () ->
         let analyze_one (comp : Fcstack.Chain.compiler) : unit =
-          let b = Fcstack.Chain.build comp src in
+          let b =
+            Fcstack.Chain.build ~passes:config.Fcstack.Toolchain.passes comp
+              src
+          in
           (match annot_out with
            | Some path ->
              (* cache-aware assembly: fragments of already-analyzed
@@ -71,6 +74,7 @@ let analyze_file ~(config : Fcstack.Toolchain.config) (compare_all : bool)
              let entries =
                Wcet.Driver.annotations ?cache:config.Fcstack.Toolchain.cache
                  ~fuel:config.Fcstack.Toolchain.analysis_fuel
+                 ~spec:b.Fcstack.Chain.b_spec
                  b.Fcstack.Chain.b_asm b.Fcstack.Chain.b_layout
              in
              let oc = open_out path in
@@ -104,8 +108,9 @@ let analyze_file ~(config : Fcstack.Toolchain.config) (compare_all : bool)
    match outcome with Ok () -> None | Error d -> Some d)
 
 let run (files : string list) (compiler : string) (compare_all : bool)
-    (simulate : bool) (annot_out : string option) (jobs : int)
-    (fail_fast : bool) (copts : Fcstack.Cliopts.cache_opts) : int =
+    (simulate : bool) (annot_out : string option)
+    (passes : Vcomp.Pass.options) (jobs : int) (fail_fast : bool)
+    (copts : Fcstack.Cliopts.cache_opts) : int =
   match Fcstack.Chain.compiler_of_string compiler with
   | Error msg ->
     prerr_endline msg;
@@ -120,7 +125,8 @@ let run (files : string list) (compiler : string) (compare_all : bool)
          for all files and configurations; Wcet.Memo is sharded and
          mutex-protected, so the -j domains share it directly *)
       let config =
-        Fcstack.Cliopts.config_of_opts ~jobs ~compiler:comp ~fail_fast copts
+        Fcstack.Cliopts.config_of_opts ~jobs ~compiler:comp ~fail_fast
+          ~passes copts
       in
       let total = List.length files in
       let results =
@@ -186,7 +192,7 @@ let cmd =
     (Cmd.info "aitw" ~doc)
     Term.(
       const run $ files_arg $ compiler_arg $ compare_arg $ simulate_arg
-      $ annot_out_arg $ jobs_arg $ Fcstack.Cliopts.fail_fast_term
-      $ Fcstack.Cliopts.cache_term)
+      $ annot_out_arg $ Fcstack.Cliopts.passes_term $ jobs_arg
+      $ Fcstack.Cliopts.fail_fast_term $ Fcstack.Cliopts.cache_term)
 
 let () = exit (Cmd.eval' cmd)

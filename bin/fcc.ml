@@ -31,6 +31,7 @@ type file_result = {
   fr_rtl : string;   (* --dump-rtl text, always on stdout *)
   fr_asm : string;   (* assembly text; stdout, or the -o file *)
   fr_stderr : string;
+  fr_stats : Vcomp.Pass.pass_stats list;  (* vcomp per-pass stats *)
   fr_diag : Fcstack.Diag.t option;
 }
 
@@ -38,11 +39,11 @@ type file_result = {
    becomes a [Diag.t] naming the file and the stage, and costs exactly
    this file — exceptions never escape. *)
 let compile_file (comp : Fcstack.Chain.compiler) (validate : bool)
-    (dump_rtl : bool) (exact : bool)
+    (dump_rtl : bool) (exact : bool) (passes : Vcomp.Pass.options)
     (sim_fuel : int option) (file : string) : file_result =
   let open Fcstack in
   let rtl_dump = Buffer.create 64 and err = Buffer.create 64 in
-  let asm = ref "" in
+  let asm = ref "" and stats = ref [] in
   let ( let* ) = Result.bind in
   let outcome : (unit, Diag.t) Result.t =
     let* src =
@@ -60,15 +61,17 @@ let compile_file (comp : Fcstack.Chain.compiler) (validate : bool)
     let* b =
       Diag.capture ~node:file ~stage:Diag.Compile (fun () ->
           if dump_rtl then begin
-            let rtl, _ = Vcomp.Driver.compile_with_rtl src in
+            let rtl, _ = Vcomp.Driver.compile_with_rtl ~options:passes src in
             List.iter
               (fun f -> Buffer.add_string rtl_dump (Vcomp.Rtl.dump_func f))
               rtl.Vcomp.Rtl.p_funcs
           end;
           Fcstack.Chain.build ~exact
-            ~validate:(validate && comp = Fcstack.Chain.Cvcomp) comp src)
+            ~validate:(validate && comp = Fcstack.Chain.Cvcomp) ~passes comp
+            src)
     in
     asm := Target.Emit.program_to_string b.Fcstack.Chain.b_asm;
+    stats := b.Fcstack.Chain.b_pass_stats;
     if validate then
       let* verdict =
         Diag.capture ~node:file ~stage:Diag.Sim (fun () ->
@@ -87,24 +90,28 @@ let compile_file (comp : Fcstack.Chain.compiler) (validate : bool)
   { fr_rtl = Buffer.contents rtl_dump;
     fr_asm = !asm;
     fr_stderr = Buffer.contents err;
+    fr_stats = !stats;
     fr_diag = (match outcome with Ok () -> None | Error d -> Some d) }
 
 let run (files : string list) (compiler : string) (output : string option)
-    (validate : bool) (dump_rtl : bool) (exact : bool) (jobs : int)
-    (fail_fast : bool) (copts : Fcstack.Cliopts.cache_opts) : int =
+    (validate : bool) (dump_rtl : bool) (exact : bool)
+    (passes : Vcomp.Pass.options) (jobs : int) (fail_fast : bool)
+    (copts : Fcstack.Cliopts.cache_opts) : int =
   match Fcstack.Chain.compiler_of_string compiler with
   | Error msg ->
     prerr_endline msg;
     2
   | Ok comp ->
     let config =
-      Fcstack.Cliopts.config_of_opts ~jobs ~compiler:comp ~fail_fast copts
+      Fcstack.Cliopts.config_of_opts ~jobs ~compiler:comp ~fail_fast ~passes
+        copts
     in
     let total = List.length files in
     let results =
       Fcstack.Par.map_list ~jobs:config.Fcstack.Toolchain.jobs
         (compile_file config.Fcstack.Toolchain.compiler validate dump_rtl
-           exact config.Fcstack.Toolchain.sim_fuel)
+           exact config.Fcstack.Toolchain.passes
+           config.Fcstack.Toolchain.sim_fuel)
         files
     in
     (* --fail-fast: the first failing file (input order) aborts the
@@ -129,6 +136,14 @@ let run (files : string list) (compiler : string) (output : string option)
      | None ->
        List.iter (fun r -> print_string r.fr_rtl; print_string r.fr_asm) results);
     List.iter (fun r -> prerr_string r.fr_stderr) results;
+    (* per-pass middle-end accounting, aggregated over all files:
+       stderr-only, like the cache stats, so stdout/-o output stays
+       byte-identical across flag configurations *)
+    (match List.filter (fun r -> r.fr_stats <> []) results with
+     | [] -> ()  (* COTS configurations have no middle-end pipeline *)
+     | with_stats ->
+       Format.eprintf "%a@?" Vcomp.Pass.pp_stats
+         (Vcomp.Pass.aggregate (List.map (fun r -> r.fr_stats) with_stats)));
     let diags = List.filter_map (fun r -> r.fr_diag) results in
     (* diagnostics and the failure summary are stderr-only: stdout is
        byte-identical across fail_fast/cache/jobs configurations *)
@@ -178,7 +193,7 @@ let cmd =
     (Cmd.info "fcc" ~doc)
     Term.(
       const run $ files_arg $ compiler_arg $ output_arg $ validate_arg
-      $ dump_rtl_arg $ exact_arg $ jobs_arg $ Fcstack.Cliopts.fail_fast_term
-      $ Fcstack.Cliopts.cache_term)
+      $ dump_rtl_arg $ exact_arg $ Fcstack.Cliopts.passes_term $ jobs_arg
+      $ Fcstack.Cliopts.fail_fast_term $ Fcstack.Cliopts.cache_term)
 
 let () = exit (Cmd.eval' cmd)

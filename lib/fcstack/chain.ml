@@ -42,10 +42,25 @@ let compiler_description (c : compiler) : string =
   | Cdefault_o2 -> "default compiler, fully optimized"
   | Cvcomp -> "CompCert-style verified compiler"
 
+(* The canonical pipeline spec of a configuration: what produced the
+   assembly. Joined into the WCET analysis-cache content key by [wcet]
+   — two pipelines can produce different assembly for the same
+   source, and even identical assembly must not share entries across
+   toolchain configurations silently. *)
+let pipeline_spec ?(exact = false)
+    ?(passes = Vcomp.Pass.default_options) (c : compiler) : string =
+  match c with
+  | Cdefault_o0 -> "o0"
+  | Cdefault_o1 -> "o1"
+  | Cdefault_o2 -> if exact then "o2" else "o2+fma"
+  | Cvcomp -> "vcomp:" ^ Vcomp.Pass.spec passes
+
 (* Compile a mini-C program under a configuration. [exact] forces
    bit-exact source semantics (disables the default-O2 FMA contraction);
-   validation of vcomp passes is controlled by [validate]. *)
-let compile ?(exact = false) ?(validate = false) (c : compiler)
+   [passes] selects the vcomp middle-end pipeline, whose per-pass
+   validators are controlled by [validate]. *)
+let compile ?(exact = false) ?(validate = false)
+    ?(passes = Vcomp.Pass.default_options) (c : compiler)
     (src : Minic.Ast.program) : Target.Asm.program =
   match c with
   | Cdefault_o0 -> Cotsc.Driver.compile ~level:Cotsc.Driver.Onone src
@@ -53,26 +68,39 @@ let compile ?(exact = false) ?(validate = false) (c : compiler)
   | Cdefault_o2 ->
     Cotsc.Driver.compile ~level:Cotsc.Driver.Ofull ~contract_fma:(not exact) src
   | Cvcomp ->
-    let options =
-      if validate then Vcomp.Driver.default_options
-      else Vcomp.Driver.no_validation
-    in
-    Vcomp.Driver.compile ~options src
+    Vcomp.Driver.compile ~options:{ passes with opt_validate = validate } src
 
-(* A fully built node: source, assembly, layout. *)
+(* A fully built node: source, assembly, layout, plus the pipeline spec
+   that produced it and (for vcomp) the per-pass stats. *)
 type built = {
   b_source : Minic.Ast.program;
   b_asm : Target.Asm.program;
   b_layout : Target.Layout.t;
   b_compiler : compiler;
+  b_spec : string;
+  b_pass_stats : Vcomp.Pass.pass_stats list; (* empty for COTS builds *)
 }
 
-let build ?exact ?validate (c : compiler) (src : Minic.Ast.program) : built =
-  let asm = compile ?exact ?validate c src in
+let build ?exact ?validate ?(passes = Vcomp.Pass.default_options)
+    (c : compiler) (src : Minic.Ast.program) : built =
+  let asm, stats =
+    match c with
+    | Cvcomp ->
+      let validate = Option.value ~default:false validate in
+      let _, asm, stats =
+        Vcomp.Driver.compile_full
+          ~options:{ passes with opt_validate = validate } src
+      in
+      (asm, stats)
+    | Cdefault_o0 | Cdefault_o1 | Cdefault_o2 ->
+      (compile ?exact ?validate ~passes c src, [])
+  in
   { b_source = src;
     b_asm = asm;
     b_layout = Target.Layout.build src asm;
-    b_compiler = c }
+    b_compiler = c;
+    b_spec = pipeline_spec ?exact ~passes c;
+    b_pass_stats = stats }
 
 (* Run the built node on the simulator. [fuel] bounds the executed
    steps (Target.Sim's default otherwise): a diverging program raises
@@ -90,7 +118,7 @@ let simulate ?cycles ?fuel (b : built) (w : Minic.Interp.world) :
    built. *)
 let wcet ?(config = Toolchain.default) (b : built) : Wcet.Report.t =
   Wcet.Driver.analyze ?cache:config.Toolchain.cache
-    ~fuel:config.Toolchain.analysis_fuel b.b_asm b.b_layout
+    ~fuel:config.Toolchain.analysis_fuel ~spec:b.b_spec b.b_asm b.b_layout
 
 (* Whole-chain differential validation: the machine code must produce
    the same observable behaviour as the source interpreter on a battery

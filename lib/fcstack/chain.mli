@@ -18,21 +18,33 @@ val compiler_of_string : string -> (compiler, string) Result.t
 (** Parse the CLI spelling ([o0]/[o1]/[o2]/[vcomp], or the long
     [default-O*] names); [Error] carries the usage message. *)
 
+val pipeline_spec :
+  ?exact:bool -> ?passes:Vcomp.Pass.options -> compiler -> string
+(** Canonical spec of what produces the assembly under a configuration
+    (e.g. ["o2+fma"], ["vcomp:constprop,cse,gvn,licm,deadcode"]);
+    joined into the WCET analysis-cache content key. *)
+
 val compile :
-  ?exact:bool -> ?validate:bool -> compiler -> Minic.Ast.program ->
-  Target.Asm.program
+  ?exact:bool -> ?validate:bool -> ?passes:Vcomp.Pass.options -> compiler ->
+  Minic.Ast.program -> Target.Asm.program
 (** [exact] disables semantics-relaxing optimizations (default-O2's FMA
-    contraction); [validate] turns on vcomp's per-pass validators. *)
+    contraction); [passes] selects the vcomp middle-end pipeline
+    (default: everything on); [validate] turns on vcomp's per-pass
+    validators. *)
 
 type built = {
   b_source : Minic.Ast.program;
   b_asm : Target.Asm.program;
   b_layout : Target.Layout.t;
   b_compiler : compiler;
+  b_spec : string;  (** {!pipeline_spec} of the producing configuration *)
+  b_pass_stats : Vcomp.Pass.pass_stats list;
+      (** per-pass middle-end stats; empty for COTS builds *)
 }
 
 val build :
-  ?exact:bool -> ?validate:bool -> compiler -> Minic.Ast.program -> built
+  ?exact:bool -> ?validate:bool -> ?passes:Vcomp.Pass.options -> compiler ->
+  Minic.Ast.program -> built
 
 val simulate :
   ?cycles:int -> ?fuel:int -> built -> Minic.Interp.world ->

@@ -61,13 +61,63 @@ let fail_fast_term : bool Term.t =
            input and completing the rest (the default). Successful \
            inputs produce byte-identical output either way.")
 
+(* ---- optimization pipeline selection (-O / --passes) ---- *)
+
+(* [--passes] parses through [Vcomp.Pass.of_spec], so an unknown pass
+   name is a Cmdliner parse error (exit 124) before any work runs —
+   the CLIs never fall back to a different pipeline silently. *)
+let passes_conv : Vcomp.Pass.options Cmdliner.Arg.conv =
+  let parse (s : string) =
+    match Vcomp.Pass.of_spec s with
+    | Ok o -> Ok o
+    | Error e -> Error (`Msg e)
+  in
+  let print fmt (o : Vcomp.Pass.options) =
+    Format.pp_print_string fmt (Vcomp.Pass.spec o)
+  in
+  Arg.conv (parse, print)
+
+let opt_level_arg : int Term.t =
+  Arg.(
+    value
+    & opt int 2
+    & info [ "O"; "opt-level" ] ~docv:"N"
+        ~doc:
+          "vcomp middle-end optimization level: 0 turns every pass \
+           off, 1 is the paper's CompCert 1.7 pipeline (constant \
+           propagation, local CSE, dead-code elimination), 2 (the \
+           default) adds global value numbering and loop-invariant \
+           code motion. Each enabled pass runs under translation \
+           validation. Only the vcomp configuration consults this.")
+
+let passes_arg : Vcomp.Pass.options option Term.t =
+  Arg.(
+    value
+    & opt (some passes_conv) None
+    & info [ "passes" ] ~docv:"LIST"
+        ~doc:
+          "Exact vcomp pass selection as a comma-separated list drawn \
+           from constprop, cse, gvn, licm, deadcode — or $(b,none). \
+           Overrides $(b,-O). An optional $(i,#FUEL) suffix bounds the \
+           analysis work per pass (exhaustion skips the pass, never \
+           miscompiles).")
+
+let passes_term : Vcomp.Pass.options Term.t =
+  Term.(
+    const (fun level passes ->
+        match passes with
+        | Some o -> o
+        | None -> Vcomp.Pass.level level)
+    $ opt_level_arg $ passes_arg)
+
 let memo_of_opts (o : cache_opts) : Wcet.Memo.t option =
   if o.co_no_cache then None
   else Some (Wcet.Memo.create ?dir:o.co_dir ?gc_mb:o.co_gc_mb ())
 
-let config_of_opts ?jobs ?worlds ?compiler ?fail_fast (o : cache_opts) :
-  Toolchain.config =
-  Toolchain.config ?jobs ?cache:(memo_of_opts o) ?worlds ?compiler ?fail_fast ()
+let config_of_opts ?jobs ?worlds ?compiler ?fail_fast ?passes
+    (o : cache_opts) : Toolchain.config =
+  Toolchain.config ?jobs ?cache:(memo_of_opts o) ?worlds ?compiler ?fail_fast
+    ?passes ()
 
 (* End-of-run maintenance: apply the GC budget to a persistent cache.
    Deliberately at the end — the LRU index then reflects this run's

@@ -20,13 +20,19 @@ val fail_fast_term : bool Cmdliner.Term.t
 (** [--fail-fast]: abort on the first failing input with its original
     error instead of containing per-input failures (the default). *)
 
+val passes_term : Vcomp.Pass.options Cmdliner.Term.t
+(** The optimization-selection pair [-O N] (default 2) and
+    [--passes LIST]; [--passes] overrides [-O]. A bad pass list is a
+    Cmdliner parse error (exit 124) before any work runs. *)
+
 val memo_of_opts : cache_opts -> Wcet.Memo.t option
 (** The cache the flags ask for: [None] under [--no-cache], persistent
     when a directory is configured, memory-only otherwise. *)
 
 val config_of_opts :
   ?jobs:int -> ?worlds:int -> ?compiler:Toolchain.compiler ->
-  ?fail_fast:bool -> cache_opts -> Toolchain.config
+  ?fail_fast:bool -> ?passes:Vcomp.Pass.options -> cache_opts ->
+  Toolchain.config
 (** One config from the parsed flags ({!memo_of_opts} for the cache). *)
 
 val finalize : Toolchain.config -> unit

@@ -20,6 +20,11 @@ type node_result = {
 type workload_results = {
   wr_nodes : node_result list;   (* successfully measured nodes *)
   wr_diags : Diag.t list;        (* one per failed node, input order *)
+  wr_pass_stats : Vcomp.Pass.pass_stats list;
+      (* vcomp middle-end stats aggregated over the nodes, with wall
+         times zeroed: the counts are deterministic (same passes, same
+         sources), so sequential and parallel runs stay comparable by
+         structural equality *)
 }
 
 let find_pc (nr : node_result) (c : Chain.compiler) : per_compiler =
@@ -54,10 +59,15 @@ let run_workload ?(nodes = 60) ?(seed = 2026) ?(config = Toolchain.default) () :
     Par.map_list ~jobs:config.Toolchain.jobs
       (fun (node, src) ->
          contain ~config ~node:node.Scade.Symbol.n_name (fun () ->
+             let pass_stats = ref [] in
              let per =
                List.map
                  (fun c ->
-                    let b = Chain.build c src in
+                    let b =
+                      Chain.build ~passes:config.Toolchain.passes c src
+                    in
+                    if b.Chain.b_pass_stats <> [] then
+                      pass_stats := b.Chain.b_pass_stats;
                     let report = Chain.wcet ~config b in
                     let sim =
                       Chain.simulate ?fuel:config.Toolchain.sim_fuel b
@@ -71,11 +81,19 @@ let run_workload ?(nodes = 60) ?(seed = 2026) ?(config = Toolchain.default) () :
                       pc_writes = stats.Target.Sim.dcache_writes })
                  Chain.all_compilers
              in
-             { nr_name = node.Scade.Symbol.n_name; nr_per = per }))
+             ({ nr_name = node.Scade.Symbol.n_name; nr_per = per },
+              !pass_stats)))
       program
   in
-  { wr_nodes = List.filter_map Result.to_option outcomes;
-    wr_diags = Diag.errors_of outcomes }
+  let measured = List.filter_map Result.to_option outcomes in
+  { wr_nodes = List.map fst measured;
+    wr_diags = Diag.errors_of outcomes;
+    wr_pass_stats =
+      (* zero the wall times (see the type comment): per-pass work
+         counts are a function of sources and passes alone *)
+      List.map
+        (fun st -> { st with Vcomp.Pass.st_ms = 0.0 })
+        (Vcomp.Pass.aggregate (List.map snd measured)) }
 
 let total (wr : workload_results) (c : Chain.compiler)
     (f : per_compiler -> int) : int =
@@ -265,49 +283,125 @@ let print_ablation (ppf : Format.formatter) ?(nodes = 30) ?(seed = 2026)
   let measured = ref 0 in
   (* a failing node drops out of *this variant's* sum (and is reported
      on stderr); the printed percentages then compare totals over the
-     respective survivor sets *)
-  let measure (compile : Minic.Ast.program -> Target.Asm.program) : int =
+     respective survivor sets. Each variant analyzes under its own
+     pipeline [spec]: distinct optimization selections never share a
+     cache entry (the Wcet.Memo keying contract). *)
+  let measure ~(spec : string)
+      (compile : Minic.Ast.program -> Target.Asm.program) : int * int =
     let outcomes =
       Par.map_list ~jobs:config.Toolchain.jobs
         (fun ((node : Scade.Symbol.node), src) ->
            contain ~config ~node:node.Scade.Symbol.n_name (fun () ->
                let asm = compile src in
                let lay = Target.Layout.build src asm in
-               (Wcet.Driver.analyze ?cache:config.Toolchain.cache
-                  ~fuel:config.Toolchain.analysis_fuel asm lay)
-                 .Wcet.Report.rp_wcet))
+               ((Wcet.Driver.analyze ?cache:config.Toolchain.cache
+                   ~fuel:config.Toolchain.analysis_fuel ~spec asm lay)
+                  .Wcet.Report.rp_wcet,
+                Target.Asm.program_size asm)))
         program
     in
     measured := !measured + List.length outcomes;
     diags := !diags @ Diag.errors_of outcomes;
-    List.fold_left ( + ) 0 (List.filter_map Result.to_option outcomes)
+    List.fold_left
+      (fun (w, s) (w', s') -> (w + w', s + s'))
+      (0, 0)
+      (List.filter_map Result.to_option outcomes)
   in
-  let full = measure (Vcomp.Driver.compile ~options:Vcomp.Driver.no_validation) in
+  let vmeasure (options : Vcomp.Driver.options) : int * int =
+    measure ~spec:("vcomp:" ^ Vcomp.Pass.spec options)
+      (Vcomp.Driver.compile ~options)
+  in
+  let full, full_size = vmeasure Vcomp.Driver.no_validation in
   let variants =
     [ ("vcomp without constant propagation",
        Vcomp.Driver.{ no_validation with opt_constprop = false });
       ("vcomp without CSE", Vcomp.Driver.{ no_validation with opt_cse = false });
+      ("vcomp without GVN-CSE",
+       Vcomp.Driver.{ no_validation with opt_gvn = false });
+      ("vcomp without LICM",
+       Vcomp.Driver.{ no_validation with opt_licm = false });
       ("vcomp without dead-code elimination",
        Vcomp.Driver.{ no_validation with opt_deadcode = false }) ]
   in
   Format.fprintf ppf
-    "@[<v>Ablations — total WCET over %d nodes (vcomp full: %d cycles)@,@,"
-    nodes full;
+    "@[<v>Ablations — totals over %d nodes (vcomp full: %d cycles WCET, %d \
+     instrs)@,@,"
+    nodes full full_size;
   List.iter
     (fun (name, options) ->
-       let v = measure (Vcomp.Driver.compile ~options) in
-       Format.fprintf ppf "  %-42s %9d  (%+.2f%%)@," name v
-         (pct v full -. 100.0))
+       let v, size = vmeasure options in
+       Format.fprintf ppf "  %-42s %9d  (%+.2f%%)  size %6d  (%+.2f%%)@,"
+         name v
+         (pct v full -. 100.0)
+         size
+         (pct size full_size -. 100.0))
     variants;
-  let o2_exact =
-    measure (Cotsc.Driver.compile ~level:Cotsc.Driver.Ofull ~contract_fma:false)
+  let o2_exact, _ =
+    measure ~spec:"o2"
+      (Cotsc.Driver.compile ~level:Cotsc.Driver.Ofull ~contract_fma:false)
   in
-  let o2_fma = measure (Cotsc.Driver.compile ~level:Cotsc.Driver.Ofull) in
+  let o2_fma, _ =
+    measure ~spec:"o2+fma" (Cotsc.Driver.compile ~level:Cotsc.Driver.Ofull)
+  in
   Format.fprintf ppf
     "  %-42s %9d@,  %-42s %9d  (%+.2f%%)@,@]"
     "default-O2 without FMA contraction" o2_exact
     "default-O2 with FMA contraction" o2_fma (pct o2_fma o2_exact -. 100.0);
   Diag.print_summary ~total:!measured !diags
+
+(* ---- GVN/LICM benchmark (BENCH_gvn_licm.json) ----------------------- *)
+
+(* Machine-readable deltas of the new global passes: total code size
+   and total WCET bound of the workload under the paper's local-CSE
+   pipeline (-O 1), with GVN-CSE added, and with GVN-CSE + LICM (the
+   -O 2 default). Pure JSON on stdout, deterministic for a given
+   (nodes, seed) — the published BENCH_gvn_licm.json is this output. *)
+let print_gvn_licm_json (ppf : Format.formatter) ?(nodes = 30) ?(seed = 2026)
+    ?(config = Toolchain.default) () : unit =
+  let program = Scade.Workload.flight_program ~nodes ~seed in
+  let measure (options : Vcomp.Driver.options) : int * int =
+    let spec = "vcomp:" ^ Vcomp.Pass.spec options in
+    let sums =
+      Par.map_list ~jobs:config.Toolchain.jobs
+        (fun ((node : Scade.Symbol.node), src) ->
+           contain ~config ~node:node.Scade.Symbol.n_name (fun () ->
+               let asm = Vcomp.Driver.compile ~options src in
+               let lay = Target.Layout.build src asm in
+               ((Wcet.Driver.analyze ?cache:config.Toolchain.cache
+                   ~fuel:config.Toolchain.analysis_fuel ~spec asm lay)
+                  .Wcet.Report.rp_wcet,
+                Target.Asm.program_size asm)))
+        program
+    in
+    List.fold_left
+      (fun (w, s) (w', s') -> (w + w', s + s'))
+      (0, 0)
+      (List.filter_map Result.to_option sums)
+  in
+  let level1 = { (Vcomp.Pass.level 1) with Vcomp.Pass.opt_validate = false } in
+  let base_w, base_s = measure level1 in
+  let gvn_w, gvn_s = measure { level1 with Vcomp.Pass.opt_gvn = true } in
+  let all_w, all_s =
+    measure
+      { level1 with Vcomp.Pass.opt_gvn = true; Vcomp.Pass.opt_licm = true }
+  in
+  let row name (w, s) =
+    Printf.sprintf
+      "    { \"config\": %S, \"code_size_instrs\": %d, \"wcet_total_cycles\": %d }"
+      name s w
+  in
+  Format.fprintf ppf "%s@."
+    (String.concat "\n"
+       [ "{";
+         "  \"benchmark\": \"gvn_licm\",";
+         Printf.sprintf "  \"workload\": { \"nodes\": %d, \"seed\": %d },"
+           nodes seed;
+         "  \"configurations\": [";
+         row "constprop+cse+deadcode" (base_w, base_s) ^ ",";
+         row "constprop+cse+gvn+deadcode" (gvn_w, gvn_s) ^ ",";
+         row "constprop+cse+gvn+licm+deadcode" (all_w, all_s);
+         "  ]";
+         "}" ])
 
 (* ---- WCET overestimation study (not in the paper) ------------------ *)
 

@@ -18,6 +18,9 @@ type node_result = {
 type workload_results = {
   wr_nodes : node_result list;   (** successfully measured nodes *)
   wr_diags : Diag.t list;        (** one per failed node, input order *)
+  wr_pass_stats : Vcomp.Pass.pass_stats list;
+      (** vcomp middle-end stats aggregated over the nodes, wall times
+          zeroed so sequential and parallel runs compare equal *)
 }
 
 val find_pc : node_result -> Chain.compiler -> per_compiler
@@ -66,4 +69,13 @@ val print_overestimation :
   Format.formatter -> ?nodes:int -> ?seed:int -> ?config:Toolchain.config ->
   unit -> unit
 (** Both tables contain per-node failures like {!run_workload}: failed
-    nodes drop out of the rows/sums and are summarized on stderr. *)
+    nodes drop out of the rows/sums and are summarized on stderr. The
+    ablation table includes GVN-CSE and LICM rows with code-size
+    columns; every variant analyzes under its own pipeline spec. *)
+
+val print_gvn_licm_json :
+  Format.formatter -> ?nodes:int -> ?seed:int -> ?config:Toolchain.config ->
+  unit -> unit
+(** Machine-readable GVN/LICM deltas (code size + total WCET bound for
+    the local-CSE pipeline, +GVN, +GVN+LICM) as pure JSON — the
+    published BENCH_gvn_licm.json. *)

@@ -85,7 +85,10 @@ type node_result = {
    (the pre-diagnostic behaviour). *)
 let chain_node_exn ~(config : Toolchain.config) ?exact ?validate ?cycles
     (name : string) (src : Minic.Ast.program) : node_result =
-  let b = Chain.build ?exact ?validate config.Toolchain.compiler src in
+  let b =
+    Chain.build ?exact ?validate ~passes:config.Toolchain.passes
+      config.Toolchain.compiler src
+  in
   { pn_name = name;
     pn_asm = b.Chain.b_asm;
     pn_wcet = (Chain.wcet ~config b).Wcet.Report.rp_wcet;
@@ -114,7 +117,8 @@ let chain_node ~(config : Toolchain.config) ?exact ?validate ?cycles
     | Ok () ->
       Result.bind
         (Diag.capture ~node:name ~stage:Diag.Compile (fun () ->
-             Chain.build ?exact ?validate config.Toolchain.compiler src))
+             Chain.build ?exact ?validate ~passes:config.Toolchain.passes
+               config.Toolchain.compiler src))
         (fun b ->
            Result.bind
              (Diag.capture ~node:name ~stage:Diag.Wcet (fun () ->

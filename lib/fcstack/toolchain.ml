@@ -35,6 +35,10 @@ type config = {
   (* iteration budgets for every fixpoint/solver loop of the analyzer;
      part of the analysis-cache content key (see Wcet.Fuel) *)
   analysis_fuel : Wcet.Fuel.t;
+  (* vcomp middle-end pass selection (-O / --passes); its canonical
+     spec string joins the analysis-cache content key, since two
+     pipelines can produce different assembly for the same source *)
+  passes : Vcomp.Pass.options;
 }
 
 let default : config =
@@ -44,18 +48,20 @@ let default : config =
     compiler = Cvcomp;
     fail_fast = false;
     sim_fuel = None;
-    analysis_fuel = Wcet.Fuel.default }
+    analysis_fuel = Wcet.Fuel.default;
+    passes = Vcomp.Pass.default_options }
 
 let config ?(jobs = 1) ?cache ?worlds ?(compiler = Cvcomp)
-    ?(fail_fast = false) ?sim_fuel ?(analysis_fuel = Wcet.Fuel.default) () :
-  config =
+    ?(fail_fast = false) ?sim_fuel ?(analysis_fuel = Wcet.Fuel.default)
+    ?(passes = Vcomp.Pass.default_options) () : config =
   { jobs = max 1 jobs;
     cache;
     worlds;
     compiler;
     fail_fast;
     sim_fuel;
-    analysis_fuel }
+    analysis_fuel;
+    passes }
 
 let with_jobs (jobs : int) (c : config) : config = { c with jobs = max 1 jobs }
 let with_cache (cache : Wcet.Memo.t option) (c : config) : config =
@@ -69,3 +75,5 @@ let with_sim_fuel (sim_fuel : int option) (c : config) : config =
   { c with sim_fuel }
 let with_analysis_fuel (analysis_fuel : Wcet.Fuel.t) (c : config) : config =
   { c with analysis_fuel }
+let with_passes (passes : Vcomp.Pass.options) (c : config) : config =
+  { c with passes }

@@ -33,6 +33,10 @@ type config = {
                                    [Target.Sim]'s default) *)
   analysis_fuel : Wcet.Fuel.t; (** fixpoint/solver iteration budgets;
                                    part of the analysis-cache key *)
+  passes : Vcomp.Pass.options; (** vcomp middle-end pass selection
+                                   ([-O]/[--passes]); its canonical
+                                   spec string joins the analysis-cache
+                                   key *)
 }
 
 val default : config
@@ -42,7 +46,7 @@ val default : config
 val config :
   ?jobs:int -> ?cache:Wcet.Memo.t -> ?worlds:int -> ?compiler:compiler ->
   ?fail_fast:bool -> ?sim_fuel:int -> ?analysis_fuel:Wcet.Fuel.t ->
-  unit -> config
+  ?passes:Vcomp.Pass.options -> unit -> config
 (** Build a config in one call; omitted fields take {!default}s. *)
 
 val with_jobs : int -> config -> config
@@ -52,3 +56,4 @@ val with_compiler : compiler -> config -> config
 val with_fail_fast : bool -> config -> config
 val with_sim_fuel : int option -> config -> config
 val with_analysis_fuel : Wcet.Fuel.t -> config -> config
+val with_passes : Vcomp.Pass.options -> config -> config

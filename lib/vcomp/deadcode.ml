@@ -20,12 +20,12 @@ let eliminate_once (f : Rtl.func) : bool =
     (Rtl.reverse_postorder f);
   !changed
 
-let transform_func (f : Rtl.func) : unit =
+let transform_func ?(fuel = 50) (f : Rtl.func) : unit =
   let rec loop (budget : int) : unit =
     if budget > 0 && eliminate_once f then loop (budget - 1)
   in
-  loop 50
+  loop fuel
 
-let transform (p : Rtl.program) : Rtl.program =
-  List.iter transform_func p.Rtl.p_funcs;
+let transform ?(fuel = 50) (p : Rtl.program) : Rtl.program =
+  List.iter (transform_func ~fuel) p.Rtl.p_funcs;
   p

@@ -1,6 +1,8 @@
 (** Dead-code elimination: pure instructions whose destination is dead
     become no-ops; iterates with liveness recomputation so chains of
-    dead computations vanish. *)
+    dead computations vanish (the pattern left behind by CSE, GVN and
+    LICM rewriting to moves). [fuel] (default 50) bounds the number of
+    recomputation sweeps. *)
 
-val transform_func : Rtl.func -> unit
-val transform : Rtl.program -> Rtl.program
+val transform_func : ?fuel:int -> Rtl.func -> unit
+val transform : ?fuel:int -> Rtl.program -> Rtl.program

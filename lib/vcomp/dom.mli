@@ -1,0 +1,19 @@
+(** Dominators over RTL control-flow graphs (Cooper–Harvey–Kennedy),
+    prerequisite of natural-loop detection for LICM. The IR twin of the
+    analyzer-side [Wcet.Dom], which runs on machine-code CFGs. *)
+
+type t = {
+  d_idom : int array;
+      (** immediate dominator; entry maps to itself; unreachable nodes
+          map to -1 *)
+  d_rpo_index : int array;
+}
+
+val compute : Rtl.func -> t
+
+val dominates : t -> int -> int -> bool
+(** [dominates d a b]: does node [a] dominate node [b]? Only valid for
+    nodes that existed when [compute] ran. *)
+
+val dominates_naive : Rtl.func -> int -> int -> bool
+(** O(n^2) reachability-removal oracle for property tests. *)

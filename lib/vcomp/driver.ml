@@ -1,75 +1,47 @@
 (* Compilation driver of the verified-style compiler ("vcomp", standing
-   in for CompCert 1.7): selection, constant propagation, CSE, dead-code
-   elimination, graph-coloring register allocation, linearization and
-   assembly emission — the pass list the paper attributes to CompCert
-   ("constant propagation, common subexpression elimination and register
-   allocation by graph coloring, but no loop optimizations").
+   in for CompCert 1.7 extended with the Monniaux & Six middle-end):
+   selection, then the declarative optimization pipeline of [Pass]
+   (constant propagation, local CSE, global GVN-CSE, LICM, dead-code
+   elimination), then graph-coloring register allocation, linearization
+   and assembly emission.
 
    Every enabled optimization runs under its translation validator
-   unless [validate] is turned off (benchmark runs disable it for
+   unless [opt_validate] is turned off (benchmark runs disable it for
    compile-time measurements; correctness tests always keep it on). *)
 
-type options = {
+type options = Pass.options = {
   opt_constprop : bool;
   opt_cse : bool;
+  opt_gvn : bool;
+  opt_licm : bool;
   opt_deadcode : bool;
   opt_validate : bool;
+  opt_fuel : int;
 }
 
-let default_options : options =
-  { opt_constprop = true; opt_cse = true; opt_deadcode = true; opt_validate = true }
+let default_options : options = Pass.default_options
 
 (* Ablation configurations used by the design-choice benchmarks. *)
 let no_constprop : options = { default_options with opt_constprop = false }
 let no_cse : options = { default_options with opt_cse = false }
+let no_gvn : options = { default_options with opt_gvn = false }
+let no_licm : options = { default_options with opt_licm = false }
 let no_validation : options = { default_options with opt_validate = false }
 
-let run_pass (opts : options) (name : string)
-    (pass : Rtl.program -> Rtl.program) (p : Rtl.program) : Rtl.program =
-  if opts.opt_validate then begin
-    let before = Rtl.copy_program p in
-    let after = pass p in
-    Validate.check_pass ~pass:name ~before ~after;
-    after
-  end
-  else pass p
-
-(* Compile a type-checked mini-C program to target assembly. *)
-let compile ?(options = default_options) (src : Minic.Ast.program) :
-  Target.Asm.program =
+(* Compile a type-checked mini-C program through the pass pipeline,
+   returning the final RTL, the assembly and the per-pass stats. *)
+let compile_full ?(options = default_options) (src : Minic.Ast.program) :
+  Rtl.program * Target.Asm.program * Pass.pass_stats list =
   Minic.Typecheck.check_program_exn src;
   let rtl = Selection.trans_program src in
-  let rtl =
-    if options.opt_constprop then
-      run_pass options "constprop" Constprop.transform rtl
-    else rtl
-  in
-  let rtl =
-    if options.opt_cse then run_pass options "cse" Cse.transform rtl else rtl
-  in
-  let rtl =
-    if options.opt_deadcode then
-      run_pass options "deadcode" Deadcode.transform rtl
-    else rtl
-  in
-  Asmgen.translate_program rtl
+  let rtl, stats = Pass.run_pipeline options rtl in
+  (rtl, Asmgen.translate_program rtl, stats)
 
-(* Compile and also return the final RTL, for inspection and tests. *)
-let compile_with_rtl ?(options = default_options) (src : Minic.Ast.program) :
+let compile ?options (src : Minic.Ast.program) : Target.Asm.program =
+  let _, asm, _ = compile_full ?options src in
+  asm
+
+let compile_with_rtl ?options (src : Minic.Ast.program) :
   Rtl.program * Target.Asm.program =
-  Minic.Typecheck.check_program_exn src;
-  let rtl = Selection.trans_program src in
-  let rtl =
-    if options.opt_constprop then
-      run_pass options "constprop" Constprop.transform rtl
-    else rtl
-  in
-  let rtl =
-    if options.opt_cse then run_pass options "cse" Cse.transform rtl else rtl
-  in
-  let rtl =
-    if options.opt_deadcode then
-      run_pass options "deadcode" Deadcode.transform rtl
-    else rtl
-  in
-  (rtl, Asmgen.translate_program rtl)
+  let rtl, asm, _ = compile_full ?options src in
+  (rtl, asm)

@@ -1,16 +1,22 @@
 (** Compilation driver of the verified-style compiler ("vcomp",
-    standing in for CompCert 1.7): selection, constant propagation,
-    CSE, dead-code elimination, graph-coloring register allocation,
-    linearization, emission. Optimizations run under their translation
-    validators unless disabled. *)
+    standing in for CompCert 1.7 extended with a Monniaux & Six style
+    middle-end): selection, the {!Pass} pipeline (constprop, local CSE,
+    global GVN-CSE, LICM, deadcode), graph-coloring register
+    allocation, linearization, emission. Optimizations run under their
+    translation validators unless disabled. *)
 
-type options = {
+type options = Pass.options = {
   opt_constprop : bool;
   opt_cse : bool;
+  opt_gvn : bool;
+  opt_licm : bool;
   opt_deadcode : bool;
   opt_validate : bool;
       (** run the per-pass differential validators (raises
           {!Validate.Validation_failed} on any behaviour change) *)
+  opt_fuel : int;
+      (** analysis budget for GVN/LICM/deadcode; exhaustion skips the
+          pass, it never miscompiles *)
 }
 
 val default_options : options
@@ -18,6 +24,8 @@ val default_options : options
 
 val no_constprop : options
 val no_cse : options
+val no_gvn : options
+val no_licm : options
 val no_validation : options
 
 val compile : ?options:options -> Minic.Ast.program -> Target.Asm.program
@@ -29,3 +37,9 @@ val compile : ?options:options -> Minic.Ast.program -> Target.Asm.program
 val compile_with_rtl :
   ?options:options -> Minic.Ast.program -> Rtl.program * Target.Asm.program
 (** Also return the optimized RTL, for inspection and tests. *)
+
+val compile_full :
+  ?options:options ->
+  Minic.Ast.program ->
+  Rtl.program * Target.Asm.program * Pass.pass_stats list
+(** Also return the per-pass stats, for stderr accounting. *)

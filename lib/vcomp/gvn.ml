@@ -1,0 +1,255 @@
+(* Global CSE by value numbering over the whole RTL CFG, after
+   Monniaux & Six ("Simple, Light, Yet Formally Verified, Global CSE
+   and Loop-Invariant Code Motion"): a forward dataflow analysis maps
+   each pseudo-register to a hash-consed symbolic term; an operation
+   whose term is already held by another register of the same class is
+   rewritten to a move (or to a no-op when the destination itself
+   already holds it). Local value numbering ([Cse]) stays responsible
+   for memoizing loads under memory epochs; this pass only numbers
+   pure operations, so it needs no alias reasoning, and its soundness
+   is re-checked per run by [Validate.check_pass] in the spirit of the
+   paper's verified translation validation.
+
+   Term language. [Tinit r] is the entry value of register [r] (the
+   parameters). A pure operation over known terms is [Top]. A value the
+   analysis cannot symbolize — a load, a volatile acquisition, a use of
+   a register with no current binding — is named by the *node* that
+   produced it: [Topaque n] for opaque definitions, [Targ (n, i)] for
+   the i-th argument of node [n] at its most recent execution. Naming
+   by node keeps the fixpoint deterministic (no fresh-name supply), at
+   the price of a staleness hazard across loop iterations: a register
+   bound to a node-[n] term denotes "the value node [n] produced *last
+   time*", which the next execution of [n] silently changes. The
+   transfer function therefore *invalidates* — drops — every binding
+   mentioning node [n] before it (re)executes [n], so stale terms can
+   never witness a false equality.
+
+   The fixpoint runs under a fuel budget: if it has not converged
+   within the budget, the pass skips the function (identity), never
+   rewrites from an unconverged analysis. *)
+
+module RegMap = Map.Make (Int)
+module IntSet = Set.Make (Int)
+
+type opkey =
+  | Kop of Rtl.operation (* never [Ofloatconst]: floats are normalized *)
+  | Kfconst of int64     (* float constant by bit pattern *)
+
+type tkey =
+  | Tinit of Rtl.reg
+  | Topaque of Rtl.node
+  | Targ of Rtl.node * int
+  | Top of opkey * int list (* operation over term ids *)
+
+(* Hash-consing tables: structural term -> id, id -> set of nodes the
+   term mentions (for invalidation). *)
+type tables = {
+  mutable next_id : int;
+  ids : (tkey, int) Hashtbl.t;
+  deps : (int, IntSet.t) Hashtbl.t;
+}
+
+let create_tables () : tables =
+  { next_id = 0; ids = Hashtbl.create 251; deps = Hashtbl.create 251 }
+
+let term (tb : tables) (k : tkey) : int =
+  match Hashtbl.find_opt tb.ids k with
+  | Some id -> id
+  | None ->
+    let id = tb.next_id in
+    tb.next_id <- id + 1;
+    Hashtbl.replace tb.ids k id;
+    let d =
+      match k with
+      | Tinit _ -> IntSet.empty
+      | Topaque n | Targ (n, _) -> IntSet.singleton n
+      | Top (_, args) ->
+        List.fold_left
+          (fun acc a -> IntSet.union acc (Hashtbl.find tb.deps a))
+          IntSet.empty args
+    in
+    Hashtbl.replace tb.deps id d;
+    id
+
+let opkey (op : Rtl.operation) : opkey =
+  match op with
+  | Rtl.Ofloatconst c -> Kfconst (Int64.bits_of_float c)
+  | _ -> Kop op
+
+(* Abstract environment: register -> term id; absent = unknown. *)
+type env = int RegMap.t
+
+(* Drop every binding whose term mentions node [n]. *)
+let invalidate (tb : tables) (n : Rtl.node) (e : env) : env =
+  RegMap.filter (fun _ t -> not (IntSet.mem n (Hashtbl.find tb.deps t))) e
+
+(* Resolve the arguments of node [n]; unmapped arguments are named
+   [Targ (n, i)] and the name is recorded for the argument register
+   itself, so a later identical operation on untouched registers still
+   numbers equal. *)
+let resolve_args (tb : tables) (n : Rtl.node) (args : Rtl.reg list) (e : env) :
+  env * int list =
+  let e, rev =
+    List.fold_left
+      (fun (e, acc) r ->
+         match RegMap.find_opt r e with
+         | Some t -> (e, t :: acc)
+         | None ->
+           let t = term tb (Targ (n, List.length acc)) in
+           (RegMap.add r t e, t :: acc))
+      (e, []) args
+  in
+  (e, List.rev rev)
+
+let transfer (tb : tables) (f : Rtl.func) (n : Rtl.node) (e : env) : env =
+  match Rtl.get_instr f n with
+  | Rtl.Iop (Rtl.Omove, [ src ], d, _) ->
+    let e = invalidate tb n e in
+    (match RegMap.find_opt src e with
+     | Some t -> RegMap.add d t e
+     | None ->
+       (* source and destination now hold the same (unknown) value *)
+       let t = term tb (Targ (n, 0)) in
+       RegMap.add src t (RegMap.add d t e))
+  | Rtl.Iop (op, args, d, _) ->
+    let e = invalidate tb n e in
+    let e, ts = resolve_args tb n args e in
+    RegMap.add d (term tb (Top (opkey op, ts))) e
+  | Rtl.Iload (_, _, _, d, _) | Rtl.Iacq (_, d, _) ->
+    let e = invalidate tb n e in
+    RegMap.add d (term tb (Topaque n)) e
+  | Rtl.Inop _ | Rtl.Istore _ | Rtl.Icond _ | Rtl.Iout _ | Rtl.Iannot _
+  | Rtl.Ireturn _ -> e
+
+(* Meet at merge points: keep only bindings on which all predecessors
+   agree. Terms are hash-consed, so agreement is id equality. *)
+let meet (a : env) (b : env) : env =
+  RegMap.merge
+    (fun _ x y ->
+       match x, y with
+       | Some x, Some y when x = y -> Some x
+       | _, _ -> None)
+    a b
+
+let env_equal (a : env) (b : env) : bool = RegMap.equal Int.equal a b
+
+(* Forward fixpoint of in-environments, mirroring [Constprop.analyze]
+   but bounded: each worklist step costs one unit of fuel, and [None]
+   is returned on exhaustion. *)
+let analyze (tb : tables) (f : Rtl.func) ~(fuel : int) :
+  (Rtl.node, env) Hashtbl.t option =
+  let preds_tbl = Rtl.predecessors f in
+  let preds n = Option.value ~default:[] (Hashtbl.find_opt preds_tbl n) in
+  let in_env : (Rtl.node, env) Hashtbl.t = Hashtbl.create 251 in
+  let worklist = Queue.create () in
+  let workset = Hashtbl.create 251 in
+  let push n =
+    if not (Hashtbl.mem workset n) then begin
+      Hashtbl.replace workset n ();
+      Queue.add n worklist
+    end
+  in
+  List.iter push (Rtl.reverse_postorder f);
+  let entry_env =
+    List.fold_left
+      (fun e (r, _) -> RegMap.add r (term tb (Tinit r)) e)
+      RegMap.empty f.Rtl.f_params
+  in
+  Hashtbl.replace in_env f.Rtl.f_entry entry_env;
+  let fuel = ref fuel in
+  let exhausted = ref false in
+  while (not (Queue.is_empty worklist)) && not !exhausted do
+    if !fuel <= 0 then exhausted := true
+    else begin
+      decr fuel;
+      let n = Queue.pop worklist in
+      Hashtbl.remove workset n;
+      let env_in =
+        if n = f.Rtl.f_entry then entry_env
+        else
+          let reached =
+            List.filter_map
+              (fun p ->
+                 Hashtbl.find_opt in_env p
+                 |> Option.map (fun e -> transfer tb f p e))
+              (preds n)
+          in
+          match reached with
+          | [] -> RegMap.empty (* unreached so far *)
+          | e0 :: rest -> List.fold_left meet e0 rest
+      in
+      let old = Hashtbl.find_opt in_env n in
+      let changed =
+        match old with None -> true | Some o -> not (env_equal o env_in)
+      in
+      if changed then begin
+        Hashtbl.replace in_env n env_in;
+        List.iter push (Rtl.successors (Rtl.get_instr f n))
+      end
+    end
+  done;
+  if !exhausted then None else Some in_env
+
+(* Rewriting. At a pure non-move operation whose arguments all have
+   terms, look the result term up: if the destination already holds it
+   the instruction is redundant (no-op); if another same-class register
+   holds it, rewrite to a move from the smallest such register (the
+   deterministic representative). Integer constants are left alone —
+   rematerializing them is as cheap as a move — but float constants are
+   numbered: every duplicate avoided is a constant-pool load. *)
+let rewrite_func (tb : tables) (in_env : (Rtl.node, env) Hashtbl.t)
+    (f : Rtl.func) : unit =
+  let class_of r = Hashtbl.find_opt f.Rtl.f_classes r in
+  List.iter
+    (fun n ->
+       match Rtl.get_instr f n with
+       | Rtl.Iop (Rtl.Omove, _, _, _) | Rtl.Iop (Rtl.Ointconst _, _, _, _) -> ()
+       | Rtl.Iop (op, args, d, s) ->
+         let e =
+           Option.value ~default:RegMap.empty (Hashtbl.find_opt in_env n)
+         in
+         let ts =
+           List.fold_right
+             (fun r acc ->
+                match acc, RegMap.find_opt r e with
+                | Some ts, Some t -> Some (t :: ts)
+                | _, _ -> None)
+             args (Some [])
+         in
+         (match ts with
+          | None -> ()
+          | Some ts ->
+            (match Hashtbl.find_opt tb.ids (Top (opkey op, ts)) with
+             | None -> ()
+             | Some t ->
+               if RegMap.find_opt d e = Some t then
+                 (* destination already holds the value *)
+                 Rtl.set_instr f n (Rtl.Inop s)
+               else begin
+                 let candidate =
+                   RegMap.fold
+                     (fun r t' best ->
+                        if t' = t && r <> d && class_of r = class_of d then
+                          match best with
+                          | Some b when b <= r -> best
+                          | _ -> Some r
+                        else best)
+                     e None
+                 in
+                 match candidate with
+                 | Some r ->
+                   Rtl.set_instr f n (Rtl.Iop (Rtl.Omove, [ r ], d, s))
+                 | None -> ()
+               end))
+       | _ -> ())
+    (Rtl.reverse_postorder f)
+
+let transform_func ~(fuel : int) (f : Rtl.func) : unit =
+  let tb = create_tables () in
+  match analyze tb f ~fuel with
+  | None -> () (* fuel exhausted: skip, never rewrite unconverged *)
+  | Some in_env -> rewrite_func tb in_env f
+
+let transform ?(fuel = 200_000) (p : Rtl.program) : Rtl.program =
+  List.iter (transform_func ~fuel) p.Rtl.p_funcs;
+  p

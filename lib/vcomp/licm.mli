@@ -1,0 +1,14 @@
+(** Loop-invariant code motion over RTL (Monniaux & Six style):
+    invariant pure operations and — when the loop contains no store —
+    invariant loads move to a freshly created preheader. Hoisting
+    conditions are speculation-safety arguments re-checked per run by
+    {!Validate.check_pass}; irreducible functions, loops headed by the
+    function entry, and fuel exhaustion all mean "hoist nothing", never
+    an unsound move. *)
+
+val transform_func : fuel:int -> Rtl.func -> unit
+(** In place. *)
+
+val transform : ?fuel:int -> Rtl.program -> Rtl.program
+(** [fuel] (default 200_000) bounds rounds of re-analysis per
+    function at roughly one function-size unit per round. *)

@@ -1,0 +1,20 @@
+(** Natural loops over RTL from back edges, the IR twin of the
+    analyzer-side [Wcet.Loops]. Irreducible control flow raises; the
+    LICM pass treats that as "skip the function", never as license to
+    transform. *)
+
+exception Irreducible of string
+
+type loop = {
+  l_header : Rtl.node;
+  l_body : Rtl.node list; (** nodes in the loop, including the header *)
+  l_back_srcs : Rtl.node list; (** sources of back edges into the header *)
+  l_entry_preds : Rtl.node list;
+      (** predecessors of the header outside the loop *)
+}
+
+type t = { loops : loop list }
+
+val compute : Rtl.func -> Dom.t -> t
+(** Loops sorted innermost (smallest body) first, header as tie-break.
+    @raise Irreducible on a retreating edge that is not a back edge. *)

@@ -93,7 +93,7 @@ let compute ?cache ?(fuel = Fuel.default) (fname : string)
 (* One function, cache-aware. The cached report/annotations may carry
    the name of whichever structurally identical function was analyzed
    first; re-stamp ours (nothing else in the output depends on it). *)
-let analyze_func ?cache ?fuel (f : Target.Asm.func) (base_addr : int)
+let analyze_func ?cache ?fuel ?spec (f : Target.Asm.func) (base_addr : int)
     (lay : Target.Layout.t) : Report.t * Annotfile.entry list =
   let fname = f.Target.Asm.fn_name in
   match cache with
@@ -104,7 +104,7 @@ let analyze_func ?cache ?fuel (f : Target.Asm.func) (base_addr : int)
        bound), so budgets never share an entry. Refusals ([Error],
        including fuel exhaustion) are never cached at all — only the
        successful [compute] below reaches [Memo.add]. *)
-    let key = Memo.key ?fuel lay ~base:base_addr f in
+    let key = Memo.key ?fuel ?spec lay ~base:base_addr f in
     (match Memo.find c key with
      | Some v ->
        ( { v.Memo.cv_report with Report.rp_function = fname },
@@ -127,15 +127,15 @@ let resolve (asm : Target.Asm.program) (lay : Target.Layout.t)
   | Some a -> (f, a)
   | None -> fail "function %s not in layout" fname
 
-let analyze_full ?cache ?fuel ?fname (asm : Target.Asm.program)
+let analyze_full ?cache ?fuel ?spec ?fname (asm : Target.Asm.program)
     (lay : Target.Layout.t) : Report.t * Annotfile.entry list =
   let fname = Option.value ~default:asm.Target.Asm.pr_main fname in
   let f, base_addr = resolve asm lay fname in
-  analyze_func ?cache ?fuel f base_addr lay
+  analyze_func ?cache ?fuel ?spec f base_addr lay
 
-let analyze ?cache ?fuel ?fname (asm : Target.Asm.program)
+let analyze ?cache ?fuel ?spec ?fname (asm : Target.Asm.program)
     (lay : Target.Layout.t) : Report.t =
-  fst (analyze_full ?cache ?fuel ?fname asm lay)
+  fst (analyze_full ?cache ?fuel ?spec ?fname asm lay)
 
 (* WCET of every function in a program (the per-node analysis of the
    paper's Figure 2). The functions are iterated directly — no repeated
@@ -143,7 +143,7 @@ let analyze ?cache ?fuel ?fname (asm : Target.Asm.program)
    [Asm.find_func] scan per function, making whole-program analysis
    quadratic in the function count. Entry addresses still come from the
    layout's constant-time code table. *)
-let analyze_program ?cache ?fuel (asm : Target.Asm.program)
+let analyze_program ?cache ?fuel ?spec (asm : Target.Asm.program)
     (lay : Target.Layout.t) : (string * Report.t) list =
   List.map
     (fun (f : Target.Asm.func) ->
@@ -152,13 +152,13 @@ let analyze_program ?cache ?fuel (asm : Target.Asm.program)
          | Some a -> a
          | None -> fail "function %s not in layout" f.Target.Asm.fn_name
        in
-       (f.Target.Asm.fn_name, fst (analyze_func ?cache ?fuel f base_addr lay)))
+       (f.Target.Asm.fn_name, fst (analyze_func ?cache ?fuel ?spec f base_addr lay)))
     asm.Target.Asm.pr_funcs
 
 (* The whole program's annotation file, through the cache: a function
    whose analysis already hit contributes its cached fragment without
    re-scanning the instruction stream. *)
-let annotations ?cache ?fuel (asm : Target.Asm.program)
+let annotations ?cache ?fuel ?spec (asm : Target.Asm.program)
     (lay : Target.Layout.t) : Annotfile.entry list =
   List.concat_map
     (fun (f : Target.Asm.func) ->
@@ -168,7 +168,7 @@ let annotations ?cache ?fuel (asm : Target.Asm.program)
          (match Hashtbl.find_opt lay.Target.Layout.lay_code f.Target.Asm.fn_name with
           | None -> Annotfile.extract_func f
           | Some base ->
-            (match Memo.peek c (Memo.key ?fuel lay ~base f) with
+            (match Memo.peek c (Memo.key ?fuel ?spec lay ~base f) with
              | Some v ->
                List.map
                  (fun e ->

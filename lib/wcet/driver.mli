@@ -15,33 +15,36 @@
 exception Error of string
 
 val analyze :
-  ?cache:Memo.t -> ?fuel:Fuel.t -> ?fname:string -> Target.Asm.program ->
-  Target.Layout.t -> Report.t
+  ?cache:Memo.t -> ?fuel:Fuel.t -> ?spec:string -> ?fname:string ->
+  Target.Asm.program -> Target.Layout.t -> Report.t
 (** Analyze one entry point. [fuel] budgets every iterative phase
     (default {!Fuel.default}, bit-identical to the unbudgeted
     analyzer); the triple is part of the cache key, and a refusal —
-    fuel exhaustion included — is never cached.
+    fuel exhaustion included — is never cached. [spec] names the
+    toolchain pipeline that produced the assembly
+    ({!Fcstack.Chain.pipeline_spec}); it widens the cache key so
+    different optimization selections never share an entry.
     @raise Error when no sound bound can be produced (irreducible
     control flow, a loop without derivable bound or annotation, an
     infeasible path program, an exhausted fuel budget — "analysis
     diverged") — the analyzer refuses rather than under-estimate. *)
 
 val analyze_full :
-  ?cache:Memo.t -> ?fuel:Fuel.t -> ?fname:string -> Target.Asm.program ->
-  Target.Layout.t -> Report.t * Annotfile.entry list
+  ?cache:Memo.t -> ?fuel:Fuel.t -> ?spec:string -> ?fname:string ->
+  Target.Asm.program -> Target.Layout.t -> Report.t * Annotfile.entry list
 (** [analyze] plus the function's annotation-file fragment, served from
     the cache on a hit without re-scanning the instruction stream. *)
 
 val analyze_program :
-  ?cache:Memo.t -> ?fuel:Fuel.t -> Target.Asm.program -> Target.Layout.t ->
-  (string * Report.t) list
+  ?cache:Memo.t -> ?fuel:Fuel.t -> ?spec:string -> Target.Asm.program ->
+  Target.Layout.t -> (string * Report.t) list
 (** Per-function analysis (the per-node WCET of the paper's Figure 2).
     Iterates the program's functions directly — one pass, no repeated
     [Asm.find_func] linear scans. *)
 
 val annotations :
-  ?cache:Memo.t -> ?fuel:Fuel.t -> Target.Asm.program -> Target.Layout.t ->
-  Annotfile.entry list
+  ?cache:Memo.t -> ?fuel:Fuel.t -> ?spec:string -> Target.Asm.program ->
+  Target.Layout.t -> Annotfile.entry list
 (** The whole program's annotation entries, taking each function's
     fragment from the cache when its analysis is already there
     (without disturbing the hit/miss accounting). *)

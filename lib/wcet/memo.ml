@@ -69,8 +69,8 @@ let normalize_instr (i : Asm.instr) : Asm.instr =
   | Asm.Poutf (_, f) -> Asm.Poutf ("", f)
   | _ -> i
 
-let key ?(fuel = Fuel.default) (lay : Target.Layout.t) ~(base : int)
-    (f : Asm.func) : key =
+let key ?(fuel = Fuel.default) ?(spec = "") (lay : Target.Layout.t)
+    ~(base : int) (f : Asm.func) : key =
   (* data symbols and pool constants the code can name, in first-use
      order (deterministic for a given instruction stream) *)
   let syms = ref [] and seen_syms = Hashtbl.create 8 in
@@ -117,13 +117,17 @@ let key ?(fuel = Fuel.default) (lay : Target.Layout.t) ~(base : int)
   (* the fuel triple widens the key (the ROADMAP blind-spot rule): a
      budget change can flip an analysis between success and refusal or
      between an exact and a relaxation bound, so analyses under
-     different budgets must never share an entry *)
+     different budgets must never share an entry. The toolchain
+     pipeline [spec] widens it the same way: two optimization
+     selections must never share an entry, even on the rare node where
+     they happen to emit identical code today. *)
   let payload =
     Marshal.to_string
       ( List.map normalize_instr f.Asm.fn_code,
         base,
         slice,
-        (fuel.Fuel.fl_widen, fuel.Fuel.fl_simplex, fuel.Fuel.fl_bb_nodes) )
+        (fuel.Fuel.fl_widen, fuel.Fuel.fl_simplex, fuel.Fuel.fl_bb_nodes),
+        spec )
       []
   in
   { k_digest = Digest.string payload; k_payload = payload }

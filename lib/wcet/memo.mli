@@ -35,12 +35,17 @@ type value = {
 
 type key
 
-val key : ?fuel:Fuel.t -> Target.Layout.t -> base:int -> Target.Asm.func -> key
+val key :
+  ?fuel:Fuel.t -> ?spec:string -> Target.Layout.t -> base:int ->
+  Target.Asm.func -> key
 (** Canonical content key of analyzing [func] placed at [base] under
     the given layout with the given fuel budgets (default
     {!Fuel.default}). The budget triple is part of the key: analyses
     under different budgets never share an entry (a budget change can
-    flip success into refusal or exact into relaxation bound). *)
+    flip success into refusal or exact into relaxation bound). [spec]
+    (default [""]) is the producing toolchain's canonical pipeline
+    spec ({!Fcstack.Chain.pipeline_spec}); it widens the key the same
+    way, so two optimization selections never share an entry. *)
 
 val digest : key -> string
 (** The key's MD5 digest (16 raw bytes), for logging/tests. *)

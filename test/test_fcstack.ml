@@ -100,11 +100,37 @@ let test_band_vcomp_wcet () =
   checkb (Printf.sprintf "vcomp WCET ratio %.3f in [0.70, 0.95]" r) true
     (r >= 0.70 && r <= 0.95)
 
-let test_band_o2_beats_vcomp () =
-  (* paper: fully optimized default (-18.4%) ahead of CompCert (-12%) *)
+let test_band_o2_vs_vcomp () =
+  (* The paper (CompCert 1.7) has the fully optimized default (-18.4%)
+     ahead of the verified compiler (-12%), and attributes the residual
+     gap to the optimizations CompCert then lacked. With GVN-CSE and
+     LICM landed (the -O 2 default), vcomp closes that gap on this
+     workload: assert the new ordering, and keep it honest — within 5%
+     of each other, not a blowout. *)
   let o2 = total Fcstack.Chain.Cdefault_o2 (fun p -> p.Fcstack.Experiments.pc_wcet) in
   let vc = total Fcstack.Chain.Cvcomp (fun p -> p.Fcstack.Experiments.pc_wcet) in
-  checkb (Printf.sprintf "default-O2 (%d) <= vcomp (%d)" o2 vc) true (o2 <= vc)
+  checkb (Printf.sprintf "vcomp (%d) <= default-O2 (%d)" vc o2) true (vc <= o2);
+  checkb
+    (Printf.sprintf "gap small: vcomp (%d) >= 0.95 * default-O2 (%d)" vc o2)
+    true
+    (float_of_int vc >= 0.95 *. float_of_int o2)
+
+let test_band_o2_beats_vcomp_o1 () =
+  (* the paper's original shape, pinned under the paper's pipeline:
+     with vcomp restricted to -O 1 (constprop + local CSE + deadcode,
+     the CompCert 1.7 middle end), the fully optimized default is
+     ahead again *)
+  let passes = Vcomp.Pass.level 1 in
+  let config =
+    Fcstack.Toolchain.(with_passes passes default)
+  in
+  let wr = Fcstack.Experiments.run_workload ~nodes:20 ~seed:4242 ~config () in
+  let t c = Fcstack.Experiments.total wr c (fun p -> p.Fcstack.Experiments.pc_wcet) in
+  let o2 = t Fcstack.Chain.Cdefault_o2 in
+  let vc1 = t Fcstack.Chain.Cvcomp in
+  checkb
+    (Printf.sprintf "default-O2 (%d) <= vcomp@-O1 (%d)" o2 vc1) true
+    (o2 <= vc1)
 
 let test_band_cache_reads () =
   (* paper: -76% cache reads for CompCert; band [-90%, -60%] *)
@@ -181,8 +207,10 @@ let suite =
   [ ("chain validation across compilers", `Slow, test_chain_validation_all);
     ("band: O1 gain negligible (paper -0.5%)", `Slow, test_band_o1_negligible);
     ("band: vcomp double-digit WCET gain (paper -12%)", `Slow, test_band_vcomp_wcet);
-    ("band: default-O2 ahead of vcomp (paper -18.4% vs -12%)", `Slow,
-     test_band_o2_beats_vcomp);
+    ("band: vcomp with GVN+LICM catches default-O2", `Slow,
+     test_band_o2_vs_vcomp);
+    ("band: default-O2 ahead of vcomp at -O 1 (paper -18.4% vs -12%)", `Slow,
+     test_band_o2_beats_vcomp_o1);
     ("band: cache reads (paper -76%)", `Slow, test_band_cache_reads);
     ("band: cache writes (paper -65%)", `Slow, test_band_cache_writes);
     ("band: code size (paper -26%)", `Slow, test_band_code_size);

@@ -284,6 +284,46 @@ let test_analyze_program_matches () =
               b.Fcstack.Chain.b_layout))
     all
 
+(* ---- pipeline specs never share entries ---- *)
+
+(* Two optimization selections must never share a cache entry, even
+   when they emit identical code for a node: the spec is part of the
+   content key. A build under -O 1 and a build under -O 2 of a
+   straight-line node (same assembly either way) must produce two
+   entries and zero cross-spec hits. *)
+let test_specs_never_share_entries () =
+  let src =
+    build_src {| global double g; double m() { return $g +. 1.0; } main m; |}
+  in
+  let b1 =
+    Fcstack.Chain.build ~passes:(Vcomp.Pass.level 1) Fcstack.Chain.Cvcomp src
+  in
+  let b2 =
+    Fcstack.Chain.build ~passes:(Vcomp.Pass.level 2) Fcstack.Chain.Cvcomp src
+  in
+  checkb "straight-line node: same assembly at -O 1 and -O 2" true
+    (b1.Fcstack.Chain.b_asm = b2.Fcstack.Chain.b_asm);
+  checkb "distinct specs recorded" true
+    (b1.Fcstack.Chain.b_spec <> b2.Fcstack.Chain.b_spec);
+  let cache = Wcet.Memo.create () in
+  let r1 = wcet_c ~cache b1 in
+  let r2 = wcet_c ~cache b2 in
+  checki "identical bound (same code)" r1.Wcet.Report.rp_wcet
+    r2.Wcet.Report.rp_wcet;
+  let st = Wcet.Memo.stats cache in
+  checki "two entries, one per spec" 2 st.Wcet.Report.st_entries;
+  checki "no cross-spec hit" 0 st.Wcet.Report.st_hits;
+  (* and the raw keys differ exactly when the spec differs *)
+  let f = List.hd b1.Fcstack.Chain.b_asm.Asm.pr_funcs in
+  let lay = b1.Fcstack.Chain.b_layout in
+  let k1 = Wcet.Memo.key ~spec:b1.Fcstack.Chain.b_spec lay ~base:0 f in
+  let k1' = Wcet.Memo.key ~spec:b1.Fcstack.Chain.b_spec lay ~base:0 f in
+  let k2 = Wcet.Memo.key ~spec:b2.Fcstack.Chain.b_spec lay ~base:0 f in
+  checkb "same spec, same digest" true
+    (Wcet.Memo.digest k1 = Wcet.Memo.digest k1');
+  checkb "different spec, different digest" true
+    (Wcet.Memo.digest k1 <> Wcet.Memo.digest k2)
+
 let suite =
   [ QCheck_alcotest.to_alcotest cached_equals_uncached_prop;
     QCheck_alcotest.to_alcotest soundness_through_hits_prop;
@@ -296,4 +336,6 @@ let suite =
     ("memo: phase accounting", `Quick, test_phase_accounting);
     ("memo: refused analyses are not cached", `Quick, test_failure_not_cached);
     ("memo: analyze_program = per-function analyze", `Quick,
-     test_analyze_program_matches) ]
+     test_analyze_program_matches);
+    ("memo: optimization selections never share entries", `Quick,
+     test_specs_never_share_entries) ]

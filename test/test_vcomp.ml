@@ -49,6 +49,21 @@ let pass_preserves (name : string) (pass : Vcomp.Rtl.program -> Vcomp.Rtl.progra
 
 let constprop_prop = pass_preserves "constprop" Vcomp.Constprop.transform
 let cse_prop = pass_preserves "cse" Vcomp.Cse.transform
+let gvn_prop = pass_preserves "gvn" (fun p -> Vcomp.Gvn.transform p)
+let licm_prop = pass_preserves "licm" (fun p -> Vcomp.Licm.transform p)
+
+(* gvn after the local passes, like the real pipeline order *)
+let gvn_after_cse_prop =
+  QCheck.Test.make ~count:80 ~name:"gvn after constprop+cse: validated"
+    QCheck.small_int
+    (fun seed ->
+       let p = Testlib.Gen.gen_program (seed land 0xFFFF) in
+       let rtl = Vcomp.Selection.trans_program p in
+       let rtl = Vcomp.Cse.transform (Vcomp.Constprop.transform rtl) in
+       let before = Vcomp.Rtl.copy_program rtl in
+       let after = Vcomp.Gvn.transform rtl in
+       Vcomp.Validate.check_pass ~pass:"gvn" ~before ~after;
+       true)
 
 let deadcode_prop =
   QCheck.Test.make ~count:80 ~name:"deadcode after cse: validated"
@@ -218,6 +233,136 @@ let test_nan_comparisons_compiled () =
       ("cotsc O2 NaN",
        Cotsc.Driver.compile ~level:Cotsc.Driver.Ofull ~contract_fma:false) ]
 
+(* ---- the pass manager ---- *)
+
+(* a deliberately wrong rewrite must be caught by the per-pass
+   validator: [Pass.run_pipeline] wraps every pass in
+   [Validate.check_pass], so a miscompiling pass cannot slip through
+   when validation is on *)
+let test_wrong_rewrite_caught () =
+  let p =
+    Minic.Parser.parse_program
+      {| global double g; double m() { return 5.0 -. $g; } main m; |}
+  in
+  Minic.Typecheck.check_program_exn p;
+  let rtl = Vcomp.Selection.trans_program p in
+  let before = Vcomp.Rtl.copy_program rtl in
+  (* "optimize" by swapping the operands of the subtraction — the
+     classic wrong-but-plausible strength rewrite *)
+  let f = List.hd rtl.Vcomp.Rtl.p_funcs in
+  let corrupted = ref false in
+  List.iter
+    (fun n ->
+       match Vcomp.Rtl.get_instr f n with
+       | Vcomp.Rtl.Iop (Vcomp.Rtl.Ofsub, [ a; b ], d, s) when not !corrupted ->
+         corrupted := true;
+         Vcomp.Rtl.set_instr f n (Vcomp.Rtl.Iop (Vcomp.Rtl.Ofsub, [ b; a ], d, s))
+       | _ -> ())
+    (Vcomp.Rtl.reverse_postorder f);
+  checkb "found a subtraction to corrupt" true !corrupted;
+  checkb "validator rejects the wrong rewrite" true
+    (match Vcomp.Validate.check_pass ~pass:"evil" ~before ~after:rtl with
+     | () -> false
+     | exception Vcomp.Validate.Validation_failed _ -> true)
+
+(* GVN deduplicates repeated float constants across blocks (the local
+   CSE misses them once control flow splits) *)
+let test_gvn_dedups_float_constants () =
+  let p =
+    Minic.Parser.parse_program
+      {| global double g; global double h;
+         double m() {
+           $h = $g *. 2.5;
+           if ($g <. 1.0) { $h = $h +. 2.5; } else { $h = $h -. 2.5; }
+           return $h *. 2.5;
+         } main m; |}
+  in
+  Minic.Typecheck.check_program_exn p;
+  let count_fconsts rtl =
+    let f = List.hd rtl.Vcomp.Rtl.p_funcs in
+    List.length
+      (List.filter
+         (fun n ->
+            match Vcomp.Rtl.get_instr f n with
+            | Vcomp.Rtl.Iop (Vcomp.Rtl.Ofloatconst _, _, _, _) -> true
+            | _ -> false)
+         (Vcomp.Rtl.reverse_postorder f))
+  in
+  let rtl = Vcomp.Selection.trans_program p in
+  let without =
+    count_fconsts
+      (Vcomp.Deadcode.transform
+         (Vcomp.Cse.transform (Vcomp.Rtl.copy_program rtl)))
+  in
+  let with_gvn =
+    count_fconsts
+      (Vcomp.Deadcode.transform (Vcomp.Gvn.transform (Vcomp.Cse.transform rtl)))
+  in
+  checkb
+    (Printf.sprintf "gvn reduces float-const ops (%d -> %d)" without with_gvn)
+    true
+    (with_gvn < without)
+
+(* LICM hoists the invariant multiply out of the loop: the WCET bound
+   (which charges the loop body per iteration) must strictly improve *)
+let test_licm_improves_loop_wcet () =
+  let p =
+    Minic.Parser.parse_program
+      {| global double g; global double s;
+         double m() {
+           var int i;
+           for (i = 0; i < 16) { $s = $s +. ($g *. 2.0 *. 4.0); }
+           return $s;
+         } main m; |}
+  in
+  Minic.Typecheck.check_program_exn p;
+  let wcet options =
+    let asm = Vcomp.Driver.compile ~options p in
+    let lay = Target.Layout.build p asm in
+    (Wcet.Driver.analyze
+       ~spec:("vcomp:" ^ Vcomp.Pass.spec options) asm lay)
+      .Wcet.Report.rp_wcet
+  in
+  let off = wcet Vcomp.Driver.{ no_validation with opt_licm = false } in
+  let on_ = wcet Vcomp.Driver.no_validation in
+  checkb (Printf.sprintf "licm tightens the bound (%d < %d)" on_ off) true
+    (on_ < off)
+
+(* spec strings round-trip through the parser *)
+let test_pass_spec_roundtrip () =
+  let check_rt (o : Vcomp.Pass.options) =
+    match Vcomp.Pass.of_spec (Vcomp.Pass.spec o) with
+    | Ok o' ->
+      Alcotest.check Alcotest.string "spec round-trips"
+        (Vcomp.Pass.spec o) (Vcomp.Pass.spec o')
+    | Error e -> Alcotest.fail e
+  in
+  List.iter check_rt
+    [ Vcomp.Pass.default_options;
+      Vcomp.Pass.all_off;
+      Vcomp.Pass.level 0;
+      Vcomp.Pass.level 1;
+      Vcomp.Pass.level 2;
+      { Vcomp.Pass.default_options with Vcomp.Pass.opt_licm = false };
+      { Vcomp.Pass.default_options with Vcomp.Pass.opt_gvn = false } ];
+  checkb "unknown pass rejected" true
+    (Result.is_error (Vcomp.Pass.of_spec "constprop,vectorize"));
+  checkb "level 1 disables gvn" true
+    (not (Vcomp.Pass.level 1).Vcomp.Pass.opt_gvn);
+  checkb "level 2 enables licm" true (Vcomp.Pass.level 2).Vcomp.Pass.opt_licm
+
+(* exhausted fuel skips the pass instead of rewriting from an
+   unconverged analysis: the output still matches the source *)
+let starved_passes_prop =
+  QCheck.Test.make ~count:40 ~name:"gvn/licm with starved fuel: still correct"
+    QCheck.small_int
+    (fun seed ->
+       let p = Testlib.Gen.gen_program (seed land 0xFFF) in
+       chain_equal
+         (Vcomp.Driver.compile
+            ~options:Vcomp.Driver.{ no_validation with opt_fuel = 3 })
+         p seed)
+
 (* ablation configurations stay correct *)
 let ablation_chain_prop =
   QCheck.Test.make ~count:40 ~name:"vcomp ablations: still semantics-preserving"
@@ -229,12 +374,18 @@ let ablation_chain_prop =
             chain_equal (Vcomp.Driver.compile ~options) p seed)
          [ Vcomp.Driver.{ no_validation with opt_constprop = false };
            Vcomp.Driver.{ no_validation with opt_cse = false };
-           Vcomp.Driver.{ no_validation with opt_deadcode = false } ])
+           Vcomp.Driver.{ no_validation with opt_gvn = false };
+           Vcomp.Driver.{ no_validation with opt_licm = false };
+           Vcomp.Driver.{ no_validation with opt_deadcode = false };
+           { Vcomp.Pass.all_off with Vcomp.Pass.opt_validate = false } ])
 
 let suite =
   [ QCheck_alcotest.to_alcotest selection_preserves_prop;
     QCheck_alcotest.to_alcotest constprop_prop;
     QCheck_alcotest.to_alcotest cse_prop;
+    QCheck_alcotest.to_alcotest gvn_prop;
+    QCheck_alcotest.to_alcotest licm_prop;
+    QCheck_alcotest.to_alcotest gvn_after_cse_prop;
     QCheck_alcotest.to_alcotest deadcode_prop;
     ("constprop folds constants", `Quick, test_constprop_folds);
     ("cse removes duplicate loads", `Quick, test_cse_removes_duplicate_load);
@@ -244,4 +395,11 @@ let suite =
     QCheck_alcotest.to_alcotest full_chain_prop;
     QCheck_alcotest.to_alcotest full_chain_validated_prop;
     ("NaN comparisons through the chain", `Quick, test_nan_comparisons_compiled);
+    ("wrong rewrite caught by the pass validator", `Quick,
+     test_wrong_rewrite_caught);
+    ("gvn dedups float constants across blocks", `Quick,
+     test_gvn_dedups_float_constants);
+    ("licm tightens the loop WCET bound", `Quick, test_licm_improves_loop_wcet);
+    ("pass spec round-trips", `Quick, test_pass_spec_roundtrip);
+    QCheck_alcotest.to_alcotest starved_passes_prop;
     QCheck_alcotest.to_alcotest ablation_chain_prop ]
