@@ -13,6 +13,7 @@
      bench/main.exe -e micro       only the Bechamel micro-benchmarks
      bench/main.exe -n 120         workload size (default 60)
      bench/main.exe -j 4           per-node parallelism (default 1)
+     bench/main.exe --engine omt   WCET path engine (ipet|omt|both)
      bench/main.exe --no-cache     disable the shared WCET-analysis cache
      bench/main.exe --cache-dir D  persist the cache across runs
      bench/main.exe --cache-gc-mb M  LRU-bound the persistent cache
@@ -136,22 +137,22 @@ let run_maybe_parallel (name : string) (config : Fcstack.Toolchain.config)
    harness (Fcstack.Chaos) instead of the experiments. Everything goes
    to stderr; exit 0 when every containment check held, 1 otherwise.
    CI drives this with a pinned seed. *)
-let run_chaos (seed : int) : int =
-  let r = Fcstack.Chaos.run ~seed () in
+let run_chaos (seed : int) (engine : Wcet.Report.engine) : int =
+  let r = Fcstack.Chaos.run ~seed ~engine () in
   Format.eprintf "%a@." Fcstack.Chaos.print_report r;
   if r.Fcstack.Chaos.ch_problems = [] then 0 else 1
 
 let run_bench (experiment : string) (nodes : int)
-    (passes : Vcomp.Pass.options) (jobs : int)
+    (passes : Vcomp.Pass.options) (engine : Wcet.Report.engine) (jobs : int)
     (chaos : bool) (chaos_seed : int)
     (copts : Fcstack.Cliopts.cache_opts) : int =
-  if chaos then run_chaos chaos_seed
+  if chaos then run_chaos chaos_seed engine
   else begin
   let want (e : string) : bool = experiment = "all" || experiment = e in
   (* one shared analysis cache for the whole process: experiments and
      domains all feed it (content-addressed, so sharing across compiler
      configurations — and, when persistent, across runs — is sound) *)
-  let config = Fcstack.Cliopts.config_of_opts ~jobs ~passes copts in
+  let config = Fcstack.Cliopts.config_of_opts ~jobs ~passes ~engine copts in
   let workload =
     lazy
       (let wr =
@@ -171,6 +172,17 @@ let run_bench (experiment : string) (nodes : int)
     (* pure JSON on stdout (no separator banner): the published
        BENCH_gvn_licm.json is exactly this output *)
     Fcstack.Experiments.print_gvn_licm_json ppf ~nodes:(min 30 nodes) ~config
+      ();
+    Format.pp_print_flush ppf ();
+    Fcstack.Cliopts.report_stats ~always:true config;
+    Fcstack.Cliopts.finalize config;
+    0
+  end
+  else if experiment = "engines" then begin
+    (* pure JSON on stdout: the published BENCH_engines.json. Runs
+       under --engine both regardless of the flag, so the driver
+       cross-checks omt <= ipet on every analysis. *)
+    Fcstack.Experiments.print_engines_json ppf ~nodes:(min 30 nodes) ~config
       ();
     Format.pp_print_flush ppf ();
     Fcstack.Cliopts.report_stats ~always:true config;
@@ -224,8 +236,10 @@ let experiment_arg =
   Arg.(value & opt string "all"
        & info [ "e"; "experiment" ] ~docv:"EXPERIMENT"
            ~doc:"Run only $(docv): listings, table1, figure2, annot, \
-                 ablation, overestimation, micro, or gvnlicm (pure-JSON \
-                 GVN/LICM deltas; never part of $(b,all)) (default: all).")
+                 ablation, overestimation, micro, gvnlicm (pure-JSON \
+                 GVN/LICM deltas; never part of $(b,all)), or engines \
+                 (pure-JSON IPET-vs-OMT differential study; never part \
+                 of $(b,all)) (default: all).")
 
 let nodes_arg =
   Arg.(value & opt int 60
@@ -256,7 +270,7 @@ let cmd =
     (Cmd.info "bench" ~doc)
     Term.(
       const run_bench $ experiment_arg $ nodes_arg
-      $ Fcstack.Cliopts.passes_term $ jobs_arg
+      $ Fcstack.Cliopts.passes_term $ Fcstack.Cliopts.engine_term $ jobs_arg
       $ chaos_arg $ chaos_seed_arg $ Fcstack.Cliopts.cache_term)
 
 let () = exit (Cmd.eval' cmd)

@@ -75,6 +75,7 @@ let analyze_file ~(config : Fcstack.Toolchain.config) (compare_all : bool)
                Wcet.Driver.annotations ?cache:config.Fcstack.Toolchain.cache
                  ~fuel:config.Fcstack.Toolchain.analysis_fuel
                  ~spec:b.Fcstack.Chain.b_spec
+                 ~engine:config.Fcstack.Toolchain.engine
                  b.Fcstack.Chain.b_asm b.Fcstack.Chain.b_layout
              in
              let oc = open_out path in
@@ -109,8 +110,8 @@ let analyze_file ~(config : Fcstack.Toolchain.config) (compare_all : bool)
 
 let run (files : string list) (compiler : string) (compare_all : bool)
     (simulate : bool) (annot_out : string option)
-    (passes : Vcomp.Pass.options) (jobs : int) (fail_fast : bool)
-    (copts : Fcstack.Cliopts.cache_opts) : int =
+    (passes : Vcomp.Pass.options) (engine : Wcet.Report.engine) (jobs : int)
+    (fail_fast : bool) (copts : Fcstack.Cliopts.cache_opts) : int =
   match Fcstack.Chain.compiler_of_string compiler with
   | Error msg ->
     prerr_endline msg;
@@ -126,7 +127,7 @@ let run (files : string list) (compiler : string) (compare_all : bool)
          mutex-protected, so the -j domains share it directly *)
       let config =
         Fcstack.Cliopts.config_of_opts ~jobs ~compiler:comp ~fail_fast
-          ~passes copts
+          ~passes ~engine copts
       in
       let total = List.length files in
       let results =
@@ -192,7 +193,8 @@ let cmd =
     (Cmd.info "aitw" ~doc)
     Term.(
       const run $ files_arg $ compiler_arg $ compare_arg $ simulate_arg
-      $ annot_out_arg $ Fcstack.Cliopts.passes_term $ jobs_arg
+      $ annot_out_arg $ Fcstack.Cliopts.passes_term
+      $ Fcstack.Cliopts.engine_term $ jobs_arg
       $ Fcstack.Cliopts.fail_fast_term $ Fcstack.Cliopts.cache_term)
 
 let () = exit (Cmd.eval' cmd)

@@ -95,16 +95,19 @@ let compile_file (comp : Fcstack.Chain.compiler) (validate : bool)
 
 let run (files : string list) (compiler : string) (output : string option)
     (validate : bool) (dump_rtl : bool) (exact : bool)
-    (passes : Vcomp.Pass.options) (jobs : int) (fail_fast : bool)
-    (copts : Fcstack.Cliopts.cache_opts) : int =
+    (passes : Vcomp.Pass.options) (engine : Wcet.Report.engine) (jobs : int)
+    (fail_fast : bool) (copts : Fcstack.Cliopts.cache_opts) : int =
   match Fcstack.Chain.compiler_of_string compiler with
   | Error msg ->
     prerr_endline msg;
     2
   | Ok comp ->
+    (* fcc never analyzes, but accepts --engine so the three CLI flag
+       surfaces stay uniform (a config built here behaves identically
+       wherever it is handed on) *)
     let config =
       Fcstack.Cliopts.config_of_opts ~jobs ~compiler:comp ~fail_fast ~passes
-        copts
+        ~engine copts
     in
     let total = List.length files in
     let results =
@@ -193,7 +196,8 @@ let cmd =
     (Cmd.info "fcc" ~doc)
     Term.(
       const run $ files_arg $ compiler_arg $ output_arg $ validate_arg
-      $ dump_rtl_arg $ exact_arg $ Fcstack.Cliopts.passes_term $ jobs_arg
+      $ dump_rtl_arg $ exact_arg $ Fcstack.Cliopts.passes_term
+      $ Fcstack.Cliopts.engine_term $ jobs_arg
       $ Fcstack.Cliopts.fail_fast_term $ Fcstack.Cliopts.cache_term)
 
 let () = exit (Cmd.eval' cmd)

@@ -112,13 +112,14 @@ let simulate ?cycles ?fuel (b : built) (w : Minic.Interp.world) :
 (* Static WCET of the built node's entry point. The config's cache
    shares finished per-function analyses across nodes, compiler
    configurations and — when persistent — process runs
-   (content-addressed: hits require identical code, placement and fuel
-   budgets, so results never change — see Wcet.Memo). Only the [cache]
-   and [analysis_fuel] fields are consulted: the node is already
-   built. *)
+   (content-addressed: hits require identical code, placement, fuel
+   budgets and engine, so results never change — see Wcet.Memo). Only
+   the [cache], [analysis_fuel] and [engine] fields are consulted: the
+   node is already built. *)
 let wcet ?(config = Toolchain.default) (b : built) : Wcet.Report.t =
   Wcet.Driver.analyze ?cache:config.Toolchain.cache
-    ~fuel:config.Toolchain.analysis_fuel ~spec:b.b_spec b.b_asm b.b_layout
+    ~fuel:config.Toolchain.analysis_fuel ~spec:b.b_spec
+    ~engine:config.Toolchain.engine b.b_asm b.b_layout
 
 (* Whole-chain differential validation: the machine code must produce
    the same observable behaviour as the source interpreter on a battery

@@ -230,8 +230,14 @@ type report = {
    [nodes]-node workload; each leg re-runs the faulted workload under a
    different (jobs x cache) configuration and is checked against the
    fault-free reference. The final leg corrupts a warmed persistent
-   store and re-runs *fault-free*: corruption must be invisible. *)
-let run ?(seed = 20260806) ?(nodes = 14) ?(victims = 3) () : report =
+   store and re-runs *fault-free*: corruption must be invisible.
+
+   [engine] applies to the reference and every leg alike, so the
+   containment contract (survivors byte-identical to the reference) is
+   exercised per engine — including OMT fuel exhaustion surfacing as a
+   contained "analysis diverged" refusal under [Ffuel]. *)
+let run ?(seed = 20260806) ?(nodes = 14) ?(victims = 3)
+    ?(engine = Wcet.Report.Ipet) () : report =
   let program = Scade.Workload.flight_program ~nodes ~seed:2026 in
   let named =
     List.map
@@ -240,7 +246,7 @@ let run ?(seed = 20260806) ?(nodes = 14) ?(victims = 3) () : report =
   in
   let nodes = List.length named in
   let plan = make_plan ~seed ~nodes ~victims in
-  let base = Toolchain.default in
+  let base = Toolchain.with_engine engine Toolchain.default in
   (* fault-free reference: sequential, cacheless *)
   let reference =
     Array.of_list

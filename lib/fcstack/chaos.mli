@@ -39,8 +39,13 @@ type report = {
   ch_problems : string list;  (** empty = every containment check held *)
 }
 
-val run : ?seed:int -> ?nodes:int -> ?victims:int -> unit -> report
+val run :
+  ?seed:int -> ?nodes:int -> ?victims:int -> ?engine:Wcet.Report.engine ->
+  unit -> report
 (** Run the whole matrix (defaults: seed 20260806, 14 nodes, 3
-    victims). Deterministic for a given seed. *)
+    victims, engine [Ipet]). Deterministic for a given seed. [engine]
+    applies to the reference and to every leg, so containment is
+    exercised per engine (survivor byte-identity is well-defined
+    within one engine). *)
 
 val print_report : Format.formatter -> report -> unit

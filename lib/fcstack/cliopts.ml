@@ -110,14 +110,44 @@ let passes_term : Vcomp.Pass.options Term.t =
         | None -> Vcomp.Pass.level level)
     $ opt_level_arg $ passes_arg)
 
+(* ---- WCET path-engine selection (--engine) ---- *)
+
+(* [--engine] parses through [Wcet.Report.engine_of_string], so an
+   unknown engine name is a Cmdliner parse error (exit 124) before any
+   work runs — never a silent fallback to a different engine. *)
+let engine_conv : Wcet.Report.engine Cmdliner.Arg.conv =
+  let parse (s : string) =
+    match Wcet.Report.engine_of_string s with
+    | Ok e -> Ok e
+    | Error e -> Error (`Msg e)
+  in
+  let print fmt (e : Wcet.Report.engine) =
+    Format.pp_print_string fmt (Wcet.Report.engine_name e)
+  in
+  Arg.conv (parse, print)
+
+let engine_term : Wcet.Report.engine Term.t =
+  Arg.(
+    value
+    & opt engine_conv Wcet.Report.Ipet
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "WCET path-analysis engine: $(b,ipet) (the default \
+           structural ILP), $(b,omt) (optimization-modulo-theory: the \
+           same flow system plus semantic infeasible-path cuts, never \
+           looser than ipet), or $(b,both) (run both and refuse \
+           unless omt <= ipet holds on every node — the differential \
+           oracle). The engine is part of the analysis-cache key, so \
+           engines never share cache entries.")
+
 let memo_of_opts (o : cache_opts) : Wcet.Memo.t option =
   if o.co_no_cache then None
   else Some (Wcet.Memo.create ?dir:o.co_dir ?gc_mb:o.co_gc_mb ())
 
-let config_of_opts ?jobs ?worlds ?compiler ?fail_fast ?passes
+let config_of_opts ?jobs ?worlds ?compiler ?fail_fast ?passes ?engine
     (o : cache_opts) : Toolchain.config =
   Toolchain.config ?jobs ?cache:(memo_of_opts o) ?worlds ?compiler ?fail_fast
-    ?passes ()
+    ?passes ?engine ()
 
 (* End-of-run maintenance: apply the GC budget to a persistent cache.
    Deliberately at the end — the LRU index then reflects this run's

@@ -25,14 +25,20 @@ val passes_term : Vcomp.Pass.options Cmdliner.Term.t
     [--passes LIST]; [--passes] overrides [-O]. A bad pass list is a
     Cmdliner parse error (exit 124) before any work runs. *)
 
+val engine_term : Wcet.Report.engine Cmdliner.Term.t
+(** [--engine ipet|omt|both] (default [ipet]): the WCET path-analysis
+    engine. [both] runs IPET and OMT and refuses unless [omt <= ipet]
+    holds per node. A bad engine name is a Cmdliner parse error
+    (exit 124) before any work runs. *)
+
 val memo_of_opts : cache_opts -> Wcet.Memo.t option
 (** The cache the flags ask for: [None] under [--no-cache], persistent
     when a directory is configured, memory-only otherwise. *)
 
 val config_of_opts :
   ?jobs:int -> ?worlds:int -> ?compiler:Toolchain.compiler ->
-  ?fail_fast:bool -> ?passes:Vcomp.Pass.options -> cache_opts ->
-  Toolchain.config
+  ?fail_fast:bool -> ?passes:Vcomp.Pass.options ->
+  ?engine:Wcet.Report.engine -> cache_opts -> Toolchain.config
 (** One config from the parsed flags ({!memo_of_opts} for the cache). *)
 
 val finalize : Toolchain.config -> unit

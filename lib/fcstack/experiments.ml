@@ -403,6 +403,64 @@ let print_gvn_licm_json (ppf : Format.formatter) ?(nodes = 30) ?(seed = 2026)
          "  ]";
          "}" ])
 
+(* ---- engine differential study (BENCH_engines.json) ---------------- *)
+
+(* Machine-readable three-way comparison of the path-analysis engines
+   over the workload: per compiler configuration, the summed IPET and
+   OMT bounds, how many per-node analyses the OMT cuts strictly
+   tightened, and the largest per-node saving. Every analysis runs
+   under [--engine both], so the differential oracle omt <= ipet is
+   checked by the driver on every node — a violation is a refusal and
+   lands in the (stderr) diagnostics, never in the JSON. Pure JSON on
+   stdout, deterministic for a given (nodes, seed) — the published
+   BENCH_engines.json is this output. *)
+let print_engines_json (ppf : Format.formatter) ?(nodes = 30) ?(seed = 2026)
+    ?(config = Toolchain.default) () : unit =
+  let program = Scade.Workload.flight_program ~nodes ~seed in
+  let config = Toolchain.with_engine Wcet.Report.Both config in
+  let measure (c : Toolchain.compiler) : int * int * int * int * int =
+    let outcomes =
+      Par.map_list ~jobs:config.Toolchain.jobs
+        (fun ((node : Scade.Symbol.node), src) ->
+           contain ~config ~node:node.Scade.Symbol.n_name (fun () ->
+               let b = Chain.build c src in
+               let r = Chain.wcet ~config b in
+               ( Option.value ~default:r.Wcet.Report.rp_wcet
+                   r.Wcet.Report.rp_wcet_ipet,
+                 Option.value ~default:r.Wcet.Report.rp_wcet
+                   r.Wcet.Report.rp_wcet_omt,
+                 r.Wcet.Report.rp_omt_cuts )))
+        program
+    in
+    List.fold_left
+      (fun (n, ipet, omt, tighter, best) (i, o, _) ->
+         ( n + 1, ipet + i, omt + o,
+           (if o < i then tighter + 1 else tighter),
+           max best (i - o) ))
+      (0, 0, 0, 0, 0)
+      (List.filter_map Result.to_option outcomes)
+  in
+  let row (c : Toolchain.compiler) =
+    let n, ipet, omt, tighter, best = measure c in
+    Printf.sprintf
+      "    { \"config\": %S, \"nodes_measured\": %d, \
+       \"wcet_total_ipet\": %d, \"wcet_total_omt\": %d, \
+       \"nodes_omt_tighter\": %d, \"max_node_saving_cycles\": %d }"
+      (Chain.compiler_name c) n ipet omt tighter best
+  in
+  let rows = List.map row Chain.all_compilers in
+  Format.fprintf ppf "%s@."
+    (String.concat "\n"
+       [ "{";
+         "  \"benchmark\": \"engines\",";
+         Printf.sprintf "  \"workload\": { \"nodes\": %d, \"seed\": %d },"
+           nodes seed;
+         "  \"oracle\": \"omt <= ipet checked per node (both mode)\",";
+         "  \"configurations\": [";
+         String.concat ",\n" rows;
+         "  ]";
+         "}" ])
+
 (* ---- WCET overestimation study (not in the paper) ------------------ *)
 
 (* How tight are the bounds? For each node and compiler: bound vs the
@@ -413,12 +471,16 @@ let print_gvn_licm_json (ppf : Format.formatter) ?(nodes = 30) ?(seed = 2026)
 let print_overestimation (ppf : Format.formatter) ?(nodes = 20) ?(seed = 2026)
     ?(config = Toolchain.default) () : unit =
   let program = Scade.Workload.flight_program ~nodes ~seed in
+  (* under --engine both each report carries the two bounds; the table
+     then grows an omt/ipet ratio column and an engines aggregate *)
+  let both = config.Toolchain.engine = Wcet.Report.Both in
   Format.fprintf ppf
     "@[<v>WCET overestimation — bound vs worst of 6 observed runs@,@,";
   Format.fprintf ppf "%-10s" "node";
   List.iter
     (fun c -> Format.fprintf ppf " %12s" (Chain.compiler_name c))
     Chain.all_compilers;
+  if both then Format.fprintf ppf " %12s" "omt/ipet";
   Format.fprintf ppf "@,";
   (* measure in parallel (per-node bound + worst observed cycles),
      print sequentially in node order *)
@@ -430,7 +492,7 @@ let print_overestimation (ppf : Format.formatter) ?(nodes = 20) ?(seed = 2026)
                List.map
                  (fun c ->
                     let b = Chain.build c src in
-                    let bound = (Chain.wcet ~config b).Wcet.Report.rp_wcet in
+                    let report = Chain.wcet ~config b in
                     let observed =
                       List.fold_left
                         (fun acc s ->
@@ -441,7 +503,7 @@ let print_overestimation (ppf : Format.formatter) ?(nodes = 20) ?(seed = 2026)
                            max acc sim.Target.Sim.rr_stats.Target.Sim.cycles)
                         0 [ 1; 2; 3; 4; 5; 6 ]
                     in
-                    (c, bound, observed))
+                    (c, report, observed))
                  Chain.all_compilers
              in
              (node.Scade.Symbol.n_name, per)))
@@ -449,11 +511,13 @@ let print_overestimation (ppf : Format.formatter) ?(nodes = 20) ?(seed = 2026)
   in
   let measured = List.filter_map Result.to_option outcomes in
   let sums = Hashtbl.create 5 in
+  let ipet_total = ref 0 and omt_total = ref 0 and tighter = ref 0 in
   List.iter
     (fun (name, per) ->
        Format.fprintf ppf "%-10s" name;
        List.iter
-         (fun (c, bound, observed) ->
+         (fun (c, (r : Wcet.Report.t), observed) ->
+            let bound = r.Wcet.Report.rp_wcet in
             let over =
               100.0 *. (float_of_int bound /. float_of_int observed -. 1.0)
             in
@@ -461,8 +525,25 @@ let print_overestimation (ppf : Format.formatter) ?(nodes = 20) ?(seed = 2026)
               Option.value ~default:(0, 0) (Hashtbl.find_opt sums c)
             in
             Hashtbl.replace sums c (sb + bound, so + observed);
+            (match r.Wcet.Report.rp_wcet_ipet, r.Wcet.Report.rp_wcet_omt with
+             | Some i, Some o ->
+               ipet_total := !ipet_total + i;
+               omt_total := !omt_total + o;
+               if o < i then incr tighter
+             | _ -> ());
             Format.fprintf ppf " %10.1f%%" over)
          per;
+       (if both then
+          let node_ipet, node_omt =
+            List.fold_left
+              (fun (i, o) (_, (r : Wcet.Report.t), _) ->
+                 ( i + Option.value ~default:0 r.Wcet.Report.rp_wcet_ipet,
+                   o + Option.value ~default:0 r.Wcet.Report.rp_wcet_omt ))
+              (0, 0) per
+          in
+          Format.fprintf ppf " %11.3f"
+            (if node_ipet = 0 then 1.0
+             else float_of_int node_omt /. float_of_int node_ipet));
        Format.fprintf ppf "@,")
     measured;
   Format.fprintf ppf "@,aggregate overestimation:@,";
@@ -472,5 +553,11 @@ let print_overestimation (ppf : Format.formatter) ?(nodes = 20) ?(seed = 2026)
        Format.fprintf ppf "  %-14s %+6.1f%%@," (Chain.compiler_name c)
          (100.0 *. (float_of_int sb /. float_of_int so -. 1.0)))
     Chain.all_compilers;
+  if both then
+    Format.fprintf ppf
+      "@,engines (differential oracle: omt <= ipet held on every \
+       analysis):@,  ipet total %d cycles, omt total %d cycles, omt \
+       strictly tighter on %d analyses@,"
+      !ipet_total !omt_total !tighter;
   Format.fprintf ppf "@]";
   Diag.print_summary ~total:(List.length program) (Diag.errors_of outcomes)

@@ -71,7 +71,12 @@ val print_overestimation :
 (** Both tables contain per-node failures like {!run_workload}: failed
     nodes drop out of the rows/sums and are summarized on stderr. The
     ablation table includes GVN-CSE and LICM rows with code-size
-    columns; every variant analyzes under its own pipeline spec. *)
+    columns; every variant analyzes under its own pipeline spec.
+
+    Under [config.engine = Both] the overestimation table additionally
+    prints a per-row omt/ipet bound ratio column and an engines
+    aggregate (total IPET vs OMT cycles, strictly-tighter count) —
+    the driver has cross-checked omt <= ipet on every analysis. *)
 
 val print_gvn_licm_json :
   Format.formatter -> ?nodes:int -> ?seed:int -> ?config:Toolchain.config ->
@@ -79,3 +84,13 @@ val print_gvn_licm_json :
 (** Machine-readable GVN/LICM deltas (code size + total WCET bound for
     the local-CSE pipeline, +GVN, +GVN+LICM) as pure JSON — the
     published BENCH_gvn_licm.json. *)
+
+val print_engines_json :
+  Format.formatter -> ?nodes:int -> ?seed:int -> ?config:Toolchain.config ->
+  unit -> unit
+(** Machine-readable engine comparison: per compiler configuration,
+    summed IPET vs OMT bounds over the workload, strictly-tighter node
+    count, and the largest per-node saving. Forces [engine = Both], so
+    the driver checks the differential oracle omt <= ipet on every
+    analysis (a violation is a refusal, summarized on stderr — never
+    in the JSON). Pure JSON — the published BENCH_engines.json. *)

@@ -39,6 +39,10 @@ type config = {
      spec string joins the analysis-cache content key, since two
      pipelines can produce different assembly for the same source *)
   passes : Vcomp.Pass.options;
+  (* WCET path-analysis engine (--engine): structural IPET (default),
+     the OMT engine, or both cross-checked per node; part of the
+     analysis-cache content key *)
+  engine : Wcet.Report.engine;
 }
 
 let default : config =
@@ -49,11 +53,13 @@ let default : config =
     fail_fast = false;
     sim_fuel = None;
     analysis_fuel = Wcet.Fuel.default;
-    passes = Vcomp.Pass.default_options }
+    passes = Vcomp.Pass.default_options;
+    engine = Wcet.Report.Ipet }
 
 let config ?(jobs = 1) ?cache ?worlds ?(compiler = Cvcomp)
     ?(fail_fast = false) ?sim_fuel ?(analysis_fuel = Wcet.Fuel.default)
-    ?(passes = Vcomp.Pass.default_options) () : config =
+    ?(passes = Vcomp.Pass.default_options) ?(engine = Wcet.Report.Ipet) () :
+  config =
   { jobs = max 1 jobs;
     cache;
     worlds;
@@ -61,7 +67,8 @@ let config ?(jobs = 1) ?cache ?worlds ?(compiler = Cvcomp)
     fail_fast;
     sim_fuel;
     analysis_fuel;
-    passes }
+    passes;
+    engine }
 
 let with_jobs (jobs : int) (c : config) : config = { c with jobs = max 1 jobs }
 let with_cache (cache : Wcet.Memo.t option) (c : config) : config =
@@ -77,3 +84,5 @@ let with_analysis_fuel (analysis_fuel : Wcet.Fuel.t) (c : config) : config =
   { c with analysis_fuel }
 let with_passes (passes : Vcomp.Pass.options) (c : config) : config =
   { c with passes }
+let with_engine (engine : Wcet.Report.engine) (c : config) : config =
+  { c with engine }

@@ -37,6 +37,11 @@ type config = {
                                    ([-O]/[--passes]); its canonical
                                    spec string joins the analysis-cache
                                    key *)
+  engine : Wcet.Report.engine; (** WCET path-analysis engine
+                                   ([--engine]): IPET (default), OMT,
+                                   or both cross-checked ([Both]
+                                   refuses unless omt <= ipet); part
+                                   of the analysis-cache key *)
 }
 
 val default : config
@@ -46,7 +51,7 @@ val default : config
 val config :
   ?jobs:int -> ?cache:Wcet.Memo.t -> ?worlds:int -> ?compiler:compiler ->
   ?fail_fast:bool -> ?sim_fuel:int -> ?analysis_fuel:Wcet.Fuel.t ->
-  ?passes:Vcomp.Pass.options -> unit -> config
+  ?passes:Vcomp.Pass.options -> ?engine:Wcet.Report.engine -> unit -> config
 (** Build a config in one call; omitted fields take {!default}s. *)
 
 val with_jobs : int -> config -> config
@@ -57,3 +62,4 @@ val with_fail_fast : bool -> config -> config
 val with_sim_fuel : int option -> config -> config
 val with_analysis_fuel : Wcet.Fuel.t -> config -> config
 val with_passes : Vcomp.Pass.options -> config -> config
+val with_engine : Wcet.Report.engine -> config -> config

@@ -131,13 +131,20 @@ let gen_instance (g : gen_state) (idx : int) (inst : Symbol.instance) : unit =
             (fcmp A.Clt (expr_of_source s) (fconst lo), fconst lo,
              expr_of_source s)))
   | Symbol.Ydeadband (d, s) ->
-    setw
-      (A.Econd
+    (* two sequential guarded corrections — [d > 0], so the guards
+       exclude each other and the pair is the classic infeasible path:
+       a structural path analysis charges both corrections, a semantic
+       one knows at most one fires per cycle. NaN input takes neither
+       branch, matching the nested-conditional form. *)
+    emit g
+      (A.Sif
          (fcmp A.Cgt (expr_of_source s) (fconst d),
-          expr_of_source s -: fconst d,
-          A.Econd
-            (fcmp A.Clt (expr_of_source s) (fconst (-.d)),
-             expr_of_source s +: fconst d, fconst 0.0)))
+          A.Sassign (dst (), expr_of_source s -: fconst d),
+          A.Sassign (dst (), fconst 0.0)));
+    emit g
+      (A.Sif
+         (fcmp A.Clt (expr_of_source s) (fconst (-.d)),
+          A.Sassign (dst (), expr_of_source s +: fconst d), A.Sskip))
   | Symbol.Yfilter (a, s) ->
     add_global g st_name A.Tfloat;
     emit g

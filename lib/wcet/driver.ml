@@ -28,9 +28,9 @@ let fail fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
    caught here and converted into a refusal ([Error "analysis
    diverged: ..."]) — the analyzer never hangs and never trades a
    blown budget for an unsound bound. *)
-let compute ?cache ?(fuel = Fuel.default) (fname : string)
-    (f : Target.Asm.func) (base_addr : int) (lay : Target.Layout.t) :
-  Report.t * Annotfile.entry list =
+let compute ?cache ?(fuel = Fuel.default) ?(engine = Report.Ipet)
+    (fname : string) (f : Target.Asm.func) (base_addr : int)
+    (lay : Target.Layout.t) : Report.t * Annotfile.entry list =
   try
   (* 1. decode *)
   Memo.count_phase cache Memo.Pdecode;
@@ -63,15 +63,51 @@ let compute ?cache ?(fuel = Fuel.default) (fname : string)
   (* 6. pipeline analysis *)
   Memo.count_phase cache Memo.Ppipeline;
   let pl = Pipeline.analyze cfg cache_cls in
-  (* 7. path analysis *)
-  Memo.count_phase cache Memo.Pipet;
-  let res =
-    try Ipet.compute ~fuel cfg pl cache_cls loops bounds
-    with Ipet.Analysis_failed msg -> fail "path analysis: %s" msg
+  (* 7. path analysis, by the selected engine. [Both] runs OMT (whose
+     base solve *is* the IPET solve, over the identical flow system)
+     and cross-checks the differential oracle omt <= ipet — a
+     violation would mean one of the engines is wrong, so it is a
+     refusal, never a silently reported number. *)
+  let wcet, exact, wcet_ipet, wcet_omt, omt_cuts =
+    match engine with
+    | Report.Ipet ->
+      Memo.count_phase cache Memo.Pipet;
+      let res =
+        try Ipet.compute ~fuel cfg pl cache_cls loops bounds
+        with Ipet.Analysis_failed msg -> fail "path analysis: %s" msg
+      in
+      (res.Ipet.ipet_wcet, res.Ipet.ipet_exact, None, None, 0)
+    | Report.Omt ->
+      Memo.count_phase cache Memo.Pomt;
+      let res =
+        try Smt.compute ~fuel cfg dom pl cache_cls loops bounds
+        with Ipet.Analysis_failed msg -> fail "path analysis: %s" msg
+      in
+      ( res.Smt.smt_wcet, res.Smt.smt_exact, None,
+        Some res.Smt.smt_wcet, res.Smt.smt_cuts )
+    | Report.Both ->
+      Memo.count_phase cache Memo.Pipet;
+      Memo.count_phase cache Memo.Pomt;
+      let res =
+        try Smt.compute ~fuel cfg dom pl cache_cls loops bounds
+        with Ipet.Analysis_failed msg -> fail "path analysis: %s" msg
+      in
+      if res.Smt.smt_wcet > res.Smt.smt_ipet_wcet then
+        fail
+          "engine divergence on %s: OMT bound %d cycles exceeds IPET \
+           bound %d cycles (refusing to bound)"
+          fname res.Smt.smt_wcet res.Smt.smt_ipet_wcet;
+      ( res.Smt.smt_wcet, res.Smt.smt_exact,
+        Some res.Smt.smt_ipet_wcet, Some res.Smt.smt_wcet,
+        res.Smt.smt_cuts )
   in
   ( { Report.rp_function = fname;
-      rp_wcet = res.Ipet.ipet_wcet;
-      rp_exact_ilp = res.Ipet.ipet_exact;
+      rp_wcet = wcet;
+      rp_exact_ilp = exact;
+      rp_engine = engine;
+      rp_wcet_ipet = wcet_ipet;
+      rp_wcet_omt = wcet_omt;
+      rp_omt_cuts = omt_cuts;
       rp_blocks = Cfg.num_blocks cfg;
       rp_code_bytes = Target.Asm.func_size f;
       rp_loops =
@@ -93,18 +129,21 @@ let compute ?cache ?(fuel = Fuel.default) (fname : string)
 (* One function, cache-aware. The cached report/annotations may carry
    the name of whichever structurally identical function was analyzed
    first; re-stamp ours (nothing else in the output depends on it). *)
-let analyze_func ?cache ?fuel ?spec (f : Target.Asm.func) (base_addr : int)
-    (lay : Target.Layout.t) : Report.t * Annotfile.entry list =
+let analyze_func ?cache ?fuel ?spec ?engine (f : Target.Asm.func)
+    (base_addr : int) (lay : Target.Layout.t) :
+  Report.t * Annotfile.entry list =
   let fname = f.Target.Asm.fn_name in
   match cache with
-  | None -> compute ?fuel fname f base_addr lay
+  | None -> compute ?fuel ?engine fname f base_addr lay
   | Some c ->
-    (* the fuel triple is part of the content key: a different budget
-       can change the outcome (success vs refusal, exact vs relaxation
-       bound), so budgets never share an entry. Refusals ([Error],
-       including fuel exhaustion) are never cached at all — only the
-       successful [compute] below reaches [Memo.add]. *)
-    let key = Memo.key ?fuel ?spec lay ~base:base_addr f in
+    (* the fuel budgets and the engine are part of the content key: a
+       different budget can change the outcome (success vs refusal,
+       exact vs relaxation bound) and a different engine bounds the
+       same code differently by design, so neither ever shares an
+       entry. Refusals ([Error], including fuel exhaustion) are never
+       cached at all — only the successful [compute] below reaches
+       [Memo.add]. *)
+    let key = Memo.key ?fuel ?spec ?engine lay ~base:base_addr f in
     (match Memo.find c key with
      | Some v ->
        ( { v.Memo.cv_report with Report.rp_function = fname },
@@ -112,7 +151,9 @@ let analyze_func ?cache ?fuel ?spec (f : Target.Asm.func) (base_addr : int)
            (fun e -> { e with Annotfile.an_function = fname })
            v.Memo.cv_annots )
      | None ->
-       let report, annots = compute ~cache:c ?fuel fname f base_addr lay in
+       let report, annots =
+         compute ~cache:c ?fuel ?engine fname f base_addr lay
+       in
        Memo.add c key { Memo.cv_report = report; cv_annots = annots };
        (report, annots))
 
@@ -127,15 +168,16 @@ let resolve (asm : Target.Asm.program) (lay : Target.Layout.t)
   | Some a -> (f, a)
   | None -> fail "function %s not in layout" fname
 
-let analyze_full ?cache ?fuel ?spec ?fname (asm : Target.Asm.program)
-    (lay : Target.Layout.t) : Report.t * Annotfile.entry list =
+let analyze_full ?cache ?fuel ?spec ?engine ?fname
+    (asm : Target.Asm.program) (lay : Target.Layout.t) :
+  Report.t * Annotfile.entry list =
   let fname = Option.value ~default:asm.Target.Asm.pr_main fname in
   let f, base_addr = resolve asm lay fname in
-  analyze_func ?cache ?fuel ?spec f base_addr lay
+  analyze_func ?cache ?fuel ?spec ?engine f base_addr lay
 
-let analyze ?cache ?fuel ?spec ?fname (asm : Target.Asm.program)
+let analyze ?cache ?fuel ?spec ?engine ?fname (asm : Target.Asm.program)
     (lay : Target.Layout.t) : Report.t =
-  fst (analyze_full ?cache ?fuel ?spec ?fname asm lay)
+  fst (analyze_full ?cache ?fuel ?spec ?engine ?fname asm lay)
 
 (* WCET of every function in a program (the per-node analysis of the
    paper's Figure 2). The functions are iterated directly — no repeated
@@ -143,7 +185,7 @@ let analyze ?cache ?fuel ?spec ?fname (asm : Target.Asm.program)
    [Asm.find_func] scan per function, making whole-program analysis
    quadratic in the function count. Entry addresses still come from the
    layout's constant-time code table. *)
-let analyze_program ?cache ?fuel ?spec (asm : Target.Asm.program)
+let analyze_program ?cache ?fuel ?spec ?engine (asm : Target.Asm.program)
     (lay : Target.Layout.t) : (string * Report.t) list =
   List.map
     (fun (f : Target.Asm.func) ->
@@ -152,13 +194,14 @@ let analyze_program ?cache ?fuel ?spec (asm : Target.Asm.program)
          | Some a -> a
          | None -> fail "function %s not in layout" f.Target.Asm.fn_name
        in
-       (f.Target.Asm.fn_name, fst (analyze_func ?cache ?fuel ?spec f base_addr lay)))
+       ( f.Target.Asm.fn_name,
+         fst (analyze_func ?cache ?fuel ?spec ?engine f base_addr lay) ))
     asm.Target.Asm.pr_funcs
 
 (* The whole program's annotation file, through the cache: a function
    whose analysis already hit contributes its cached fragment without
    re-scanning the instruction stream. *)
-let annotations ?cache ?fuel ?spec (asm : Target.Asm.program)
+let annotations ?cache ?fuel ?spec ?engine (asm : Target.Asm.program)
     (lay : Target.Layout.t) : Annotfile.entry list =
   List.concat_map
     (fun (f : Target.Asm.func) ->
@@ -168,7 +211,7 @@ let annotations ?cache ?fuel ?spec (asm : Target.Asm.program)
          (match Hashtbl.find_opt lay.Target.Layout.lay_code f.Target.Asm.fn_name with
           | None -> Annotfile.extract_func f
           | Some base ->
-            (match Memo.peek c (Memo.key ?fuel ?spec lay ~base f) with
+            (match Memo.peek c (Memo.key ?fuel ?spec ?engine lay ~base f) with
              | Some v ->
                List.map
                  (fun e ->

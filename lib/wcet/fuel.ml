@@ -27,13 +27,18 @@ type t = {
     (* branch & bound nodes in [Lp.solve_integer]; exhaustion here is
        NOT a refusal — the LP relaxation bound is still sound and is
        returned with [is_exact = false] *)
+  fl_omt : int;
+    (* OMT bound-search iterations in [Smt.compute] (each LP
+       feasibility query counts one); exhaustion IS a refusal — a
+       half-finished binary search has not established any bound *)
 }
 
-let default : t = { fl_widen = 1_000_000; fl_simplex = 20_000; fl_bb_nodes = 200 }
+let default : t =
+  { fl_widen = 1_000_000; fl_simplex = 20_000; fl_bb_nodes = 200; fl_omt = 64 }
 
 (* A starved budget: every guarded loop refuses on its first iteration.
    The chaos harness injects this to prove exhaustion is contained. *)
-let starved : t = { fl_widen = 0; fl_simplex = 0; fl_bb_nodes = 0 }
+let starved : t = { fl_widen = 0; fl_simplex = 0; fl_bb_nodes = 0; fl_omt = 0 }
 
 exception Exhausted of string
 (* [Exhausted what]: the iteration site [what] ran out of budget. *)

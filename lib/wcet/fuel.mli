@@ -19,10 +19,15 @@ type t = {
       (** branch & bound nodes in [Lp.solve_integer]; exhaustion here
           is not a refusal — the LP relaxation bound is still sound
           ([is_exact = false]) *)
+  fl_omt : int;
+      (** OMT bound-search iterations in {!Smt.compute} (one per LP
+          feasibility query); exhaustion {e is} a refusal — an
+          unfinished search has established no bound *)
 }
 
 val default : t
-(** [{ fl_widen = 1_000_000; fl_simplex = 20_000; fl_bb_nodes = 200 }]. *)
+(** [{ fl_widen = 1_000_000; fl_simplex = 20_000; fl_bb_nodes = 200;
+       fl_omt = 64 }]. *)
 
 val starved : t
 (** All budgets zero: every guarded loop refuses immediately. The chaos

@@ -6,7 +6,13 @@
    exit block). A block's cost is charged on its outgoing edges (every
    execution leaves the block exactly once), edge costs add the branch
    direction penalty. Loop-bound constraints limit back-edge flow
-   relative to loop-entry flow. *)
+   relative to loop-entry flow.
+
+   The flow system itself ([build_system]) is shared with the OMT
+   engine ([Smt]), which extends it with semantic infeasible-path cut
+   constraints: both engines optimize exactly the same objective over
+   the same edge variables, so their bounds are comparable cycle for
+   cycle (the foundation of the [omt <= ipet] differential oracle). *)
 
 exception Analysis_failed of string
 
@@ -16,15 +22,22 @@ type edge = {
   e_kind : Cfg.edge_kind;
 }
 
+(* The structural ILP: edge variables (index into [sys_edges]), the
+   cycle-cost objective, flow conservation and loop-bound constraints. *)
+type system = {
+  sys_edges : edge array;
+  sys_objective : Lp.Q.t array;
+  sys_constraints : Lp.constr list;
+}
+
 type result = {
   ipet_wcet : int;          (* cycles, including cache first-miss budget *)
   ipet_exact : bool;        (* ILP solved to integrality *)
   ipet_flow_cycles : int;   (* objective without the first-miss budget *)
 }
 
-let compute ?(fuel = Fuel.default) (cfg : Cfg.t) (pl : Pipeline.t)
-    (cache : Cacheanalysis.t) (loops : Loops.t)
-    (bounds : Boundanalysis.loop_bound list) : result =
+let build_system (cfg : Cfg.t) (pl : Pipeline.t) (loops : Loops.t)
+    (bounds : Boundanalysis.loop_bound list) : system =
   let reachable = Cfg.reverse_postorder cfg in
   let in_reach = Array.make (Cfg.num_blocks cfg) false in
   List.iter (fun b -> in_reach.(b) <- true) reachable;
@@ -132,10 +145,19 @@ let compute ?(fuel = Fuel.default) (cfg : Cfg.t) (pl : Pipeline.t)
              cs_rhs = Lp.Q.of_int (bound * !entry_consts) }
            :: !constraints)
     loops.Loops.loops;
+  { sys_edges = edges;
+    sys_objective = objective;
+    sys_constraints = !constraints }
+
+(* Maximize the system's objective (optionally under extra constraints,
+   e.g. the OMT engine's cuts) with the branch & bound ILP solver.
+   Returns the flow-cycle bound; first-miss budgeting is the caller's. *)
+let solve_system ?(fuel = Fuel.default) ?(extra = []) (sys : system) :
+  Lp.int_solution =
   let pb =
-    { Lp.pb_nvars = n;
-      pb_objective = objective;
-      pb_constraints = !constraints }
+    { Lp.pb_nvars = Array.length sys.sys_edges;
+      pb_objective = sys.sys_objective;
+      pb_constraints = extra @ sys.sys_constraints }
   in
   match
     Lp.solve_integer ~fuel:fuel.Fuel.fl_simplex
@@ -148,6 +170,13 @@ let compute ?(fuel = Fuel.default) (cfg : Cfg.t) (pl : Pipeline.t)
   | sol ->
     if sol.Lp.is_objective_bound = min_int then
       raise (Analysis_failed "IPET infeasible");
-    { ipet_wcet = sol.Lp.is_objective_bound + cache.Cacheanalysis.ca_first_miss;
-      ipet_exact = sol.Lp.is_exact;
-      ipet_flow_cycles = sol.Lp.is_objective_bound }
+    sol
+
+let compute ?(fuel = Fuel.default) (cfg : Cfg.t) (pl : Pipeline.t)
+    (cache : Cacheanalysis.t) (loops : Loops.t)
+    (bounds : Boundanalysis.loop_bound list) : result =
+  let sys = build_system cfg pl loops bounds in
+  let sol = solve_system ~fuel sys in
+  { ipet_wcet = sol.Lp.is_objective_bound + cache.Cacheanalysis.ca_first_miss;
+    ipet_exact = sol.Lp.is_exact;
+    ipet_flow_cycles = sol.Lp.is_objective_bound }

@@ -2,15 +2,44 @@
     over the CFG under flow conservation and loop bounds, solved as an
     integer linear program (edge-count variables; block costs charged on
     outgoing edges). If branch & bound exhausts its budget, the LP
-    relaxation is returned — still a sound upper bound. *)
+    relaxation is returned — still a sound upper bound.
+
+    The flow system is exposed ({!build_system}/{!solve_system}) so the
+    OMT engine ({!Smt}) optimizes the {e same} objective over the same
+    edge variables, merely under extra infeasible-path cut constraints
+    — making [omt <= ipet] a per-cycle-comparable invariant. *)
 
 exception Analysis_failed of string
+
+type edge = {
+  e_src : int;
+  e_dst : int option;  (** [None]: virtual exit edge *)
+  e_kind : Cfg.edge_kind;
+}
+
+type system = {
+  sys_edges : edge array;       (** LP variable [j] counts edge [j] *)
+  sys_objective : Lp.Q.t array; (** cycles charged per edge traversal *)
+  sys_constraints : Lp.constr list;
+      (** flow conservation + loop bounds *)
+}
 
 type result = {
   ipet_wcet : int;        (** cycles, including the first-miss budget *)
   ipet_exact : bool;      (** solved to integrality *)
   ipet_flow_cycles : int; (** objective without the first-miss budget *)
 }
+
+val build_system :
+  Cfg.t -> Pipeline.t -> Loops.t -> Boundanalysis.loop_bound list -> system
+(** The structural ILP over edge-count variables.
+    @raise Analysis_failed on a missing loop bound or an edgeless CFG. *)
+
+val solve_system :
+  ?fuel:Fuel.t -> ?extra:Lp.constr list -> system -> Lp.int_solution
+(** Maximize the system's objective under its constraints plus [extra]
+    (the OMT cuts); flow cycles only — the caller adds the cache
+    first-miss budget. Fuel/exception behaviour as {!compute}. *)
 
 val compute :
   ?fuel:Fuel.t -> Cfg.t -> Pipeline.t -> Cacheanalysis.t -> Loops.t ->

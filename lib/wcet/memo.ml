@@ -69,8 +69,8 @@ let normalize_instr (i : Asm.instr) : Asm.instr =
   | Asm.Poutf (_, f) -> Asm.Poutf ("", f)
   | _ -> i
 
-let key ?(fuel = Fuel.default) ?(spec = "") (lay : Target.Layout.t)
-    ~(base : int) (f : Asm.func) : key =
+let key ?(fuel = Fuel.default) ?(spec = "") ?(engine = Report.Ipet)
+    (lay : Target.Layout.t) ~(base : int) (f : Asm.func) : key =
   (* data symbols and pool constants the code can name, in first-use
      order (deterministic for a given instruction stream) *)
   let syms = ref [] and seen_syms = Hashtbl.create 8 in
@@ -114,20 +114,26 @@ let key ?(fuel = Fuel.default) ?(spec = "") (lay : Target.Layout.t)
         !consts,
       lay.Target.Layout.lay_stack_top )
   in
-  (* the fuel triple widens the key (the ROADMAP blind-spot rule): a
+  (* the fuel budgets widen the key (the ROADMAP blind-spot rule): a
      budget change can flip an analysis between success and refusal or
      between an exact and a relaxation bound, so analyses under
      different budgets must never share an entry. The toolchain
      pipeline [spec] widens it the same way: two optimization
      selections must never share an entry, even on the rare node where
-     they happen to emit identical code today. *)
+     they happen to emit identical code today. So does the path
+     engine: IPET and OMT bounds differ by design, so [--engine ipet]
+     and [--engine omt] runs must never serve each other's entries. *)
   let payload =
     Marshal.to_string
       ( List.map normalize_instr f.Asm.fn_code,
         base,
         slice,
-        (fuel.Fuel.fl_widen, fuel.Fuel.fl_simplex, fuel.Fuel.fl_bb_nodes),
-        spec )
+        ( fuel.Fuel.fl_widen,
+          fuel.Fuel.fl_simplex,
+          fuel.Fuel.fl_bb_nodes,
+          fuel.Fuel.fl_omt ),
+        spec,
+        Report.engine_name engine )
       []
   in
   { k_digest = Digest.string payload; k_payload = payload }
@@ -158,6 +164,7 @@ type t = {
   mutable ph_cache : int;
   mutable ph_pipeline : int;
   mutable ph_ipet : int;
+  mutable ph_omt : int;
 }
 
 let create ?(shards = 16) ?dir ?gc_mb () : t =
@@ -177,7 +184,8 @@ let create ?(shards = 16) ?dir ?gc_mb () : t =
     ph_bounds = 0;
     ph_cache = 0;
     ph_pipeline = 0;
-    ph_ipet = 0 }
+    ph_ipet = 0;
+    ph_omt = 0 }
 
 let store_dir (t : t) : string option = Option.map Store.dir t.store
 
@@ -254,7 +262,7 @@ let length (t : t) : int =
 
 (* ---- phase accounting ---- *)
 
-type phase = Pdecode | Pvalue | Pbounds | Pcache | Ppipeline | Pipet
+type phase = Pdecode | Pvalue | Pbounds | Pcache | Ppipeline | Pipet | Pomt
 
 let count_phase (t : t option) (p : phase) : unit =
   match t with
@@ -267,7 +275,8 @@ let count_phase (t : t option) (p : phase) : unit =
         | Pbounds -> t.ph_bounds <- t.ph_bounds + 1
         | Pcache -> t.ph_cache <- t.ph_cache + 1
         | Ppipeline -> t.ph_pipeline <- t.ph_pipeline + 1
-        | Pipet -> t.ph_ipet <- t.ph_ipet + 1)
+        | Pipet -> t.ph_ipet <- t.ph_ipet + 1
+        | Pomt -> t.ph_omt <- t.ph_omt + 1)
 
 let stats (t : t) : Report.analysis_stats =
   let hits = ref 0 and disk_hits = ref 0 and misses = ref 0 in
@@ -292,4 +301,5 @@ let stats (t : t) : Report.analysis_stats =
         st_bounds = t.ph_bounds;
         st_cache = t.ph_cache;
         st_pipeline = t.ph_pipeline;
-        st_ipet = t.ph_ipet })
+        st_ipet = t.ph_ipet;
+        st_omt = t.ph_omt })

@@ -36,16 +36,19 @@ type value = {
 type key
 
 val key :
-  ?fuel:Fuel.t -> ?spec:string -> Target.Layout.t -> base:int ->
-  Target.Asm.func -> key
+  ?fuel:Fuel.t -> ?spec:string -> ?engine:Report.engine ->
+  Target.Layout.t -> base:int -> Target.Asm.func -> key
 (** Canonical content key of analyzing [func] placed at [base] under
     the given layout with the given fuel budgets (default
-    {!Fuel.default}). The budget triple is part of the key: analyses
+    {!Fuel.default}). The budgets are part of the key: analyses
     under different budgets never share an entry (a budget change can
     flip success into refusal or exact into relaxation bound). [spec]
     (default [""]) is the producing toolchain's canonical pipeline
     spec ({!Fcstack.Chain.pipeline_spec}); it widens the key the same
-    way, so two optimization selections never share an entry. *)
+    way, so two optimization selections never share an entry. So does
+    [engine] (default [Ipet]): the engines bound the same code
+    differently by design, so their analyses must never share an
+    entry either. *)
 
 val digest : key -> string
 (** The key's MD5 digest (16 raw bytes), for logging/tests. *)
@@ -84,7 +87,7 @@ val add : t -> key -> value -> unit
 val length : t -> int
 (** Number of cached analyses. *)
 
-type phase = Pdecode | Pvalue | Pbounds | Pcache | Ppipeline | Pipet
+type phase = Pdecode | Pvalue | Pbounds | Pcache | Ppipeline | Pipet | Pomt
 
 val count_phase : t option -> phase -> unit
 (** Record one run of an analysis phase ([None]: no accounting).

@@ -3,6 +3,24 @@
    and their provenance, cache footprint and classification quality,
    ILP exactness). *)
 
+(* Which path-analysis engine produced the bound. [Ipet] is the
+   original structural ILP; [Omt] is the optimization-modulo-theory
+   engine ([Smt]: same flow system plus semantic infeasible-path cuts,
+   bound found by binary search over LP feasibility queries); [Both]
+   runs the two and cross-checks omt <= ipet per function (the
+   differential oracle — a violation is an analysis refusal). *)
+type engine = Ipet | Omt | Both
+
+let engine_name (e : engine) : string =
+  match e with Ipet -> "ipet" | Omt -> "omt" | Both -> "both"
+
+let engine_of_string (s : string) : (engine, string) Result.t =
+  match s with
+  | "ipet" -> Ok Ipet
+  | "omt" -> Ok Omt
+  | "both" -> Ok Both
+  | _ -> Error (Printf.sprintf "unknown WCET engine %S (ipet|omt|both)" s)
+
 type loop_info = {
   li_header : int;
   li_bound : int;
@@ -11,7 +29,7 @@ type loop_info = {
 
 type t = {
   rp_function : string;
-  rp_wcet : int;               (* cycles *)
+  rp_wcet : int;               (* cycles; the selected engine's bound *)
   rp_exact_ilp : bool;
   rp_blocks : int;
   rp_code_bytes : int;
@@ -20,6 +38,10 @@ type t = {
   rp_cache_imprecise : bool;
   rp_code_lines : int;
   rp_data_lines : int;
+  rp_engine : engine;
+  rp_wcet_ipet : int option;   (* IPET bound, when [Both] computed it *)
+  rp_wcet_omt : int option;    (* OMT bound, under [Omt] or [Both] *)
+  rp_omt_cuts : int;           (* infeasible-path cuts the encoding used *)
 }
 
 let pp (ppf : Format.formatter) (r : t) : unit =
@@ -33,6 +55,21 @@ let pp (ppf : Format.formatter) (r : t) : unit =
     r.rp_blocks r.rp_code_bytes r.rp_code_lines r.rp_data_lines
     r.rp_cache_first_miss
     (if r.rp_cache_imprecise then " [imprecise access: degraded]" else "");
+  (* engine evidence: only printed for the non-default engines, so the
+     default (IPET) report stays byte-identical to the pre-engine
+     analyzer — the cram/CI determinism cmps depend on that *)
+  (match r.rp_engine with
+   | Ipet -> ()
+   | Omt ->
+     Format.fprintf ppf "  engine            : omt (%d infeasible-path cuts)@,"
+       r.rp_omt_cuts
+   | Both ->
+     Format.fprintf ppf
+       "  engine            : both — ipet %d, omt %d cycles (%d cuts, \
+        omt <= ipet holds)@,"
+       (Option.value ~default:r.rp_wcet r.rp_wcet_ipet)
+       (Option.value ~default:r.rp_wcet r.rp_wcet_omt)
+       r.rp_omt_cuts);
   (match r.rp_loops with
    | [] -> Format.fprintf ppf "  loops             : none@,"
    | loops ->
@@ -65,6 +102,7 @@ type analysis_stats = {
   st_cache : int;
   st_pipeline : int;
   st_ipet : int;
+  st_omt : int;
 }
 
 let hit_rate (st : analysis_stats) : float =
@@ -77,10 +115,13 @@ let pp_stats (ppf : Format.formatter) (st : analysis_stats) : unit =
     "@[<v>analysis cache   : %d memory hits, %d disk hits, %d misses \
      (%.1f%% hit rate), %d entries, %d disk writes@,\
      phases run       : decode %d, value %d, bounds %d, cache %d, \
-     pipeline %d, IPET %d@]"
+     pipeline %d, IPET %d%s@]"
     st.st_hits st.st_disk_hits st.st_misses (hit_rate st) st.st_entries
     st.st_writes st.st_decode st.st_value st.st_bounds st.st_cache
     st.st_pipeline st.st_ipet
+    (* OMT runs only under the non-default engines; keep the default
+       stats line byte-identical to the pre-engine analyzer *)
+    (if st.st_omt = 0 then "" else Printf.sprintf ", OMT %d" st.st_omt)
 
 let stats_to_string (st : analysis_stats) : string =
   Format.asprintf "%a" pp_stats st

@@ -1,6 +1,21 @@
 (** WCET analysis report: the bound together with the evidence a
     certification-minded user inspects. *)
 
+(** The path-analysis engine behind the bound. [Ipet] (the default) is
+    the structural ILP of the original analyzer; [Omt] is the
+    optimization-modulo-theory engine ({!Smt}: the same flow system
+    plus semantic infeasible-path cuts, optimized by binary search over
+    LP feasibility queries); [Both] runs the two and refuses unless
+    [omt <= ipet] holds — the differential oracle. The engine selection
+    is part of the {!Memo} content key. *)
+type engine = Ipet | Omt | Both
+
+val engine_name : engine -> string
+(** ["ipet"] / ["omt"] / ["both"] — the CLI spelling. *)
+
+val engine_of_string : string -> (engine, string) Result.t
+(** Parse the CLI spelling; [Error] carries the usage message. *)
+
 type loop_info = {
   li_header : int;
   li_bound : int;
@@ -9,7 +24,8 @@ type loop_info = {
 
 type t = {
   rp_function : string;
-  rp_wcet : int;               (** cycles *)
+  rp_wcet : int;               (** cycles; the selected engine's bound
+                                   (OMT under [Omt] and [Both]) *)
   rp_exact_ilp : bool;         (** false: LP-relaxation bound (still sound) *)
   rp_blocks : int;
   rp_code_bytes : int;
@@ -18,6 +34,10 @@ type t = {
   rp_cache_imprecise : bool;
   rp_code_lines : int;
   rp_data_lines : int;
+  rp_engine : engine;
+  rp_wcet_ipet : int option;   (** IPET bound, when [Both] computed it *)
+  rp_wcet_omt : int option;    (** OMT bound, under [Omt] or [Both] *)
+  rp_omt_cuts : int;           (** infeasible-path cuts in the encoding *)
 }
 
 val pp : Format.formatter -> t -> unit
@@ -38,6 +58,7 @@ type analysis_stats = {
   st_cache : int;
   st_pipeline : int;
   st_ipet : int;
+  st_omt : int;      (** OMT path analyses run ([Omt]/[Both] engines) *)
 }
 
 val hit_rate : analysis_stats -> float

@@ -8,7 +8,7 @@
 (* Bump on any change to the analysis semantics or to the marshalled
    shapes (Report.t, Annotfile.entry, the Memo key payload). The OCaml
    version is part of the stamp because entries are Marshal images. *)
-let toolchain_version = "vericomp-wcet-3 ocaml-" ^ Sys.ocaml_version
+let toolchain_version = "vericomp-wcet-4 ocaml-" ^ Sys.ocaml_version
 
 let magic = "VCWS1"
 

@@ -230,3 +230,49 @@ the analysis-cache key, so selections never share entries):
   $ ../bin/aitw.exe -c vcomp -O 2 -j 1 --no-cache gen/n000.mc gen/n001.mc 2>/dev/null > o2_seq_report.txt
   $ cmp o2_seq_report.txt o2_par_report.txt && echo o2-reports-identical
   o2-reports-identical
+
+The WCET engine is selectable (--engine ipet | omt | both; ipet is the
+default and keeps the legacy report). In both mode the analyzer
+cross-checks the differential oracle omt <= ipet on every function and
+prints both bounds:
+
+  $ ../bin/aitw.exe -c o0 --engine both gen/n000.mc 2>/dev/null | grep -c "omt <= ipet holds"
+  1
+  $ ../bin/aitw.exe -c o0 --engine ipet gen/n000.mc 2>/dev/null | grep -c "engine"
+  0
+  [1]
+
+Engine runs are deterministic across -j and keep the cached ==
+uncached contract (the engine is part of the analysis-cache key, so
+engines never share entries):
+
+  $ ../bin/aitw.exe -c vcomp --engine both -j 2 gen/n000.mc gen/n001.mc 2>/dev/null > eng_par_report.txt
+  $ ../bin/aitw.exe -c vcomp --engine both -j 1 --no-cache gen/n000.mc gen/n001.mc 2>/dev/null > eng_seq_report.txt
+  $ cmp eng_seq_report.txt eng_par_report.txt && echo engine-reports-identical
+  engine-reports-identical
+  $ ../bin/aitw.exe -c vcomp --engine omt gen/n000.mc 2>/dev/null > omt_report.txt
+  $ ../bin/aitw.exe -c vcomp --engine omt --no-cache gen/n000.mc 2>/dev/null > omt_nocache_report.txt
+  $ cmp omt_report.txt omt_nocache_report.txt && echo omt-reports-identical
+  omt-reports-identical
+
+An unknown engine name is a command-line error before any work runs,
+on every tool of the stack:
+
+  $ ../bin/aitw.exe --engine z3 gen/n000.mc 2>/dev/null
+  [124]
+  $ ../bin/fcc.exe --engine z3 gen/n000.mc 2>/dev/null
+  [124]
+  $ ../bench/main.exe --engine z3 2>/dev/null
+  [124]
+
+Under --engine both the overestimation study gains the per-node
+omt/ipet ratio column and the engines aggregate:
+
+  $ ../bench/main.exe -e overestimation -n 4 --engine both 2>/dev/null > overest_both.out
+  $ grep -c "omt/ipet" overest_both.out
+  1
+  $ grep -c "omt <= ipet held on every analysis" overest_both.out
+  1
+  $ ../bench/main.exe -e overestimation -n 4 2>/dev/null | grep -c "omt/ipet"
+  0
+  [1]

@@ -161,6 +161,23 @@ let test_chaos_matrix () =
   Alcotest.check (Alcotest.list Alcotest.string) "no containment violations"
     [] r.Fcstack.Chaos.ch_problems
 
+(* the same seeded matrix must hold under the OMT and Both engines:
+   fault containment is engine-independent (survivors byte-identical
+   within the leg's engine, victims named, store corruption a miss) *)
+let test_chaos_matrix_engines () =
+  List.iter
+    (fun engine ->
+       let r =
+         Fcstack.Chaos.run ~seed:20260806 ~nodes:6 ~victims:2 ~engine ()
+       in
+       Alcotest.check Alcotest.int
+         (Wcet.Report.engine_name engine ^ ": two victims") 2
+         (List.length r.Fcstack.Chaos.ch_victims);
+       Alcotest.check (Alcotest.list Alcotest.string)
+         (Wcet.Report.engine_name engine ^ ": no containment violations")
+         [] r.Fcstack.Chaos.ch_problems)
+    [ Wcet.Report.Omt; Wcet.Report.Both ]
+
 (* ---- containment property: survivors are byte-identical ---- *)
 
 let survivors_identical_prop =
@@ -232,4 +249,6 @@ let suite =
      test_fuel_widens_memo_key);
     ("chaos: exit-code contract", `Quick, test_exit_codes);
     ("chaos: full fault-injection matrix", `Slow, test_chaos_matrix);
+    ("chaos: matrix holds under the OMT and Both engines", `Slow,
+     test_chaos_matrix_engines);
     QCheck_alcotest.to_alcotest survivors_identical_prop ]

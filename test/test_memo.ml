@@ -324,6 +324,74 @@ let test_specs_never_share_entries () =
   checkb "different spec, different digest" true
     (Wcet.Memo.digest k1 <> Wcet.Memo.digest k2)
 
+(* ---- engines never share entries ---- *)
+
+(* The IPET and OMT engines bound the same code differently, so their
+   results must never alias in the cache: the engine joins the content
+   key. Analyzing one node under each engine yields one entry per
+   engine and zero cross-engine hits; [Both] is its own third entry. *)
+let test_engines_never_share_entries () =
+  let src =
+    build_src
+      {| volatile in double e_in; global double g;
+         void m() { var double x; x = volatile(e_in);
+           if (x >. 10.0) { $g = x +. 1.0; } else { skip; }
+           if (x <. 5.0)  { $g = $g +. 2.0; } else { skip; } } main m; |}
+  in
+  let b = Fcstack.Chain.build Fcstack.Chain.Cdefault_o0 src in
+  let cache = Wcet.Memo.create () in
+  let run engine =
+    Wcet.Driver.analyze ~cache ~engine b.Fcstack.Chain.b_asm
+      b.Fcstack.Chain.b_layout
+  in
+  let ipet = run Wcet.Report.Ipet in
+  let omt = run Wcet.Report.Omt in
+  let both = run Wcet.Report.Both in
+  let st = Wcet.Memo.stats cache in
+  checki "three engines, three entries" 3 st.Wcet.Report.st_entries;
+  checki "no cross-engine hit" 0 st.Wcet.Report.st_hits;
+  (* repeats are hits within their own engine *)
+  checkb "ipet repeat hits its own entry" true (run Wcet.Report.Ipet = ipet);
+  checkb "omt repeat hits its own entry" true (run Wcet.Report.Omt = omt);
+  checki "two hits after repeats" 2
+    (Wcet.Memo.stats cache).Wcet.Report.st_hits;
+  ignore both;
+  (* and the raw digests separate exactly on the engine *)
+  let f = List.hd b.Fcstack.Chain.b_asm.Asm.pr_funcs in
+  let lay = b.Fcstack.Chain.b_layout in
+  let k e = Wcet.Memo.digest (Wcet.Memo.key ~engine:e lay ~base:0 f) in
+  checks "default engine key = explicit Ipet key"
+    (Wcet.Memo.digest (Wcet.Memo.key lay ~base:0 f))
+    (k Wcet.Report.Ipet);
+  checkb "ipet and omt digests differ" true
+    (k Wcet.Report.Ipet <> k Wcet.Report.Omt);
+  checkb "both is a third digest" true
+    (k Wcet.Report.Both <> k Wcet.Report.Ipet
+     && k Wcet.Report.Both <> k Wcet.Report.Omt)
+
+(* the OMT phase counter: an Omt analysis runs Pomt, not Pipet; Both
+   runs both; hits run neither *)
+let test_engine_phase_accounting () =
+  let src = build_src {| global double g; void m() { $g = 1.0; } main m; |} in
+  let b = Fcstack.Chain.build Fcstack.Chain.Cvcomp src in
+  let cache = Wcet.Memo.create () in
+  let run engine =
+    ignore
+      (Wcet.Driver.analyze ~cache ~engine b.Fcstack.Chain.b_asm
+         b.Fcstack.Chain.b_layout)
+  in
+  run Wcet.Report.Omt;
+  let st1 = Wcet.Memo.stats cache in
+  checki "omt counted" 1 st1.Wcet.Report.st_omt;
+  checki "ipet not counted" 0 st1.Wcet.Report.st_ipet;
+  run Wcet.Report.Both;
+  let st2 = Wcet.Memo.stats cache in
+  checki "both counts ipet" 1 st2.Wcet.Report.st_ipet;
+  checki "both counts omt" 2 st2.Wcet.Report.st_omt;
+  run Wcet.Report.Omt (* hit *);
+  let st3 = Wcet.Memo.stats cache in
+  checki "hit runs no omt phase" 2 st3.Wcet.Report.st_omt
+
 let suite =
   [ QCheck_alcotest.to_alcotest cached_equals_uncached_prop;
     QCheck_alcotest.to_alcotest soundness_through_hits_prop;
@@ -338,4 +406,8 @@ let suite =
     ("memo: analyze_program = per-function analyze", `Quick,
      test_analyze_program_matches);
     ("memo: optimization selections never share entries", `Quick,
-     test_specs_never_share_entries) ]
+     test_specs_never_share_entries);
+    ("memo: engines never share entries", `Quick,
+     test_engines_never_share_entries);
+    ("memo: engine phase accounting", `Quick,
+     test_engine_phase_accounting) ]

@@ -224,7 +224,70 @@ let test_stale_version_is_miss () =
         (* saving again over the bad file is a no-op (file exists), but
            a fresh Memo must still never serve the stale entry *)
         checkb "duplicate save is not a write" true
-          (not (Wcet.Store.save st ~digest ~payload (report, annots))))
+          (not (Wcet.Store.save st ~digest ~payload (report, annots)));
+        (* the previous toolchain generation specifically: a store
+           written before the OMT engine existed (vericomp-wcet-3)
+           must be a silent miss under the current stamp, even with
+           the matching OCaml version suffix *)
+        let wcet3 = "vericomp-wcet-3 ocaml-" ^ Sys.ocaml_version in
+        let body3 =
+          Marshal.to_string (wcet3, payload, report, annots) []
+        in
+        write_file
+          (entry_path dir (Digest.to_hex digest))
+          ("VCWS1" ^ Digest.string body3 ^ body3);
+        checkb "pre-OMT generation (wcet-3) is a miss" true
+          (Wcet.Store.load st ~digest ~payload = None))
+
+(* ---- engine Both: warm == cold == uncached through the store ---- *)
+
+let test_both_engine_cold_warm_uncached () =
+  with_dir (fun dir ->
+      let b =
+        Fcstack.Chain.build Fcstack.Chain.Cdefault_o0
+          (build_src
+             {| volatile in double sb_in; global double g;
+                void m() { var double x; x = volatile(sb_in);
+                  if (x >. 10.0) { $g = x +. 1.0; } else { skip; }
+                  if (x <. 5.0)  { $g = $g +. 2.0; } else { skip; } }
+                main m; |})
+      in
+      let engine = Wcet.Report.Both in
+      let analyze ?cache () =
+        Wcet.Driver.analyze_full ?cache ~engine b.Fcstack.Chain.b_asm
+          b.Fcstack.Chain.b_layout
+      in
+      let uncached = analyze () in
+      let m1 = Wcet.Memo.create ~dir () in
+      let cold = analyze ~cache:m1 () in
+      checkb "cold wrote the Both entry" true
+        ((Wcet.Memo.stats m1).Wcet.Report.st_writes > 0);
+      let m2 = Wcet.Memo.create ~dir () in
+      let warm = analyze ~cache:m2 () in
+      let st2 = Wcet.Memo.stats m2 in
+      checkb "warm served from disk" true (st2.Wcet.Report.st_disk_hits > 0);
+      checki "warm ran no decode" 0 st2.Wcet.Report.st_decode;
+      checkb "warm = cold = uncached" true (warm = cold && cold = uncached);
+      (* the report in the roundtripped entry still carries both
+         bounds, and the oracle still holds on the served copy *)
+      let r, _ = warm in
+      (match r.Wcet.Report.rp_wcet_ipet, r.Wcet.Report.rp_wcet_omt with
+       | Some i, Some o ->
+         checkb "served entry keeps omt <= ipet" true (o <= i)
+       | _ -> Alcotest.fail "Both report lost a bound through the store");
+      (* a warm store from the Both engine never serves Ipet or Omt:
+         their keys differ, so both are misses over the same directory *)
+      let m3 = Wcet.Memo.create ~dir () in
+      ignore
+        (Wcet.Driver.analyze_full ~cache:m3 ~engine:Wcet.Report.Ipet
+           b.Fcstack.Chain.b_asm b.Fcstack.Chain.b_layout);
+      ignore
+        (Wcet.Driver.analyze_full ~cache:m3 ~engine:Wcet.Report.Omt
+           b.Fcstack.Chain.b_asm b.Fcstack.Chain.b_layout);
+      let st3 = Wcet.Memo.stats m3 in
+      checki "no cross-engine disk hit" 0 st3.Wcet.Report.st_disk_hits;
+      checkb "single-engine analyses re-ran" true
+        (st3.Wcet.Report.st_misses > 0))
 
 (* ---- LRU GC ---- *)
 
@@ -317,6 +380,8 @@ let suite =
      test_fault_injection);
     ("store: stale version stamp is a miss", `Quick,
      test_stale_version_is_miss);
+    ("store: engine Both warm = cold = uncached, no cross-engine serve",
+     `Quick, test_both_engine_cold_warm_uncached);
     ("store: GC evicts least-recently-used first", `Quick, test_gc_lru);
     ("store: two Domains, independent handles, one dir", `Slow,
      test_two_domains_one_dir) ]
