@@ -142,17 +142,151 @@ let run_chaos (seed : int) (engine : Wcet.Report.engine) : int =
   Format.eprintf "%a@." Fcstack.Chaos.print_report r;
   if r.Fcstack.Chaos.ch_problems = [] then 0 else 1
 
+(* ---- scaling study (-e scale / -e scale-leg) ----------------------- *)
+
+(* [-e scale-leg]: one leg of the study in *this* process — compile +
+   analyze the -n workload under the config the flags describe, print
+   the measured leg as one JSON line on stdout. The study driver
+   ([-e scale]) spawns each leg as a child process so every leg starts
+   from a fresh heap: RSS never shrinks under the OCaml runtime, so
+   in-process legs would inherit the high-water mark of whichever leg
+   ran before them and the per-leg peak-RSS numbers would be
+   meaningless. *)
+let run_scale_leg (label : string) (nodes : int)
+    (config : Fcstack.Toolchain.config) : int =
+  let leg = Fcstack.Experiments.run_scale_leg ~nodes ~config () in
+  print_string (Fcstack.Experiments.scale_leg_json ~label ~config leg);
+  print_newline ();
+  Fcstack.Cliopts.report_stats ~always:true config;
+  Fcstack.Cliopts.finalize config;
+  if leg.Fcstack.Experiments.sc_failures = 0 then 0 else 1
+
+let rec rm_rf (path : string) : unit =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+(* [-e scale]: the scaling trajectory — for each -n point, stream legs
+   sequential/parallel/cold-cache/warm-cache plus (up to a size cap) a
+   batch reference leg, each in a fresh child process, aggregated into
+   one JSON document (the published BENCH_scale.json). The disk cache
+   backing the cold/warm pair is a per-point temporary directory, so
+   "cold" is truly cold and "warm" replays exactly that point. *)
+let run_scale (points : int list) (jobs : int) (shard_size : int)
+    (compiler : string) : int =
+  let exe = Sys.executable_name in
+  let failed = ref false in
+  let leg ~(label : string) (args : string list) : string option =
+    let cmd =
+      String.concat " " (List.map Filename.quote (exe :: args))
+    in
+    let ic = Unix.open_process_in cmd in
+    let line = try Some (input_line ic) with End_of_file -> None in
+    (match Unix.close_process_in ic with
+     | Unix.WEXITED 0 -> ()
+     | _ ->
+       failed := true;
+       Printf.eprintf "scale: leg %s exited non-zero\n%!" label);
+    if line = None then begin
+      failed := true;
+      Printf.eprintf "scale: leg %s produced no output\n%!" label
+    end;
+    line
+  in
+  (* the batch reference materializes the whole workload; past this
+     size it stops being a reference and starts being a memory stunt *)
+  let batch_cap = 25_000 in
+  let jpar = if jobs > 1 then jobs else 4 in
+  let legs_of_point (n : int) : string list =
+    let base =
+      [ "-e"; "scale-leg"; "-n"; string_of_int n; "--scale-compiler"; compiler ]
+    in
+    (* --shard-size implies --stream, so only streaming legs get it;
+       the batch reference must run with no stream flags at all *)
+    let sharded = [ "--shard-size"; string_of_int shard_size ] in
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "fcstack-scale-%d-%d" (Unix.getpid ()) n)
+    in
+    let specs =
+      [ ("stream-seq-nocache", sharded @ [ "-j"; "1"; "--no-cache" ]);
+        ("stream-par-nocache",
+         sharded @ [ "-j"; string_of_int jpar; "--no-cache" ]);
+        ("stream-seq-cold", sharded @ [ "-j"; "1"; "--cache-dir"; dir ]);
+        ("stream-seq-warm", sharded @ [ "-j"; "1"; "--cache-dir"; dir ]) ]
+      @ (if n <= batch_cap then
+           [ ("batch-seq-nocache", [ "-j"; "1"; "--no-cache" ]) ]
+         else [])
+    in
+    let rows =
+      List.filter_map
+        (fun (label, extra) ->
+           leg ~label (base @ [ "--scale-label"; label ] @ extra))
+        specs
+    in
+    rm_rf dir;
+    rows
+  in
+  let rows = List.concat_map legs_of_point points in
+  Printf.printf
+    "{\n\
+    \  \"benchmark\": \"scale\",\n\
+    \  \"seed\": 2026,\n\
+    \  \"compiler\": %S,\n\
+    \  \"shard_size\": %d,\n\
+    \  \"legs\": [\n%s\n\
+    \  ]\n\
+     }\n"
+    compiler shard_size
+    (String.concat ",\n" (List.map (fun r -> "    " ^ r) rows));
+  if !failed then 1 else 0
+
+(* Compiler selection for the scale legs ([--scale-compiler]); the
+   default study compiles with the cheapest configuration — the study
+   measures pipeline scaling, not code quality, and the analyzer
+   dominates either way. *)
+let scale_compilers : (string * Fcstack.Toolchain.compiler) list =
+  [ ("o0", Fcstack.Chain.Cdefault_o0);
+    ("o1", Fcstack.Chain.Cdefault_o1);
+    ("o2", Fcstack.Chain.Cdefault_o2);
+    ("vcomp", Fcstack.Chain.Cvcomp) ]
+
 let run_bench (experiment : string) (nodes : int)
     (passes : Vcomp.Pass.options) (engine : Wcet.Report.engine) (jobs : int)
-    (chaos : bool) (chaos_seed : int)
+    (stream : Fcstack.Toolchain.stream_opts option) (chaos : bool)
+    (chaos_seed : int) (scale_points : int list)
+    (scale_compiler : Fcstack.Toolchain.compiler) (scale_label : string)
     (copts : Fcstack.Cliopts.cache_opts) : int =
   if chaos then run_chaos chaos_seed engine
+  else if experiment = "scale" then
+    let shard_size =
+      match stream with
+      | Some s -> s.Fcstack.Toolchain.so_shard_size
+      | None -> Fcstack.Toolchain.default_stream.Fcstack.Toolchain.so_shard_size
+    in
+    let name =
+      fst (List.find (fun (_, c) -> c = scale_compiler) scale_compilers)
+    in
+    run_scale scale_points jobs shard_size name
+  else if experiment = "scale-leg" then begin
+    let config =
+      Fcstack.Cliopts.config_of_opts ~jobs ~passes ~engine
+        ~compiler:scale_compiler ?stream copts
+    in
+    run_scale_leg scale_label nodes config
+  end
   else begin
   let want (e : string) : bool = experiment = "all" || experiment = e in
   (* one shared analysis cache for the whole process: experiments and
      domains all feed it (content-addressed, so sharing across compiler
      configurations — and, when persistent, across runs — is sound) *)
-  let config = Fcstack.Cliopts.config_of_opts ~jobs ~passes ~engine copts in
+  let config =
+    Fcstack.Cliopts.config_of_opts ~jobs ~passes ~engine ?stream copts
+  in
   let workload =
     lazy
       (let wr =
@@ -237,9 +371,13 @@ let experiment_arg =
        & info [ "e"; "experiment" ] ~docv:"EXPERIMENT"
            ~doc:"Run only $(docv): listings, table1, figure2, annot, \
                  ablation, overestimation, micro, gvnlicm (pure-JSON \
-                 GVN/LICM deltas; never part of $(b,all)), or engines \
+                 GVN/LICM deltas; never part of $(b,all)), engines \
                  (pure-JSON IPET-vs-OMT differential study; never part \
-                 of $(b,all)) (default: all).")
+                 of $(b,all)), scale (pure-JSON scaling study: wall \
+                 clock, peak RSS, throughput and cache hit rate per \
+                 $(b,--scale-points) workload size, each leg in a fresh \
+                 child process; never part of $(b,all)), or scale-leg \
+                 (one scale leg in-process) (default: all).")
 
 let nodes_arg =
   Arg.(value & opt int 60
@@ -264,6 +402,22 @@ let chaos_seed_arg =
        & info [ "chaos-seed" ] ~docv:"SEED" ~docs:Manpage.s_none
            ~doc:"Seed for --chaos fault selection.")
 
+let scale_points_arg =
+  Arg.(value & opt (list int) [ 2500; 25000; 250000 ]
+       & info [ "scale-points" ] ~docv:"N,..." ~docs:Manpage.s_none
+           ~doc:"Workload sizes the -e scale study sweeps.")
+
+let scale_compiler_arg =
+  Arg.(value & opt (enum scale_compilers) Fcstack.Chain.Cdefault_o0
+       & info [ "scale-compiler" ] ~docv:"CC" ~docs:Manpage.s_none
+           ~doc:"Compiler configuration for the scale legs \
+                 (o0|o1|o2|vcomp, default o0).")
+
+let scale_label_arg =
+  Arg.(value & opt string ""
+       & info [ "scale-label" ] ~docv:"LABEL" ~docs:Manpage.s_none
+           ~doc:"Leg label embedded in -e scale-leg JSON output.")
+
 let cmd =
   let doc = "regenerate the paper's evaluation tables and figures" in
   Cmd.v
@@ -271,6 +425,8 @@ let cmd =
     Term.(
       const run_bench $ experiment_arg $ nodes_arg
       $ Fcstack.Cliopts.passes_term $ Fcstack.Cliopts.engine_term $ jobs_arg
-      $ chaos_arg $ chaos_seed_arg $ Fcstack.Cliopts.cache_term)
+      $ Fcstack.Cliopts.stream_term $ chaos_arg $ chaos_seed_arg
+      $ scale_points_arg $ scale_compiler_arg $ scale_label_arg
+      $ Fcstack.Cliopts.cache_term)
 
 let () = exit (Cmd.eval' cmd)

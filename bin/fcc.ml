@@ -96,7 +96,8 @@ let compile_file (comp : Fcstack.Chain.compiler) (validate : bool)
 let run (files : string list) (compiler : string) (output : string option)
     (validate : bool) (dump_rtl : bool) (exact : bool)
     (passes : Vcomp.Pass.options) (engine : Wcet.Report.engine) (jobs : int)
-    (fail_fast : bool) (copts : Fcstack.Cliopts.cache_opts) : int =
+    (stream : Fcstack.Toolchain.stream_opts option) (fail_fast : bool)
+    (copts : Fcstack.Cliopts.cache_opts) : int =
   match Fcstack.Chain.compiler_of_string compiler with
   | Error msg ->
     prerr_endline msg;
@@ -107,47 +108,90 @@ let run (files : string list) (compiler : string) (output : string option)
        wherever it is handed on) *)
     let config =
       Fcstack.Cliopts.config_of_opts ~jobs ~compiler:comp ~fail_fast ~passes
-        ~engine copts
+        ~engine ?stream copts
     in
     let total = List.length files in
-    let results =
-      Fcstack.Par.map_list ~jobs:config.Fcstack.Toolchain.jobs
-        (compile_file config.Fcstack.Toolchain.compiler validate dump_rtl
-           exact config.Fcstack.Toolchain.passes
-           config.Fcstack.Toolchain.sim_fuel)
-        files
+    let compile =
+      compile_file config.Fcstack.Toolchain.compiler validate dump_rtl exact
+        config.Fcstack.Toolchain.passes config.Fcstack.Toolchain.sim_fuel
     in
-    (* --fail-fast: the first failing file (input order) aborts the
-       run — nothing after it is emitted, its diagnostic is the only
-       one reported, and the exit is total failure *)
-    let results =
-      if fail_fast then
-        let rec upto = function
-          | [] -> []
-          | r :: rest -> if r.fr_diag = None then r :: upto rest else [ r ]
+    (* Two execution shapes with byte-identical stdout (and -o file):
+       batch compiles everything then merges by input order; --stream
+       pulls the file list shard by shard through the bounded buffer
+       and emits each file's output the moment its global turn comes,
+       never holding more than jobs+lookahead shards of results.
+       (Streaming interleaves the per-file stderr with stdout instead
+       of emitting it after; each stream's own bytes are identical.)
+
+       --fail-fast: the first failing file (input order) ends emission
+       — nothing after it is emitted, its diagnostic is the only one
+       reported, and the exit is total failure. *)
+    let emit oc (r : file_result) : unit =
+      print_string r.fr_rtl;
+      (match oc with
+       | Some oc -> output_string oc r.fr_asm
+       | None -> print_string r.fr_asm);
+      prerr_string r.fr_stderr
+    in
+    let oc = Option.map open_out output in
+    let stats_lists, diags =
+      match config.Fcstack.Toolchain.stream with
+      | None ->
+        let results =
+          Fcstack.Par.map_list ~jobs:config.Fcstack.Toolchain.jobs compile
+            files
         in
-        upto results
-      else results
+        let results =
+          if fail_fast then
+            let rec upto = function
+              | [] -> []
+              | r :: rest -> if r.fr_diag = None then r :: upto rest else [ r ]
+            in
+            upto results
+          else results
+        in
+        List.iter (fun r -> emit oc r) results;
+        ( List.filter_map
+            (fun r -> if r.fr_stats = [] then None else Some r.fr_stats)
+            results,
+          List.filter_map (fun r -> r.fr_diag) results )
+      | Some so ->
+        let arr = Array.of_list files in
+        let shard_size = max 1 so.Fcstack.Toolchain.so_shard_size in
+        let producer k =
+          let lo = k * shard_size in
+          if lo >= Array.length arr then None
+          else
+            Some
+              (Array.map
+                 (fun f () -> compile f)
+                 (Array.sub arr lo (min shard_size (Array.length arr - lo))))
+        in
+        let consumer (failed, stats, diags) _g r =
+          if fail_fast && failed then (failed, stats, diags)
+          else begin
+            emit oc r;
+            ( failed || r.fr_diag <> None,
+              (if r.fr_stats = [] then stats else r.fr_stats :: stats),
+              match r.fr_diag with Some d -> d :: diags | None -> diags )
+          end
+        in
+        let _, stats, diags =
+          Fcstack.Par.run_stream ~jobs:config.Fcstack.Toolchain.jobs
+            ~lookahead:so.Fcstack.Toolchain.so_lookahead ~producer ~consumer
+            ~init:(false, [], []) ()
+        in
+        (List.rev stats, List.rev diags)
     in
-    (* deterministic merge: input order, stdout/-o then stderr per file *)
-    (match output with
-     | Some path ->
-       List.iter (fun r -> print_string r.fr_rtl) results;
-       let oc = open_out path in
-       List.iter (fun r -> output_string oc r.fr_asm) results;
-       close_out oc
-     | None ->
-       List.iter (fun r -> print_string r.fr_rtl; print_string r.fr_asm) results);
-    List.iter (fun r -> prerr_string r.fr_stderr) results;
+    Option.iter close_out oc;
     (* per-pass middle-end accounting, aggregated over all files:
        stderr-only, like the cache stats, so stdout/-o output stays
        byte-identical across flag configurations *)
-    (match List.filter (fun r -> r.fr_stats <> []) results with
+    (match stats_lists with
      | [] -> ()  (* COTS configurations have no middle-end pipeline *)
      | with_stats ->
        Format.eprintf "%a@?" Vcomp.Pass.pp_stats
-         (Vcomp.Pass.aggregate (List.map (fun r -> r.fr_stats) with_stats)));
-    let diags = List.filter_map (fun r -> r.fr_diag) results in
+         (Vcomp.Pass.aggregate with_stats));
     (* diagnostics and the failure summary are stderr-only: stdout is
        byte-identical across fail_fast/cache/jobs configurations *)
     Fcstack.Diag.print_summary ~total diags;
@@ -197,7 +241,7 @@ let cmd =
     Term.(
       const run $ files_arg $ compiler_arg $ output_arg $ validate_arg
       $ dump_rtl_arg $ exact_arg $ Fcstack.Cliopts.passes_term
-      $ Fcstack.Cliopts.engine_term $ jobs_arg
+      $ Fcstack.Cliopts.engine_term $ jobs_arg $ Fcstack.Cliopts.stream_term
       $ Fcstack.Cliopts.fail_fast_term $ Fcstack.Cliopts.cache_term)
 
 let () = exit (Cmd.eval' cmd)

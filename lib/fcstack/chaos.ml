@@ -145,6 +145,39 @@ let run_leg ~(plan : plan) ~(base : Toolchain.config)
          Par.chain_node ~config name (apply_fault fault src))
     (List.mapi (fun i n -> (i, n)) named)
 
+(* The same faulted workload through the bounded-buffer stream: shards
+   of [shard_size] nodes pulled lazily, chain outcomes folded back in
+   global node order. Containment must be shape-blind — a fault in the
+   middle of a shard may not disturb any other node, in its shard or
+   out of it. *)
+let run_leg_stream ~(plan : plan) ~(base : Toolchain.config)
+    ~(shard_size : int) ~(jobs : int) ~(cache : Wcet.Memo.t option)
+    (named : (string * Minic.Ast.program) list) :
+  (Par.node_result, Diag.t) Result.t list =
+  let config = { base with Toolchain.jobs; cache } in
+  let arr = Array.of_list (List.mapi (fun i n -> (i, n)) named) in
+  let producer k =
+    let lo = k * shard_size in
+    if lo >= Array.length arr then None
+    else
+      Some
+        (Array.map
+           (fun (i, (name, src)) () ->
+              match List.assoc_opt i plan with
+              | None -> Par.chain_node ~config name src
+              | Some fault ->
+                let config =
+                  if fault = Ffuel then
+                    { config with Toolchain.analysis_fuel = Wcet.Fuel.starved }
+                  else config
+                in
+                Par.chain_node ~config name (apply_fault fault src))
+           (Array.sub arr lo (min shard_size (Array.length arr - lo))))
+  in
+  List.rev
+    (Par.run_stream ~jobs ~consumer:(fun acc _ r -> r :: acc) ~init:[]
+       ~producer ())
+
 (* Check one leg's outcomes against the reference renderings and the
    plan; returns the violations (empty = contract holds). *)
 let check_leg ~(plan : plan) ~(reference : string array)
@@ -274,6 +307,14 @@ let run ?(seed = 20260806) ?(nodes = 14) ?(victims = 3)
            (run_leg ~plan ~base named leg))
       legs
   in
+  (* streaming leg: same faulted workload pulled shard by shard through
+     the bounded-buffer stream, mid-shard faults and all *)
+  let stream_leg_name = "j4/stream/memcache" in
+  let stream_problems =
+    check_leg ~plan ~reference named stream_leg_name
+      (run_leg_stream ~plan ~base ~shard_size:5 ~jobs:4
+         ~cache:(Some (Wcet.Memo.create ())) named)
+  in
   (* persistent-store corruption leg: warm a store, truncate every
      entry mid-byte, re-run fault-free — corruption is a miss, so the
      run must have zero failures and reference-identical results *)
@@ -313,8 +354,9 @@ let run ?(seed = 20260806) ?(nodes = 14) ?(victims = 3)
     ch_victims =
       List.map (fun (i, f) -> (fst (List.nth named i), f)) plan;
     ch_legs =
-      List.map (fun l -> l.leg_name) legs @ [ "truncated-store" ];
-    ch_problems = problems @ store_problems }
+      List.map (fun l -> l.leg_name) legs
+      @ [ stream_leg_name; "truncated-store" ];
+    ch_problems = problems @ stream_problems @ store_problems }
 
 let print_report (ppf : Format.formatter) (r : report) : unit =
   Format.fprintf ppf "@[<v>chaos: %d nodes, %d faults injected@,"

@@ -110,6 +110,55 @@ let passes_term : Vcomp.Pass.options Term.t =
         | None -> Vcomp.Pass.level level)
     $ opt_level_arg $ passes_arg)
 
+(* ---- streaming execution shape (--stream / --shard-size) ---- *)
+
+let stream_arg : bool Term.t =
+  Arg.(
+    value & flag
+    & info [ "stream" ]
+        ~doc:
+          "Stream the workload shard by shard through the Domain pool \
+           (bounded resident shards, flat memory in the workload size) \
+           instead of materializing it up front. Output is \
+           byte-identical to the batch path on every jobs/cache/engine \
+           combination; this only picks an execution shape.")
+
+let shard_size_arg : int option Term.t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shard-size" ] ~docv:"N"
+        ~doc:
+          "Nodes per streamed shard (default 256). Implies \
+           $(b,--stream). Any positive value produces the same output \
+           bytes; smaller shards lower peak memory, larger shards \
+           amortize scheduling.")
+
+let lookahead_arg : int option Term.t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "lookahead" ] ~docv:"K"
+        ~doc:
+          "Extra shards kept resident beyond the $(b,-j) domains when \
+           streaming (default 1). Implies $(b,--stream). Does not \
+           change output bytes.")
+
+let stream_term : Toolchain.stream_opts option Term.t =
+  Term.(
+    const (fun stream shard_size lookahead ->
+        if (not stream) && shard_size = None && lookahead = None then None
+        else
+          let d = Toolchain.default_stream in
+          Some
+            { Toolchain.so_shard_size =
+                max 1
+                  (Option.value shard_size ~default:d.Toolchain.so_shard_size);
+              so_lookahead =
+                max 0
+                  (Option.value lookahead ~default:d.Toolchain.so_lookahead) })
+    $ stream_arg $ shard_size_arg $ lookahead_arg)
+
 (* ---- WCET path-engine selection (--engine) ---- *)
 
 (* [--engine] parses through [Wcet.Report.engine_of_string], so an
@@ -144,10 +193,10 @@ let memo_of_opts (o : cache_opts) : Wcet.Memo.t option =
   if o.co_no_cache then None
   else Some (Wcet.Memo.create ?dir:o.co_dir ?gc_mb:o.co_gc_mb ())
 
-let config_of_opts ?jobs ?worlds ?compiler ?fail_fast ?passes ?engine
+let config_of_opts ?jobs ?worlds ?compiler ?fail_fast ?passes ?engine ?stream
     (o : cache_opts) : Toolchain.config =
   Toolchain.config ?jobs ?cache:(memo_of_opts o) ?worlds ?compiler ?fail_fast
-    ?passes ?engine ()
+    ?passes ?engine ?stream ()
 
 (* End-of-run maintenance: apply the GC budget to a persistent cache.
    Deliberately at the end — the LRU index then reflects this run's

@@ -31,6 +31,12 @@ val engine_term : Wcet.Report.engine Cmdliner.Term.t
     holds per node. A bad engine name is a Cmdliner parse error
     (exit 124) before any work runs. *)
 
+val stream_term : Toolchain.stream_opts option Cmdliner.Term.t
+(** The streaming trio [--stream], [--shard-size N] and
+    [--lookahead K]; giving either size flag implies [--stream].
+    [None] = batch. Streaming never changes output bytes — it bounds
+    resident memory at [jobs + lookahead] shards. *)
+
 val memo_of_opts : cache_opts -> Wcet.Memo.t option
 (** The cache the flags ask for: [None] under [--no-cache], persistent
     when a directory is configured, memory-only otherwise. *)
@@ -38,7 +44,8 @@ val memo_of_opts : cache_opts -> Wcet.Memo.t option
 val config_of_opts :
   ?jobs:int -> ?worlds:int -> ?compiler:Toolchain.compiler ->
   ?fail_fast:bool -> ?passes:Vcomp.Pass.options ->
-  ?engine:Wcet.Report.engine -> cache_opts -> Toolchain.config
+  ?engine:Wcet.Report.engine -> ?stream:Toolchain.stream_opts ->
+  cache_opts -> Toolchain.config
 (** One config from the parsed flags ({!memo_of_opts} for the cache). *)
 
 val finalize : Toolchain.config -> unit

@@ -42,6 +42,68 @@ let contain ~(config : Toolchain.config) ~(node : string) (f : unit -> 'a) :
   if config.Toolchain.fail_fast then Ok (f ())
   else Diag.capture ~node ~stage:Diag.Compile f
 
+(* The one workload-traversal point of every measurement driver: apply
+   [f] to each generated (node, source) pair of the [nodes]-node
+   workload, results merged in node order. The batch shape materializes
+   the whole program up front and fans out with [Par.map_list]; under
+   [config.stream] the workload is instead pulled shard by shard
+   through [Par.run_stream] — generation happens inside the producer,
+   at most [jobs + lookahead] shards stay resident, and the result list
+   is identical element for element, so every table and JSON printed
+   from it is byte-identical across the two shapes. *)
+let map_workload ~(config : Toolchain.config) ~(nodes : int) ~(seed : int)
+    (f : Scade.Symbol.node * Minic.Ast.program -> 'a) : 'a list =
+  match config.Toolchain.stream with
+  | None ->
+    Par.map_list ~jobs:config.Toolchain.jobs f
+      (Scade.Workload.flight_program ~nodes ~seed)
+  | Some s ->
+    let plan =
+      Scade.Workload.shard_plan ~shard_size:s.Toolchain.so_shard_size ~nodes
+        ~seed ()
+    in
+    let producer k =
+      if k >= Scade.Workload.shard_count plan then None
+      else
+        Some
+          (Array.map
+             (fun pair () -> f pair)
+             (Scade.Workload.generate_shard plan k))
+    in
+    List.rev
+      (Par.run_stream ~jobs:config.Toolchain.jobs
+         ~lookahead:s.Toolchain.so_lookahead ~producer
+         ~consumer:(fun acc _ v -> v :: acc)
+         ~init:[] ())
+
+(* Same traversal, folding instead of listing — the scaling study uses
+   this so its resident set excludes even the result list. *)
+let fold_workload ~(config : Toolchain.config) ~(nodes : int) ~(seed : int)
+    (f : Scade.Symbol.node * Minic.Ast.program -> 'a)
+    (consume : 'acc -> 'a -> 'acc) (init : 'acc) : 'acc =
+  match config.Toolchain.stream with
+  | None ->
+    List.fold_left consume init
+      (Par.map_list ~jobs:config.Toolchain.jobs f
+         (Scade.Workload.flight_program ~nodes ~seed))
+  | Some s ->
+    let plan =
+      Scade.Workload.shard_plan ~shard_size:s.Toolchain.so_shard_size ~nodes
+        ~seed ()
+    in
+    let producer k =
+      if k >= Scade.Workload.shard_count plan then None
+      else
+        Some
+          (Array.map
+             (fun pair () -> f pair)
+             (Scade.Workload.generate_shard plan k))
+    in
+    Par.run_stream ~jobs:config.Toolchain.jobs
+      ~lookahead:s.Toolchain.so_lookahead ~producer
+      ~consumer:(fun acc _ v -> consume acc v)
+      ~init ()
+
 (* Build and measure the whole synthetic flight program under every
    compiler configuration. Nodes are independent, so the measurement
    fans out over [config.jobs] domains (merged by node index: results
@@ -54,9 +116,8 @@ let contain ~(config : Toolchain.config) ~(node : string) (f : unit -> 'a) :
    measuring all four. *)
 let run_workload ?(nodes = 60) ?(seed = 2026) ?(config = Toolchain.default) () :
   workload_results =
-  let program = Scade.Workload.flight_program ~nodes ~seed in
   let outcomes =
-    Par.map_list ~jobs:config.Toolchain.jobs
+    map_workload ~config ~nodes ~seed
       (fun (node, src) ->
          contain ~config ~node:node.Scade.Symbol.n_name (fun () ->
              let pass_stats = ref [] in
@@ -83,7 +144,6 @@ let run_workload ?(nodes = 60) ?(seed = 2026) ?(config = Toolchain.default) () :
              in
              ({ nr_name = node.Scade.Symbol.n_name; nr_per = per },
               !pass_stats)))
-      program
   in
   let measured = List.filter_map Result.to_option outcomes in
   { wr_nodes = List.map fst measured;
@@ -278,7 +338,6 @@ let print_annot_demo (ppf : Format.formatter) : unit =
    the default-O2 FMA contraction. *)
 let print_ablation (ppf : Format.formatter) ?(nodes = 30) ?(seed = 2026)
     ?(config = Toolchain.default) () : unit =
-  let program = Scade.Workload.flight_program ~nodes ~seed in
   let diags = ref [] in
   let measured = ref 0 in
   (* a failing node drops out of *this variant's* sum (and is reported
@@ -289,7 +348,7 @@ let print_ablation (ppf : Format.formatter) ?(nodes = 30) ?(seed = 2026)
   let measure ~(spec : string)
       (compile : Minic.Ast.program -> Target.Asm.program) : int * int =
     let outcomes =
-      Par.map_list ~jobs:config.Toolchain.jobs
+      map_workload ~config ~nodes ~seed
         (fun ((node : Scade.Symbol.node), src) ->
            contain ~config ~node:node.Scade.Symbol.n_name (fun () ->
                let asm = compile src in
@@ -298,7 +357,6 @@ let print_ablation (ppf : Format.formatter) ?(nodes = 30) ?(seed = 2026)
                    ~fuel:config.Toolchain.analysis_fuel ~spec asm lay)
                   .Wcet.Report.rp_wcet,
                 Target.Asm.program_size asm)))
-        program
     in
     measured := !measured + List.length outcomes;
     diags := !diags @ Diag.errors_of outcomes;
@@ -358,11 +416,10 @@ let print_ablation (ppf : Format.formatter) ?(nodes = 30) ?(seed = 2026)
    (nodes, seed) — the published BENCH_gvn_licm.json is this output. *)
 let print_gvn_licm_json (ppf : Format.formatter) ?(nodes = 30) ?(seed = 2026)
     ?(config = Toolchain.default) () : unit =
-  let program = Scade.Workload.flight_program ~nodes ~seed in
   let measure (options : Vcomp.Driver.options) : int * int =
     let spec = "vcomp:" ^ Vcomp.Pass.spec options in
     let sums =
-      Par.map_list ~jobs:config.Toolchain.jobs
+      map_workload ~config ~nodes ~seed
         (fun ((node : Scade.Symbol.node), src) ->
            contain ~config ~node:node.Scade.Symbol.n_name (fun () ->
                let asm = Vcomp.Driver.compile ~options src in
@@ -371,7 +428,6 @@ let print_gvn_licm_json (ppf : Format.formatter) ?(nodes = 30) ?(seed = 2026)
                    ~fuel:config.Toolchain.analysis_fuel ~spec asm lay)
                   .Wcet.Report.rp_wcet,
                 Target.Asm.program_size asm)))
-        program
     in
     List.fold_left
       (fun (w, s) (w', s') -> (w + w', s + s'))
@@ -416,11 +472,10 @@ let print_gvn_licm_json (ppf : Format.formatter) ?(nodes = 30) ?(seed = 2026)
    BENCH_engines.json is this output. *)
 let print_engines_json (ppf : Format.formatter) ?(nodes = 30) ?(seed = 2026)
     ?(config = Toolchain.default) () : unit =
-  let program = Scade.Workload.flight_program ~nodes ~seed in
   let config = Toolchain.with_engine Wcet.Report.Both config in
   let measure (c : Toolchain.compiler) : int * int * int * int * int =
     let outcomes =
-      Par.map_list ~jobs:config.Toolchain.jobs
+      map_workload ~config ~nodes ~seed
         (fun ((node : Scade.Symbol.node), src) ->
            contain ~config ~node:node.Scade.Symbol.n_name (fun () ->
                let b = Chain.build c src in
@@ -430,7 +485,6 @@ let print_engines_json (ppf : Format.formatter) ?(nodes = 30) ?(seed = 2026)
                  Option.value ~default:r.Wcet.Report.rp_wcet
                    r.Wcet.Report.rp_wcet_omt,
                  r.Wcet.Report.rp_omt_cuts )))
-        program
     in
     List.fold_left
       (fun (n, ipet, omt, tighter, best) (i, o, _) ->
@@ -470,7 +524,6 @@ let print_engines_json (ppf : Format.formatter) ?(nodes = 30) ?(seed = 2026)
    exact. *)
 let print_overestimation (ppf : Format.formatter) ?(nodes = 20) ?(seed = 2026)
     ?(config = Toolchain.default) () : unit =
-  let program = Scade.Workload.flight_program ~nodes ~seed in
   (* under --engine both each report carries the two bounds; the table
      then grows an omt/ipet ratio column and an engines aggregate *)
   let both = config.Toolchain.engine = Wcet.Report.Both in
@@ -485,7 +538,7 @@ let print_overestimation (ppf : Format.formatter) ?(nodes = 20) ?(seed = 2026)
   (* measure in parallel (per-node bound + worst observed cycles),
      print sequentially in node order *)
   let outcomes =
-    Par.map_list ~jobs:config.Toolchain.jobs
+    map_workload ~config ~nodes ~seed
       (fun ((node : Scade.Symbol.node), src) ->
          contain ~config ~node:node.Scade.Symbol.n_name (fun () ->
              let per =
@@ -507,7 +560,6 @@ let print_overestimation (ppf : Format.formatter) ?(nodes = 20) ?(seed = 2026)
                  Chain.all_compilers
              in
              (node.Scade.Symbol.n_name, per)))
-      program
   in
   let measured = List.filter_map Result.to_option outcomes in
   let sums = Hashtbl.create 5 in
@@ -560,4 +612,136 @@ let print_overestimation (ppf : Format.formatter) ?(nodes = 20) ?(seed = 2026)
        strictly tighter on %d analyses@,"
       !ipet_total !omt_total !tighter;
   Format.fprintf ppf "@]";
-  Diag.print_summary ~total:(List.length program) (Diag.errors_of outcomes)
+  Diag.print_summary ~total:nodes (Diag.errors_of outcomes)
+
+(* ---- scaling study (BENCH_scale.json) ------------------------------- *)
+
+(* Peak resident set, measured rather than asserted: a watcher Domain
+   samples VmRSS from /proc/self/status while the leg runs. VmRSS (not
+   VmHWM) because the watcher tracks its own maximum over the leg —
+   VmHWM is a process-lifetime high-water mark and could only report
+   the largest leg ever run in this process. On a platform without
+   procfs the samples read 0 and the leg degrades to wall-clock and
+   throughput only. *)
+
+let rss_kb () : int =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+    let rec scan () =
+      match input_line ic with
+      | exception End_of_file -> 0
+      | line ->
+        if String.length line > 6 && String.sub line 0 6 = "VmRSS:" then
+          try
+            Scanf.sscanf
+              (String.sub line 6 (String.length line - 6))
+              " %d" (fun v -> v)
+          with Scanf.Scan_failure _ | Failure _ -> 0
+        else scan ()
+    in
+    let v = scan () in
+    close_in ic;
+    v
+
+let with_rss_watcher (f : unit -> 'a) : 'a * int =
+  let stop = Atomic.make false in
+  let peak = Atomic.make (rss_kb ()) in
+  let watcher =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          let r = rss_kb () in
+          let rec bump () =
+            let m = Atomic.get peak in
+            if r > m && not (Atomic.compare_and_set peak m r) then bump ()
+          in
+          bump ();
+          Unix.sleepf 0.005
+        done)
+  in
+  let finish () =
+    Atomic.set stop true;
+    Domain.join watcher
+  in
+  match f () with
+  | v ->
+    finish ();
+    (v, max (Atomic.get peak) (rss_kb ()))
+  | exception e ->
+    finish ();
+    raise e
+
+type scale_leg = {
+  sc_nodes : int;
+  sc_failures : int;         (* contained per-node failures *)
+  sc_wcet_total : int;       (* determinism witness: equal across legs
+                                of one (nodes, seed, compiler) point *)
+  sc_wall_s : float;
+  sc_peak_rss_kb : int;
+  sc_throughput : float;     (* nodes per second *)
+  sc_stats : Wcet.Report.analysis_stats option;  (* None: no cache *)
+}
+
+(* One leg of the scaling study: compile ([config.compiler], under
+   [config.passes]) and analyze every node of the workload, in the
+   execution shape the config picks (batch or stream, [config.jobs]
+   domains, [config.cache]) — and measure the run itself: wall clock,
+   peak RSS, throughput, cache accounting. No simulation or
+   differential validation: the study measures pipeline scaling, and
+   compile+analyze is the service-shaped hot path. The WCET total is
+   carried as a cross-leg determinism witness — every leg of one
+   (nodes, seed, compiler) point must agree on it no matter the jobs /
+   cache / shape combination. *)
+let run_scale_leg ?(nodes = 2500) ?(seed = 2026) ?(config = Toolchain.default)
+    () : scale_leg =
+  let work ((node : Scade.Symbol.node), src) =
+    contain ~config ~node:node.Scade.Symbol.n_name (fun () ->
+        let b =
+          Chain.build ~passes:config.Toolchain.passes config.Toolchain.compiler
+            src
+        in
+        (Chain.wcet ~config b).Wcet.Report.rp_wcet)
+  in
+  let consume (total, fails) = function
+    | Ok w -> (total + w, fails)
+    | Error (_ : Diag.t) -> (total, fails + 1)
+  in
+  let t0 = Unix.gettimeofday () in
+  let (wcet_total, failures), peak =
+    with_rss_watcher (fun () ->
+        fold_workload ~config ~nodes ~seed work consume (0, 0))
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  { sc_nodes = nodes;
+    sc_failures = failures;
+    sc_wcet_total = wcet_total;
+    sc_wall_s = wall;
+    sc_peak_rss_kb = peak;
+    sc_throughput = (if wall > 0.0 then float_of_int nodes /. wall else 0.0);
+    sc_stats = Option.map Wcet.Memo.stats config.Toolchain.cache }
+
+(* One leg as one JSON object. [label] names the leg in the study
+   ("j1-cold", ...); the jobs/shape fields come from the config that
+   ran it. *)
+let scale_leg_json ?(label = "") ~(config : Toolchain.config)
+    (leg : scale_leg) : string =
+  let stream_fields =
+    match config.Toolchain.stream with
+    | None -> "\"stream\": false"
+    | Some s ->
+      Printf.sprintf
+        "\"stream\": true, \"shard_size\": %d, \"lookahead\": %d"
+        s.Toolchain.so_shard_size s.Toolchain.so_lookahead
+  in
+  Printf.sprintf
+    "{ %s\"nodes\": %d, \"jobs\": %d, %s, \"compiler\": %S, \
+     \"wall_s\": %.3f, \"peak_rss_kb\": %d, \"nodes_per_s\": %.1f, \
+     \"wcet_total_cycles\": %d, \"failures\": %d, \"cache\": %s }"
+    (if label = "" then "" else Printf.sprintf "\"leg\": %S, " label)
+    leg.sc_nodes config.Toolchain.jobs stream_fields
+    (Chain.compiler_name config.Toolchain.compiler)
+    leg.sc_wall_s leg.sc_peak_rss_kb leg.sc_throughput leg.sc_wcet_total
+    leg.sc_failures
+    (match leg.sc_stats with
+     | None -> "null"
+     | Some st -> Wcet.Report.stats_json st)

@@ -85,6 +85,16 @@ val print_gvn_licm_json :
     the local-CSE pipeline, +GVN, +GVN+LICM) as pure JSON — the
     published BENCH_gvn_licm.json. *)
 
+val map_workload :
+  config:Toolchain.config -> nodes:int -> seed:int ->
+  (Scade.Symbol.node * Minic.Ast.program -> 'a) -> 'a list
+(** The one workload traversal behind every measurement driver: [f]
+    over each generated node, results in node order. Batch by default
+    ([Par.map_list] over the materialized program); under
+    [config.stream] the workload is pulled shard by shard through
+    [Par.run_stream] with generation inside the producer — identical
+    results, bounded resident shards. *)
+
 val print_engines_json :
   Format.formatter -> ?nodes:int -> ?seed:int -> ?config:Toolchain.config ->
   unit -> unit
@@ -94,3 +104,31 @@ val print_engines_json :
     the driver checks the differential oracle omt <= ipet on every
     analysis (a violation is a refusal, summarized on stderr — never
     in the JSON). Pure JSON — the published BENCH_engines.json. *)
+
+(** {1 Scaling study (BENCH_scale.json)} *)
+
+type scale_leg = {
+  sc_nodes : int;
+  sc_failures : int;      (** contained per-node failures *)
+  sc_wcet_total : int;    (** determinism witness: equal across every
+                              leg of one (nodes, seed, compiler) point,
+                              whatever the jobs/cache/shape *)
+  sc_wall_s : float;
+  sc_peak_rss_kb : int;   (** sampled VmRSS maximum (0: no procfs) *)
+  sc_throughput : float;  (** nodes per second *)
+  sc_stats : Wcet.Report.analysis_stats option;  (** [None]: no cache *)
+}
+
+val run_scale_leg :
+  ?nodes:int -> ?seed:int -> ?config:Toolchain.config -> unit -> scale_leg
+(** One leg of the scaling study: compile + analyze the whole workload
+    in the execution shape the config picks (batch or [config.stream],
+    [config.jobs] domains, [config.cache]), while a watcher Domain
+    samples peak RSS from [/proc/self/status]. No simulation or
+    validation — this measures the service-shaped hot path. Defaults:
+    2500 nodes, seed 2026. *)
+
+val scale_leg_json :
+  ?label:string -> config:Toolchain.config -> scale_leg -> string
+(** The leg as one JSON object (no trailing newline); [label] names it
+    within the study. *)

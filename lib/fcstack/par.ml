@@ -23,6 +23,44 @@
 
 let default_jobs () : int = max 1 (Domain.recommended_domain_count ())
 
+(* One task's captured outcome, written race-free by the single domain
+   that claimed its index. *)
+type 'a slot = ('a, exn * Printexc.raw_backtrace) Result.t option
+
+(* The one index-merge of the whole module: walk an index-ordered slot
+   array front to back, handing each result to [f] with its global
+   index, and stop at the first captured exception — the
+   smallest-indexed one therefore always wins, and no result at or
+   beyond it is ever observed. The batch path merges a whole run's
+   slots at once; the streaming path merges each retired shard's slots
+   as it leaves the window; both inherit exactly this determinism
+   rule. *)
+let fold_slots ~(base : int) (slots : 'a slot array)
+    (f : int -> 'a -> unit) : (exn * Printexc.raw_backtrace) option =
+  let n = Array.length slots in
+  let rec go i =
+    if i >= n then None
+    else
+      match slots.(i) with
+      | Some (Ok v) ->
+        f (base + i) v;
+        go (i + 1)
+      | Some (Error e) -> Some e
+      | None -> assert false (* every index was claimed *)
+  in
+  go 0
+
+(* Unwrap a fully-claimed slot array, re-raising the smallest-indexed
+   captured exception (the batch merge). *)
+let merge_slots (slots : 'a slot array) : 'a array =
+  match fold_slots ~base:0 slots (fun _ _ -> ()) with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None ->
+    Array.map
+      (fun slot ->
+         match slot with Some (Ok v) -> v | Some (Error _) | None -> assert false)
+      slots
+
 (* Run [tasks.(i) ()] for every [i] on up to [jobs] domains and return
    the results in task order. [jobs <= 1] runs sequentially in the
    calling domain (no Domain is spawned), which is the reference
@@ -34,9 +72,7 @@ let run ?(jobs = default_jobs ()) (tasks : (unit -> 'a) array) : 'a array =
   if jobs <= 1 || n <= 1 then Array.map (fun t -> t ()) tasks
   else begin
     let jobs = min jobs n in
-    let results : ('a, exn * Printexc.raw_backtrace) Result.t option array =
-      Array.make n None
-    in
+    let results : 'a slot array = Array.make n None in
     let next = Atomic.make 0 in
     let rec worker () =
       let i = Atomic.fetch_and_add next 1 in
@@ -53,13 +89,182 @@ let run ?(jobs = default_jobs ()) (tasks : (unit -> 'a) array) : 'a array =
     let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
     worker ();
     List.iter Domain.join domains;
-    Array.map
-      (fun slot ->
-         match slot with
-         | Some (Ok v) -> v
-         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
-         | None -> assert false (* every index below [n] was claimed *))
-      results
+    merge_slots results
+  end
+
+(* ---- bounded-buffer streaming --------------------------------------- *)
+
+(* One in-flight shard: its tasks, their slots, a claim cursor and a
+   completion count. All fields are guarded by the stream mutex. *)
+type 'a shard = {
+  sh_base : int;                 (* global index of task 0 *)
+  sh_tasks : (unit -> 'a) array;
+  sh_slots : 'a slot array;
+  mutable sh_next : int;         (* next unclaimed task *)
+  mutable sh_done : int;         (* completed tasks *)
+}
+
+let default_lookahead = 1
+
+(* Pull shards lazily from [producer] (shard k, [None] = end of
+   stream), run every task on up to [jobs] domains, and fold completed
+   results into [consumer] in global task order. Memory is bounded: at
+   most [jobs + lookahead] shards are resident (produced but not yet
+   retired) at any instant, so the resident set is independent of the
+   stream length — the flat-RSS contract of the streaming pipeline.
+
+   Determinism: tasks are claimed oldest shard first; a shard is
+   retired — its slots folded, in index order, under the stream lock —
+   only when complete and when every older shard has been retired, so
+   [consumer] observes exactly the sequential order no matter how the
+   domains interleave. A raised task exception is re-raised in the
+   caller after all domains wind down; the first one in global order
+   wins (the stream stops claiming and producing, and no result at or
+   beyond the raising index reaches [consumer]). [jobs <= 1] runs
+   everything in the calling domain: produce a shard, run it, retire
+   it — the reference behaviour the parallel path reproduces.
+
+   [producer] is called from worker domains, one call at a time (never
+   concurrently, shards in order), outside the lock: generation
+   overlaps compilation, but a producer need not be thread-safe beyond
+   being callable from another domain. [consumer] always runs under
+   the lock — never concurrently with itself. *)
+let run_stream ?(jobs = default_jobs ()) ?(lookahead = default_lookahead)
+    ~(producer : int -> (unit -> 'a) array option)
+    ~(consumer : 'acc -> int -> 'a -> 'acc) ~(init : 'acc) () : 'acc =
+  let lookahead = max 0 lookahead in
+  if jobs <= 1 then begin
+    (* sequential reference: one shard resident at a time *)
+    let acc = ref init in
+    let k = ref 0 and base = ref 0 and finished = ref false in
+    while not !finished do
+      match producer !k with
+      | None -> finished := true
+      | Some tasks ->
+        Array.iteri
+          (fun i t -> acc := consumer !acc (!base + i) (t ()))
+          tasks;
+        base := !base + Array.length tasks;
+        incr k
+    done;
+    !acc
+  end
+  else begin
+    let cap = jobs + lookahead in
+    let mutex = Mutex.create () and cond = Condition.create () in
+    (* all of the following is guarded by [mutex] *)
+    let window : 'a shard Queue.t = Queue.create () in
+    let next_shard = ref 0 in       (* next shard index to produce *)
+    let produced = ref 0 in         (* global task count produced *)
+    let producing = ref false in    (* a domain is inside [producer] *)
+    let exhausted = ref false in    (* producer returned None *)
+    let failed : (exn * Printexc.raw_backtrace) option ref = ref None in
+    let acc = ref init in
+    (* retire complete shards from the front of the window; under the
+       lock, so consumer folds are serial and in global order. After a
+       recorded failure nothing further is consumed or retired. *)
+    let retire_front () =
+      while
+        !failed = None
+        && (not (Queue.is_empty window))
+        && (let sh = Queue.peek window in
+            sh.sh_done = Array.length sh.sh_tasks)
+      do
+        let sh = Queue.pop window in
+        match
+          fold_slots ~base:sh.sh_base sh.sh_slots (fun i v ->
+              acc := consumer !acc i v)
+        with
+        | None -> ()
+        | Some e -> failed := Some e
+      done
+    in
+    let worker () =
+      Mutex.lock mutex;
+      let rec loop () =
+        if !failed <> None then Mutex.unlock mutex
+        else begin
+          (* oldest shard with an unclaimed task, if any *)
+          let claim = ref None in
+          (try
+             Queue.iter
+               (fun sh ->
+                  if sh.sh_next < Array.length sh.sh_tasks then begin
+                    claim := Some (sh, sh.sh_next);
+                    sh.sh_next <- sh.sh_next + 1;
+                    raise Exit
+                  end)
+               window
+           with Exit -> ());
+          match !claim with
+          | Some (sh, i) ->
+            Mutex.unlock mutex;
+            let r =
+              try Ok (sh.sh_tasks.(i) ())
+              with e -> Error (e, Printexc.get_raw_backtrace ())
+            in
+            Mutex.lock mutex;
+            sh.sh_slots.(i) <- Some r;
+            sh.sh_done <- sh.sh_done + 1;
+            retire_front ();
+            Condition.broadcast cond;
+            loop ()
+          | None ->
+            if (not !exhausted) && (not !producing)
+            && Queue.length window < cap then begin
+              let k = !next_shard in
+              incr next_shard;
+              producing := true;
+              Mutex.unlock mutex;
+              (* producer runs outside the lock so generation overlaps
+                 the in-flight work; a producer exception fails the
+                 whole stream (the prefix consumed before it is
+                 whatever had already retired) *)
+              let shard =
+                try Ok (producer k)
+                with e -> Error (e, Printexc.get_raw_backtrace ())
+              in
+              Mutex.lock mutex;
+              producing := false;
+              (match shard with
+               | Error e ->
+                 exhausted := true;
+                 if !failed = None then failed := Some e
+               | Ok None -> exhausted := true
+               | Ok (Some tasks) ->
+                 Queue.push
+                   { sh_base = !produced;
+                     sh_tasks = tasks;
+                     sh_slots = Array.make (Array.length tasks) None;
+                     sh_next = 0;
+                     sh_done = 0 }
+                   window;
+                 produced := !produced + Array.length tasks;
+                 (* an empty shard has no task to complete: retire it
+                    here or the window never drains *)
+                 retire_front ());
+              Condition.broadcast cond;
+              loop ()
+            end
+            else if !exhausted && Queue.is_empty window && not !producing
+            then begin
+              Condition.broadcast cond;
+              Mutex.unlock mutex
+            end
+            else begin
+              Condition.wait cond mutex;
+              loop ()
+            end
+        end
+      in
+      loop ()
+    in
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    match !failed with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> !acc
   end
 
 (* Order-preserving parallel map over a list. *)
@@ -176,3 +381,26 @@ let run_chain_nodes ?(config = Toolchain.default) ?exact ?validate ?cycles
                 Scade.Acg.generate node))
            (fun src -> chain_node ~config ?exact ?validate ?cycles name src))
     nodes
+
+(* The streaming counterpart of [run_chain]: named mini-C programs
+   arrive shard by shard from [producer], each node runs [chain_node]
+   under the config, and outcomes fold into [consumer] in global input
+   order — the per-node results are identical to [run_chain] over the
+   concatenated shards, with only [jobs + lookahead] shards resident.
+   Lookahead comes from [config.stream] when set. *)
+let run_chain_stream ?(config = Toolchain.default) ?exact ?validate ?cycles
+    ~(producer : int -> (string * Minic.Ast.program) array option)
+    ~(consumer : 'acc -> int -> (node_result, Diag.t) Result.t -> 'acc)
+    ~(init : 'acc) () : 'acc =
+  let lookahead =
+    match config.Toolchain.stream with
+    | Some s -> s.Toolchain.so_lookahead
+    | None -> default_lookahead
+  in
+  run_stream ~jobs:config.Toolchain.jobs ~lookahead
+    ~producer:(fun k ->
+        Option.map
+          (Array.map (fun (name, src) () ->
+               chain_node ~config ?exact ?validate ?cycles name src))
+          (producer k))
+    ~consumer ~init ()

@@ -18,6 +18,31 @@ val run : ?jobs:int -> (unit -> 'a) array -> 'a array
 val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving parallel map. *)
 
+val default_lookahead : int
+(** Extra resident shards beyond [jobs] in {!run_stream} (1). *)
+
+val run_stream :
+  ?jobs:int -> ?lookahead:int ->
+  producer:(int -> (unit -> 'a) array option) ->
+  consumer:('acc -> int -> 'a -> 'acc) -> init:'acc -> unit -> 'acc
+(** Bounded-buffer streaming: pull task shards lazily from
+    [producer 0, producer 1, ...] ([None] ends the stream), evaluate
+    every task on up to [jobs] domains, and fold results into
+    [consumer acc global_index result] in global task order. At most
+    [jobs + lookahead] shards are resident at any instant, so memory is
+    flat in the stream length; the fold observes exactly what the
+    sequential run would, byte for byte.
+
+    [producer] is called one shard at a time, in order, from worker
+    domains outside the stream lock (generation overlaps evaluation);
+    [consumer] always runs under the lock, never concurrently with
+    itself. If a task or the producer raises, the stream stops claiming
+    work, no result at or beyond the first raising global index reaches
+    [consumer], and that exception is re-raised in the caller after all
+    domains wind down — the same smallest-index rule as {!run}.
+    [jobs <= 1] runs everything in the calling domain, one shard
+    resident at a time. *)
+
 type node_result = {
   pn_name : string;
   pn_asm : Target.Asm.program;
@@ -66,3 +91,15 @@ val run_chain_nodes :
   Scade.Symbol.node list -> (node_result, Diag.t) Result.t list
 (** Same, from SCADE nodes: the ACG also runs inside the workers (an
     ACG failure is a Compile-stage diagnostic). *)
+
+val run_chain_stream :
+  ?config:Toolchain.config -> ?exact:bool -> ?validate:bool -> ?cycles:int ->
+  producer:(int -> (string * Minic.Ast.program) array option) ->
+  consumer:('acc -> int -> (node_result, Diag.t) Result.t -> 'acc) ->
+  init:'acc -> unit -> 'acc
+(** {!run_chain} in streaming shape: named mini-C programs arrive shard
+    by shard from [producer], per-node outcomes fold into [consumer] in
+    global input order, and only [jobs + lookahead] shards stay
+    resident (lookahead from [config.stream] when set). The outcome for
+    every node is identical to {!run_chain} over the concatenated
+    shards. *)

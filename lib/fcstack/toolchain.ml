@@ -17,6 +17,19 @@ type compiler =
   | Cdefault_o2   (* COTS baseline, fully optimized (incl. FMA contraction) *)
   | Cvcomp        (* verified-style optimizing compiler (CompCert stand-in) *)
 
+(* Streaming execution shape (Par.run_stream): the workload is pulled
+   shard by shard instead of materialized up front, bounding resident
+   memory at [jobs + so_lookahead] shards of [so_shard_size] nodes.
+   Output stays byte-identical to the batch path — the stream option
+   picks an execution shape, never a semantics. *)
+type stream_opts = {
+  so_shard_size : int;  (* nodes per produced shard, >= 1 *)
+  so_lookahead : int;   (* resident shards beyond [jobs], >= 0 *)
+}
+
+let default_stream : stream_opts =
+  { so_shard_size = Scade.Workload.default_shard_size; so_lookahead = 1 }
+
 type config = {
   jobs : int;
   (* WCET-analysis cache, possibly persistent (Wcet.Memo.create ?dir).
@@ -43,6 +56,11 @@ type config = {
      the OMT engine, or both cross-checked per node; part of the
      analysis-cache content key *)
   engine : Wcet.Report.engine;
+  (* streaming execution shape (--stream): pull the workload shard by
+     shard through Par.run_stream with bounded resident shards, instead
+     of materializing it up front. None = batch. Output is
+     byte-identical either way. *)
+  stream : stream_opts option;
 }
 
 let default : config =
@@ -54,12 +72,13 @@ let default : config =
     sim_fuel = None;
     analysis_fuel = Wcet.Fuel.default;
     passes = Vcomp.Pass.default_options;
-    engine = Wcet.Report.Ipet }
+    engine = Wcet.Report.Ipet;
+    stream = None }
 
 let config ?(jobs = 1) ?cache ?worlds ?(compiler = Cvcomp)
     ?(fail_fast = false) ?sim_fuel ?(analysis_fuel = Wcet.Fuel.default)
-    ?(passes = Vcomp.Pass.default_options) ?(engine = Wcet.Report.Ipet) () :
-  config =
+    ?(passes = Vcomp.Pass.default_options) ?(engine = Wcet.Report.Ipet)
+    ?stream () : config =
   { jobs = max 1 jobs;
     cache;
     worlds;
@@ -68,7 +87,8 @@ let config ?(jobs = 1) ?cache ?worlds ?(compiler = Cvcomp)
     sim_fuel;
     analysis_fuel;
     passes;
-    engine }
+    engine;
+    stream }
 
 let with_jobs (jobs : int) (c : config) : config = { c with jobs = max 1 jobs }
 let with_cache (cache : Wcet.Memo.t option) (c : config) : config =
@@ -86,3 +106,5 @@ let with_passes (passes : Vcomp.Pass.options) (c : config) : config =
   { c with passes }
 let with_engine (engine : Wcet.Report.engine) (c : config) : config =
   { c with engine }
+let with_stream (stream : stream_opts option) (c : config) : config =
+  { c with stream }

@@ -17,6 +17,18 @@ type compiler =
 (** Defined here (not in {!Chain}) so [config] can carry it; {!Chain}
     re-exports the constructors, so [Chain.Cvcomp] remains valid. *)
 
+type stream_opts = {
+  so_shard_size : int;  (** nodes per produced shard, >= 1 *)
+  so_lookahead : int;   (** resident shards beyond [jobs], >= 0 *)
+}
+(** Streaming execution shape ({!Par.run_stream}): the workload is
+    pulled shard by shard with at most [jobs + so_lookahead] shards
+    resident, so memory is flat in the workload size. Picks an
+    execution shape only — output is byte-identical to batch. *)
+
+val default_stream : stream_opts
+(** [Scade.Workload.default_shard_size] nodes per shard, lookahead 1. *)
+
 type config = {
   jobs : int;                  (** Domains for per-node fan-out (≥ 1) *)
   cache : Wcet.Memo.t option;  (** shared WCET-analysis cache, possibly
@@ -42,6 +54,9 @@ type config = {
                                    or both cross-checked ([Both]
                                    refuses unless omt <= ipet); part
                                    of the analysis-cache key *)
+  stream : stream_opts option; (** streaming execution shape
+                                   ([--stream]); [None] = batch. Never
+                                   changes output bytes. *)
 }
 
 val default : config
@@ -51,7 +66,8 @@ val default : config
 val config :
   ?jobs:int -> ?cache:Wcet.Memo.t -> ?worlds:int -> ?compiler:compiler ->
   ?fail_fast:bool -> ?sim_fuel:int -> ?analysis_fuel:Wcet.Fuel.t ->
-  ?passes:Vcomp.Pass.options -> ?engine:Wcet.Report.engine -> unit -> config
+  ?passes:Vcomp.Pass.options -> ?engine:Wcet.Report.engine ->
+  ?stream:stream_opts -> unit -> config
 (** Build a config in one call; omitted fields take {!default}s. *)
 
 val with_jobs : int -> config -> config
@@ -63,3 +79,4 @@ val with_sim_fuel : int option -> config -> config
 val with_analysis_fuel : Wcet.Fuel.t -> config -> config
 val with_passes : Vcomp.Pass.options -> config -> config
 val with_engine : Wcet.Report.engine -> config -> config
+val with_stream : stream_opts option -> config -> config

@@ -7,7 +7,15 @@
    symbols (arithmetic, filters, limiters, mode logic), occasional
    lookup tables, moving-average windows and config-bounded modal loops,
    and one or two actuator outputs. Sizes and symbol mix are
-   parameterized; generation is deterministic in the seed. *)
+   parameterized; generation is deterministic in the seed.
+
+   The generator is the producer of the streaming pipeline (it feeds
+   Fcstack.Par.run_stream shard by shard), so it is linear: the wire
+   pools are growable arrays with O(1) push/pick and tombstoned O(1)
+   removal — never List.nth or a whole-pool filter scan per symbol.
+   Every pool operation consumes the random stream exactly as the
+   original list-based generator did, so generated nodes are
+   byte-identical to the historical output for any seed. *)
 
 type profile = {
   pf_symbols : int;       (* number of generated value symbols *)
@@ -36,8 +44,110 @@ let io_node : profile =
 let pickf (rng : Random.State.t) (lo : float) (hi : float) : float =
   lo +. Random.State.float rng (hi -. lo)
 
-let pick_list (rng : Random.State.t) (xs : 'a list) : 'a =
-  List.nth xs (Random.State.int rng (List.length xs))
+(* ---- wire pools ------------------------------------------------------ *)
+
+(* A growable array of wire identifiers. [push]/[get] are O(1); this
+   replaces the [List.nth]-backed pick over a cons list (the historical
+   list kept newest first, so list index [j] is array index
+   [n - 1 - j]). *)
+module Pool = struct
+  type t = { mutable arr : int array; mutable n : int }
+
+  let create () : t = { arr = Array.make 64 0; n = 0 }
+
+  let push (p : t) (w : int) : unit =
+    if p.n = Array.length p.arr then begin
+      let bigger = Array.make (2 * p.n) 0 in
+      Array.blit p.arr 0 bigger 0 p.n;
+      p.arr <- bigger
+    end;
+    p.arr.(p.n) <- w;
+    p.n <- p.n + 1
+
+  let is_empty (p : t) : bool = p.n = 0
+
+  (* The historical [pick_list rng pool] drew an index into the
+     newest-first cons list; drawing the same index and flipping it
+     keeps the random stream and the chosen wire identical. *)
+  let pick (rng : Random.State.t) (p : t) : int =
+    p.arr.(p.n - 1 - Random.State.int rng p.n)
+end
+
+(* The not-yet-consumed wires: preferred as sources, so that (like real
+   control laws, where unused signals are modelling errors) almost
+   every computed signal is live — a compiler cannot win by deleting
+   dead subgraphs. Semantically a newest-first list supporting
+   pop-newest and remove-by-value; implemented as a stack of wire ids
+   plus a tombstone bitmap so removal by value is O(1) (the stale stack
+   entry is skipped lazily when it surfaces). Each wire enters a pool
+   exactly once, so a tombstone can never resurrect. *)
+module Unused = struct
+  type t = {
+    stack : Pool.t;
+    mutable dead : Bytes.t;  (* indexed by wire id; '\001' = removed *)
+    mutable live : int;
+  }
+
+  let create () : t =
+    { stack = Pool.create (); dead = Bytes.make 256 '\000'; live = 0 }
+
+  let ensure (u : t) (w : int) : unit =
+    if w >= Bytes.length u.dead then begin
+      let bigger = Bytes.make (2 * (w + 1)) '\000' in
+      Bytes.blit u.dead 0 bigger 0 (Bytes.length u.dead);
+      u.dead <- bigger
+    end
+
+  let push (u : t) (w : int) : unit =
+    ensure u w;
+    Pool.push u.stack w;
+    u.live <- u.live + 1
+
+  let is_empty (u : t) : bool = u.live = 0
+
+  (* drop tombstoned entries sitting on top of the stack *)
+  let rec settle (u : t) : unit =
+    let p = u.stack in
+    if p.Pool.n > 0 && Bytes.get u.dead p.Pool.arr.(p.Pool.n - 1) = '\001'
+    then begin
+      p.Pool.n <- p.Pool.n - 1;
+      settle u
+    end
+
+  (* the newest live wire (the historical list head); only call when
+     non-empty. Flags the wire so a later remove-by-value of it is a
+     no-op, exactly like filtering a list it is no longer in. *)
+  let pop (u : t) : int =
+    settle u;
+    let p = u.stack in
+    let w = p.Pool.arr.(p.Pool.n - 1) in
+    p.Pool.n <- p.Pool.n - 1;
+    Bytes.set u.dead w '\001';
+    u.live <- u.live - 1;
+    w
+
+  (* remove by value if present (the historical whole-list filter) *)
+  let remove (u : t) (w : int) : unit =
+    ensure u w;
+    if Bytes.get u.dead w = '\000' then begin
+      Bytes.set u.dead w '\001';
+      u.live <- u.live - 1
+    end
+
+  (* live wires, newest first (the historical list order: the stack
+     grows oldest to newest, so prepending while walking up flips it) *)
+  let to_list (u : t) : int list =
+    let p = u.stack in
+    let rec go i acc =
+      if i >= p.Pool.n then acc
+      else
+        go (i + 1)
+          (if Bytes.get u.dead p.Pool.arr.(i) = '\000' then
+             p.Pool.arr.(i) :: acc
+           else acc)
+    in
+    go 0 []
+end
 
 let generate_node ?(profile = medium_node) ~(seed : int) (name : string) :
   Symbol.node =
@@ -50,14 +160,10 @@ let generate_node ?(profile = medium_node) ~(seed : int) (name : string) :
     !wire_counter
   in
   let instances = ref [] in
-  let float_wires = ref [] in
-  let bool_wires = ref [] in
-  (* wires not yet consumed: preferred as sources, so that (like real
-     control laws, where unused signals are modelling errors) almost
-     every computed signal is live — a compiler cannot win by deleting
-     dead subgraphs *)
-  let unused_float = ref [] in
-  let unused_bool = ref [] in
+  let float_wires = Pool.create () in
+  let bool_wires = Pool.create () in
+  let unused_float = Unused.create () in
+  let unused_bool = Unused.create () in
   let add (op : Symbol.op) : unit =
     match Symbol.result_typ op with
     | None -> instances := { Symbol.i_wire = None; i_op = op } :: !instances
@@ -66,39 +172,35 @@ let generate_node ?(profile = medium_node) ~(seed : int) (name : string) :
       instances := { Symbol.i_wire = Some w; i_op = op } :: !instances;
       (match t with
        | Symbol.Sfloat ->
-         float_wires := w :: !float_wires;
-         unused_float := w :: !unused_float
+         Pool.push float_wires w;
+         Unused.push unused_float w
        | Symbol.Sbool ->
-         bool_wires := w :: !bool_wires;
-         unused_bool := w :: !unused_bool
+         Pool.push bool_wires w;
+         Unused.push unused_bool w
        | Symbol.Sint -> ())
   in
   let fsrc () : Symbol.source =
-    match !unused_float with
-    | w :: rest when Random.State.int rng 100 < 70 ->
-      unused_float := rest;
+    if (not (Unused.is_empty unused_float))
+    && Random.State.int rng 100 < 70 then
+      Symbol.Swire (Unused.pop unused_float)
+    else if Random.State.int rng 20 = 0 || Pool.is_empty float_wires then
+      Symbol.Sconstf (pickf rng (-8.0) 8.0)
+    else begin
+      let w = Pool.pick rng float_wires in
+      Unused.remove unused_float w;
       Symbol.Swire w
-    | _ ->
-      if Random.State.int rng 20 = 0 || !float_wires = [] then
-        Symbol.Sconstf (pickf rng (-8.0) 8.0)
-      else begin
-        let w = pick_list rng !float_wires in
-        unused_float := List.filter (fun x -> x <> w) !unused_float;
-        Symbol.Swire w
-      end
+    end
   in
   let bsrc () : Symbol.source =
-    match !unused_bool with
-    | w :: rest when Random.State.int rng 100 < 70 ->
-      unused_bool := rest;
+    if (not (Unused.is_empty unused_bool))
+    && Random.State.int rng 100 < 70 then
+      Symbol.Swire (Unused.pop unused_bool)
+    else if Pool.is_empty bool_wires then Symbol.Sconstb (Random.State.bool rng)
+    else begin
+      let w = Pool.pick rng bool_wires in
+      Unused.remove unused_bool w;
       Symbol.Swire w
-    | _ ->
-      if !bool_wires = [] then Symbol.Sconstb (Random.State.bool rng)
-      else begin
-        let w = pick_list rng !bool_wires in
-        unused_bool := List.filter (fun x -> x <> w) !unused_bool;
-        Symbol.Swire w
-      end
+    end
   in
   (* acquisitions *)
   for i = 0 to profile.pf_acquisitions - 1 do
@@ -129,8 +231,11 @@ let generate_node ?(profile = medium_node) ~(seed : int) (name : string) :
       else if r < 79 then Symbol.Yratelimit (pickf rng 0.2 4.0, fsrc ())
       else if r < 84 then
         Symbol.Ycmp
-          ( pick_list rng
-              [ Symbol.CMPlt; Symbol.CMPle; Symbol.CMPgt; Symbol.CMPge ],
+          ( (let cmps =
+               [| Symbol.CMPlt; Symbol.CMPle; Symbol.CMPgt; Symbol.CMPge |]
+             in
+             (* same draw as the historical pick over the 4-element list *)
+             cmps.(Random.State.int rng 4)),
             fsrc (), fsrc () )
       else if r < 87 then Symbol.Yand (bsrc (), bsrc ())
       else if r < 89 then Symbol.Yor (bsrc (), bsrc ())
@@ -163,18 +268,18 @@ let generate_node ?(profile = medium_node) ~(seed : int) (name : string) :
   (* consolidation cone: sum together every wire still unconsumed, so
      no computed signal is dead *)
   let rec drain () =
-    match !unused_float with
-    | a :: b :: _ ->
-      unused_float := List.filteri (fun i _ -> i >= 2) !unused_float;
+    if unused_float.Unused.live >= 2 then begin
+      let a = Unused.pop unused_float in
+      let b = Unused.pop unused_float in
       add (Symbol.Ysum (Symbol.Swire a, Symbol.Swire b));
       drain ()
-    | [ _ ] | [] -> ()
+    end
   in
   drain ();
   List.iter
     (fun w -> add (Symbol.Youtb (Printf.sprintf "%s_outb%d" name w, Symbol.Swire w)))
-    !unused_bool;
-  unused_bool := [];
+    (Unused.to_list unused_bool);
+  List.iter (Unused.remove unused_bool) (Unused.to_list unused_bool);
   (* outputs: drive actuators from late float wires (the "result" of
      the control law) *)
   for i = 0 to profile.pf_outputs - 1 do
@@ -182,20 +287,66 @@ let generate_node ?(profile = medium_node) ~(seed : int) (name : string) :
   done;
   Schedule.sort { Symbol.n_name = name; n_instances = List.rev !instances }
 
+(* ---- sharded generation --------------------------------------------- *)
+
+(* Node [i] of the flight program: profile from the 3/2/4/1 size mix,
+   per-node seed [seed + 7919 * i]. The per-node seed depends only on
+   the *global* node index — never on any shard boundary — which is
+   what makes a shard's slice byte-identical to the monolithic
+   generator's at every shard size. *)
+let node_at ~(seed : int) (i : int) : Symbol.node =
+  let profile =
+    match i mod 10 with
+    | 0 | 1 | 2 -> io_node
+    | 3 | 4 -> small_node
+    | 5 | 6 | 7 | 8 -> medium_node
+    | _ -> large_node
+  in
+  generate_node ~profile ~seed:(seed + (7919 * i)) (Printf.sprintf "n%03d" i)
+
+type plan = {
+  sp_nodes : int;
+  sp_seed : int;
+  sp_shard_size : int;
+}
+
+let default_shard_size = 256
+
+let shard_plan ?(shard_size = default_shard_size) ~(nodes : int)
+    ~(seed : int) () : plan =
+  { sp_nodes = max 0 nodes;
+    sp_seed = seed;
+    sp_shard_size = max 1 shard_size }
+
+let shard_count (p : plan) : int =
+  (p.sp_nodes + p.sp_shard_size - 1) / p.sp_shard_size
+
+let shard_bounds (p : plan) (k : int) : int * int =
+  let lo = k * p.sp_shard_size in
+  (min lo p.sp_nodes, min ((k + 1) * p.sp_shard_size) p.sp_nodes)
+
+let shard_rng (p : plan) (k : int) : Random.State.t =
+  Random.State.make [| p.sp_seed; k; 0x5CADE |]
+
+let generate_shard (p : plan) (k : int) :
+  (Symbol.node * Minic.Ast.program) array =
+  (* the shard state is the anchored derivation point for shard-level
+     randomness (e.g. future profile jitter); node *content* draws only
+     from the per-node states of [node_at], so concatenated shards stay
+     byte-identical to the monolithic generator at every shard size *)
+  let _ = shard_rng p k in
+  let lo, hi = shard_bounds p k in
+  Array.init (hi - lo) (fun j ->
+      let node = node_at ~seed:p.sp_seed (lo + j) in
+      (node, Acg.generate node))
+
 (* A whole synthetic flight control program: [n] nodes of mixed sizes.
-   Returns (node, its generated mini-C program) pairs. *)
+   Returns (node, its generated mini-C program) pairs. Defined as the
+   concatenation of all shards of the default plan — the batch path
+   *is* the streaming producer run eagerly. *)
 let flight_program ~(nodes : int) ~(seed : int) :
   (Symbol.node * Minic.Ast.program) list =
-  List.init nodes (fun i ->
-      let profile =
-        match i mod 10 with
-        | 0 | 1 | 2 -> io_node
-        | 3 | 4 -> small_node
-        | 5 | 6 | 7 | 8 -> medium_node
-        | _ -> large_node
-      in
-      let node =
-        generate_node ~profile ~seed:(seed + (7919 * i))
-          (Printf.sprintf "n%03d" i)
-      in
-      (node, Acg.generate node))
+  let plan = shard_plan ~nodes ~seed () in
+  List.concat
+    (List.init (shard_count plan) (fun k ->
+         Array.to_list (generate_shard plan k)))

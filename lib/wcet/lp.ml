@@ -44,13 +44,30 @@ module Q = struct
       if r / b <> a then raise Overflow else check r
     end
 
+  (* The arithmetic fast paths below return the same normalized value
+     as the general [make] path (a zero operand or two unit
+     denominators need no gcd); IPET's flow matrices are near totally
+     unimodular, so tableau entries are almost always integers and the
+     fast paths carry nearly all of the simplex arithmetic. *)
+
   let add (a : t) (b : t) : t =
-    make (mul_safe a.num b.den + mul_safe b.num a.den) (mul_safe a.den b.den)
+    if b.num = 0 then a
+    else if a.num = 0 then b
+    else if a.den = 1 && b.den = 1 then { num = check (a.num + b.num); den = 1 }
+    else
+      make (mul_safe a.num b.den + mul_safe b.num a.den) (mul_safe a.den b.den)
 
   let sub (a : t) (b : t) : t =
-    make (mul_safe a.num b.den - mul_safe b.num a.den) (mul_safe a.den b.den)
+    if b.num = 0 then a
+    else if a.num = 0 then { b with num = -b.num }
+    else if a.den = 1 && b.den = 1 then { num = check (a.num - b.num); den = 1 }
+    else
+      make (mul_safe a.num b.den - mul_safe b.num a.den) (mul_safe a.den b.den)
 
-  let mul (a : t) (b : t) : t = make (mul_safe a.num b.num) (mul_safe a.den b.den)
+  let mul (a : t) (b : t) : t =
+    if a.num = 0 || b.num = 0 then zero
+    else if a.den = 1 && b.den = 1 then { num = mul_safe a.num b.num; den = 1 }
+    else make (mul_safe a.num b.num) (mul_safe a.den b.den)
 
   let div (a : t) (b : t) : t =
     if b.num = 0 then invalid_arg "Q.div: by zero";
@@ -58,7 +75,8 @@ module Q = struct
 
   let neg (a : t) : t = { a with num = -a.num }
   let compare (a : t) (b : t) : int =
-    compare (mul_safe a.num b.den) (mul_safe b.num a.den)
+    if a.den = 1 && b.den = 1 then compare a.num b.num
+    else compare (mul_safe a.num b.den) (mul_safe b.num a.den)
 
   let equal (a : t) (b : t) : bool = compare a b = 0
   let sign (a : t) : int = compare a zero
@@ -159,23 +177,49 @@ let solve ?(fuel = Fuel.default.Fuel.fl_simplex) (pb : problem) : solution =
   let is_art = Array.make total false in
   List.iter (fun j -> is_art.(j) <- true) !art_cols;
   (* objective row: maximize -> store c, we work with reduced costs *)
+  (* Zero entries are skipped on both sides of the elimination: the
+     flow tableaus are sparse and 0/p and x - f*0 are the stored values
+     unchanged, so the dense result is bit-for-bit the same. *)
   let pivot (row : int) (col : int) : unit =
     let p = tab.(row).(col) in
+    let prow = tab.(row) in
     for j = 0 to total do
-      tab.(row).(j) <- Q.div tab.(row).(j) p
+      if not (Q.is_zero prow.(j)) then prow.(j) <- Q.div prow.(j) p
     done;
     for i = 0 to m - 1 do
       if i <> row && not (Q.is_zero tab.(i).(col)) then begin
         let f = tab.(i).(col) in
+        let ri = tab.(i) in
         for j = 0 to total do
-          tab.(i).(j) <- Q.sub tab.(i).(j) (Q.mul f tab.(row).(j))
+          let pj = prow.(j) in
+          if not (Q.is_zero pj) then ri.(j) <- Q.sub ri.(j) (Q.mul f pj)
         done
       end
     done;
     basis.(row) <- col
   in
-  (* generic simplex loop on objective coefficients [obj] (maximize) *)
+  (* generic simplex loop on objective coefficients [obj] (maximize).
+
+     Reduced costs rc_j = c_j - z_j = c_j - sum_i c_B(i) tab(i)(j) are
+     computed once at phase start and then maintained across pivots by
+     the same elimination as the tableau rows (rc_j -= rc_col * a'_rj):
+     every rational is stored normalized, so the maintained entries are
+     the very values a from-scratch recomputation would produce and the
+     entering-column choice — Dantzig's best positive rc, or Bland's
+     first improving one past the anti-cycling threshold — is
+     unchanged. This turns the per-iteration column scan from
+     O(columns * rows) into O(columns). *)
   let run_phase (obj : Q.t array) ~(allow : int -> bool) : unit =
+    let rc = Array.make total Q.zero in
+    let cb = Array.map (fun b -> obj.(b)) basis in
+    for j = 0 to total - 1 do
+      let zj = ref Q.zero in
+      for i = 0 to m - 1 do
+        if not (Q.is_zero tab.(i).(j)) then
+          zj := Q.add !zj (Q.mul cb.(i) tab.(i).(j))
+      done;
+      rc.(j) <- Q.sub obj.(j) !zj
+    done;
     let iterations = ref 0 in
     let continue_ = ref true in
     while !continue_ do
@@ -184,23 +228,15 @@ let solve ?(fuel = Fuel.default.Fuel.fl_simplex) (pb : problem) : solution =
       (* Dantzig rule normally; Bland's anti-cycling rule after many
          iterations (guarantees termination on degenerate problems). *)
       let bland = !iterations > 500 in
-      (* reduced costs: z_j - c_j = sum_i c_B(i) tab(i)(j) - c_j *)
-      let cb = Array.map (fun b -> obj.(b)) basis in
       let best_col = ref (-1) in
       let best_val = ref Q.zero in
       (try
          for j = 0 to total - 1 do
            if allow j then begin
-             let zj = ref Q.zero in
-             for i = 0 to m - 1 do
-               if not (Q.is_zero tab.(i).(j)) then
-                 zj := Q.add !zj (Q.mul cb.(i) tab.(i).(j))
-             done;
-             let rc = Q.sub obj.(j) !zj in
              (* entering column: positive reduced cost (maximization) *)
-             if Q.compare rc !best_val > 0 then begin
+             if Q.compare rc.(j) !best_val > 0 then begin
                best_col := j;
-               best_val := rc;
+               best_val := rc.(j);
                if bland then raise Exit (* first improving column *)
              end
            end
@@ -224,7 +260,13 @@ let solve ?(fuel = Fuel.default.Fuel.fl_simplex) (pb : problem) : solution =
           end
         done;
         if !best_row = -1 then raise Unbounded;
-        pivot !best_row col
+        pivot !best_row col;
+        let f = !best_val in
+        let prow = tab.(!best_row) in
+        for j = 0 to total - 1 do
+          let pj = prow.(j) in
+          if not (Q.is_zero pj) then rc.(j) <- Q.sub rc.(j) (Q.mul f pj)
+        done
       end
     done
   in

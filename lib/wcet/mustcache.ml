@@ -27,24 +27,50 @@ let line_size = Target.Cache.mpc755_l1.Target.Cache.cfg_line
 let nsets = Target.Cache.mpc755_l1.Target.Cache.cfg_sets
 let assoc = Target.Cache.mpc755_l1.Target.Cache.cfg_assoc
 
-let set_of (line : int) : int = line mod nsets
+let set_of (line : int) : int =
+  let s = line mod nsets in
+  if s < 0 then s + nsets else s
 
-(* Abstract must-cache: line -> age upper bound in [0, assoc). Absent
-   lines are possibly evicted (age >= assoc). *)
-type acache = int LMap.t
+(* Abstract must-cache: line -> age upper bound in [0, assoc), stored
+   per cache set so an access only touches its own set's (at most
+   assoc-sized) map instead of filtering every tracked line. Absent
+   lines are possibly evicted (age >= assoc). The arrays are never
+   mutated in place: every update copies, so states share set maps
+   freely (which also lets [equal] short-circuit on physical
+   equality — after a copy most sets are the same map). *)
+type acache = int LMap.t array
 
-let empty : acache = LMap.empty
+let empty : acache = Array.make nsets LMap.empty
 
-let equal (a : acache) (b : acache) : bool = LMap.equal Int.equal a b
+let equal (a : acache) (b : acache) : bool =
+  a == b
+  || (let ok = ref true in
+      for s = 0 to nsets - 1 do
+        if !ok && not (a.(s) == b.(s) || LMap.equal Int.equal a.(s) b.(s))
+        then ok := false
+      done;
+      !ok)
 
 (* must-join: keep lines present in both, with the larger age bound *)
 let join (a : acache) (b : acache) : acache =
-  LMap.merge
-    (fun _ x y ->
-       match x, y with
-       | Some x, Some y -> Some (max x y)
-       | Some _, None | None, Some _ | None, None -> None)
-    a b
+  Array.init nsets (fun s ->
+      if a.(s) == b.(s) then a.(s)
+      else
+        LMap.merge
+          (fun _ x y ->
+             match x, y with
+             | Some x, Some y -> Some (max x y)
+             | Some _, None | None, Some _ | None, None -> None)
+          a.(s) b.(s))
+
+(* age every line of one set by one, dropping lines reaching assoc *)
+let age_set (m : int LMap.t) ~(except : int) ~(limit : int) : int LMap.t =
+  LMap.filter_map
+    (fun l age ->
+       if l <> except && age < limit then
+         if age + 1 >= assoc then None else Some (age + 1)
+       else Some age)
+    m
 
 (* Precise access to one line: the line becomes most-recently-used;
    other lines of the set younger than its (worst-case) previous age
@@ -52,31 +78,24 @@ let join (a : acache) (b : acache) : acache =
    the set ages. *)
 let access_line (c : acache) (line : int) : acache =
   let s = set_of line in
-  let old_age = LMap.find_opt line c in
-  let limit = Option.value ~default:assoc old_age in
-  let c =
-    LMap.filter_map
-      (fun l age ->
-         if l <> line && set_of l = s && age < limit then
-           if age + 1 >= assoc then None else Some (age + 1)
-         else Some age)
-      c
-  in
-  LMap.add line 0 c
+  let m = c.(s) in
+  let limit = Option.value ~default:assoc (LMap.find_opt line m) in
+  let c' = Array.copy c in
+  c'.(s) <- LMap.add line 0 (age_set m ~except:line ~limit);
+  c'
 
 (* Imprecise access possibly touching any line of [sets]: no line
    becomes young, every line of those sets may age. *)
 let blur_sets (c : acache) (sets : int list) : acache =
-  LMap.filter_map
-    (fun l age ->
-       if List.mem (set_of l) sets then
-         if age + 1 >= assoc then None else Some (age + 1)
-       else Some age)
-    c
+  let c' = Array.copy c in
+  List.iter
+    (fun s -> c'.(s) <- age_set c.(s) ~except:min_int ~limit:assoc)
+    sets;
+  c'
 
 (* Is an access to [line] guaranteed to hit in state [c]? *)
 let must_hit (c : acache) (line : int) : bool =
-  match LMap.find_opt line c with
+  match LMap.find_opt line c.(set_of line) with
   | Some age -> age < assoc
   | None -> false
 
@@ -106,30 +125,42 @@ let access_of_instr (lay : Target.Layout.t) (st : Valueanalysis.state)
       Ablur (List.sort_uniq compare (List.init (l2 - l1 + 1) (fun k -> set_of (l1 + k))))
     else Ablur (List.init nsets (fun s -> s))
 
-let transfer_instr (lay : Target.Layout.t) (st : Valueanalysis.state)
-    (c : acache) (i : Asm.instr) : acache =
-  match access_of_instr lay st i with
+(* The access sequence of a block is fully determined by the value
+   analysis, not by the cache state, so it is classified once up front
+   (one incremental walk per block — [Valueanalysis.state_at] would
+   replay the block prefix per instruction) and the fixpoint below
+   iterates transfer over the precomputed sequence. [Anone] accesses
+   are dropped: they neither age lines nor classify. *)
+let block_accesses (lay : Target.Layout.t) (va : Valueanalysis.result)
+    (b : int) : access array =
+  match va.Valueanalysis.r_entry_states.(b) with
+  | None -> [||]
+  | Some st0 ->
+    let blk = Cfg.block va.Valueanalysis.r_cfg b in
+    let accs = ref [] in
+    let st = ref st0 in
+    Array.iter
+      (fun i ->
+         (match access_of_instr lay !st i with
+          | Anone -> ()
+          | a -> accs := a :: !accs);
+         st := Valueanalysis.transfer !st i)
+      blk.Cfg.b_instrs;
+    Array.of_list (List.rev !accs)
+
+let transfer_access (c : acache) (a : access) : acache =
+  match a with
   | Anone -> c
   | Aline l -> access_line c l
   | Ablur sets -> blur_sets c sets
 
-(* Transfer over one block, using the value analysis for addresses. *)
-let transfer_block (lay : Target.Layout.t) (va : Valueanalysis.result)
-    (b : int) (c : acache) : acache =
-  let blk = Cfg.block va.Valueanalysis.r_cfg b in
-  let state = ref c in
-  Array.iteri
-    (fun idx i ->
-       match Valueanalysis.state_at va b idx with
-       | Some st -> state := transfer_instr lay st !state i
-       | None -> ())
-    blk.Cfg.b_instrs;
-  !state
+let transfer_block (accs : access array array) (b : int) (c : acache) : acache
+  =
+  Array.fold_left transfer_access c accs.(b)
 
 type result = {
   mc_entry : acache option array; (* per block; None = unreachable *)
-  mc_lay : Target.Layout.t;
-  mc_va : Valueanalysis.result;
+  mc_accs : access array array;   (* per block, in instruction order *)
 }
 
 (* Fixpoint: entry states per block. The domain has finite height
@@ -139,6 +170,7 @@ type result = {
 let analyze ?(fuel = Fuel.default.Fuel.fl_widen) (cfg : Cfg.t)
     (va : Valueanalysis.result) (lay : Target.Layout.t) : result =
   let n = Cfg.num_blocks cfg in
+  let accs = Array.init n (block_accesses lay va) in
   let entry : acache option array = Array.make n None in
   entry.(cfg.Cfg.c_entry) <- Some empty;
   let worklist = Queue.create () in
@@ -159,7 +191,7 @@ let analyze ?(fuel = Fuel.default.Fuel.fl_widen) (cfg : Cfg.t)
     match entry.(b) with
     | None -> ()
     | Some c ->
-      let out = transfer_block lay va b c in
+      let out = transfer_block accs b c in
       List.iter
         (fun (s, _) ->
            let updated =
@@ -176,7 +208,7 @@ let analyze ?(fuel = Fuel.default.Fuel.fl_widen) (cfg : Cfg.t)
            | None -> ())
         (Cfg.block cfg b).Cfg.b_succs
   done;
-  { mc_entry = entry; mc_lay = lay; mc_va = va }
+  { mc_entry = entry; mc_accs = accs }
 
 (* Classification of every data access of block [b]: for each
    memory-accessing instruction (in order), true when the access is an
@@ -185,21 +217,17 @@ let block_hits (res : result) (b : int) : bool list =
   match res.mc_entry.(b) with
   | None -> []
   | Some c0 ->
-    let blk = Cfg.block res.mc_va.Valueanalysis.r_cfg b in
     let hits = ref [] in
     let c = ref c0 in
-    Array.iteri
-      (fun idx i ->
-         match Valueanalysis.state_at res.mc_va b idx with
-         | None -> ()
-         | Some st ->
-           (match access_of_instr res.mc_lay st i with
-            | Anone -> ()
-            | Aline l ->
-              hits := must_hit !c l :: !hits;
-              c := access_line !c l
-            | Ablur sets ->
-              hits := false :: !hits;
-              c := blur_sets !c sets))
-      blk.Cfg.b_instrs;
+    Array.iter
+      (fun a ->
+         match a with
+         | Anone -> ()
+         | Aline l ->
+           hits := must_hit !c l :: !hits;
+           c := access_line !c l
+         | Ablur sets ->
+           hits := false :: !hits;
+           c := blur_sets !c sets)
+      res.mc_accs.(b);
     List.rev !hits

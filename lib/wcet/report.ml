@@ -125,3 +125,14 @@ let pp_stats (ppf : Format.formatter) (st : analysis_stats) : unit =
 
 let stats_to_string (st : analysis_stats) : string =
   Format.asprintf "%a" pp_stats st
+
+(* Machine-readable cache accounting for the scaling study: one flat
+   JSON object (no trailing newline) a bench leg can embed. Phase
+   counters stay out — the study tracks cache effectiveness, and the
+   phase counts are recoverable from the stderr stats line. *)
+let stats_json (st : analysis_stats) : string =
+  Printf.sprintf
+    "{ \"memory_hits\": %d, \"disk_hits\": %d, \"misses\": %d, \
+     \"hit_rate_pct\": %.2f, \"entries\": %d, \"disk_writes\": %d }"
+    st.st_hits st.st_disk_hits st.st_misses (hit_rate st) st.st_entries
+    st.st_writes

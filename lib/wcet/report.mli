@@ -67,3 +67,8 @@ val hit_rate : analysis_stats -> float
 
 val pp_stats : Format.formatter -> analysis_stats -> unit
 val stats_to_string : analysis_stats -> string
+
+val stats_json : analysis_stats -> string
+(** Hit/miss/entry accounting as one flat JSON object (no trailing
+    newline) — embedded per leg in the scaling study
+    ([BENCH_scale.json]). *)

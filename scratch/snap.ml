@@ -1,0 +1,22 @@
+let () =
+  match Sys.argv with
+  | [| _; "gen"; n |] ->
+    let t0 = Unix.gettimeofday () in
+    let w = Scade.Workload.flight_program ~nodes:(int_of_string n) ~seed:2026 in
+    Printf.printf "gen %s nodes: %.2fs (%d instances total)\n" n
+      (Unix.gettimeofday () -. t0)
+      (List.fold_left (fun a ((nd : Scade.Symbol.node), _) ->
+           a + List.length nd.Scade.Symbol.n_instances) 0 w)
+  | _ ->
+    List.iter
+      (fun (nodes, seed) ->
+         let w = Scade.Workload.flight_program ~nodes ~seed in
+         let buf = Buffer.create (1 lsl 16) in
+         List.iter
+           (fun ((n : Scade.Symbol.node), src) ->
+              Buffer.add_string buf n.Scade.Symbol.n_name;
+              Buffer.add_string buf (Minic.Pp.program_to_string src))
+           w;
+         Printf.printf "%d/%d %s\n" nodes seed
+           (Digest.to_hex (Digest.string (Buffer.contents buf))))
+      [ (60, 2026); (30, 2026); (14, 2026); (8, 7); (25, 123); (100, 2026) ]

@@ -1,0 +1,18 @@
+let () =
+  let ok = ref true in
+  List.iter
+    (fun (nodes, seed, size) ->
+       let mono = Scade.Workload.flight_program ~nodes ~seed in
+       let plan = Scade.Workload.shard_plan ~shard_size:size ~nodes ~seed () in
+       let cat =
+         List.concat
+           (List.init (Scade.Workload.shard_count plan) (fun k ->
+                Array.to_list (Scade.Workload.generate_shard plan k)))
+       in
+       if cat <> mono then begin
+         ok := false;
+         Printf.printf "MISMATCH nodes=%d seed=%d size=%d\n" nodes seed size
+       end)
+    [ (25, 2026, 7); (25, 2026, 1); (25, 2026, 25); (25, 2026, 300);
+      (0, 5, 4); (10, 123, 3); (64, 9, 16) ];
+  print_endline (if !ok then "shards OK" else "shards BAD")

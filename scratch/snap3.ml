@@ -1,0 +1,101 @@
+(* throwaway: run_stream sanity *)
+
+let mk_producer shards =
+  let arr = Array.of_list shards in
+  fun k -> if k < Array.length arr then Some arr.(k) else None
+
+let seq_expect shards =
+  List.concat_map Array.to_list shards |> List.map (fun t -> t ())
+
+let check name shards jobs lookahead =
+  let tasks_of l = List.map (Array.map (fun v () -> v * v + 1)) l in
+  let shards_t = tasks_of shards in
+  let expect = seq_expect shards_t in
+  let got =
+    Fcstack.Par.run_stream ~jobs ~lookahead
+      ~producer:(mk_producer shards_t)
+      ~consumer:(fun acc i v -> (i, v) :: acc) ~init:[] ()
+    |> List.rev |> List.map snd
+  in
+  let idx_ok =
+    Fcstack.Par.run_stream ~jobs ~lookahead
+      ~producer:(mk_producer shards_t)
+      ~consumer:(fun acc i _ -> (match acc with
+          | last :: _ -> assert (i = last + 1)
+          | [] -> assert (i = 0)); i :: acc)
+      ~init:[] ()
+  in
+  ignore idx_ok;
+  if got = expect then Printf.printf "OK  %s\n" name
+  else (Printf.printf "FAIL %s: got %d results, want %d\n" name
+          (List.length got) (List.length expect); exit 1)
+
+let () =
+  let s sz lo = Array.init sz (fun i -> lo + i) in
+  check "basic j4" [ s 5 0; s 3 5; s 7 8; s 1 15 ] 4 1;
+  check "empty shards j4" [ s 0 0; s 3 0; s 0 0; s 0 0; s 2 3; s 0 0 ] 4 1;
+  check "all empty j4" [ s 0 0; s 0 0 ] 4 1;
+  check "no shards j4" [] 4 1;
+  check "seq" [ s 5 0; s 3 5 ] 1 1;
+  check "lookahead0" [ s 4 0; s 4 4; s 4 8; s 4 12 ] 2 0;
+  check "many small shards j4" (List.init 50 (fun k -> s 3 (3 * k))) 4 2;
+  (* exception: smallest global index wins, prefix < index consumed *)
+  let boom = Failure "boom7" in
+  let tasks =
+    List.init 4 (fun k ->
+        Array.init 5 (fun i ->
+            let g = (5 * k) + i in
+            if g = 7 then (fun () -> raise boom) else (fun () -> g)))
+  in
+  let seen = ref [] in
+  (try
+     ignore
+       (Fcstack.Par.run_stream ~jobs:4 ~lookahead:1
+          ~producer:(mk_producer tasks)
+          ~consumer:(fun () i _ -> seen := i :: !seen) ~init:() ());
+     Printf.printf "FAIL exn: no exception\n"; exit 1
+   with Failure m ->
+     assert (m = "boom7");
+     let seen = List.rev !seen in
+     assert (List.for_all (fun i -> i < 7) seen);
+     (* full prefix 0..6 must be consumed *)
+     assert (seen = [0;1;2;3;4;5;6]);
+     Printf.printf "OK  exn smallest-index, prefix consumed\n");
+  (* producer exception *)
+  let prod k =
+    if k < 2 then Some (Array.init 3 (fun i -> (fun () -> (3*k)+i)))
+    else raise (Failure "prodboom")
+  in
+  (try
+     ignore
+       (Fcstack.Par.run_stream ~jobs:4 ~lookahead:1 ~producer:prod
+          ~consumer:(fun acc _ v -> v :: acc) ~init:[] ());
+     Printf.printf "FAIL prod exn: no exception\n"; exit 1
+   with Failure m -> assert (m = "prodboom");
+     Printf.printf "OK  producer exn\n");
+  (* window bound: max resident shards <= jobs + lookahead *)
+  let resident = Atomic.make 0 and maxres = Atomic.make 0 in
+  let jobs = 3 and lookahead = 1 in
+  let prod k =
+    if k >= 40 then None
+    else begin
+      let r = Atomic.fetch_and_add resident 1 + 1 in
+      let rec bump () =
+        let m = Atomic.get maxres in
+        if r > m && not (Atomic.compare_and_set maxres m r) then bump ()
+      in
+      bump ();
+      Some (Array.init 4 (fun i -> (fun () -> Unix.sleepf 0.0005; (4*k)+i)))
+    end
+  in
+  let n =
+    Fcstack.Par.run_stream ~jobs ~lookahead ~producer:prod
+      ~consumer:(fun acc i v ->
+          assert (i = v); if (i+1) mod 4 = 0 then Atomic.decr resident;
+          acc + 1)
+      ~init:0 ()
+  in
+  assert (n = 160);
+  Printf.printf "OK  window bound: max resident %d <= %d\n"
+    (Atomic.get maxres) (jobs + lookahead);
+  assert (Atomic.get maxres <= jobs + lookahead)

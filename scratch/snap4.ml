@@ -1,0 +1,22 @@
+(* throwaway: where does per-node time go? *)
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let () =
+  let profiles =
+    [ ("io", Scade.Workload.io_node); ("small", Scade.Workload.small_node);
+      ("medium", Scade.Workload.medium_node);
+      ("large", Scade.Workload.large_node) ]
+  in
+  List.iter
+    (fun (name, p) ->
+       let node = Scade.Workload.generate_node ~profile:p ~seed:2026 "t" in
+       let src = Scade.Acg.generate node in
+       let b, t_build = time (fun () -> Fcstack.Chain.build Fcstack.Chain.Cdefault_o0 src) in
+       let _, t_wcet = time (fun () -> Fcstack.Chain.wcet b) in
+       let instrs = Target.Asm.program_size b.Fcstack.Chain.b_asm in
+       Printf.printf "%-8s instrs %6d  build %7.1fms  wcet %7.1fms\n%!"
+         name instrs (t_build *. 1000.) (t_wcet *. 1000.))
+    profiles

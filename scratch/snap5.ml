@@ -1,0 +1,77 @@
+(* throwaway: per-phase timing of the analyzer on one function *)
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let () =
+  let profile =
+    match Sys.argv.(1) with
+    | "medium" -> Scade.Workload.medium_node
+    | "small" -> Scade.Workload.small_node
+    | _ -> Scade.Workload.large_node
+  in
+  let node = Scade.Workload.generate_node ~profile ~seed:2026 "t" in
+  let src = Scade.Acg.generate node in
+  let b = Fcstack.Chain.build Fcstack.Chain.Cdefault_o0 src in
+  let asm = b.Fcstack.Chain.b_asm in
+  let lay = b.Fcstack.Chain.b_layout in
+  let fname = asm.Target.Asm.pr_main in
+  let f = Option.get (Target.Asm.find_func asm fname) in
+  let base = Hashtbl.find lay.Target.Layout.lay_code fname in
+  Printf.printf "main %s: %d instrs\n%!" fname (List.length f.Target.Asm.fn_code);
+  let fuel = Wcet.Fuel.default in
+  let cfg, t = time (fun () -> Wcet.Cfg.build fname base f.Target.Asm.fn_code) in
+  Printf.printf "  decode    %8.1fms  (%d blocks)\n%!" (t *. 1000.) (Wcet.Cfg.num_blocks cfg);
+  let dom, t = time (fun () -> Wcet.Dom.compute cfg) in
+  Printf.printf "  dom       %8.1fms\n%!" (t *. 1000.);
+  let loops, t = time (fun () -> Wcet.Loops.compute cfg dom) in
+  Printf.printf "  loops     %8.1fms\n%!" (t *. 1000.);
+  let va, t = time (fun () -> Wcet.Valueanalysis.analyze ~fuel:fuel.Wcet.Fuel.fl_widen cfg) in
+  Printf.printf "  value     %8.1fms\n%!" (t *. 1000.);
+  let bounds, t = time (fun () ->
+      match Wcet.Boundanalysis.analyze cfg dom loops va with
+      | Ok b -> b | Error _ -> failwith "bounds") in
+  Printf.printf "  bounds    %8.1fms\n%!" (t *. 1000.);
+  let cls, t = time (fun () -> Wcet.Cacheanalysis.analyze cfg va lay) in
+  Printf.printf "  cache     %8.1fms\n%!" (t *. 1000.);
+  let must, t = time (fun () -> Wcet.Mustcache.analyze ~fuel:fuel.Wcet.Fuel.fl_widen cfg va lay) in
+  Printf.printf "  mustcache %8.1fms\n%!" (t *. 1000.);
+  let cls, t = time (fun () -> Wcet.Cacheanalysis.refine cls (Wcet.Mustcache.block_hits must)) in
+  Printf.printf "  refine    %8.1fms\n%!" (t *. 1000.);
+  let pl, t = time (fun () -> Wcet.Pipeline.analyze cfg cls) in
+  Printf.printf "  pipeline  %8.1fms\n%!" (t *. 1000.);
+  let res, t = time (fun () -> Wcet.Ipet.compute ~fuel cfg pl cls loops bounds) in
+  Printf.printf "  ipet      %8.1fms  (wcet %d)\n%!" (t *. 1000.) res.Wcet.Ipet.ipet_wcet
+
+(* where does mustcache time go? *)
+let () =
+  if Array.length Sys.argv > 2 then begin
+    let profile = Scade.Workload.large_node in
+    let node = Scade.Workload.generate_node ~profile ~seed:2026 "t" in
+    let src = Scade.Acg.generate node in
+    let b = Fcstack.Chain.build Fcstack.Chain.Cdefault_o0 src in
+    let asm = b.Fcstack.Chain.b_asm in
+    let lay = b.Fcstack.Chain.b_layout in
+    let fname = asm.Target.Asm.pr_main in
+    let f = Option.get (Target.Asm.find_func asm fname) in
+    let base = Hashtbl.find lay.Target.Layout.lay_code fname in
+    let cfg = Wcet.Cfg.build fname base f.Target.Asm.fn_code in
+    let va = Wcet.Valueanalysis.analyze ~fuel:Wcet.Fuel.default.Wcet.Fuel.fl_widen cfg in
+    let n = Wcet.Cfg.num_blocks cfg in
+    let _, t = time (fun () ->
+        Array.init n (fun bi ->
+            let blk = Wcet.Cfg.block cfg bi in
+            match va.Wcet.Valueanalysis.r_entry_states.(bi) with
+            | None -> 0
+            | Some st0 ->
+              let st = ref st0 and k = ref 0 in
+              Array.iter (fun i ->
+                  (try (match Wcet.Cacheanalysis.data_access lay !st i with
+                     | Some _ -> incr k | None -> ())
+                   with Wcet.Cacheanalysis.Not_resolved -> incr k);
+                  st := Wcet.Valueanalysis.transfer !st i)
+                blk.Wcet.Cfg.b_instrs;
+              !k)) in
+    Printf.printf "  accs-precompute %8.1fms\n%!" (t *. 1000.)
+  end

@@ -276,3 +276,41 @@ omt/ipet ratio column and the engines aggregate:
   $ ../bench/main.exe -e overestimation -n 4 2>/dev/null | grep -c "omt/ipet"
   0
   [1]
+
+Streaming mode (--stream, --shard-size implies it) pulls the workload
+shard by shard with bounded resident memory; stdout stays
+byte-identical to the batch run on every tool, jobs count and shard
+size:
+
+  $ ../bench/main.exe -e table1 -n 8 --stream --shard-size 3 -j 2 2>/dev/null > stream_table.out
+  $ cmp seq_table.out stream_table.out && echo tables-identical
+  tables-identical
+  $ ../bin/fcc.exe -c vcomp --stream --shard-size 1 -j 2 gen/n000.mc gen/n001.mc 2>/dev/null > stream_multi.s
+  $ cmp seq_multi.s stream_multi.s && echo asm-identical
+  asm-identical
+
+Failure containment and --fail-fast hold in streaming shape, survivors
+and emission prefix byte-identical to batch:
+
+  $ ../bin/fcc.exe -c vcomp --stream --shard-size 2 -j 2 gen/n000.mc bad.mc gen/n001.mc > stream_partial.s 2> stream_partial_diag.txt
+  [1]
+  $ cmp seq_multi.s stream_partial.s && echo survivors-identical
+  survivors-identical
+  $ grep -c "1/3 nodes failed (2 ok)" stream_partial_diag.txt
+  1
+  $ ../bin/fcc.exe -c vcomp --fail-fast --stream --shard-size 1 gen/n000.mc bad.mc gen/n001.mc > stream_ff.s 2>/dev/null
+  [2]
+  $ cmp n000.s stream_ff.s && echo only-first-file-emitted
+  only-first-file-emitted
+
+One leg of the scaling study (-e scale-leg) emits a single JSON object
+with the leg's wall clock, peak RSS and throughput; its WCET total is
+the cross-leg determinism witness:
+
+  $ ../bench/main.exe -e scale-leg -n 4 --stream --shard-size 2 2>/dev/null > scale_leg.json
+  $ grep -c '"peak_rss_kb"' scale_leg.json
+  1
+  $ ../bench/main.exe -e scale-leg -n 4 -j 2 2>/dev/null | grep -o '"wcet_total_cycles": [0-9]*' > batch_wcet.txt
+  $ grep -o '"wcet_total_cycles": [0-9]*' scale_leg.json > stream_wcet.txt
+  $ cmp batch_wcet.txt stream_wcet.txt && echo wcet-totals-identical
+  wcet-totals-identical

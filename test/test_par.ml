@@ -51,6 +51,102 @@ let test_map_list_empty_and_single () =
   Alcotest.check (Alcotest.list Alcotest.int) "single" [ 7 ]
     (Fcstack.Par.map_list ~jobs:4 (fun x -> x + 1) [ 6 ])
 
+(* ---- bounded-buffer streaming ---- *)
+
+(* shard shapes with empty shards mixed in, derived from [seed] *)
+let stream_shards ~(seed : int) : int array array =
+  let nshards = 1 + (seed land 7) in
+  let next = ref 0 in
+  Array.init nshards (fun k ->
+      let len = (seed + (3 * k)) mod 5 in (* 0..4 tasks, some empty *)
+      Array.init len (fun _ -> let v = !next in incr next; v))
+
+let stream_equals_seq_prop =
+  QCheck.Test.make ~count:40
+    ~name:"par: run_stream jobs:4 lookahead:1 = sequential"
+    QCheck.small_int
+    (fun seed ->
+       let shards = stream_shards ~seed in
+       let producer k =
+         if k < Array.length shards then
+           Some (Array.map (fun v () -> v * v) shards.(k))
+         else None
+       in
+       let consumer acc i v = (i, v) :: acc in
+       let run jobs =
+         List.rev
+           (Fcstack.Par.run_stream ~jobs ~lookahead:1 ~producer ~consumer
+              ~init:[] ())
+       in
+       let expected =
+         Array.to_list (Array.concat (Array.to_list shards))
+         |> List.mapi (fun i v -> (i, v * v))
+       in
+       run 1 = expected && run 4 = expected)
+
+let test_stream_empty_and_exception () =
+  (* empty stream folds to init *)
+  Alcotest.check (Alcotest.list Alcotest.int) "empty stream" []
+    (Fcstack.Par.run_stream ~jobs:4 ~producer:(fun _ -> None)
+       ~consumer:(fun acc _ v -> v :: acc) ~init:[] ());
+  (* a raising task: smallest global index wins, the prefix before it
+     is consumed, nothing at or after it reaches the consumer *)
+  let producer k =
+    if k < 4 then
+      Some (Array.init 3 (fun j ->
+          let g = (3 * k) + j in
+          fun () -> if g >= 5 then raise (Boom g) else g))
+    else None
+  in
+  List.iter
+    (fun jobs ->
+       let seen = ref [] in
+       match
+         Fcstack.Par.run_stream ~jobs ~producer
+           ~consumer:(fun () g v -> seen := (g, v) :: !seen) ~init:() ()
+       with
+       | () -> Alcotest.fail "expected Boom"
+       | exception Boom g ->
+         Alcotest.check Alcotest.int
+           (Printf.sprintf "smallest raising index (jobs=%d)" jobs) 5 g;
+         Alcotest.check
+           (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+           (Printf.sprintf "prefix before failure (jobs=%d)" jobs)
+           [ (0, 0); (1, 1); (2, 2); (3, 3); (4, 4) ]
+           (List.rev !seen))
+    [ 1; 4 ]
+
+let test_stream_bounded_window () =
+  (* the producer observes how many shards are alive (produced minus
+     fully consumed): it must never exceed jobs + lookahead + 1 (the
+     +1 being the shard under production) even for a long stream *)
+  let jobs = 2 and lookahead = 1 in
+  let nshards = 40 and shard_len = 3 in
+  let consumed = Atomic.make 0 in
+  let produced = Atomic.make 0 in
+  let max_alive = ref 0 in
+  let producer k =
+    if k >= nshards then None
+    else begin
+      let alive = Atomic.fetch_and_add produced 1 - Atomic.get consumed in
+      if alive > !max_alive then max_alive := alive;
+      Some (Array.init shard_len (fun j () -> (shard_len * k) + j))
+    end
+  in
+  let consumer acc g v =
+    Alcotest.check Alcotest.int "stream order" g v;
+    if (g + 1) mod shard_len = 0 then Atomic.incr consumed;
+    acc + 1
+  in
+  let n =
+    Fcstack.Par.run_stream ~jobs ~lookahead ~producer ~consumer ~init:0 ()
+  in
+  Alcotest.check Alcotest.int "all tasks consumed" (nshards * shard_len) n;
+  checkb
+    (Printf.sprintf "resident shards bounded (max %d)" !max_alive)
+    true
+    (!max_alive <= jobs + lookahead + 1)
+
 (* ---- determinism of the parallel per-node chain ---- *)
 
 let named_workload ~(nodes : int) ~(seed : int) :
@@ -81,6 +177,35 @@ let par_equals_seq_prop =
             in
             seq = par)
          [ Fcstack.Chain.Cvcomp; Fcstack.Chain.Cdefault_o0 ])
+
+(* the streaming chain is the batch chain, shard by shard *)
+let chain_stream_equals_batch_prop =
+  QCheck.Test.make ~count:4
+    ~name:"par: run_chain_stream jobs:4 = run_chain"
+    QCheck.small_int
+    (fun seed ->
+       let nodes = 4 + (seed land 3) in
+       let workload = named_workload ~nodes ~seed:(4000 + seed) in
+       let arr = Array.of_list workload in
+       let shard_size = 1 + (seed mod 3) in
+       let producer k =
+         let lo = k * shard_size in
+         if lo >= Array.length arr then None
+         else
+           Some (Array.sub arr lo (min shard_size (Array.length arr - lo)))
+       in
+       let config jobs = Fcstack.Toolchain.config ~jobs ~worlds:2 () in
+       let batch =
+         Fcstack.Par.run_chain ~config:(config 1) ~exact:true ~cycles:2
+           workload
+       in
+       let stream =
+         List.rev
+           (Fcstack.Par.run_chain_stream ~config:(config 4) ~exact:true
+              ~cycles:2 ~producer
+              ~consumer:(fun acc _ r -> r :: acc) ~init:[] ())
+       in
+       stream = batch)
 
 (* workload measurement (the bench path) is deterministic under -j *)
 let workload_par_equals_seq_prop =
@@ -215,7 +340,13 @@ let suite =
     ("par: deterministic exception choice", `Quick,
      test_run_exception_deterministic);
     ("par: map_list edge cases", `Quick, test_map_list_empty_and_single);
+    QCheck_alcotest.to_alcotest stream_equals_seq_prop;
+    ("par: run_stream empty stream and mid-shard failure", `Quick,
+     test_stream_empty_and_exception);
+    ("par: run_stream window stays bounded", `Quick,
+     test_stream_bounded_window);
     QCheck_alcotest.to_alcotest par_equals_seq_prop;
+    QCheck_alcotest.to_alcotest chain_stream_equals_batch_prop;
     QCheck_alcotest.to_alcotest workload_par_equals_seq_prop;
     ("par: WCET >= simulated cycles on a parallel run", `Slow,
      test_parallel_wcet_soundness);

@@ -181,6 +181,31 @@ let test_workload_deterministic () =
          (Minic.Pp.program_to_string b))
     p1 p2
 
+(* sharded generation slices the monolithic workload exactly: the
+   concatenation of all shards equals flight_program at any shard size,
+   so a shard regenerated in isolation is the slice it claims to be *)
+let workload_shards_concat_prop =
+  QCheck.Test.make ~count:20 ~name:"workload shards concat = flight_program"
+    QCheck.small_int
+    (fun seed ->
+       let nodes = 1 + (seed land 15) in
+       let shard_size = 1 + (seed mod 7) in
+       let plan =
+         Scade.Workload.shard_plan ~shard_size ~nodes ~seed:(500 + seed) ()
+       in
+       let sharded =
+         List.init (Scade.Workload.shard_count plan) (fun k ->
+             Array.to_list (Scade.Workload.generate_shard plan k))
+         |> List.concat
+       in
+       let mono = Scade.Workload.flight_program ~nodes ~seed:(500 + seed) in
+       List.length sharded = List.length mono
+       && List.for_all2
+            (fun (na, a) (nb, b) ->
+               na = nb
+               && Minic.Pp.program_to_string a = Minic.Pp.program_to_string b)
+            sharded mono)
+
 let workload_wellformed_prop =
   QCheck.Test.make ~count:30 ~name:"workload nodes typecheck"
     QCheck.small_int
@@ -201,4 +226,5 @@ let suite =
     QCheck_alcotest.to_alcotest acg_matches_semantics_prop;
     ("every symbol, all compilers", `Slow, test_all_symbols_node);
     ("workload determinism", `Quick, test_workload_deterministic);
+    QCheck_alcotest.to_alcotest workload_shards_concat_prop;
     QCheck_alcotest.to_alcotest workload_wellformed_prop ]
