@@ -8,15 +8,20 @@
    --simulate it also runs the simulator over several input worlds and
    reports the worst observed cycle count next to the bound.
 
-   Several files form a multi-node input; -j N analyzes them across N
-   domains with deterministic, input-ordered reports.
+   aitw is a thin client of the compilation service: every input file
+   becomes one [Fcstack.Request.t] (action Analyze), executed either
+   in-process against a private [Fcstack.Service] session — the batch
+   default, where -j N fans files out across N domains over ONE shared
+   analysis cache — or, with --connect SOCKET, against a running fcd
+   daemon whose warm cache persists across whole invocations. Reports
+   are byte-identical on every transport: caches and daemons change
+   wall clock, never results. The annotation file travels back as
+   response content and is written client-side.
 
-   All flags fold into one Fcstack.Toolchain.config. The analysis
-   cache (Wcet.Memo) is shared by all files, configurations and
-   domains of a run — and, with --cache-dir (or FCSTACK_CACHE_DIR),
-   persists across runs, so a warm invocation serves repeated analyses
-   from disk. Reports are byte-identical either way: the cache changes
-   wall clock, never results. --no-cache is the escape hatch;
+   The analysis cache (Wcet.Memo) is shared by all files,
+   configurations and domains of a run — and, with --cache-dir (or
+   FCSTACK_CACHE_DIR), persists across runs, so a warm invocation
+   serves repeated analyses from disk. --no-cache is the escape hatch;
    --cache-gc-mb bounds the store (LRU) at the end of the run. With a
    persistent cache, hit/miss accounting goes to stderr. *)
 
@@ -27,146 +32,115 @@ let read_file (path : string) : string =
   close_in ic;
   s
 
-let observed_max (b : Fcstack.Chain.built) (seeds : int list) : int =
-  List.fold_left
-    (fun acc seed ->
-       let w = Minic.Interp.seeded_world ~seed () in
-       let rr = Fcstack.Chain.simulate b w in
-       max acc rr.Target.Sim.rr_stats.Target.Sim.cycles)
-    0 seeds
-
-(* Analyze one file with per-stage containment: any failure becomes a
-   [Diag.t] naming the file and the stage and costs exactly this file.
-   The report text is accumulated in a buffer so that parallel runs can
-   print results strictly in input order. *)
-let analyze_file ~(config : Fcstack.Toolchain.config) (compare_all : bool)
+(* One file -> one request -> one response; a file-read failure is a
+   refusal right here (Parse stage), never a service round-trip. *)
+let analyze_file (do_request : Fcstack.Request.t -> Fcstack.Response.t)
+    (opts : Fcstack.Toolchain.request_opts) (compare_all : bool)
     (simulate : bool) (annot_out : string option) (file : string) :
-  string * Fcstack.Diag.t option =
+  Fcstack.Response.t =
   let open Fcstack in
-  let out = Buffer.create 1024 in
-  let ( let* ) = Result.bind in
-  let outcome : (unit, Diag.t) Result.t =
-    let* src =
-      Diag.capture ~node:file ~stage:Diag.Parse (fun () ->
-          Minic.Parser.parse_program (read_file file))
-    in
-    let* () =
-      match Minic.Typecheck.check_program src with
-      | Ok () -> Ok ()
-      | Error e ->
-        Error
-          (Diag.make ~node:file ~stage:Diag.Typecheck
-             (Minic.Typecheck.error_to_string e))
-    in
-    (* the remaining chain is analysis-dominated; [Diag.of_exn] routes
-       recognizable escapes (refusals, simulator errors) to their own
-       stages regardless of this fallback *)
-    Diag.capture ~node:file ~stage:Diag.Wcet (fun () ->
-        let analyze_one (comp : Fcstack.Chain.compiler) : unit =
-          let b =
-            Fcstack.Chain.build ~passes:config.Fcstack.Toolchain.passes comp
-              src
-          in
-          (match annot_out with
-           | Some path ->
-             (* cache-aware assembly: fragments of already-analyzed
-                functions come from the cache (same bytes either way) *)
-             let entries =
-               Wcet.Driver.annotations ?cache:config.Fcstack.Toolchain.cache
-                 ~fuel:config.Fcstack.Toolchain.analysis_fuel
-                 ~spec:b.Fcstack.Chain.b_spec
-                 ~engine:config.Fcstack.Toolchain.engine
-                 b.Fcstack.Chain.b_asm b.Fcstack.Chain.b_layout
-             in
-             let oc = open_out path in
-             output_string oc (Wcet.Annotfile.render entries);
-             close_out oc;
-             Buffer.add_string out
-               (Printf.sprintf "annotation file written to %s\n" path)
-           | None -> ());
-          let report = Fcstack.Chain.wcet ~config b in
-          Buffer.add_string out
-            (Printf.sprintf "--- %s ---\n"
-               (Fcstack.Chain.compiler_description comp));
-          Buffer.add_string out (Wcet.Report.to_string report);
-          if simulate then begin
-            let m = observed_max b [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
-            Buffer.add_string out
-              (Printf.sprintf
-                 "  max observed      : %d cycles (8 random worlds)\n" m);
-            Buffer.add_string out
-              (Printf.sprintf "  overestimation    : %+.1f%%\n"
-                 (100.0
-                  *. (float_of_int report.Wcet.Report.rp_wcet /. float_of_int m
-                      -. 1.0)))
-          end;
-          Buffer.add_char out '\n'
-        in
-        if compare_all then List.iter analyze_one Fcstack.Chain.all_compilers
-        else analyze_one config.Fcstack.Toolchain.compiler)
-  in
-  (Buffer.contents out,
-   match outcome with Ok () -> None | Error d -> Some d)
+  match
+    Diag.capture ~node:file ~stage:Diag.Parse (fun () -> read_file file)
+  with
+  | Error d -> Response.refused [ d ]
+  | Ok source ->
+    do_request
+      (Request.make ~name:file
+         ~action:
+           (Request.Analyze
+              { an_compare = compare_all;
+                an_simulate = simulate;
+                an_annot = annot_out })
+         ~opts source)
 
-let run (files : string list) (compiler : string) (compare_all : bool)
-    (simulate : bool) (annot_out : string option)
+let run (files : string list) (compiler : Fcstack.Toolchain.compiler)
+    (compare_all : bool) (simulate : bool) (annot_out : string option)
     (passes : Vcomp.Pass.options) (engine : Wcet.Report.engine) (jobs : int)
-    (fail_fast : bool) (copts : Fcstack.Cliopts.cache_opts) : int =
-  match Fcstack.Chain.compiler_of_string compiler with
-  | Error msg ->
-    prerr_endline msg;
+    (fail_fast : bool) (connect : string option)
+    (copts : Fcstack.Cliopts.cache_opts) : int =
+  let open Fcstack in
+  if annot_out <> None && List.length files > 1 then begin
+    Printf.eprintf "--annot-out requires a single input file\n";
     2
-  | Ok comp ->
-    if annot_out <> None && List.length files > 1 then begin
-      Printf.eprintf "--annot-out requires a single input file\n";
-      2
-    end
-    else begin
-      (* one config for the whole run: one cache (possibly persistent)
-         for all files and configurations; Wcet.Memo is sharded and
-         mutex-protected, so the -j domains share it directly *)
-      let config =
-        Fcstack.Cliopts.config_of_opts ~jobs ~compiler:comp ~fail_fast
-          ~passes ~engine copts
+  end
+  else begin
+    let opts = Toolchain.request_opts ~compiler ~passes ~engine () in
+    let total = List.length files in
+    (* Reports print strictly in input order regardless of -j; the
+       annotation file is response content, written here (the daemon
+       never touches the client's filesystem). *)
+    let emit (r : Response.t) : unit =
+      (match (annot_out, r.Response.rs_annot) with
+       | Some path, Some content ->
+         let oc = open_out path in
+         output_string oc content;
+         close_out oc
+       | _ -> ());
+      print_string r.Response.rs_output
+    in
+    (* --fail-fast: the first failing file (input order) aborts the
+       run; nothing after it is reported *)
+    let rec upto = function
+      | [] -> []
+      | (r : Response.t) :: rest ->
+        if r.Response.rs_status = Response.Sok then r :: upto rest else [ r ]
+    in
+    let finish (results : Response.t list) : int =
+      List.iter emit results;
+      let diags =
+        List.concat_map (fun (r : Response.t) -> r.Response.rs_diags) results
       in
-      let total = List.length files in
-      let results =
-        Fcstack.Par.map_list ~jobs:config.Fcstack.Toolchain.jobs
-          (analyze_file ~config compare_all simulate annot_out)
-          files
-      in
-      (* --fail-fast: the first failing file (input order) aborts the
-         run; nothing after it is reported *)
-      let results =
-        if fail_fast then
-          let rec upto = function
-            | [] -> []
-            | ((_, d) as r) :: rest ->
-              if d = None then r :: upto rest else [ r ]
-          in
-          upto results
-        else results
-      in
-      List.iter (fun (out, _) -> print_string out) results;
-      let diags = List.filter_map snd results in
       (* diagnostics, failure summary and cache accounting are
          stderr-only: stdout reports stay byte-identical across
          fail_fast/cache/jobs configurations *)
-      Fcstack.Diag.print_summary ~total diags;
-      Fcstack.Cliopts.report_stats config;
-      Fcstack.Cliopts.finalize config;
+      Diag.print_summary ~total diags;
       if fail_fast && diags <> [] then 2
-      else Fcstack.Diag.exit_code ~total ~failed:(List.length diags)
-    end
+      else Diag.exit_code ~total ~failed:(List.length diags)
+    in
+    match connect with
+    | Some socket ->
+      (* client of a running daemon: its warm cache serves repeats,
+         its stderr carries the accounting *)
+      (match Service.Client.connect socket with
+       | Error msg ->
+         prerr_endline msg;
+         2
+       | Ok conn ->
+         let analyze =
+           analyze_file (Service.Client.request conn) opts compare_all
+             simulate annot_out
+         in
+         let results = List.map analyze files in
+         let results = if fail_fast then upto results else results in
+         Service.Client.close conn;
+         finish results)
+    | None ->
+      (* one in-process session for the whole run: one cache (possibly
+         persistent) for all files and configurations; Wcet.Memo is
+         sharded and mutex-protected, so the -j domains share it
+         directly *)
+      let session =
+        Service.create ~state:(Cliopts.session_of_opts ~jobs ~fail_fast copts)
+          ()
+      in
+      let analyze =
+        analyze_file (Service.run_request session) opts compare_all simulate
+          annot_out
+      in
+      let results =
+        Par.map_list ~jobs:(Service.jobs session) analyze files
+      in
+      let results = if fail_fast then upto results else results in
+      let code = finish results in
+      Cliopts.report_session_stats session;
+      Service.gc session;
+      code
+  end
 
 open Cmdliner
 
 let files_arg =
   Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE.mc")
-
-let compiler_arg =
-  Arg.(value & opt string "vcomp"
-       & info [ "c"; "compiler" ] ~docv:"COMPILER" ~doc:"o0, o1, o2 or vcomp.")
 
 let compare_arg =
   Arg.(value & flag & info [ "compare" ] ~doc:"Analyze all four configurations.")
@@ -192,9 +166,10 @@ let cmd =
   Cmd.v
     (Cmd.info "aitw" ~doc)
     Term.(
-      const run $ files_arg $ compiler_arg $ compare_arg $ simulate_arg
-      $ annot_out_arg $ Fcstack.Cliopts.passes_term
+      const run $ files_arg $ Fcstack.Cliopts.compiler_term $ compare_arg
+      $ simulate_arg $ annot_out_arg $ Fcstack.Cliopts.passes_term
       $ Fcstack.Cliopts.engine_term $ jobs_arg
-      $ Fcstack.Cliopts.fail_fast_term $ Fcstack.Cliopts.cache_term)
+      $ Fcstack.Cliopts.fail_fast_term $ Fcstack.Cliopts.connect_term
+      $ Fcstack.Cliopts.cache_term)
 
 let () = exit (Cmd.eval' cmd)

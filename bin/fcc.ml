@@ -6,16 +6,21 @@
    validation (source interpreter vs machine simulator) and prints the
    RTL dump of the verified-style compiler.
 
-   Several files form a multi-node input (one node per file, like the
-   paper's ~2,500 generated files); -j N compiles them across N domains
-   with deterministic, input-ordered output.
+   fcc is a thin client of the compilation service: every input file
+   becomes one [Fcstack.Request.t], executed either in-process against
+   a private [Fcstack.Service] session (the batch default — several
+   files fan out across -j N domains with deterministic, input-ordered
+   output) or, with --connect SOCKET, against a running fcd daemon.
+   Both transports produce byte-identical output; a daemon's warm
+   analysis cache only changes wall clock, and a transport failure is
+   per-file data (never mistakable for an answer).
 
-   All flags fold into one Fcstack.Toolchain.config. fcc accepts the
-   same cache trio as aitw/bench (--no-cache/--cache-dir/--cache-gc-mb)
-   for a uniform toolchain surface — compilation itself never consults
-   the WCET cache, but --cache-gc-mb still applies the size budget to a
-   shared cache directory, so fcc can do store maintenance in a
-   pipeline that interleaves compiles and analyses. *)
+   fcc accepts the same cache trio as aitw/bench
+   (--no-cache/--cache-dir/--cache-gc-mb) for a uniform toolchain
+   surface — compilation itself never consults the WCET cache, but
+   --cache-gc-mb still applies the size budget to a shared cache
+   directory, so fcc can do store maintenance in a pipeline that
+   interleaves compiles and analyses. *)
 
 let read_file (path : string) : string =
   let ic = open_in_bin path in
@@ -24,165 +29,57 @@ let read_file (path : string) : string =
   close_in ic;
   s
 
-(* Per-file result, rendered strictly in input order so that -j N
-   output is byte-identical to -j 1. A failed file carries its
-   diagnostic instead of output; successful files are unaffected. *)
-type file_result = {
-  fr_rtl : string;   (* --dump-rtl text, always on stdout *)
-  fr_asm : string;   (* assembly text; stdout, or the -o file *)
-  fr_stderr : string;
-  fr_stats : Vcomp.Pass.pass_stats list;  (* vcomp per-pass stats *)
-  fr_diag : Fcstack.Diag.t option;
-}
-
-(* Compile one file with per-stage containment: a failure at any stage
-   becomes a [Diag.t] naming the file and the stage, and costs exactly
-   this file — exceptions never escape. *)
-let compile_file (comp : Fcstack.Chain.compiler) (validate : bool)
-    (dump_rtl : bool) (exact : bool) (passes : Vcomp.Pass.options)
-    (sim_fuel : int option) (file : string) : file_result =
+(* One file -> one request -> one response, through whichever transport
+   [do_request] is. A file-read failure never reaches the service: it
+   becomes a refusal right here, naming the file and the Parse stage
+   (same containment as always). *)
+let compile_file (do_request : Fcstack.Request.t -> Fcstack.Response.t)
+    (opts : Fcstack.Toolchain.request_opts) (validate : bool)
+    (dump_rtl : bool) (exact : bool) (file : string) : Fcstack.Response.t =
   let open Fcstack in
-  let rtl_dump = Buffer.create 64 and err = Buffer.create 64 in
-  let asm = ref "" and stats = ref [] in
-  let ( let* ) = Result.bind in
-  let outcome : (unit, Diag.t) Result.t =
-    let* src =
-      Diag.capture ~node:file ~stage:Diag.Parse (fun () ->
-          Minic.Parser.parse_program (read_file file))
-    in
-    let* () =
-      match Minic.Typecheck.check_program src with
-      | Ok () -> Ok ()
-      | Error e ->
-        Error
-          (Diag.make ~node:file ~stage:Diag.Typecheck
-             (Minic.Typecheck.error_to_string e))
-    in
-    let* b =
-      Diag.capture ~node:file ~stage:Diag.Compile (fun () ->
-          if dump_rtl then begin
-            let rtl, _ = Vcomp.Driver.compile_with_rtl ~options:passes src in
-            List.iter
-              (fun f -> Buffer.add_string rtl_dump (Vcomp.Rtl.dump_func f))
-              rtl.Vcomp.Rtl.p_funcs
-          end;
-          Fcstack.Chain.build ~exact
-            ~validate:(validate && comp = Fcstack.Chain.Cvcomp) ~passes comp
-            src)
-    in
-    asm := Target.Emit.program_to_string b.Fcstack.Chain.b_asm;
-    stats := b.Fcstack.Chain.b_pass_stats;
-    if validate then
-      let* verdict =
-        Diag.capture ~node:file ~stage:Diag.Sim (fun () ->
-            Fcstack.Chain.validate_chain ?sim_fuel b)
-      in
-      match verdict with
-      | Ok () ->
-        Buffer.add_string err
-          "validation: machine code matches source semantics\n";
-        Ok ()
-      | Error msg ->
-        Error
-          (Diag.make ~node:file ~stage:Diag.Sim ("validation FAILED: " ^ msg))
-    else Ok ()
-  in
-  { fr_rtl = Buffer.contents rtl_dump;
-    fr_asm = !asm;
-    fr_stderr = Buffer.contents err;
-    fr_stats = !stats;
-    fr_diag = (match outcome with Ok () -> None | Error d -> Some d) }
+  match
+    Diag.capture ~node:file ~stage:Diag.Parse (fun () -> read_file file)
+  with
+  | Error d -> Response.refused [ d ]
+  | Ok source ->
+    do_request
+      (Request.make ~name:file
+         ~action:(Request.Compile { ac_dump_rtl = dump_rtl })
+         ~opts ~validate ~exact source)
 
-let run (files : string list) (compiler : string) (output : string option)
-    (validate : bool) (dump_rtl : bool) (exact : bool)
-    (passes : Vcomp.Pass.options) (engine : Wcet.Report.engine) (jobs : int)
+let run (files : string list) (compiler : Fcstack.Toolchain.compiler)
+    (output : string option) (validate : bool) (dump_rtl : bool)
+    (exact : bool) (passes : Vcomp.Pass.options)
+    (engine : Wcet.Report.engine) (jobs : int)
     (stream : Fcstack.Toolchain.stream_opts option) (fail_fast : bool)
-    (copts : Fcstack.Cliopts.cache_opts) : int =
-  match Fcstack.Chain.compiler_of_string compiler with
-  | Error msg ->
-    prerr_endline msg;
-    2
-  | Ok comp ->
-    (* fcc never analyzes, but accepts --engine so the three CLI flag
-       surfaces stay uniform (a config built here behaves identically
-       wherever it is handed on) *)
-    let config =
-      Fcstack.Cliopts.config_of_opts ~jobs ~compiler:comp ~fail_fast ~passes
-        ~engine ?stream copts
-    in
-    let total = List.length files in
-    let compile =
-      compile_file config.Fcstack.Toolchain.compiler validate dump_rtl exact
-        config.Fcstack.Toolchain.passes config.Fcstack.Toolchain.sim_fuel
-    in
-    (* Two execution shapes with byte-identical stdout (and -o file):
-       batch compiles everything then merges by input order; --stream
-       pulls the file list shard by shard through the bounded buffer
-       and emits each file's output the moment its global turn comes,
-       never holding more than jobs+lookahead shards of results.
-       (Streaming interleaves the per-file stderr with stdout instead
-       of emitting it after; each stream's own bytes are identical.)
-
-       --fail-fast: the first failing file (input order) ends emission
-       — nothing after it is emitted, its diagnostic is the only one
-       reported, and the exit is total failure. *)
-    let emit oc (r : file_result) : unit =
-      print_string r.fr_rtl;
-      (match oc with
-       | Some oc -> output_string oc r.fr_asm
-       | None -> print_string r.fr_asm);
-      prerr_string r.fr_stderr
-    in
-    let oc = Option.map open_out output in
-    let stats_lists, diags =
-      match config.Fcstack.Toolchain.stream with
-      | None ->
-        let results =
-          Fcstack.Par.map_list ~jobs:config.Fcstack.Toolchain.jobs compile
-            files
-        in
-        let results =
-          if fail_fast then
-            let rec upto = function
-              | [] -> []
-              | r :: rest -> if r.fr_diag = None then r :: upto rest else [ r ]
-            in
-            upto results
-          else results
-        in
-        List.iter (fun r -> emit oc r) results;
-        ( List.filter_map
-            (fun r -> if r.fr_stats = [] then None else Some r.fr_stats)
-            results,
-          List.filter_map (fun r -> r.fr_diag) results )
-      | Some so ->
-        let arr = Array.of_list files in
-        let shard_size = max 1 so.Fcstack.Toolchain.so_shard_size in
-        let producer k =
-          let lo = k * shard_size in
-          if lo >= Array.length arr then None
-          else
-            Some
-              (Array.map
-                 (fun f () -> compile f)
-                 (Array.sub arr lo (min shard_size (Array.length arr - lo))))
-        in
-        let consumer (failed, stats, diags) _g r =
-          if fail_fast && failed then (failed, stats, diags)
-          else begin
-            emit oc r;
-            ( failed || r.fr_diag <> None,
-              (if r.fr_stats = [] then stats else r.fr_stats :: stats),
-              match r.fr_diag with Some d -> d :: diags | None -> diags )
-          end
-        in
-        let _, stats, diags =
-          Fcstack.Par.run_stream ~jobs:config.Fcstack.Toolchain.jobs
-            ~lookahead:so.Fcstack.Toolchain.so_lookahead ~producer ~consumer
-            ~init:(false, [], []) ()
-        in
-        (List.rev stats, List.rev diags)
-    in
+    (connect : string option) (copts : Fcstack.Cliopts.cache_opts) : int =
+  let open Fcstack in
+  (* fcc never analyzes, but accepts --engine so the three CLI flag
+     surfaces stay uniform (a request built here behaves identically
+     wherever it is executed) *)
+  let opts = Toolchain.request_opts ~compiler ~passes ~engine () in
+  let total = List.length files in
+  (* Rendered strictly in input order so that -j N output is
+     byte-identical to -j 1. A failed file carries its diagnostics
+     plus whatever bytes were produced before the failure (identical
+     to the pre-service fcc). *)
+  let emit oc (r : Response.t) : unit =
+    print_string r.Response.rs_rtl;
+    (match oc with
+     | Some oc -> output_string oc r.Response.rs_output
+     | None -> print_string r.Response.rs_output);
+    prerr_string r.Response.rs_notes
+  in
+  (* --fail-fast: the first failing file (input order) ends emission —
+     nothing after it is emitted, its diagnostics are the only ones
+     reported, and the exit is total failure. *)
+  let rec upto = function
+    | [] -> []
+    | (r : Response.t) :: rest ->
+      if r.Response.rs_status = Response.Sok then r :: upto rest else [ r ]
+  in
+  let finish oc (stats_lists : Vcomp.Pass.pass_stats list list)
+      (diags : Diag.t list) : int =
     Option.iter close_out oc;
     (* per-pass middle-end accounting, aggregated over all files:
        stderr-only, like the cache stats, so stdout/-o output stays
@@ -194,21 +91,104 @@ let run (files : string list) (compiler : string) (output : string option)
          (Vcomp.Pass.aggregate with_stats));
     (* diagnostics and the failure summary are stderr-only: stdout is
        byte-identical across fail_fast/cache/jobs configurations *)
-    Fcstack.Diag.print_summary ~total diags;
-    (* cache maintenance only: fcc never analyzes, so no stats *)
-    Fcstack.Cliopts.finalize config;
+    Diag.print_summary ~total diags;
     if fail_fast && diags <> [] then 2
-    else Fcstack.Diag.exit_code ~total ~failed:(List.length diags)
+    else Diag.exit_code ~total ~failed:(List.length diags)
+  in
+  match connect with
+  | Some socket ->
+    (* client of a running daemon: one connection, requests in input
+       order (the protocol is serial per connection) *)
+    (match Service.Client.connect socket with
+     | Error msg ->
+       prerr_endline msg;
+       2
+     | Ok conn ->
+       let compile =
+         compile_file (Service.Client.request conn) opts validate dump_rtl
+           exact
+       in
+       let results = List.map compile files in
+       let results = if fail_fast then upto results else results in
+       let oc = Option.map open_out output in
+       List.iter (emit oc) results;
+       Service.Client.close conn;
+       finish oc
+         (List.filter_map
+            (fun (r : Response.t) ->
+               if r.Response.rs_pass_stats = [] then None
+               else Some r.Response.rs_pass_stats)
+            results)
+         (List.concat_map (fun (r : Response.t) -> r.Response.rs_diags)
+            results))
+  | None ->
+    (* in-process service session: batch = one request per file *)
+    let session =
+      Service.create ~state:(Cliopts.session_of_opts ~jobs ~fail_fast ?stream copts) ()
+    in
+    let compile =
+      compile_file (Service.run_request session) opts validate dump_rtl exact
+    in
+    let oc = Option.map open_out output in
+    (* Two execution shapes with byte-identical stdout (and -o file):
+       batch compiles everything then merges by input order; --stream
+       pulls the file list shard by shard through the bounded buffer
+       and emits each file's output the moment its global turn comes,
+       never holding more than jobs+lookahead shards of results.
+       (Streaming interleaves the per-file stderr with stdout instead
+       of emitting it after; each stream's own bytes are identical.) *)
+    let stats_lists, diags =
+      match Service.stream session with
+      | None ->
+        let results =
+          Par.map_list ~jobs:(Service.jobs session) compile files
+        in
+        let results = if fail_fast then upto results else results in
+        List.iter (fun r -> emit oc r) results;
+        ( List.filter_map
+            (fun (r : Response.t) ->
+               if r.Response.rs_pass_stats = [] then None
+               else Some r.Response.rs_pass_stats)
+            results,
+          List.concat_map (fun (r : Response.t) -> r.Response.rs_diags)
+            results )
+      | Some so ->
+        let arr = Array.of_list files in
+        let shard_size = max 1 so.Toolchain.so_shard_size in
+        let producer k =
+          let lo = k * shard_size in
+          if lo >= Array.length arr then None
+          else
+            Some
+              (Array.map
+                 (fun f () -> compile f)
+                 (Array.sub arr lo (min shard_size (Array.length arr - lo))))
+        in
+        let consumer (failed, stats, diags) _g (r : Response.t) =
+          if fail_fast && failed then (failed, stats, diags)
+          else begin
+            emit oc r;
+            ( failed || r.Response.rs_status <> Response.Sok,
+              (if r.Response.rs_pass_stats = [] then stats
+               else r.Response.rs_pass_stats :: stats),
+              List.rev_append r.Response.rs_diags diags )
+          end
+        in
+        let _, stats, diags =
+          Par.run_stream ~jobs:(Service.jobs session)
+            ~lookahead:so.Toolchain.so_lookahead ~producer ~consumer
+            ~init:(false, [], []) ()
+        in
+        (List.rev stats, List.rev diags)
+    in
+    (* cache maintenance only: fcc never analyzes, so no stats *)
+    Service.gc session;
+    finish oc stats_lists diags
 
 open Cmdliner
 
 let files_arg =
   Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE.mc")
-
-let compiler_arg =
-  Arg.(value & opt string "vcomp"
-       & info [ "c"; "compiler" ] ~docv:"COMPILER"
-           ~doc:"Configuration: o0, o1, o2 or vcomp.")
 
 let output_arg =
   Arg.(value & opt (some string) None
@@ -239,9 +219,10 @@ let cmd =
   Cmd.v
     (Cmd.info "fcc" ~doc)
     Term.(
-      const run $ files_arg $ compiler_arg $ output_arg $ validate_arg
-      $ dump_rtl_arg $ exact_arg $ Fcstack.Cliopts.passes_term
+      const run $ files_arg $ Fcstack.Cliopts.compiler_term $ output_arg
+      $ validate_arg $ dump_rtl_arg $ exact_arg $ Fcstack.Cliopts.passes_term
       $ Fcstack.Cliopts.engine_term $ jobs_arg $ Fcstack.Cliopts.stream_term
-      $ Fcstack.Cliopts.fail_fast_term $ Fcstack.Cliopts.cache_term)
+      $ Fcstack.Cliopts.fail_fast_term $ Fcstack.Cliopts.connect_term
+      $ Fcstack.Cliopts.cache_term)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,82 @@
+(* fcd — persistent compilation daemon.
+
+   Owns one warm [Fcstack.Service] session — the shared WCET analysis
+   cache (memory, plus disk with --cache-dir) and the Domain pool —
+   and serves compile/analyze requests over a Unix-domain socket
+   (--socket PATH) or a single stdin/stdout connection (--stdio).
+   fcc/aitw talk to it with --connect; the wire protocol is
+   Fcstack.Wire's length-prefixed fcd1 frames.
+
+   Answers are byte-identical to what a cold batch run would produce:
+   the warm cache changes wall clock, never results (request 2+ of a
+   repeated analysis shows "0 misses" in the per-request stderr
+   accounting). SIGTERM shuts the accept loop down cleanly — the
+   socket is unlinked and the store GC budget applied; killing the
+   daemon mid-request never corrupts the store (crash-safe writes) and
+   never yields a wrong answer (clients see a transport failure and
+   retry). --max-requests N exits after N requests, so tests get a
+   deterministic daemon lifetime without PID management. *)
+
+let run (socket : string option) (stdio : bool) (max_requests : int option)
+    (jobs : int) (copts : Fcstack.Cliopts.cache_opts) : int =
+  let open Fcstack in
+  let session = Service.create ~state:(Cliopts.session_of_opts ~jobs copts) () in
+  let finish () =
+    Cliopts.report_session_stats session;
+    Service.gc session;
+    Printf.eprintf "fcd: served %d request(s)\n%!" (Service.served session)
+  in
+  if stdio then begin
+    Service.serve_stdio ?max_requests session;
+    finish ();
+    0
+  end
+  else
+    match socket with
+    | None ->
+      prerr_endline "fcd: either --socket PATH or --stdio is required";
+      2
+    | Some path ->
+      let stop = ref false in
+      (* the handler only flips the flag; the interrupted accept(2)
+         returns EINTR and the loop re-checks it — clean shutdown *)
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true));
+      Service.serve_unix ?max_requests ~stop:(fun () -> !stop) session path;
+      finish ();
+      0
+
+open Cmdliner
+
+let socket_arg =
+  Arg.(value & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Listen on a Unix-domain socket at $(docv) (unlinked on \
+                 shutdown).")
+
+let stdio_arg =
+  Arg.(value & flag
+       & info [ "stdio" ]
+           ~doc:"Serve a single connection over stdin/stdout instead of a \
+                 socket (for tests and pipelines).")
+
+let max_requests_arg =
+  Arg.(value & opt (some int) None
+       & info [ "max-requests" ] ~docv:"N"
+           ~doc:"Exit after answering $(docv) requests — a deterministic \
+                 daemon lifetime for tests.")
+
+let jobs_arg =
+  Fcstack.Cliopts.jobs_term
+    ~doc:"Width of the session's Domain pool (reserved for future \
+          request-level fan-out; requests on one connection are served \
+          in order)."
+
+let cmd =
+  let doc = "persistent compile+analyze daemon (warm-cache serve loop)" in
+  Cmd.v
+    (Cmd.info "fcd" ~doc)
+    Term.(
+      const run $ socket_arg $ stdio_arg $ max_requests_arg $ jobs_arg
+      $ Fcstack.Cliopts.cache_term)
+
+let () = exit (Cmd.eval' cmd)

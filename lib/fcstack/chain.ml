@@ -26,14 +26,10 @@ let compiler_name (c : compiler) : string =
   | Cdefault_o2 -> "default-O2"
   | Cvcomp -> "vcomp"
 
-(* CLI spelling of a configuration (fcc/aitw share this parser). *)
-let compiler_of_string (s : string) : (compiler, string) Result.t =
-  match s with
-  | "o0" | "default-O0" -> Ok Cdefault_o0
-  | "o1" | "default-O1" -> Ok Cdefault_o1
-  | "o2" | "default-O2" -> Ok Cdefault_o2
-  | "vcomp" -> Ok Cvcomp
-  | _ -> Error (Printf.sprintf "unknown compiler %S (o0|o1|o2|vcomp)" s)
+(* Deprecated alias (see chain.mli): the name maps live on the request
+   surface now. *)
+let compiler_of_string : string -> (compiler, string) Result.t =
+  Request.compiler_of_string
 
 let compiler_description (c : compiler) : string =
   match c with

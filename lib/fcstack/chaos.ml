@@ -252,6 +252,160 @@ let rec rm_rf (path : string) : unit =
     end
     else Sys.remove path
 
+(* ---- server leg: SIGKILL the daemon mid-request-stream --------------- *)
+
+(* Drive a real fcd child process through the workload as analyze
+   requests and SIGKILL it under two seeded requests. The contract:
+   the in-flight request surfaces as a transport failure (never a
+   wrong answer), the retry against a restarted daemon — same socket,
+   same disk store — succeeds, the store survives the kill
+   uncorrupted (the restarted daemon serves from it), every final
+   response is byte-identical to a cold in-process batch run, and the
+   final daemon still shuts down cleanly. *)
+let server_leg ~(seed : int) ~(engine : Wcet.Report.engine)
+    ~(fcd_exe : string) (named : (string * Minic.Ast.program) list) :
+  string list =
+  let problems = ref [] in
+  let leg = "fcd-kill-restart" in
+  let bad fmt =
+    Printf.ksprintf (fun s -> problems := (leg ^ ": " ^ s) :: !problems) fmt
+  in
+  let opts = Toolchain.request_opts ~engine () in
+  let requests =
+    List.map
+      (fun (name, src) ->
+         Request.make ~name
+           ~action:
+             (Request.Analyze
+                { an_compare = false; an_simulate = false; an_annot = None })
+           ~opts
+           (Minic.Pp.program_to_string src))
+      named
+  in
+  (* the cold batch reference: a fresh cacheless in-process session *)
+  let reference =
+    let s = Service.create () in
+    List.map
+      (fun rq -> (Service.run_request s rq).Response.rs_output)
+      requests
+  in
+  let n = List.length requests in
+  (* seeded choice of the two requests the daemon dies under *)
+  let rng = Random.State.make [| seed; 0xfcd |] in
+  let kill_at =
+    if n < 2 then []
+    else
+      let a = Random.State.int rng n in
+      let b = (a + 1 + Random.State.int rng (n - 1)) mod n in
+      [ a; b ]
+  in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fcchaos-srv-%d-%d" seed (Random.State.bits rng))
+  in
+  rm_rf dir;
+  Sys.mkdir dir 0o755;
+  let socket = Filename.concat dir "fcd.sock" in
+  let store = Filename.concat dir "store" in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0o644 in
+  let pid = ref (-1) in
+  let start () =
+    pid :=
+      Service.spawn ~stderr_to:devnull
+        (Service.daemon_argv ~exe:fcd_exe ~socket ~cache_dir:store ());
+    if not (Service.wait_for_path socket) then
+      bad "daemon socket never appeared"
+  in
+  let kill () =
+    if !pid > 0 then begin
+      (try Unix.kill !pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] !pid) with Unix.Unix_error _ -> ());
+      pid := -1;
+      (* SIGKILL never unlinks the socket; remove the stale path so the
+         restart's [wait_for_path] waits for the NEW daemon's bind
+         instead of racing connect against it *)
+      (try Sys.remove socket with Sys_error _ -> ())
+    end
+  in
+  start ();
+  let conn = ref (Service.Client.connect socket) in
+  let request (rq : Request.t) : Response.t =
+    match !conn with
+    | Error msg -> Response.transport ~node:rq.Request.rq_name msg
+    | Ok c -> Service.Client.request c rq
+  in
+  let reconnect () =
+    (match !conn with Ok c -> Service.Client.close c | Error _ -> ());
+    conn := Service.Client.connect socket
+  in
+  let outputs =
+    List.mapi
+      (fun i rq ->
+         if List.mem i kill_at then begin
+           kill ();
+           let r = request rq in
+           if r.Response.rs_status <> Response.Stransport then
+             bad "request %s against a killed daemon returned %s, expected \
+                  a transport failure"
+               rq.Request.rq_name
+               (Response.status_to_string r.Response.rs_status);
+           start ();
+           reconnect ();
+           let r = request rq in
+           if r.Response.rs_status <> Response.Sok then
+             bad "retry of %s after restart not ok (%s)" rq.Request.rq_name
+               (Response.status_to_string r.Response.rs_status);
+           r.Response.rs_output
+         end
+         else begin
+           let r = request rq in
+           if r.Response.rs_status <> Response.Sok then
+             bad "request %s not ok (%s)" rq.Request.rq_name
+               (Response.status_to_string r.Response.rs_status);
+           r.Response.rs_output
+         end)
+      requests
+  in
+  (* clean shutdown of the surviving daemon: shutdown frame, exit 0.
+     If the connection was lost, fall back to SIGTERM (also a clean
+     path: fcd's handler winds the accept loop down to exit 0), and
+     never block forever on the reap — a daemon that ignores both is a
+     containment failure to report, not a harness hang. *)
+  (match !conn with
+   | Ok c -> Service.Client.shutdown c
+   | Error _ ->
+     bad "connection to the surviving daemon was lost at shutdown time";
+     if !pid > 0 then
+       (try Unix.kill !pid Sys.sigterm with Unix.Unix_error _ -> ()));
+  (if !pid > 0 then
+     let deadline = Unix.gettimeofday () +. 10.0 in
+     let rec reap () =
+       match Unix.waitpid [ Unix.WNOHANG ] !pid with
+       | 0, _ ->
+         if Unix.gettimeofday () > deadline then begin
+           bad "daemon did not exit within 10s of shutdown; killed";
+           (try Unix.kill !pid Sys.sigkill with Unix.Unix_error _ -> ());
+           ignore (Unix.waitpid [] !pid)
+         end
+         else begin
+           Unix.sleepf 0.02;
+           reap ()
+         end
+       | _, Unix.WEXITED 0 -> ()
+       | _, _ -> bad "daemon did not exit cleanly on the shutdown frame"
+     in
+     try reap () with Unix.Unix_error _ -> ());
+  (try Unix.close devnull with Unix.Unix_error _ -> ());
+  List.iteri
+    (fun i out ->
+       if out <> List.nth reference i then
+         bad "response for %s diverged from the cold batch reference"
+           (fst (List.nth named i)))
+    outputs;
+  rm_rf dir;
+  List.rev !problems
+
 type report = {
   ch_nodes : int;
   ch_victims : (string * fault) list;
@@ -270,7 +424,7 @@ type report = {
    exercised per engine — including OMT fuel exhaustion surfacing as a
    contained "analysis diverged" refusal under [Ffuel]. *)
 let run ?(seed = 20260806) ?(nodes = 14) ?(victims = 3)
-    ?(engine = Wcet.Report.Ipet) () : report =
+    ?(engine = Wcet.Report.Ipet) ?fcd_exe () : report =
   let program = Scade.Workload.flight_program ~nodes ~seed:2026 in
   let named =
     List.map
@@ -350,13 +504,24 @@ let run ?(seed = 20260806) ?(nodes = 14) ?(victims = 3)
     rm_rf dir;
     ps
   in
+  (* server leg (needs the real daemon binary): kill/restart fcd
+     mid-request-stream, retry, byte-compare against the batch
+     reference *)
+  let server_legs, server_problems =
+    match fcd_exe with
+    | None -> ([], [])
+    | Some exe ->
+      ([ "fcd-kill-restart" ], server_leg ~seed ~engine ~fcd_exe:exe named)
+  in
   { ch_nodes = nodes;
     ch_victims =
       List.map (fun (i, f) -> (fst (List.nth named i), f)) plan;
     ch_legs =
       List.map (fun l -> l.leg_name) legs
-      @ [ stream_leg_name; "truncated-store" ];
-    ch_problems = problems @ stream_problems @ store_problems }
+      @ [ stream_leg_name; "truncated-store" ]
+      @ server_legs;
+    ch_problems =
+      problems @ stream_problems @ store_problems @ server_problems }
 
 let print_report (ppf : Format.formatter) (r : report) : unit =
   Format.fprintf ppf "@[<v>chaos: %d nodes, %d faults injected@,"

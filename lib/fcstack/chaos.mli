@@ -41,11 +41,18 @@ type report = {
 
 val run :
   ?seed:int -> ?nodes:int -> ?victims:int -> ?engine:Wcet.Report.engine ->
-  unit -> report
+  ?fcd_exe:string -> unit -> report
 (** Run the whole matrix (defaults: seed 20260806, 14 nodes, 3
     victims, engine [Ipet]). Deterministic for a given seed. [engine]
     applies to the reference and to every leg, so containment is
     exercised per engine (survivor byte-identity is well-defined
-    within one engine). *)
+    within one engine).
+
+    [fcd_exe] adds the server leg: a real fcd child is SIGKILLed under
+    two seeded requests mid-stream; the in-flight request must surface
+    as a transport failure (never a wrong answer), the retry against a
+    restarted daemon on the same socket and disk store must succeed,
+    every final response must be byte-identical to a cold in-process
+    batch run, and the surviving daemon must shut down cleanly. *)
 
 val print_report : Format.formatter -> report -> unit

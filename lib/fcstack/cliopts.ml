@@ -161,17 +161,18 @@ let stream_term : Toolchain.stream_opts option Term.t =
 
 (* ---- WCET path-engine selection (--engine) ---- *)
 
-(* [--engine] parses through [Wcet.Report.engine_of_string], so an
-   unknown engine name is a Cmdliner parse error (exit 124) before any
-   work runs — never a silent fallback to a different engine. *)
+(* [--engine] parses through [Request.engine_of_string] (the request
+   surface's name map), so an unknown engine name is a Cmdliner parse
+   error (exit 124) before any work runs — never a silent fallback to
+   a different engine. *)
 let engine_conv : Wcet.Report.engine Cmdliner.Arg.conv =
   let parse (s : string) =
-    match Wcet.Report.engine_of_string s with
+    match Request.engine_of_string s with
     | Ok e -> Ok e
     | Error e -> Error (`Msg e)
   in
   let print fmt (e : Wcet.Report.engine) =
-    Format.pp_print_string fmt (Wcet.Report.engine_name e)
+    Format.pp_print_string fmt (Request.engine_to_string e)
   in
   Arg.conv (parse, print)
 
@@ -189,14 +190,53 @@ let engine_term : Wcet.Report.engine Term.t =
            oracle). The engine is part of the analysis-cache key, so \
            engines never share cache entries.")
 
+(* [-c] parses through [Request.compiler_of_string]: an unknown
+   configuration name is a Cmdliner parse error (exit 124) before any
+   work runs, same contract as --passes and --engine — the CLIs used
+   to parse this by hand and exit 2 after argument parsing. *)
+let compiler_conv : Toolchain.compiler Cmdliner.Arg.conv =
+  let parse (s : string) =
+    match Request.compiler_of_string s with
+    | Ok c -> Ok c
+    | Error e -> Error (`Msg e)
+  in
+  let print fmt (c : Toolchain.compiler) =
+    Format.pp_print_string fmt (Request.compiler_to_string c)
+  in
+  Arg.conv (parse, print)
+
+let compiler_term : Toolchain.compiler Term.t =
+  Arg.(
+    value
+    & opt compiler_conv Toolchain.Cvcomp
+    & info [ "c"; "compiler" ] ~docv:"COMPILER"
+        ~doc:"Configuration: $(b,o0), $(b,o1), $(b,o2) or $(b,vcomp).")
+
+let connect_term : string option Term.t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"SOCKET"
+        ~doc:
+          "Send the work to a running $(b,fcd) daemon at $(docv) \
+           instead of compiling in-process. Output bytes are identical \
+           to the in-process run; the daemon's warm analysis cache \
+           only changes wall clock. A transport failure is reported \
+           per input file and never mistaken for an answer.")
+
 let memo_of_opts (o : cache_opts) : Wcet.Memo.t option =
   if o.co_no_cache then None
   else Some (Wcet.Memo.create ?dir:o.co_dir ?gc_mb:o.co_gc_mb ())
 
+let session_of_opts ?jobs ?fail_fast ?stream (o : cache_opts) :
+  Toolchain.session =
+  Toolchain.session ?jobs ?cache:(memo_of_opts o) ?fail_fast ?stream ()
+
 let config_of_opts ?jobs ?worlds ?compiler ?fail_fast ?passes ?engine ?stream
     (o : cache_opts) : Toolchain.config =
-  Toolchain.config ?jobs ?cache:(memo_of_opts o) ?worlds ?compiler ?fail_fast
-    ?passes ?engine ?stream ()
+  Toolchain.of_session_request
+    (session_of_opts ?jobs ?fail_fast ?stream o)
+    (Toolchain.request_opts ?compiler ?worlds ?passes ?engine ())
 
 (* End-of-run maintenance: apply the GC budget to a persistent cache.
    Deliberately at the end — the LRU index then reflects this run's
@@ -213,4 +253,12 @@ let report_stats ?(always = false) (config : Toolchain.config) : unit =
   match config.Toolchain.cache with
   | Some m when always || Wcet.Memo.store_dir m <> None ->
     Format.eprintf "%a@." Wcet.Report.pp_stats (Wcet.Memo.stats m)
+  | Some _ | None -> ()
+
+(* Same contract for a service session (the cache handle is abstract
+   there; only the stats snapshot is visible). *)
+let report_session_stats ?(always = false) (s : Service.session) : unit =
+  match Service.stats s with
+  | Some st when always || Service.store_dir s <> None ->
+    Format.eprintf "%a@." Wcet.Report.pp_stats st
   | Some _ | None -> ()

@@ -37,9 +37,25 @@ val stream_term : Toolchain.stream_opts option Cmdliner.Term.t
     [None] = batch. Streaming never changes output bytes — it bounds
     resident memory at [jobs + lookahead] shards. *)
 
+val compiler_term : Toolchain.compiler Cmdliner.Term.t
+(** [-c]/[--compiler o0|o1|o2|vcomp] (default [vcomp]), parsed through
+    {!Request.compiler_of_string}. A bad name is a Cmdliner parse
+    error (exit 124) before any work runs — the same contract as
+    [--passes] and [--engine]. *)
+
+val connect_term : string option Cmdliner.Term.t
+(** [--connect SOCKET]: run as a client of an [fcd] daemon instead of
+    in-process. [None] = in-process (the default). *)
+
 val memo_of_opts : cache_opts -> Wcet.Memo.t option
 (** The cache the flags ask for: [None] under [--no-cache], persistent
     when a directory is configured, memory-only otherwise. *)
+
+val session_of_opts :
+  ?jobs:int -> ?fail_fast:bool -> ?stream:Toolchain.stream_opts ->
+  cache_opts -> Toolchain.session
+(** The session-scoped half of the flags ({!memo_of_opts} for the
+    cache): what a {!Service.session} is created from. *)
 
 val config_of_opts :
   ?jobs:int -> ?worlds:int -> ?compiler:Toolchain.compiler ->
@@ -57,3 +73,7 @@ val report_stats : ?always:bool -> Toolchain.config -> unit
     persistent caches, or for any cache with [~always:true]. Never
     touches stdout: tables/reports stay byte-identical across cache
     configurations. *)
+
+val report_session_stats : ?always:bool -> Service.session -> unit
+(** {!report_stats} for a {!Service.session} (whose cache handle is
+    abstract). *)

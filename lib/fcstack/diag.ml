@@ -24,6 +24,7 @@ type stage =
   | Sim        (* simulator runs, differential validation *)
   | Wcet       (* static analysis (refusals, diverging fixpoints) *)
   | Cache      (* analysis-store access *)
+  | Transport  (* service protocol/socket failure: retryable, no answer *)
 
 type severity =
   | Error
@@ -46,9 +47,28 @@ let stage_name (s : stage) : string =
   | Sim -> "sim"
   | Wcet -> "wcet"
   | Cache -> "cache"
+  | Transport -> "transport"
+
+let stage_of_name (s : string) : (stage, string) Result.t =
+  match s with
+  | "parse" -> Ok Parse
+  | "typecheck" -> Ok Typecheck
+  | "compile" -> Ok Compile
+  | "layout" -> Ok Layout
+  | "sim" -> Ok Sim
+  | "wcet" -> Ok Wcet
+  | "cache" -> Ok Cache
+  | "transport" -> Ok Transport
+  | s -> Error (Printf.sprintf "unknown diagnostic stage %S" s)
 
 let severity_name (s : severity) : string =
   match s with Error -> "error" | Warning -> "warning"
+
+let severity_of_name (s : string) : (severity, string) Result.t =
+  match s with
+  | "error" -> Ok Error
+  | "warning" -> Ok Warning
+  | s -> Error (Printf.sprintf "unknown diagnostic severity %S" s)
 
 let make ?(severity = Error) ?(context = []) ~(node : string)
     ~(stage : stage) (message : string) : t =
@@ -79,6 +99,47 @@ let to_string (d : t) : string =
 
 let pp (ppf : Format.formatter) (d : t) : unit =
   Format.pp_print_string ppf (to_string d)
+
+(* ---- wire codec (service protocol) ---- *)
+
+(* Structural, not textual: a diagnostic crossing the service boundary
+   must reconstruct to the same value, so [to_string] renders
+   identically on both sides — the context list travels as
+   comma-separated k:v pairs with both halves percent-encoded. *)
+let to_wire (d : t) : string =
+  Wire.kv
+    [ ("node", d.d_node);
+      ("stage", stage_name d.d_stage);
+      ("sev", severity_name d.d_severity);
+      ("msg", d.d_message);
+      ( "ctx",
+        String.concat ","
+          (List.map
+             (fun (k, v) -> Wire.enc k ^ ":" ^ Wire.enc v)
+             d.d_context) ) ]
+
+let of_wire (line : string) : (t, string) Result.t =
+  let kvs = Wire.parse_kv line in
+  let ( let* ) = Result.bind in
+  let* node = Wire.kv_find kvs "node" in
+  let* stage = Result.bind (Wire.kv_find kvs "stage") stage_of_name in
+  let* sev = Result.bind (Wire.kv_find kvs "sev") severity_of_name in
+  let* msg = Wire.kv_find kvs "msg" in
+  let* ctx_raw = Wire.kv_find kvs "ctx" in
+  let ctx =
+    if ctx_raw = "" then []
+    else
+      List.map
+        (fun pair ->
+           match String.index_opt pair ':' with
+           | Some i ->
+             ( Wire.dec (String.sub pair 0 i),
+               Wire.dec (String.sub pair (i + 1) (String.length pair - i - 1))
+             )
+           | None -> (Wire.dec pair, ""))
+        (String.split_on_char ',' ctx_raw)
+  in
+  Ok (make ~severity:sev ~context:ctx ~node ~stage msg)
 
 (* Exception -> diagnostic. [stage] is where the chain was when the
    exception escaped; recognizable exceptions override it (a parse

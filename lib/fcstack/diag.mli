@@ -15,6 +15,8 @@ type stage =
   | Sim        (** simulator runs, differential validation *)
   | Wcet       (** static analysis (refusals, diverged fixpoints) *)
   | Cache      (** analysis-store access *)
+  | Transport  (** service protocol/socket failure: the request was
+                   never answered — retryable, unlike a refusal *)
 
 type severity =
   | Error
@@ -31,6 +33,12 @@ type t = {
 val stage_name : stage -> string
 val severity_name : severity -> string
 
+val stage_of_name : string -> (stage, string) Result.t
+(** Inverse of {!stage_name} (wire decoding). *)
+
+val severity_of_name : string -> (severity, string) Result.t
+(** Inverse of {!severity_name} (wire decoding). *)
+
 val make :
   ?severity:severity -> ?context:(string * string) list -> node:string ->
   stage:stage -> string -> t
@@ -41,6 +49,15 @@ val to_string : t -> string
     newlines are flattened to ["; "]. *)
 
 val pp : Format.formatter -> t -> unit
+
+val to_wire : t -> string
+(** One-line structural encoding for the service protocol: the decoded
+    value is equal to the original (so {!to_string} renders identically
+    on both sides of the wire). *)
+
+val of_wire : string -> (t, string) Result.t
+(** Inverse of {!to_wire}; [Error] on missing fields or unknown
+    stage/severity names. *)
 
 val of_exn : node:string -> stage:stage -> exn -> t
 (** Convert an escaped exception. [stage] is where the chain was when

@@ -1,0 +1,197 @@
+(* The typed response surface of the compilation service.
+
+   A response carries the exact bytes the batch CLIs would have
+   produced for the same request — [rs_rtl]/[rs_output] for stdout,
+   [rs_notes] for the per-file stderr notes, [rs_annot] for the
+   annotation file — so "serve == batch" is a byte-equality statement,
+   plus the structured failure data: the per-request [status]
+   projection of the batch 0/1/2 exit contract and the [Diag.t] list
+   behind it. Divergence is still refusal — a [Srefused] response has
+   evidence, never a wrong answer; [Stransport] means the request was
+   never answered at all (retryable). *)
+
+type status =
+  | Sok         (* answered; payload is the full answer (exit 0) *)
+  | Srefused    (* toolchain refused: diagnostics carry why (exit 1/2) *)
+  | Stransport  (* protocol/socket failure: no answer, retry me *)
+
+let status_to_string (s : status) : string =
+  match s with
+  | Sok -> "ok"
+  | Srefused -> "refused"
+  | Stransport -> "transport"
+
+let status_of_string (s : string) : (status, string) Result.t =
+  match s with
+  | "ok" -> Ok Sok
+  | "refused" -> Ok Srefused
+  | "transport" -> Ok Stransport
+  | s -> Error (Printf.sprintf "unknown status %S (ok|refused|transport)" s)
+
+type t = {
+  rs_status : status;
+  rs_rtl : string;           (* --dump-rtl text (stdout prefix) *)
+  rs_output : string;        (* assembly / analysis report (stdout) *)
+  rs_notes : string;         (* per-file stderr notes (validation line) *)
+  rs_annot : string option;  (* annotation-file content, when requested *)
+  rs_pass_stats : Vcomp.Pass.pass_stats list;  (* vcomp middle end *)
+  rs_diags : Diag.t list;
+}
+
+let ok ?(rtl = "") ?(notes = "") ?annot ?(pass_stats = []) (output : string) :
+  t =
+  { rs_status = Sok;
+    rs_rtl = rtl;
+    rs_output = output;
+    rs_notes = notes;
+    rs_annot = annot;
+    rs_pass_stats = pass_stats;
+    rs_diags = [] }
+
+let refused (diags : Diag.t list) : t =
+  { rs_status = Srefused;
+    rs_rtl = "";
+    rs_output = "";
+    rs_notes = "";
+    rs_annot = None;
+    rs_pass_stats = [];
+    rs_diags = diags }
+
+(* A transport failure still names the node the caller asked about, so
+   the failure summary of a client run reads like a batch run's. *)
+let transport ~(node : string) (message : string) : t =
+  { rs_status = Stransport;
+    rs_rtl = "";
+    rs_output = "";
+    rs_notes = "";
+    rs_annot = None;
+    rs_pass_stats = [];
+    rs_diags = [ Diag.make ~node ~stage:Diag.Transport message ] }
+
+(* ---- pass-stats wire codec ------------------------------------------- *)
+
+(* [st_ms] travels as a %h hex float: exact round-trip for every finite
+   double, so a relayed stats record equals the measured one. *)
+let stats_to_wire (s : Vcomp.Pass.pass_stats) : string =
+  Wire.kv
+    [ ("pass", s.Vcomp.Pass.st_pass);
+      ("on", if s.Vcomp.Pass.st_enabled then "1" else "0");
+      ("rw", string_of_int s.Vcomp.Pass.st_rewrites);
+      ("rm", string_of_int s.Vcomp.Pass.st_removed);
+      ("ho", string_of_int s.Vcomp.Pass.st_hoisted);
+      ("ms", Printf.sprintf "%h" s.Vcomp.Pass.st_ms) ]
+
+let stats_of_wire (line : string) :
+  (Vcomp.Pass.pass_stats, string) Result.t =
+  let kvs = Wire.parse_kv line in
+  let ( let* ) = Result.bind in
+  let* pass = Wire.kv_find kvs "pass" in
+  let* on = Wire.kv_find kvs "on" in
+  let* rw = Wire.kv_int kvs "rw" in
+  let* rm = Wire.kv_int kvs "rm" in
+  let* ho = Wire.kv_int kvs "ho" in
+  let* ms_s = Wire.kv_find kvs "ms" in
+  match float_of_string_opt ms_s with
+  | None -> Error (Printf.sprintf "bad milliseconds field %S" ms_s)
+  | Some ms ->
+    Ok
+      { Vcomp.Pass.st_pass = pass;
+        st_enabled = on = "1";
+        st_rewrites = rw;
+        st_removed = rm;
+        st_hoisted = ho;
+        st_ms = ms }
+
+(* ---- response wire codec --------------------------------------------- *)
+
+(* Header line with byte lengths and record counts, then one line per
+   diagnostic, one per pass-stats record, then the four byte segments
+   (rtl, output, notes, annot) concatenated — lengths from the header
+   slice them back out, so segments carry arbitrary bytes. *)
+let to_wire (r : t) : string =
+  let annot = Option.value r.rs_annot ~default:"" in
+  let header =
+    Wire.kv
+      [ ("v", "1");
+        ("status", status_to_string r.rs_status);
+        ("rtl", string_of_int (String.length r.rs_rtl));
+        ("out", string_of_int (String.length r.rs_output));
+        ("notes", string_of_int (String.length r.rs_notes));
+        ("has-annot", if r.rs_annot = None then "0" else "1");
+        ("annot", string_of_int (String.length annot));
+        ("diags", string_of_int (List.length r.rs_diags));
+        ("stats", string_of_int (List.length r.rs_pass_stats)) ]
+  in
+  String.concat ""
+    ([ header; "\n" ]
+     @ List.concat_map (fun d -> [ Diag.to_wire d; "\n" ]) r.rs_diags
+     @ List.concat_map (fun s -> [ stats_to_wire s; "\n" ]) r.rs_pass_stats
+     @ [ r.rs_rtl; r.rs_output; r.rs_notes; annot ])
+
+let of_wire (payload : string) : (t, string) Result.t =
+  let ( let* ) = Result.bind in
+  let len = String.length payload in
+  (* read one \n-terminated line starting at [pos] *)
+  let line (pos : int) : (string * int, string) Result.t =
+    match String.index_from_opt payload pos '\n' with
+    | Some i -> Ok (String.sub payload pos (i - pos), i + 1)
+    | None -> Error "truncated response payload (missing line)"
+  in
+  let* header, pos = line 0 in
+  let kvs = Wire.parse_kv header in
+  let* v = Wire.kv_find kvs "v" in
+  if v <> "1" then Error (Printf.sprintf "unsupported response version %S" v)
+  else
+    let* status = Result.bind (Wire.kv_find kvs "status") status_of_string in
+    let* rtl_len = Wire.kv_int kvs "rtl" in
+    let* out_len = Wire.kv_int kvs "out" in
+    let* notes_len = Wire.kv_int kvs "notes" in
+    let* has_annot = Wire.kv_find kvs "has-annot" in
+    let* annot_len = Wire.kv_int kvs "annot" in
+    let* n_diags = Wire.kv_int kvs "diags" in
+    let* n_stats = Wire.kv_int kvs "stats" in
+    let rec lines (n : int) (pos : int) (acc : string list) :
+      (string list * int, string) Result.t =
+      if n = 0 then Ok (List.rev acc, pos)
+      else
+        let* l, pos = line pos in
+        lines (n - 1) pos (l :: acc)
+    in
+    let* diag_lines, pos = lines n_diags pos [] in
+    let* stats_lines, pos = lines n_stats pos [] in
+    let* diags =
+      List.fold_left
+        (fun acc l ->
+           let* acc = acc in
+           let* d = Diag.of_wire l in
+           Ok (d :: acc))
+        (Ok []) diag_lines
+    in
+    let* stats =
+      List.fold_left
+        (fun acc l ->
+           let* acc = acc in
+           let* s = stats_of_wire l in
+           Ok (s :: acc))
+        (Ok []) stats_lines
+    in
+    let segments = rtl_len + out_len + notes_len + annot_len in
+    if rtl_len < 0 || out_len < 0 || notes_len < 0 || annot_len < 0
+       || pos + segments > len
+    then Error "truncated response payload (segments)"
+    else
+      let rtl = String.sub payload pos rtl_len in
+      let pos = pos + rtl_len in
+      let output = String.sub payload pos out_len in
+      let pos = pos + out_len in
+      let notes = String.sub payload pos notes_len in
+      let pos = pos + notes_len in
+      let annot = String.sub payload pos annot_len in
+      Ok
+        { rs_status = status;
+          rs_rtl = rtl;
+          rs_output = output;
+          rs_notes = notes;
+          rs_annot = (if has_annot = "1" then Some annot else None);
+          rs_pass_stats = List.rev stats;
+          rs_diags = List.rev diags }

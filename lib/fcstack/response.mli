@@ -1,0 +1,49 @@
+(** The typed response surface of the compilation service: the exact
+    bytes the batch CLIs would have produced (so "serve == batch" is a
+    byte-equality statement) plus structured failure data. The batch
+    0/1/2 exit contract becomes the per-request {!status}: divergence
+    is still refusal with {!Diag.t} evidence, never a wrong answer;
+    transport failure means no answer at all (retryable). *)
+
+type status =
+  | Sok         (** answered; payload is the full answer (exit 0) *)
+  | Srefused    (** toolchain refused: {!t.rs_diags} carry why (the
+                    per-request face of exit 1/2) *)
+  | Stransport  (** protocol/socket failure: the request was never
+                    answered — retry against a (re)started daemon *)
+
+val status_to_string : status -> string
+(** ["ok"]/["refused"]/["transport"]. *)
+
+val status_of_string : string -> (status, string) Result.t
+
+type t = {
+  rs_status : status;
+  rs_rtl : string;           (** [--dump-rtl] text (stdout prefix) *)
+  rs_output : string;        (** assembly / analysis report (stdout) *)
+  rs_notes : string;         (** per-file stderr notes *)
+  rs_annot : string option;  (** annotation-file content, if requested *)
+  rs_pass_stats : Vcomp.Pass.pass_stats list;
+  rs_diags : Diag.t list;
+}
+
+val ok :
+  ?rtl:string -> ?notes:string -> ?annot:string ->
+  ?pass_stats:Vcomp.Pass.pass_stats list -> string -> t
+
+val refused : Diag.t list -> t
+
+val transport : node:string -> string -> t
+(** A transport failure naming the node the caller asked about, so a
+    client run's failure summary reads like a batch run's. *)
+
+val stats_to_wire : Vcomp.Pass.pass_stats -> string
+val stats_of_wire : string -> (Vcomp.Pass.pass_stats, string) Result.t
+(** Pass-stats line codec; [st_ms] travels as a [%h] hex float, so the
+    round-trip is exact for every finite double. *)
+
+val to_wire : t -> string
+val of_wire : string -> (t, string) Result.t
+(** Payload codec: header with byte lengths, diagnostic and stats
+    lines, then the raw byte segments. Decoded value equals the
+    original (qcheck-pinned). *)

@@ -75,20 +75,93 @@ let default : config =
     engine = Wcet.Report.Ipet;
     stream = None }
 
+(* ---- the session / request split (PR 9) ---------------------------
+
+   A persistent server holds state that outlives any one request (the
+   warm cache, the Domain pool width, the failure policy) and must
+   never let one request's options leak into the next (compiler,
+   passes, engine, worlds, fuel — everything that changes what a
+   single answer means). The two records below make that split a type:
+   [Service.run_request] combines one [session] with one
+   [request_opts] per request, so per-request state cannot be shared
+   by construction. The combined [config] record remains the internal
+   currency of [Chain]/[Par]/[Experiments]; [of_session_request] is
+   its one remaining constructor. *)
+
+type session = {
+  ss_jobs : int;                   (* Domains for per-node fan-out *)
+  ss_cache : Wcet.Memo.t option;   (* ONE warm cache for the whole session *)
+  ss_fail_fast : bool;             (* batch failure policy *)
+  ss_stream : stream_opts option;  (* batch execution shape *)
+}
+
+type request_opts = {
+  ro_compiler : compiler;
+  ro_worlds : int option;          (* validation battery size *)
+  ro_sim_fuel : int option;        (* simulator step budget *)
+  ro_analysis_fuel : Wcet.Fuel.t;  (* part of the analysis-cache key *)
+  ro_passes : Vcomp.Pass.options;  (* part of the analysis-cache key *)
+  ro_engine : Wcet.Report.engine;  (* part of the analysis-cache key *)
+}
+
+let default_session : session =
+  { ss_jobs = 1; ss_cache = None; ss_fail_fast = false; ss_stream = None }
+
+let default_request : request_opts =
+  { ro_compiler = Cvcomp;
+    ro_worlds = None;
+    ro_sim_fuel = None;
+    ro_analysis_fuel = Wcet.Fuel.default;
+    ro_passes = Vcomp.Pass.default_options;
+    ro_engine = Wcet.Report.Ipet }
+
+let session ?(jobs = 1) ?cache ?(fail_fast = false) ?stream () : session =
+  { ss_jobs = max 1 jobs; ss_cache = cache; ss_fail_fast = fail_fast;
+    ss_stream = stream }
+
+let request_opts ?(compiler = Cvcomp) ?worlds ?sim_fuel
+    ?(analysis_fuel = Wcet.Fuel.default)
+    ?(passes = Vcomp.Pass.default_options) ?(engine = Wcet.Report.Ipet) () :
+  request_opts =
+  { ro_compiler = compiler;
+    ro_worlds = worlds;
+    ro_sim_fuel = sim_fuel;
+    ro_analysis_fuel = analysis_fuel;
+    ro_passes = passes;
+    ro_engine = engine }
+
+let of_session_request (s : session) (r : request_opts) : config =
+  { jobs = s.ss_jobs;
+    cache = s.ss_cache;
+    fail_fast = s.ss_fail_fast;
+    stream = s.ss_stream;
+    compiler = r.ro_compiler;
+    worlds = r.ro_worlds;
+    sim_fuel = r.ro_sim_fuel;
+    analysis_fuel = r.ro_analysis_fuel;
+    passes = r.ro_passes;
+    engine = r.ro_engine }
+
+let session_of_config (c : config) : session =
+  { ss_jobs = c.jobs; ss_cache = c.cache; ss_fail_fast = c.fail_fast;
+    ss_stream = c.stream }
+
+let request_of_config (c : config) : request_opts =
+  { ro_compiler = c.compiler;
+    ro_worlds = c.worlds;
+    ro_sim_fuel = c.sim_fuel;
+    ro_analysis_fuel = c.analysis_fuel;
+    ro_passes = c.passes;
+    ro_engine = c.engine }
+
 let config ?(jobs = 1) ?cache ?worlds ?(compiler = Cvcomp)
     ?(fail_fast = false) ?sim_fuel ?(analysis_fuel = Wcet.Fuel.default)
     ?(passes = Vcomp.Pass.default_options) ?(engine = Wcet.Report.Ipet)
     ?stream () : config =
-  { jobs = max 1 jobs;
-    cache;
-    worlds;
-    compiler;
-    fail_fast;
-    sim_fuel;
-    analysis_fuel;
-    passes;
-    engine;
-    stream }
+  of_session_request
+    (session ~jobs ?cache ~fail_fast ?stream ())
+    (request_opts ~compiler ?worlds ?sim_fuel ~analysis_fuel ~passes ~engine
+       ())
 
 let with_jobs (jobs : int) (c : config) : config = { c with jobs = max 1 jobs }
 let with_cache (cache : Wcet.Memo.t option) (c : config) : config =

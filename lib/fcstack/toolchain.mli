@@ -63,12 +63,76 @@ val default : config
 (** Sequential, memory-only, verified-style, fault-containing
     ([fail_fast = false]), default fuel. *)
 
+(** {2 Session vs request (the service split)}
+
+    A persistent server ({!Service}) holds one [session] for its whole
+    lifetime — the warm {!Wcet.Memo}, the Domain pool width, the
+    failure policy — and combines it with a fresh [request_opts] per
+    request. Everything that changes what a single answer *means*
+    (compiler, passes, engine, worlds, fuel budgets — all the
+    analysis-cache key material) is request-scoped, so the server
+    cannot accidentally share per-request state: the split is a type,
+    not a convention. *)
+
+type session = {
+  ss_jobs : int;                   (** Domains for per-node fan-out (≥ 1) *)
+  ss_cache : Wcet.Memo.t option;   (** ONE warm cache for the session *)
+  ss_fail_fast : bool;             (** batch failure policy *)
+  ss_stream : stream_opts option;  (** batch execution shape *)
+}
+
+type request_opts = {
+  ro_compiler : compiler;
+  ro_worlds : int option;          (** validation battery size *)
+  ro_sim_fuel : int option;        (** simulator step budget *)
+  ro_analysis_fuel : Wcet.Fuel.t;  (** part of the analysis-cache key *)
+  ro_passes : Vcomp.Pass.options;  (** part of the analysis-cache key *)
+  ro_engine : Wcet.Report.engine;  (** part of the analysis-cache key *)
+}
+
+val default_session : session
+(** Sequential, memory-only cacheless, fault-containing, batch. *)
+
+val default_request : request_opts
+(** Verified-style compiler, default fuel/passes, IPET engine. *)
+
+val session :
+  ?jobs:int -> ?cache:Wcet.Memo.t -> ?fail_fast:bool ->
+  ?stream:stream_opts -> unit -> session
+(** Build session-scoped state; omitted fields take
+    {!default_session}'s. *)
+
+val request_opts :
+  ?compiler:compiler -> ?worlds:int -> ?sim_fuel:int ->
+  ?analysis_fuel:Wcet.Fuel.t -> ?passes:Vcomp.Pass.options ->
+  ?engine:Wcet.Report.engine -> unit -> request_opts
+(** Build request-scoped options; omitted fields take
+    {!default_request}'s. *)
+
+val of_session_request : session -> request_opts -> config
+(** The one remaining constructor of the combined record: combine
+    session state with one request's options. [Chain]/[Par]/
+    [Experiments] still consume the combined [config]; the service
+    layer builds one per request through this function. *)
+
+val session_of_config : config -> session
+(** Project the session-scoped fields out of a combined config. *)
+
+val request_of_config : config -> request_opts
+(** Project the request-scoped fields out of a combined config. *)
+
 val config :
   ?jobs:int -> ?cache:Wcet.Memo.t -> ?worlds:int -> ?compiler:compiler ->
   ?fail_fast:bool -> ?sim_fuel:int -> ?analysis_fuel:Wcet.Fuel.t ->
   ?passes:Vcomp.Pass.options -> ?engine:Wcet.Report.engine ->
   ?stream:stream_opts -> unit -> config
-(** Build a config in one call; omitted fields take {!default}s. *)
+  [@@ocaml.deprecated
+    "combine Toolchain.session with Toolchain.request_opts via \
+     of_session_request instead; the variadic builder conflates \
+     session- and request-scoped state and is removed next PR."]
+(** Build a config in one call; omitted fields take {!default}s.
+    @deprecated use {!of_session_request} — the flat builder conflates
+    session- and request-scoped state. *)
 
 val with_jobs : int -> config -> config
 val with_cache : Wcet.Memo.t option -> config -> config

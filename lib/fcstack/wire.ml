@@ -1,0 +1,162 @@
+(* Length-prefixed, versioned wire framing for the compilation service.
+
+   One frame is
+
+     fcd1 <kind> <len>\n<len bytes of payload>
+
+   — a text header (so cram tests can author frames with printf and a
+   human can read a capture) followed by an exact byte count, so
+   payloads carry arbitrary bytes (assembly, reports, source text)
+   without any in-band escaping at the frame layer. The version token
+   leads the header: a reader that sees anything but "fcd1" refuses
+   the whole stream rather than guessing at an incompatible peer —
+   protocol divergence is a refusal, never a misparse.
+
+   Above the frame layer, structured payloads are single-line
+   [k=v ...] records whose values are percent-encoded ([enc]/[dec]):
+   the metacharacters (space, '=', '%', newlines, ',' and ':' used by
+   the k=v and context syntaxes) travel as %XX, everything else as
+   itself. Encoding is deterministic, so encoded equality is value
+   equality — the byte-identity contracts extend to the wire. *)
+
+let protocol_version = "fcd1"
+
+(* Frames above this are a protocol error, not an allocation attempt:
+   a corrupt length must not make the reader swallow the stream. *)
+let max_frame_len = 64 * 1024 * 1024
+
+(* ---- percent-encoding ---------------------------------------------- *)
+
+let needs_escape (c : char) : bool =
+  match c with
+  | ' ' | '=' | '%' | '\n' | '\r' | ',' | ':' -> true
+  | c -> Char.code c < 0x20 || Char.code c > 0x7e
+
+let enc (s : string) : string =
+  if String.for_all (fun c -> not (needs_escape c)) s then s
+  else begin
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+         if needs_escape c then Buffer.add_string b (Printf.sprintf "%%%02X" (Char.code c))
+         else Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  end
+
+let hex_val (c : char) : int option =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+(* Permissive: a '%' not followed by two hex digits decodes as itself,
+   so [dec] never fails — malformed escapes surface as literal bytes
+   (and a round-tripped [enc] never produces them). *)
+let dec (s : string) : string =
+  match String.index_opt s '%' with
+  | None -> s
+  | Some _ ->
+    let b = Buffer.create (String.length s) in
+    let n = String.length s in
+    let i = ref 0 in
+    while !i < n do
+      (if s.[!i] = '%' && !i + 2 < n then
+         match (hex_val s.[!i + 1], hex_val s.[!i + 2]) with
+         | Some hi, Some lo ->
+           Buffer.add_char b (Char.chr ((hi * 16) + lo));
+           i := !i + 3
+         | _ ->
+           Buffer.add_char b s.[!i];
+           incr i
+       else begin
+         Buffer.add_char b s.[!i];
+         incr i
+       end)
+    done;
+    Buffer.contents b
+
+(* ---- k=v records ---------------------------------------------------- *)
+
+(* Keys are trusted identifiers (no escaping); values are [enc]-coded. *)
+let kv (kvs : (string * string) list) : string =
+  String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ enc v) kvs)
+
+let parse_kv (line : string) : (string * string) list =
+  String.split_on_char ' ' line
+  |> List.filter_map (fun tok ->
+      if tok = "" then None
+      else
+        match String.index_opt tok '=' with
+        | None -> Some (tok, "")
+        | Some i ->
+          Some
+            ( String.sub tok 0 i,
+              dec (String.sub tok (i + 1) (String.length tok - i - 1)) ))
+
+let kv_find (kvs : (string * string) list) (key : string) :
+  (string, string) Result.t =
+  match List.assoc_opt key kvs with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" key)
+
+let kv_int (kvs : (string * string) list) (key : string) :
+  (int, string) Result.t =
+  match kv_find kvs key with
+  | Error _ as e -> e
+  | Ok v ->
+    (match int_of_string_opt v with
+     | Some n -> Ok n
+     | None -> Error (Printf.sprintf "field %S is not an integer: %S" key v))
+
+(* ---- frames ---------------------------------------------------------- *)
+
+type frame =
+  | Frame of string * string  (* kind, payload *)
+  | Eof
+  | Bad of string             (* protocol error: refuse the stream *)
+
+let write_frame (oc : out_channel) ~(kind : string) (payload : string) : unit =
+  output_string oc
+    (Printf.sprintf "%s %s %d\n" protocol_version kind (String.length payload));
+  output_string oc payload
+
+(* Read the header up to '\n' byte by byte (bounded — a peer that
+   never sends a newline must not make us buffer forever). *)
+let read_header (ic : in_channel) : (string, frame) Result.t =
+  let b = Buffer.create 32 in
+  let rec go (n : int) : (string, frame) Result.t =
+    if n > 256 then Error (Bad "frame header too long")
+    else
+      match input_char ic with
+      | '\n' -> Ok (Buffer.contents b)
+      | c ->
+        Buffer.add_char b c;
+        go (n + 1)
+      | exception End_of_file ->
+        if Buffer.length b = 0 then Error Eof
+        else Error (Bad "truncated frame header")
+  in
+  go 0
+
+let read_frame (ic : in_channel) : frame =
+  match read_header ic with
+  | Error f -> f
+  | Ok header ->
+    (match String.split_on_char ' ' header with
+     | [ version; kind; len ] ->
+       if version <> protocol_version then
+         Bad
+           (Printf.sprintf "protocol version mismatch: peer speaks %S, I speak %S"
+              version protocol_version)
+       else
+         (match int_of_string_opt len with
+          | None -> Bad (Printf.sprintf "bad frame length %S" len)
+          | Some n when n < 0 || n > max_frame_len ->
+            Bad (Printf.sprintf "frame length %d out of range" n)
+          | Some n ->
+            (match really_input_string ic n with
+             | payload -> Frame (kind, payload)
+             | exception End_of_file -> Bad "truncated frame payload"))
+     | _ -> Bad (Printf.sprintf "malformed frame header %S" header))

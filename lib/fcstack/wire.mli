@@ -1,0 +1,51 @@
+(** Length-prefixed, versioned wire framing for the compilation
+    service ({!Service}). One frame is
+
+    {v fcd1 <kind> <len>\n<len bytes of payload> v}
+
+    — a text header (cram tests author frames with [printf]; captures
+    stay human-readable) followed by an exact byte count, so payloads
+    carry arbitrary bytes with no in-band escaping at the frame layer.
+    A reader that sees any version token but ["fcd1"] refuses the
+    stream: protocol divergence is a refusal, never a misparse.
+
+    Structured payloads above the frame layer are single-line
+    [k=v ...] records with percent-encoded values ({!enc}/{!dec});
+    encoding is deterministic, so encoded equality is value equality
+    and the toolchain's byte-identity contracts extend to the wire. *)
+
+val protocol_version : string
+(** ["fcd1"]. *)
+
+val max_frame_len : int
+(** Frames longer than this are a protocol error ([Bad]), not an
+    allocation attempt. *)
+
+val enc : string -> string
+(** Percent-encode the k=v metacharacters (space, ['='], ['%'],
+    newlines, [','], [':']) and non-printable bytes; deterministic. *)
+
+val dec : string -> string
+(** Inverse of {!enc}. Permissive: a ['%'] not followed by two hex
+    digits decodes as itself, so decoding never fails. *)
+
+val kv : (string * string) list -> string
+(** One-line record; keys are trusted identifiers, values go through
+    {!enc}. *)
+
+val parse_kv : string -> (string * string) list
+(** Parse a {!kv} line (values decoded). *)
+
+val kv_find : (string * string) list -> string -> (string, string) Result.t
+val kv_int : (string * string) list -> string -> (int, string) Result.t
+
+type frame =
+  | Frame of string * string  (** kind, payload *)
+  | Eof                       (** clean end of stream before a header *)
+  | Bad of string             (** protocol error: refuse the stream *)
+
+val write_frame : out_channel -> kind:string -> string -> unit
+(** Write one frame (caller flushes). *)
+
+val read_frame : in_channel -> frame
+(** Read one frame; blocks until a full frame, [Eof] or an error. *)

@@ -314,3 +314,52 @@ the cross-leg determinism witness:
   $ grep -o '"wcet_total_cycles": [0-9]*' scale_leg.json > stream_wcet.txt
   $ cmp batch_wcet.txt stream_wcet.txt && echo wcet-totals-identical
   wcet-totals-identical
+
+An unknown compiler name is a command-line error before any work runs,
+on both clients (the name<->variant map lives on the request surface):
+
+  $ ../bin/fcc.exe -c gcc gen/n000.mc 2>/dev/null
+  [124]
+  $ ../bin/aitw.exe -c gcc gen/n000.mc 2>/dev/null
+  [124]
+
+The stack serves: fcd owns one warm analysis session behind a
+Unix-domain socket, and fcc/aitw become thin clients of it with
+--connect. Served answers are byte-identical to the batch runs above
+— on stdout and on the per-pass stderr accounting — and a repeated
+analysis is answered from the warm cache (0 misses in the daemon's
+per-request accounting). --max-requests gives the daemon a
+deterministic lifetime, so the test needs no PID management:
+
+  $ ../bin/fcd.exe --socket fcd.sock --cache-dir servecache --max-requests 4 2> fcd.err &
+  $ i=0; while ! test -S fcd.sock && test $i -lt 100; do sleep 0.1; i=$((i+1)); done
+  $ ../bin/fcc.exe -c vcomp --connect fcd.sock gen/n000.mc gen/n001.mc > served_multi.s
+  pass constprop    0 rewritten,    0 removed,    0 hoisted
+  pass cse          9 rewritten,    0 removed,    0 hoisted
+  pass gvn         11 rewritten,    0 removed,    0 hoisted
+  pass licm         0 rewritten,    0 removed,    0 hoisted
+  pass deadcode     0 rewritten,    1 removed,    0 hoisted
+  $ cmp seq_multi.s served_multi.s && echo served-asm-identical
+  served-asm-identical
+  $ ../bin/aitw.exe -c vcomp --connect fcd.sock gen/n000.mc > served_cold.txt
+  $ ../bin/aitw.exe -c vcomp --connect fcd.sock gen/n000.mc > served_warm.txt
+  $ wait
+  $ cmp served_cold.txt served_warm.txt && echo served-warm-identical
+  served-warm-identical
+  $ cmp nocache_report.txt served_warm.txt && echo served-equals-batch
+  served-equals-batch
+  $ grep -Ec "fcd: req 4 analyze .* ok \| [1-9][0-9]* memory hits, 0 disk hits, 0 misses" fcd.err
+  1
+  $ grep -c "fcd: served 4 request(s)" fcd.err
+  1
+
+A malformed frame on a --stdio connection is refused with an err
+frame; the daemon exits cleanly at EOF:
+
+  $ printf 'fcd1 nonsense 0\n' | ../bin/fcd.exe --stdio > frames.out 2> stdio.err
+  $ head -1 frames.out
+  fcd1 err 29
+  $ grep -c "unknown frame kind" frames.out
+  1
+  $ grep -c "fcd: served 0 request(s)" stdio.err
+  1

@@ -87,7 +87,10 @@ let test_sim_fuel_diag () =
   (* a starved simulator budget surfaces as a Sim-stage diagnostic from
      the contained chain, never as an escaping exception *)
   let name, src = List.hd (named_workload ~nodes:1 ~seed:77) in
-  let config = Fcstack.Toolchain.config ~worlds:2 ~sim_fuel:1 () in
+  let config =
+    Fcstack.Toolchain.of_session_request Fcstack.Toolchain.default_session
+      (Fcstack.Toolchain.request_opts ~worlds:2 ~sim_fuel:1 ())
+  in
   match Fcstack.Par.chain_node ~config name src with
   | Ok _ -> Alcotest.fail "1-step simulation budget succeeded"
   | Error d ->
@@ -178,6 +181,23 @@ let test_chaos_matrix_engines () =
          [] r.Fcstack.Chaos.ch_problems)
     [ Wcet.Report.Omt; Wcet.Report.Both ]
 
+(* the server leg: a real fcd child SIGKILLed mid-request-stream must
+   surface as a transport failure, the retry after restart must
+   succeed against the same disk store, and every final response must
+   be byte-identical to a cold in-process batch (the daemon binary is
+   located relative to the test executable inside the dune tree) *)
+let test_chaos_server_leg () =
+  match Fcstack.Service.sibling_exe "fcd.exe" with
+  | None -> Alcotest.fail "fcd.exe not found next to the test executable"
+  | Some fcd_exe ->
+    let r =
+      Fcstack.Chaos.run ~seed:20260806 ~nodes:6 ~victims:2 ~fcd_exe ()
+    in
+    Alcotest.check Alcotest.bool "server leg ran" true
+      (List.mem "fcd-kill-restart" r.Fcstack.Chaos.ch_legs);
+    Alcotest.check (Alcotest.list Alcotest.string) "no containment violations"
+      [] r.Fcstack.Chaos.ch_problems
+
 (* ---- containment property: survivors are byte-identical ---- *)
 
 let survivors_identical_prop =
@@ -190,7 +210,11 @@ let survivors_identical_prop =
        let plan = Fcstack.Chaos.make_plan ~seed ~nodes ~victims:2 in
        let indexed = List.mapi (fun i x -> (i, x)) named in
        let run_leg (jobs : int) (cache : Wcet.Memo.t option) =
-         let config = Fcstack.Toolchain.config ~jobs ?cache ~worlds:2 () in
+         let config =
+           Fcstack.Toolchain.of_session_request
+             (Fcstack.Toolchain.session ~jobs ?cache ())
+             (Fcstack.Toolchain.request_opts ~worlds:2 ())
+         in
          Fcstack.Par.map_list ~jobs
            (fun (i, (name, src)) ->
               match List.assoc_opt i plan with
@@ -211,7 +235,11 @@ let survivors_identical_prop =
            (fun (name, src) ->
               match
                 Fcstack.Par.chain_node
-                  ~config:(Fcstack.Toolchain.config ~worlds:2 ()) name src
+                  ~config:
+                    (Fcstack.Toolchain.of_session_request
+                       Fcstack.Toolchain.default_session
+                       (Fcstack.Toolchain.request_opts ~worlds:2 ()))
+                  name src
               with
               | Ok r -> Fcstack.Chaos.render_result r
               | Error d ->
@@ -251,4 +279,5 @@ let suite =
     ("chaos: full fault-injection matrix", `Slow, test_chaos_matrix);
     ("chaos: matrix holds under the OMT and Both engines", `Slow,
      test_chaos_matrix_engines);
+    ("chaos: fcd kill/restart server leg", `Slow, test_chaos_server_leg);
     QCheck_alcotest.to_alcotest survivors_identical_prop ]

@@ -19,7 +19,12 @@ let build_src (text : string) : Minic.Ast.program =
 (* Chain.wcet takes a whole Toolchain.config; these tests only vary the
    cache field *)
 let wcet_c ~(cache : Wcet.Memo.t) (b : Fcstack.Chain.built) : Wcet.Report.t =
-  Fcstack.Chain.wcet ~config:(Fcstack.Toolchain.config ~cache ()) b
+  Fcstack.Chain.wcet
+    ~config:
+      (Fcstack.Toolchain.of_session_request
+         (Fcstack.Toolchain.session ~cache ())
+         Fcstack.Toolchain.default_request)
+    b
 
 (* ---- cached == uncached, on random programs, with a cache shared
    across iterations and compilers so hits actually occur ---- *)

@@ -165,7 +165,9 @@ let par_equals_seq_prop =
        List.for_all
          (fun compiler ->
             let config jobs =
-              Fcstack.Toolchain.config ~jobs ~worlds:2 ~compiler ()
+              Fcstack.Toolchain.of_session_request
+                (Fcstack.Toolchain.session ~jobs ())
+                (Fcstack.Toolchain.request_opts ~worlds:2 ~compiler ())
             in
             let seq =
               Fcstack.Par.run_chain ~config:(config 1) ~exact:true ~cycles:2
@@ -194,7 +196,11 @@ let chain_stream_equals_batch_prop =
          else
            Some (Array.sub arr lo (min shard_size (Array.length arr - lo)))
        in
-       let config jobs = Fcstack.Toolchain.config ~jobs ~worlds:2 () in
+       let config jobs =
+         Fcstack.Toolchain.of_session_request
+           (Fcstack.Toolchain.session ~jobs ())
+           (Fcstack.Toolchain.request_opts ~worlds:2 ())
+       in
        let batch =
          Fcstack.Par.run_chain ~config:(config 1) ~exact:true ~cycles:2
            workload
@@ -214,7 +220,11 @@ let workload_par_equals_seq_prop =
     QCheck.small_int
     (fun seed ->
        let nodes = 4 + (seed land 3) in
-       let config jobs = Fcstack.Toolchain.config ~jobs () in
+       let config jobs =
+         Fcstack.Toolchain.of_session_request
+           (Fcstack.Toolchain.session ~jobs ())
+           Fcstack.Toolchain.default_request
+       in
        Fcstack.Experiments.run_workload ~nodes ~seed:(2000 + seed)
          ~config:(config 4) ()
        = Fcstack.Experiments.run_workload ~nodes ~seed:(2000 + seed)
@@ -229,7 +239,10 @@ let test_parallel_wcet_soundness () =
   let named = List.map (fun (n, src) -> (n.Scade.Symbol.n_name, src)) program in
   let results =
     Fcstack.Par.run_chain
-      ~config:(Fcstack.Toolchain.config ~jobs:4 ~compiler:Fcstack.Chain.Cvcomp ())
+      ~config:
+        (Fcstack.Toolchain.of_session_request
+           (Fcstack.Toolchain.session ~jobs:4 ())
+           (Fcstack.Toolchain.request_opts ~compiler:Fcstack.Chain.Cvcomp ()))
       ~exact:true named
   in
   List.iter2
@@ -306,7 +319,12 @@ let test_shared_cache_across_domains () =
   let analyze ?cache (b : Fcstack.Chain.built) :
     (Wcet.Report.t, string) Result.t =
     match
-      Fcstack.Chain.wcet ~config:(Fcstack.Toolchain.config ?cache ()) b
+      Fcstack.Chain.wcet
+        ~config:
+          (Fcstack.Toolchain.of_session_request
+             (Fcstack.Toolchain.session ?cache ())
+             Fcstack.Toolchain.default_request)
+        b
     with
     | r -> Ok r
     | exception Wcet.Driver.Error m -> Error m

@@ -1,0 +1,380 @@
+(* Service-layer tests: the request/response/diag wire codecs
+   round-trip exactly, the CLI name<->variant maps round-trip
+   (qcheck-pinned, per the Chain.compiler_of_string deprecation), a
+   served request is byte-identical to a cold batch run of the same
+   request (serve == batch), a warm repeat answers from memory with
+   zero misses (warm == cold), and the framed serve loop contains
+   malformed input per the protocol contract: a bad *frame* poisons
+   the stream, a bad *request* costs only itself. *)
+
+module F = Fcstack
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* ---- deterministic random values (no QCheck shrinking needed:
+   every value is a pure function of the seed) ----------------------- *)
+
+let pick rng xs = List.nth xs (Random.State.int rng (List.length xs))
+
+let all_compilers =
+  [ F.Request.Cdefault_o0; Cdefault_o1; Cdefault_o2; Cvcomp ]
+
+let all_engines = [ Wcet.Report.Ipet; Omt; Both ]
+
+let all_stages =
+  [ F.Diag.Parse; Typecheck; Compile; Layout; Sim; Wcet; Cache; Transport ]
+
+(* strings with every byte value, newlines, '=', '%': the codecs must
+   survive arbitrary bytes in names, sources, notes and contexts *)
+let random_bytes rng maxlen =
+  let n = Random.State.int rng (maxlen + 1) in
+  String.init n (fun _ -> Char.chr (Random.State.int rng 256))
+
+let random_passes rng =
+  let b () = Random.State.bool rng in
+  { Vcomp.Pass.opt_constprop = b ();
+    opt_cse = b ();
+    opt_gvn = b ();
+    opt_licm = b ();
+    opt_deadcode = b ();
+    opt_validate = b ();
+    opt_fuel =
+      pick rng [ Vcomp.Pass.default_fuel; 1; 50 ] }
+
+let random_opts rng =
+  { F.Toolchain.ro_compiler = pick rng all_compilers;
+    ro_worlds = pick rng [ None; Some 1; Some 8 ];
+    ro_sim_fuel = pick rng [ None; Some 5000 ];
+    ro_analysis_fuel =
+      pick rng
+        [ Wcet.Fuel.default;
+          { Wcet.Fuel.default with fl_widen = 17; fl_omt = 3 } ];
+    ro_passes = random_passes rng;
+    ro_engine = pick rng all_engines }
+
+let random_action rng =
+  if Random.State.bool rng then
+    F.Request.Compile { ac_dump_rtl = Random.State.bool rng }
+  else
+    F.Request.Analyze
+      { an_compare = Random.State.bool rng;
+        an_simulate = Random.State.bool rng;
+        an_annot =
+          pick rng [ None; Some "out dir/node.annot"; Some "a=b%c\nd" ] }
+
+let random_request rng =
+  F.Request.make
+    ~name:("n" ^ random_bytes rng 24)
+    ~action:(random_action rng)
+    ~opts:(random_opts rng)
+    ~validate:(Random.State.bool rng)
+    ~exact:(Random.State.bool rng)
+    (random_bytes rng 200)
+
+let random_diag rng =
+  F.Diag.make
+    ~severity:(if Random.State.bool rng then F.Diag.Error else Warning)
+    ~context:
+      (List.init (Random.State.int rng 3) (fun i ->
+           (Printf.sprintf "k%d" i, random_bytes rng 16)))
+    ~node:("n" ^ random_bytes rng 16)
+    ~stage:(pick rng all_stages)
+    (random_bytes rng 60)
+
+let random_stats rng =
+  { Vcomp.Pass.st_pass = pick rng [ "constprop"; "gvn-cse"; "licm" ];
+    st_enabled = Random.State.bool rng;
+    st_rewrites = Random.State.int rng 100;
+    st_removed = Random.State.int rng 100;
+    st_hoisted = Random.State.int rng 100;
+    (* %h hex floats must round-trip any finite double exactly *)
+    st_ms = pick rng [ 0.0; 0.1; 1e-9; 123.456; Random.State.float rng 1e3 ] }
+
+let random_response rng =
+  { F.Response.rs_status = pick rng [ F.Response.Sok; Srefused; Stransport ];
+    rs_rtl = random_bytes rng 80;
+    rs_output = random_bytes rng 200;
+    rs_notes = random_bytes rng 80;
+    rs_annot = (if Random.State.bool rng then None else Some (random_bytes rng 80));
+    rs_pass_stats = List.init (Random.State.int rng 3) (fun _ -> random_stats rng);
+    rs_diags = List.init (Random.State.int rng 3) (fun _ -> random_diag rng) }
+
+(* ---- name<->variant maps (satellite: Chain.compiler_of_string is
+   deprecated in favor of these, so pin the round-trip) -------------- *)
+
+let compiler_roundtrip =
+  QCheck.Test.make ~count:50 ~name:"request: compiler name round-trip"
+    (QCheck.oneofl all_compilers)
+    (fun c ->
+       F.Request.compiler_of_string (F.Request.compiler_to_string c) = Ok c)
+
+let engine_roundtrip =
+  QCheck.Test.make ~count:50 ~name:"request: engine name round-trip"
+    (QCheck.oneofl all_engines)
+    (fun e ->
+       F.Request.engine_of_string (F.Request.engine_to_string e) = Ok e)
+
+let test_compiler_names () =
+  (* long names stay accepted; unknown names are data, not crashes *)
+  List.iter
+    (fun (s, c) -> checkb s true (F.Request.compiler_of_string s = Ok c))
+    [ ("default-O0", F.Request.Cdefault_o0);
+      ("default-O1", Cdefault_o1);
+      ("default-O2", Cdefault_o2);
+      ("vcomp", Cvcomp) ];
+  checkb "bad compiler name is an Error" true
+    (Result.is_error (F.Request.compiler_of_string "gcc"));
+  checkb "bad engine name is an Error" true
+    (Result.is_error (F.Request.engine_of_string "z3"))
+
+(* ---- wire codecs --------------------------------------------------- *)
+
+let request_wire_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"wire: request round-trip"
+    QCheck.small_int
+    (fun seed ->
+       let rng = Random.State.make [| seed; 0x5e40 |] in
+       let rq = random_request rng in
+       F.Request.of_wire (F.Request.to_wire rq) = Ok rq)
+
+let response_wire_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"wire: response round-trip"
+    QCheck.small_int
+    (fun seed ->
+       let rng = Random.State.make [| seed; 0x4e5 |] in
+       let rs = random_response rng in
+       F.Response.of_wire (F.Response.to_wire rs) = Ok rs)
+
+let diag_wire_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"wire: diag round-trip"
+    QCheck.small_int
+    (fun seed ->
+       let rng = Random.State.make [| seed; 0xd1a |] in
+       let d = random_diag rng in
+       F.Diag.of_wire (F.Diag.to_wire d) = Ok d)
+
+let test_wire_rejects () =
+  (* version/garbage problems are Errors, never exceptions *)
+  checkb "empty request payload" true
+    (Result.is_error (F.Request.of_wire ""));
+  checkb "wrong-version request" true
+    (Result.is_error (F.Request.of_wire "v=999\n"));
+  checkb "garbage response payload" true
+    (Result.is_error (F.Response.of_wire "not a response"));
+  checkb "garbage diag line" true
+    (Result.is_error (F.Diag.of_wire "not a diag"))
+
+(* ---- serve == batch ------------------------------------------------ *)
+
+(* timings differ run to run; everything else must be byte-identical *)
+let strip_ms (r : F.Response.t) : F.Response.t =
+  { r with
+    F.Response.rs_pass_stats =
+      List.map
+        (fun s -> { s with Vcomp.Pass.st_ms = 0.0 })
+        r.F.Response.rs_pass_stats }
+
+let source_of_seed seed =
+  Minic.Pp.program_to_string (Testlib.Gen.gen_program (seed land 0xFF))
+
+let serve_eq_batch =
+  QCheck.Test.make ~count:8
+    ~name:"service: warm session == fresh batch, and repeat has 0 misses"
+    QCheck.small_int
+    (fun seed ->
+       let rng = Random.State.make [| seed; 0xbeb |] in
+       let rq =
+         F.Request.make
+           ~name:(Printf.sprintf "p%03d.mc" seed)
+           ~action:
+             (F.Request.Analyze
+                { an_compare = false;
+                  an_simulate = false;
+                  an_annot = None })
+           ~opts:
+             (F.Toolchain.request_opts
+                ~compiler:(pick rng [ F.Request.Cvcomp; Cdefault_o1 ])
+                ~engine:(pick rng [ Wcet.Report.Ipet; Omt ])
+                ())
+           (source_of_seed seed)
+       in
+       let warm =
+         F.Service.create
+           ~state:(F.Toolchain.session ~cache:(Wcet.Memo.create ()) ())
+           ()
+       in
+       let cold () = F.Service.run_request (F.Service.create ()) rq in
+       let r1 = F.Service.run_request warm rq in
+       let before = F.Service.stats warm in
+       let r2 = F.Service.run_request warm rq in
+       let after = F.Service.stats warm in
+       let repeat_misses =
+         match (before, after) with
+         | Some b, Some a -> a.Wcet.Report.st_misses - b.Wcet.Report.st_misses
+         | _ -> -1
+       in
+       (* byte-identity holds unconditionally; the 0-miss warm repeat
+          only applies to answered requests — a refused analysis is
+          never cached (pinned in test_chaos), so its repeat re-misses *)
+       strip_ms r1 = strip_ms (cold ())
+       && strip_ms r2 = strip_ms r1
+       && (r1.F.Response.rs_status <> F.Response.Sok || repeat_misses = 0))
+
+let test_refusal_keeps_partial_artifacts () =
+  (* a refused compile still carries the artifacts produced before the
+     failure — batch fcc prints them, so serve == batch requires it *)
+  (* the chaos harness's canonical refusal injection: an unbounded
+     volatile-driven loop the analyzer must refuse to bound *)
+  let src =
+    Minic.Pp.program_to_string
+      (F.Chaos.apply_fault F.Chaos.Frefusal (Testlib.Gen.gen_program 3))
+  in
+  let rq =
+    F.Request.make ~name:"refused.mc"
+      ~action:(F.Request.Analyze
+                 { an_compare = false; an_simulate = false; an_annot = None })
+      src
+  in
+  let r = F.Service.run_request (F.Service.create ()) rq in
+  check Alcotest.string "status" "refused"
+    (F.Response.status_to_string r.F.Response.rs_status);
+  checkb "diags name the node" true
+    (List.exists (fun d -> d.F.Diag.d_node = "refused.mc") r.F.Response.rs_diags)
+
+(* ---- the framed serve loop ---------------------------------------- *)
+
+(* run serve_connection over a pair of pipes in its own domain; the
+   test plays the client on the other ends *)
+let with_connection ?max_requests (f : out_channel -> in_channel -> unit) :
+  F.Service.connection_end =
+  let r1, w1 = Unix.pipe () (* client -> server *) in
+  let r2, w2 = Unix.pipe () (* server -> client *) in
+  let s = F.Service.create () in
+  let server =
+    Domain.spawn (fun () ->
+        let ic = Unix.in_channel_of_descr r1 in
+        let oc = Unix.out_channel_of_descr w2 in
+        let e = F.Service.serve_connection ?max_requests ~log:false s ic oc in
+        (try flush oc with Sys_error _ -> ());
+        (try close_out oc with Sys_error _ -> ());
+        (try close_in ic with Sys_error _ -> ());
+        e)
+  in
+  let coc = Unix.out_channel_of_descr w1 in
+  let cic = Unix.in_channel_of_descr r2 in
+  f coc cic;
+  (try close_out coc with Sys_error _ -> ());
+  let e = Domain.join server in
+  (try close_in cic with Sys_error _ -> ());
+  e
+
+let simple_request name =
+  F.Request.make ~name ~action:(F.Request.Compile { ac_dump_rtl = false })
+    (source_of_seed 7)
+
+let read_kind ic =
+  match F.Wire.read_frame ic with
+  | F.Wire.Frame (kind, _) -> kind
+  | F.Wire.Eof -> "<eof>"
+  | F.Wire.Bad m -> "<bad: " ^ m ^ ">"
+
+let test_connection_bye () =
+  let e =
+    with_connection (fun oc ic ->
+        F.Wire.write_frame oc ~kind:"req"
+          (F.Request.to_wire (simple_request "a.mc"));
+        F.Wire.write_frame oc ~kind:"req"
+          (F.Request.to_wire (simple_request "b.mc"));
+        F.Wire.write_frame oc ~kind:"bye" "";
+        flush oc;
+        check Alcotest.string "first answer" "resp" (read_kind ic);
+        check Alcotest.string "second answer" "resp" (read_kind ic))
+  in
+  checkb "bye ends the connection" true (e = F.Service.Cend_eof)
+
+let test_connection_shutdown () =
+  let e =
+    with_connection (fun oc _ic ->
+        F.Wire.write_frame oc ~kind:"shutdown" "";
+        flush oc)
+  in
+  checkb "shutdown is signalled to the accept loop" true
+    (e = F.Service.Cend_shutdown)
+
+let test_connection_budget () =
+  let e =
+    with_connection ~max_requests:1 (fun oc ic ->
+        F.Wire.write_frame oc ~kind:"req"
+          (F.Request.to_wire (simple_request "a.mc"));
+        F.Wire.write_frame oc ~kind:"req"
+          (F.Request.to_wire (simple_request "b.mc"));
+        flush oc;
+        check Alcotest.string "budgeted answer" "resp" (read_kind ic);
+        (* the loop stops before reading the second request *)
+        check Alcotest.string "no second answer" "<eof>" (read_kind ic))
+  in
+  checkb "budget exhaustion is signalled" true (e = F.Service.Cend_budget)
+
+let test_connection_contains_bad_request () =
+  (* a well-framed malformed request costs only itself *)
+  let e =
+    with_connection (fun oc ic ->
+        F.Wire.write_frame oc ~kind:"req" "v=999\n";
+        F.Wire.write_frame oc ~kind:"nonsense" "";
+        F.Wire.write_frame oc ~kind:"req"
+          (F.Request.to_wire (simple_request "after.mc"));
+        F.Wire.write_frame oc ~kind:"bye" "";
+        flush oc;
+        check Alcotest.string "bad request -> err" "err" (read_kind ic);
+        check Alcotest.string "unknown kind -> err" "err" (read_kind ic);
+        check Alcotest.string "later request still served" "resp"
+          (read_kind ic))
+  in
+  checkb "stream survives malformed requests" true (e = F.Service.Cend_eof)
+
+let test_connection_poisoned_by_bad_frame () =
+  (* a malformed frame (not a malformed request) poisons the stream *)
+  let e =
+    with_connection (fun oc ic ->
+        output_string oc "this is not an fcd1 frame\n";
+        flush oc;
+        check Alcotest.string "bad frame -> err" "err" (read_kind ic);
+        check Alcotest.string "then hangup" "<eof>" (read_kind ic))
+  in
+  checkb "bad frame ends the connection" true (e = F.Service.Cend_eof)
+
+let test_client_transport_failure_is_data () =
+  (* connecting to a nonexistent socket yields a transport response,
+     not an exception *)
+  match F.Service.Client.connect "/nonexistent/dir/fcd.sock" with
+  | Ok _ -> Alcotest.fail "connect to a nonexistent socket succeeded"
+  | Error msg ->
+    checkb "error says it cannot connect" true
+      (String.length msg >= 14 && String.sub msg 0 14 = "cannot connect")
+
+let suite =
+  [ qcheck compiler_roundtrip;
+    qcheck engine_roundtrip;
+    Alcotest.test_case "request: name maps and rejects" `Quick
+      test_compiler_names;
+    qcheck request_wire_roundtrip;
+    qcheck response_wire_roundtrip;
+    qcheck diag_wire_roundtrip;
+    Alcotest.test_case "wire: malformed payloads are Errors" `Quick
+      test_wire_rejects;
+    qcheck serve_eq_batch;
+    Alcotest.test_case "service: refusal keeps partial artifacts" `Quick
+      test_refusal_keeps_partial_artifacts;
+    Alcotest.test_case "serve: bye ends the connection" `Quick
+      test_connection_bye;
+    Alcotest.test_case "serve: shutdown frame" `Quick
+      test_connection_shutdown;
+    Alcotest.test_case "serve: request budget" `Quick test_connection_budget;
+    Alcotest.test_case "serve: malformed request costs only itself" `Quick
+      test_connection_contains_bad_request;
+    Alcotest.test_case "serve: malformed frame poisons the stream" `Quick
+      test_connection_poisoned_by_bad_frame;
+    Alcotest.test_case "client: transport failure is data" `Quick
+      test_client_transport_failure_is_data ]
