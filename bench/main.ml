@@ -266,7 +266,7 @@ let run_scale (points : int list) (jobs : int) (shard_size : int)
    Wall clock varies run to run; the hit/miss columns and the
    byte-identity verdicts are the stable part. *)
 let run_serve (nodes : int) (engine : Wcet.Report.engine) (jobs : int)
-    (rounds : int) : int =
+    (rounds : int) (deadline_ms : int option) : int =
   let open Fcstack in
   let nodes = min 12 nodes in
   let tmp =
@@ -286,7 +286,7 @@ let run_serve (nodes : int) (engine : Wcet.Report.engine) (jobs : int)
            ~action:
              (Request.Analyze
                 { an_compare = false; an_simulate = false; an_annot = None })
-           ~opts
+           ~opts ?deadline_ms
            (Minic.Pp.program_to_string prog))
       (Scade.Workload.flight_program ~nodes ~seed:2026)
   in
@@ -428,9 +428,11 @@ let run_bench (experiment : string) (nodes : int)
     (stream : Fcstack.Toolchain.stream_opts option) (chaos : bool)
     (chaos_seed : int) (scale_points : int list)
     (scale_compiler : Fcstack.Toolchain.compiler) (scale_label : string)
-    (serve_rounds : int) (copts : Fcstack.Cliopts.cache_opts) : int =
+    (serve_rounds : int) (deadline_ms : int option)
+    (copts : Fcstack.Cliopts.cache_opts) : int =
   if chaos then run_chaos chaos_seed engine
-  else if experiment = "serve" then run_serve nodes engine jobs serve_rounds
+  else if experiment = "serve" then
+    run_serve nodes engine jobs serve_rounds deadline_ms
   else if experiment = "scale" then
     let shard_size =
       match stream with
@@ -605,6 +607,7 @@ let cmd =
       $ Fcstack.Cliopts.passes_term $ Fcstack.Cliopts.engine_term $ jobs_arg
       $ Fcstack.Cliopts.stream_term $ chaos_arg $ chaos_seed_arg
       $ scale_points_arg $ scale_compiler_arg $ scale_label_arg
-      $ serve_rounds_arg $ Fcstack.Cliopts.cache_term)
+      $ serve_rounds_arg $ Fcstack.Cliopts.deadline_ms_term
+      $ Fcstack.Cliopts.cache_term)
 
 let () = exit (Cmd.eval' cmd)

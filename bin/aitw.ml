@@ -36,8 +36,8 @@ let read_file (path : string) : string =
    refusal right here (Parse stage), never a service round-trip. *)
 let analyze_file (do_request : Fcstack.Request.t -> Fcstack.Response.t)
     (opts : Fcstack.Toolchain.request_opts) (compare_all : bool)
-    (simulate : bool) (annot_out : string option) (file : string) :
-  Fcstack.Response.t =
+    (simulate : bool) (annot_out : string option) ?deadline_ms
+    (file : string) : Fcstack.Response.t =
   let open Fcstack in
   match
     Diag.capture ~node:file ~stage:Diag.Parse (fun () -> read_file file)
@@ -51,12 +51,13 @@ let analyze_file (do_request : Fcstack.Request.t -> Fcstack.Response.t)
               { an_compare = compare_all;
                 an_simulate = simulate;
                 an_annot = annot_out })
-         ~opts source)
+         ~opts ?deadline_ms source)
 
 let run (files : string list) (compiler : Fcstack.Toolchain.compiler)
     (compare_all : bool) (simulate : bool) (annot_out : string option)
     (passes : Vcomp.Pass.options) (engine : Wcet.Report.engine) (jobs : int)
-    (fail_fast : bool) (connect : string option)
+    (fail_fast : bool) (connect : string option) (deadline_ms : int option)
+    (retry : Fcstack.Retry.policy) (fallback_local : bool)
     (copts : Fcstack.Cliopts.cache_opts) : int =
   let open Fcstack in
   if annot_out <> None && List.length files > 1 then begin
@@ -97,35 +98,18 @@ let run (files : string list) (compiler : Fcstack.Toolchain.compiler)
       if fail_fast && diags <> [] then 2
       else Diag.exit_code ~total ~failed:(List.length diags)
     in
-    match connect with
-    | Some socket ->
-      (* client of a running daemon: its warm cache serves repeats,
-         its stderr carries the accounting *)
-      (match Service.Client.connect socket with
-       | Error msg ->
-         prerr_endline msg;
-         2
-       | Ok conn ->
-         let analyze =
-           analyze_file (Service.Client.request conn) opts compare_all
-             simulate annot_out
-         in
-         let results = List.map analyze files in
-         let results = if fail_fast then upto results else results in
-         Service.Client.close conn;
-         finish results)
-    | None ->
-      (* one in-process session for the whole run: one cache (possibly
-         persistent) for all files and configurations; Wcet.Memo is
-         sharded and mutex-protected, so the -j domains share it
-         directly *)
+    (* one in-process session for the whole run: one cache (possibly
+       persistent) for all files and configurations; Wcet.Memo is
+       sharded and mutex-protected, so the -j domains share it
+       directly. Also the --fallback-local degradation target. *)
+    let run_local () : int =
       let session =
         Service.create ~state:(Cliopts.session_of_opts ~jobs ~fail_fast copts)
           ()
       in
       let analyze =
         analyze_file (Service.run_request session) opts compare_all simulate
-          annot_out
+          annot_out ?deadline_ms
       in
       let results =
         Par.map_list ~jobs:(Service.jobs session) analyze files
@@ -135,6 +119,79 @@ let run (files : string list) (compiler : Fcstack.Toolchain.compiler)
       Cliopts.report_session_stats session;
       Service.gc session;
       code
+    in
+    match connect with
+    | Some socket ->
+      (* Client of a running daemon: its warm cache serves repeats, its
+         stderr carries the accounting. Transport/busy failures retry
+         under the policy (reconnecting per attempt); refusals are
+         final; with --fallback-local an exhausted request degrades to
+         in-process execution with byte-identical output. *)
+      let retried = ref 0 and extra = ref 0 in
+      let timeout_s =
+        Option.map (fun ms -> (float_of_int ms /. 1000.0) +. 2.0) deadline_ms
+      in
+      let conn : Service.Client.conn option ref = ref None in
+      let get_conn () =
+        match !conn with
+        | Some c -> Ok c
+        | None ->
+          (match Service.Client.connect socket with
+           | Ok c ->
+             conn := Some c;
+             Ok c
+           | Error _ as e -> e)
+      in
+      let drop_conn () =
+        Option.iter Service.Client.close !conn;
+        conn := None
+      in
+      let local_session =
+        lazy
+          (Service.create
+             ~state:(Cliopts.session_of_opts ~jobs ~fail_fast copts)
+             ())
+      in
+      let do_request (rq : Request.t) : Response.t =
+        let r, attempts =
+          Retry.run ~policy:retry (fun ~attempt:_ ->
+              match get_conn () with
+              | Error msg -> Response.transport ~node:rq.Request.rq_name msg
+              | Ok c ->
+                let r = Service.Client.request ?timeout_s c rq in
+                if Retry.should_retry r.Response.rs_status then drop_conn ();
+                r)
+        in
+        if attempts > 1 then begin
+          incr retried;
+          extra := !extra + (attempts - 1)
+        end;
+        if fallback_local && Retry.should_retry r.Response.rs_status then begin
+          Printf.eprintf
+            "aitw: daemon unreachable for %s; falling back to local \
+             execution\n%!"
+            rq.Request.rq_name;
+          Service.run_request (Lazy.force local_session) rq
+        end
+        else r
+      in
+      (match get_conn () with
+       | Error msg when not fallback_local ->
+         prerr_endline msg;
+         2
+       | Error _ | Ok _ ->
+         let analyze =
+           analyze_file do_request opts compare_all simulate annot_out
+             ?deadline_ms
+         in
+         let results = List.map analyze files in
+         let results = if fail_fast then upto results else results in
+         drop_conn ();
+         let code = finish results in
+         Cliopts.report_retries ~tool:"aitw" ~requests:!retried
+           ~extra_attempts:!extra;
+         code)
+    | None -> run_local ()
   end
 
 open Cmdliner
@@ -170,6 +227,7 @@ let cmd =
       $ simulate_arg $ annot_out_arg $ Fcstack.Cliopts.passes_term
       $ Fcstack.Cliopts.engine_term $ jobs_arg
       $ Fcstack.Cliopts.fail_fast_term $ Fcstack.Cliopts.connect_term
-      $ Fcstack.Cliopts.cache_term)
+      $ Fcstack.Cliopts.deadline_ms_term $ Fcstack.Cliopts.retry_term
+      $ Fcstack.Cliopts.fallback_local_term $ Fcstack.Cliopts.cache_term)
 
 let () = exit (Cmd.eval' cmd)

@@ -35,7 +35,8 @@ let read_file (path : string) : string =
    (same containment as always). *)
 let compile_file (do_request : Fcstack.Request.t -> Fcstack.Response.t)
     (opts : Fcstack.Toolchain.request_opts) (validate : bool)
-    (dump_rtl : bool) (exact : bool) (file : string) : Fcstack.Response.t =
+    (dump_rtl : bool) (exact : bool) ?deadline_ms (file : string) :
+  Fcstack.Response.t =
   let open Fcstack in
   match
     Diag.capture ~node:file ~stage:Diag.Parse (fun () -> read_file file)
@@ -45,14 +46,16 @@ let compile_file (do_request : Fcstack.Request.t -> Fcstack.Response.t)
     do_request
       (Request.make ~name:file
          ~action:(Request.Compile { ac_dump_rtl = dump_rtl })
-         ~opts ~validate ~exact source)
+         ~opts ~validate ~exact ?deadline_ms source)
 
 let run (files : string list) (compiler : Fcstack.Toolchain.compiler)
     (output : string option) (validate : bool) (dump_rtl : bool)
     (exact : bool) (passes : Vcomp.Pass.options)
     (engine : Wcet.Report.engine) (jobs : int)
     (stream : Fcstack.Toolchain.stream_opts option) (fail_fast : bool)
-    (connect : string option) (copts : Fcstack.Cliopts.cache_opts) : int =
+    (connect : string option) (deadline_ms : int option)
+    (retry : Fcstack.Retry.policy) (fallback_local : bool)
+    (copts : Fcstack.Cliopts.cache_opts) : int =
   let open Fcstack in
   (* fcc never analyzes, but accepts --engine so the three CLI flag
      surfaces stay uniform (a request built here behaves identically
@@ -95,39 +98,17 @@ let run (files : string list) (compiler : Fcstack.Toolchain.compiler)
     if fail_fast && diags <> [] then 2
     else Diag.exit_code ~total ~failed:(List.length diags)
   in
-  match connect with
-  | Some socket ->
-    (* client of a running daemon: one connection, requests in input
-       order (the protocol is serial per connection) *)
-    (match Service.Client.connect socket with
-     | Error msg ->
-       prerr_endline msg;
-       2
-     | Ok conn ->
-       let compile =
-         compile_file (Service.Client.request conn) opts validate dump_rtl
-           exact
-       in
-       let results = List.map compile files in
-       let results = if fail_fast then upto results else results in
-       let oc = Option.map open_out output in
-       List.iter (emit oc) results;
-       Service.Client.close conn;
-       finish oc
-         (List.filter_map
-            (fun (r : Response.t) ->
-               if r.Response.rs_pass_stats = [] then None
-               else Some r.Response.rs_pass_stats)
-            results)
-         (List.concat_map (fun (r : Response.t) -> r.Response.rs_diags)
-            results))
-  | None ->
-    (* in-process service session: batch = one request per file *)
+  (* in-process service session: batch = one request per file. Also
+     the degradation target of --fallback-local, so it must be
+     reachable from the client branch — byte-identical output either
+     way, since both transports execute the same [run_request]. *)
+  let run_local () : int =
     let session =
       Service.create ~state:(Cliopts.session_of_opts ~jobs ~fail_fast ?stream copts) ()
     in
     let compile =
       compile_file (Service.run_request session) opts validate dump_rtl exact
+        ?deadline_ms
     in
     let oc = Option.map open_out output in
     (* Two execution shapes with byte-identical stdout (and -o file):
@@ -184,6 +165,97 @@ let run (files : string list) (compiler : Fcstack.Toolchain.compiler)
     (* cache maintenance only: fcc never analyzes, so no stats *)
     Service.gc session;
     finish oc stats_lists diags
+  in
+  match connect with
+  | Some socket ->
+    (* Client of a running daemon: one connection, requests in input
+       order (the protocol is serial per connection). Each request
+       runs under the retry policy — transport/busy failures reconnect
+       and re-issue (sound: requests are pure functions of request +
+       store), refusals are final. With --fallback-local, a request
+       that exhausts its retries (or a daemon that can't be reached at
+       all) degrades to in-process execution of the SAME requests, so
+       stdout stays byte-identical. *)
+    let retried = ref 0 and extra = ref 0 in
+    (* client-side wait bound: the server enforces the deadline, the
+       grace covers transit and the compile path's entry-only check *)
+    let timeout_s =
+      Option.map (fun ms -> (float_of_int ms /. 1000.0) +. 2.0) deadline_ms
+    in
+    let conn : Service.Client.conn option ref = ref None in
+    let get_conn () =
+      match !conn with
+      | Some c -> Ok c
+      | None ->
+        (match Service.Client.connect socket with
+         | Ok c ->
+           conn := Some c;
+           Ok c
+         | Error _ as e -> e)
+    in
+    let drop_conn () =
+      Option.iter Service.Client.close !conn;
+      conn := None
+    in
+    let local_session =
+      lazy
+        (Service.create
+           ~state:(Cliopts.session_of_opts ~jobs ~fail_fast ?stream copts)
+           ())
+    in
+    let do_request (rq : Request.t) : Response.t =
+      let r, attempts =
+        Retry.run ~policy:retry (fun ~attempt:_ ->
+            match get_conn () with
+            | Error msg -> Response.transport ~node:rq.Request.rq_name msg
+            | Ok c ->
+              let r = Service.Client.request ?timeout_s c rq in
+              (* a poisoned/berserk connection must not leak into the
+                 next attempt or the next file *)
+              if Retry.should_retry r.Response.rs_status then drop_conn ();
+              r)
+      in
+      if attempts > 1 then begin
+        incr retried;
+        extra := !extra + (attempts - 1)
+      end;
+      if fallback_local && Retry.should_retry r.Response.rs_status then begin
+        Printf.eprintf
+          "fcc: daemon unreachable for %s; falling back to local execution\n%!"
+          rq.Request.rq_name;
+        Service.run_request (Lazy.force local_session) rq
+      end
+      else r
+    in
+    (match get_conn () with
+     | Error msg when not fallback_local ->
+       prerr_endline msg;
+       2
+     | Error _ | Ok _ ->
+       (* connect failure with --fallback-local just means the first
+          request's attempts will fail fast and degrade *)
+       let compile =
+         compile_file do_request opts validate dump_rtl exact ?deadline_ms
+       in
+       let results = List.map compile files in
+       let results = if fail_fast then upto results else results in
+       let oc = Option.map open_out output in
+       List.iter (emit oc) results;
+       drop_conn ();
+       let code =
+         finish oc
+           (List.filter_map
+              (fun (r : Response.t) ->
+                 if r.Response.rs_pass_stats = [] then None
+                 else Some r.Response.rs_pass_stats)
+              results)
+           (List.concat_map (fun (r : Response.t) -> r.Response.rs_diags)
+              results)
+       in
+       Cliopts.report_retries ~tool:"fcc" ~requests:!retried
+         ~extra_attempts:!extra;
+       code)
+  | None -> run_local ()
 
 open Cmdliner
 
@@ -223,6 +295,7 @@ let cmd =
       $ validate_arg $ dump_rtl_arg $ exact_arg $ Fcstack.Cliopts.passes_term
       $ Fcstack.Cliopts.engine_term $ jobs_arg $ Fcstack.Cliopts.stream_term
       $ Fcstack.Cliopts.fail_fast_term $ Fcstack.Cliopts.connect_term
-      $ Fcstack.Cliopts.cache_term)
+      $ Fcstack.Cliopts.deadline_ms_term $ Fcstack.Cliopts.retry_term
+      $ Fcstack.Cliopts.fallback_local_term $ Fcstack.Cliopts.cache_term)
 
 let () = exit (Cmd.eval' cmd)

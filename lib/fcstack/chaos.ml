@@ -178,6 +178,13 @@ let run_leg_stream ~(plan : plan) ~(base : Toolchain.config)
     (Par.run_stream ~jobs ~consumer:(fun acc _ r -> r :: acc) ~init:[]
        ~producer ())
 
+let has_sub (s : string) (sub : string) : bool =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
 (* Check one leg's outcomes against the reference renderings and the
    plan; returns the violations (empty = contract holds). *)
 let check_leg ~(plan : plan) ~(reference : string array)
@@ -202,14 +209,6 @@ let check_leg ~(plan : plan) ~(reference : string array)
              (fault_name fault) name
              (Diag.stage_name d.Diag.d_stage)
              (Diag.stage_name (expected_stage fault));
-         let has_sub s sub =
-           let n = String.length sub in
-           let rec go i =
-             i + n <= String.length s
-             && (String.sub s i n = sub || go (i + 1))
-           in
-           go 0
-         in
          if fault = Ffuel && not (has_sub d.Diag.d_message "diverged") then
            bad "fuel exhaustion on %s not reported as divergence: %s" name
              d.Diag.d_message
@@ -406,6 +405,448 @@ let server_leg ~(seed : int) ~(engine : Wcet.Report.engine)
   rm_rf dir;
   List.rev !problems
 
+(* ---- hostile-input legs: the service's wire-level fault surface ------ *)
+
+(* Spawn a daemon for one hostile leg, run [f] against it, then shut it
+   down cleanly and *check the exit status*: nothing a hostile peer did
+   during the leg may leak into the daemon's exit — a daemon that dies
+   nonzero from a contained connection failure is itself a containment
+   violation. [restart] is for legs that SIGKILL the daemon: it reaps
+   the corpse, removes the stale socket and starts a fresh daemon on
+   the same path. *)
+let with_fcd ~(leg : string) ~(fcd_exe : string) ?pending_budget
+    ?read_timeout_ms
+    (f :
+       bad:(string -> unit) -> socket:string -> pid:int ref ->
+       restart:(unit -> unit) -> unit) : string list =
+  (* raw hostile writes against a daemon that already hung up must
+     surface as EPIPE, not kill the harness *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let problems = ref [] in
+  let bad s = problems := (leg ^ ": " ^ s) :: !problems in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fcchaos-%s-%d" leg (Unix.getpid ()))
+  in
+  rm_rf dir;
+  Sys.mkdir dir 0o755;
+  let socket = Filename.concat dir "fcd.sock" in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0o644 in
+  let pid = ref (-1) in
+  let start () =
+    pid :=
+      Service.spawn ~stderr_to:devnull
+        (Service.daemon_argv ~exe:fcd_exe ~socket ?pending_budget
+           ?read_timeout_ms ());
+    if not (Service.wait_for_path socket) then
+      bad "daemon socket never appeared"
+  in
+  let restart () =
+    (* only legal after the old daemon was killed: reap the corpse so
+       the harness leaks no zombies, clear the stale socket so
+       [wait_for_path] waits for the NEW daemon's bind *)
+    if !pid > 0 then begin
+      (try ignore (Unix.waitpid [] !pid) with Unix.Unix_error _ -> ());
+      pid := -1
+    end;
+    (try Sys.remove socket with Sys_error _ -> ());
+    start ()
+  in
+  start ();
+  (try f ~bad ~socket ~pid ~restart
+   with e -> bad ("leg raised: " ^ Printexc.to_string e));
+  (* clean shutdown, and the daemon must exit 0 *)
+  (match Service.Client.connect socket with
+   | Ok c -> Service.Client.shutdown c
+   | Error msg ->
+     bad ("cannot connect for shutdown: " ^ msg);
+     if !pid > 0 then
+       (try Unix.kill !pid Sys.sigterm with Unix.Unix_error _ -> ()));
+  (if !pid > 0 then begin
+     let deadline = Unix.gettimeofday () +. 10.0 in
+     let rec reap () =
+       match Unix.waitpid [ Unix.WNOHANG ] !pid with
+       | 0, _ ->
+         if Unix.gettimeofday () > deadline then begin
+           bad "daemon did not exit within 10s of shutdown; killed";
+           (try Unix.kill !pid Sys.sigkill with Unix.Unix_error _ -> ());
+           ignore (Unix.waitpid [] !pid)
+         end
+         else begin
+           Unix.sleepf 0.02;
+           reap ()
+         end
+       | _, Unix.WEXITED 0 -> ()
+       | _, Unix.WEXITED n ->
+         bad (Printf.sprintf "daemon exited %d after the leg" n)
+       | _, _ -> bad "daemon died on a signal after the leg"
+     in
+     try reap () with Unix.Unix_error _ -> ()
+   end);
+  (try Unix.close devnull with Unix.Unix_error _ -> ());
+  rm_rf dir;
+  List.rev !problems
+
+let raw_connect (socket : string) : Unix.file_descr option =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | () -> Some fd
+  | exception Unix.Unix_error _ ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    None
+
+let raw_send (fd : Unix.file_descr) (s : string) : bool =
+  let b = Bytes.of_string s in
+  match
+    let pos = ref 0 in
+    while !pos < Bytes.length b do
+      pos := !pos + Unix.write fd b !pos (Bytes.length b - !pos)
+    done
+  with
+  | () -> true
+  | exception Unix.Unix_error _ -> false
+
+let raw_reader ?(timeout_s = 10.0) (fd : Unix.file_descr) : Wire.fd_reader =
+  let rd = Wire.fd_reader fd in
+  Wire.set_read_timeout rd (Some timeout_s);
+  rd
+
+let frame_desc : Wire.frame -> string = function
+  | Wire.Frame (k, _) -> Printf.sprintf "a %S frame" k
+  | Wire.Eof -> "EOF"
+  | Wire.Bad m -> Printf.sprintf "protocol error %S" m
+
+let raw_close (fd : Unix.file_descr) : unit =
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* One (request, cold-batch expectation) the hostile legs replay to
+   prove the daemon still answers correctly after the hostility. *)
+type probe = { pr_name : string; pr_rq : Request.t; pr_expect : string }
+
+let client_probe ~(bad : string -> unit) ~(socket : string) ~(note : string)
+    (p : probe) : unit =
+  match Service.Client.connect socket with
+  | Error msg -> bad (Printf.sprintf "%s: connect failed: %s" note msg)
+  | Ok c ->
+    let r = Service.Client.request ~timeout_s:60.0 c p.pr_rq in
+    Service.Client.close c;
+    if r.Response.rs_status <> Response.Sok then
+      bad
+        (Printf.sprintf "%s: request %s not ok (%s)" note p.pr_name
+           (Response.status_to_string r.Response.rs_status))
+    else if r.Response.rs_output <> p.pr_expect then
+      bad
+        (Printf.sprintf "%s: response for %s diverged from the cold batch \
+                         reference" note p.pr_name)
+
+(* Hostile frames: an oversized length prefix must be refused before
+   any allocation and poison the stream; a torn frame (header promises
+   more payload than ever arrives) must cost only its own connection;
+   well-framed garbage must cost only that request — and after all
+   three the same daemon still serves a real request byte-identically. *)
+let oversized_frame_leg ~(fcd_exe : string) (p : probe) : string list =
+  with_fcd ~leg:"oversized-frame" ~fcd_exe
+    (fun ~bad ~socket ~pid:_ ~restart:_ ->
+       (* (a) hostile length prefix, far beyond any legal frame *)
+       (match raw_connect socket with
+        | None -> bad "connect for the oversized prefix failed"
+        | Some fd ->
+          let rd = raw_reader fd in
+          if raw_send fd "fcd1 req 999999999999\n" then begin
+            (match Wire.read_frame_fd ~idle_timeout:true rd with
+             | Wire.Frame ("err", _) -> ()
+             | f ->
+               bad
+                 (Printf.sprintf
+                    "oversized prefix answered with %s, expected an err frame"
+                    (frame_desc f)));
+            match Wire.read_frame_fd ~idle_timeout:true rd with
+            | Wire.Eof -> ()
+            | f ->
+              bad
+                (Printf.sprintf
+                   "stream not poisoned after an oversized prefix (%s)"
+                   (frame_desc f))
+          end
+          else bad "could not send the oversized prefix";
+          raw_close fd);
+       (* (b) torn frame: promise 100 payload bytes, send 10, hang up *)
+       (match raw_connect socket with
+        | None -> bad "connect for the torn frame failed"
+        | Some fd ->
+          let rd = raw_reader fd in
+          if raw_send fd "fcd1 req 100\n0123456789" then begin
+            (try Unix.shutdown fd Unix.SHUTDOWN_SEND
+             with Unix.Unix_error _ -> ());
+            match Wire.read_frame_fd ~idle_timeout:true rd with
+            | Wire.Frame ("err", msg) ->
+              if not (has_sub msg "truncated") then
+                bad ("torn frame refused with unexpected message: " ^ msg)
+            | f ->
+              bad
+                (Printf.sprintf
+                   "torn frame answered with %s, expected an err frame"
+                   (frame_desc f))
+          end
+          else bad "could not send the torn frame";
+          raw_close fd);
+       (* (c) well-framed garbage costs the request, not the
+          connection: the same connection then serves a real request *)
+       (match raw_connect socket with
+        | None -> bad "connect for the garbage frame failed"
+        | Some fd ->
+          let rd = raw_reader ~timeout_s:60.0 fd in
+          if raw_send fd "fcd1 req 9\ngarbage!!" then begin
+            (match Wire.read_frame_fd ~idle_timeout:true rd with
+             | Wire.Frame ("err", _) -> ()
+             | f ->
+               bad
+                 (Printf.sprintf
+                    "garbage request answered with %s, expected an err frame"
+                    (frame_desc f)));
+            match
+              Wire.write_frame_fd fd ~kind:"req" (Request.to_wire p.pr_rq)
+            with
+            | () ->
+              (match Wire.read_frame_fd ~idle_timeout:true rd with
+               | Wire.Frame ("resp", payload) ->
+                 (match Response.of_wire payload with
+                  | Ok r ->
+                    if r.Response.rs_output <> p.pr_expect then
+                      bad "response after garbage diverged from the cold \
+                           batch reference"
+                  | Error e -> bad ("undecodable response after garbage: " ^ e))
+               | f ->
+                 bad
+                   (Printf.sprintf
+                      "connection poisoned by well-framed garbage (%s)"
+                      (frame_desc f)))
+            | exception Unix.Unix_error _ ->
+              bad "connection closed by well-framed garbage"
+          end
+          else bad "could not send the garbage frame";
+          raw_close fd);
+       (* (d) a fresh connection still gets the right answer *)
+       client_probe ~bad ~socket ~note:"after hostile frames" p)
+
+(* Slow-loris: a peer that commits to a frame and then stalls past the
+   daemon's read timeout is poisoned (err frame naming the timeout,
+   hang up) — and the daemon immediately serves the next client. *)
+let slow_loris_leg ~(fcd_exe : string) (p : probe) : string list =
+  with_fcd ~leg:"slow-loris" ~fcd_exe ~read_timeout_ms:250
+    (fun ~bad ~socket ~pid:_ ~restart:_ ->
+       (match raw_connect socket with
+        | None -> bad "connect failed"
+        | Some fd ->
+          let rd = raw_reader fd in
+          (* half a header, then silence: past --read-timeout-ms the
+             daemon must poison the stream, not wait us out *)
+          if raw_send fd "fcd1 re" then begin
+            match Wire.read_frame_fd ~idle_timeout:true rd with
+            | Wire.Frame ("err", msg) ->
+              if not (has_sub msg "timed out") then
+                bad ("stalled sender refused with unexpected message: " ^ msg)
+            | f ->
+              bad
+                (Printf.sprintf
+                   "stalled sender answered with %s, expected an err frame"
+                   (frame_desc f))
+          end
+          else bad "could not send the partial header";
+          raw_close fd);
+       client_probe ~bad ~socket ~note:"after the slow-loris peer" p)
+
+(* SIGSTOP'd daemon: the client's deadline fires (a transport failure,
+   never a hang, never a wrong answer); after SIGCONT the retry policy
+   reconnects and succeeds byte-identically. *)
+let sigstop_deadline_leg ~(fcd_exe : string) (p : probe) : string list =
+  with_fcd ~leg:"sigstop-deadline" ~fcd_exe
+    (fun ~bad ~socket ~pid ~restart:_ ->
+       match Service.Client.connect socket with
+       | Error msg -> bad ("connect failed: " ^ msg)
+       | Ok c ->
+         (try Unix.kill !pid Sys.sigstop with Unix.Unix_error _ -> ());
+         let r =
+           Service.Client.request ~timeout_s:0.5 c
+             { p.pr_rq with Request.rq_deadline_ms = Some 400 }
+         in
+         if r.Response.rs_status <> Response.Stransport then
+           bad
+             (Printf.sprintf
+                "request against a stopped daemon returned %s, expected a \
+                 transport failure"
+                (Response.status_to_string r.Response.rs_status));
+         Service.Client.close c;
+         (try Unix.kill !pid Sys.sigcont with Unix.Unix_error _ -> ());
+         (* the retry policy's reconnect-per-attempt path succeeds *)
+         let r, attempts =
+           Retry.run
+             ~policy:{ Retry.default with Retry.r_base_ms = 20; r_seed = 1 }
+             (fun ~attempt:_ ->
+                match Service.Client.connect socket with
+                | Error msg -> Response.transport ~node:p.pr_name msg
+                | Ok c ->
+                  let r = Service.Client.request ~timeout_s:60.0 c p.pr_rq in
+                  Service.Client.close c;
+                  r)
+         in
+         if r.Response.rs_status <> Response.Sok then
+           bad
+             (Printf.sprintf "retry after SIGCONT not ok (%s, %d attempts)"
+                (Response.status_to_string r.Response.rs_status)
+                attempts)
+         else if r.Response.rs_output <> p.pr_expect then
+           bad "retried response diverged from the cold batch reference")
+
+(* ENOSPC-style store write failure, in-process: every 2-hex fanout
+   slot of the store directory is pre-created as a regular FILE, so
+   every entry write fails (ENOTDIR under the slot) and every load
+   misses — injected persistent-store write failure without filling a
+   disk. The contract: the run behaves exactly like an uncached one —
+   zero failures, reference-identical bytes, silent miss. *)
+let enospc_store_leg ~(base : Toolchain.config) ~(reference : string array)
+    (named : (string * Minic.Ast.program) list) : string list =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fcchaos-enospc-%d" (Unix.getpid ()))
+  in
+  rm_rf dir;
+  Sys.mkdir dir 0o755;
+  let hex = "0123456789abcdef" in
+  String.iter
+    (fun a ->
+       String.iter
+         (fun b ->
+            let oc =
+              open_out (Filename.concat dir (Printf.sprintf "%c%c" a b))
+            in
+            close_out oc)
+         hex)
+    hex;
+  let cache = Wcet.Memo.create ~dir () in
+  let outcomes =
+    Par.map_list ~jobs:2
+      (fun (name, src) ->
+         Par.chain_node
+           ~config:{ base with Toolchain.cache = Some cache }
+           name src)
+      named
+  in
+  let ps = check_leg ~plan:[] ~reference named "enospc-store" outcomes in
+  rm_rf dir;
+  ps
+
+(* Overload + crash: with a pending budget of 1, park one connection in
+   service and one in the queue so the next arrival is shed with a fast
+   busy frame; the shed request is retried to success once the load
+   drains. Then SIGKILL the daemon and retry the next request through a
+   restart. Every answered byte matches the cold batch reference. *)
+let kill_under_load_leg ~(fcd_exe : string) (work : probe list) : string list =
+  with_fcd ~leg:"kill-under-load" ~fcd_exe ~pending_budget:1
+    (fun ~bad ~socket ~pid ~restart ->
+       match work with
+       | [] -> ()
+       | p0 :: rest ->
+         (* phase 1: saturate. [load_a] is meant to be in service
+            (blocked on its first header byte — idle is legal) while
+            [load_b] fills the budget-1 pending queue. But if the
+            daemon is still mid-startup both loads sit in the listen
+            backlog and get drained in ONE accept batch, shedding
+            [load_b] itself — a later arrival would then be queued,
+            not shed. So saturation is OBSERVED, not assumed: probe
+            with raw connections until one reads a busy frame. A probe
+            that times out instead was queued, and (closed or not) it
+            keeps holding the queue slot until the serve loop reaps
+            it, so the next probe is deterministically shed. *)
+         let load_a = raw_connect socket in
+         Unix.sleepf 0.1;
+         let load_b = raw_connect socket in
+         Unix.sleepf 0.1;
+         if load_a = None || load_b = None then
+           bad "load connections failed";
+         let drained = ref false in
+         let drain_load () =
+           if not !drained then begin
+             drained := true;
+             List.iter (Option.iter raw_close) [ load_a; load_b ]
+           end
+         in
+         let saw_busy = ref false in
+         let tries = ref 0 in
+         while (not !saw_busy) && !tries < 20 do
+           incr tries;
+           (match raw_connect socket with
+            | None -> Unix.sleepf 0.05
+            | Some fd ->
+              let rd = raw_reader ~timeout_s:2.0 fd in
+              (match Wire.read_frame_fd ~idle_timeout:true rd with
+               | Wire.Frame ("busy", _) -> saw_busy := true
+               | _ -> ());
+              raw_close fd)
+         done;
+         if not !saw_busy then
+           bad "saturated daemon never shed a request with a busy frame";
+         let r, attempts =
+           Retry.run
+             ~policy:
+               { Retry.default with Retry.r_attempts = 5; r_base_ms = 20;
+                 r_seed = 2 }
+             ~on_retry:(fun ~attempt:_ ~backoff_ms:_ (_ : Response.t) ->
+                 drain_load ())
+             (fun ~attempt:_ ->
+                match Service.Client.connect socket with
+                | Error msg -> Response.transport ~node:p0.pr_name msg
+                | Ok c ->
+                  let r = Service.Client.request ~timeout_s:60.0 c p0.pr_rq in
+                  Service.Client.close c;
+                  r)
+         in
+         if r.Response.rs_status <> Response.Sok then
+           bad
+             (Printf.sprintf
+                "shed request not retried to success (%s after %d attempts)"
+                (Response.status_to_string r.Response.rs_status)
+                attempts)
+         else if r.Response.rs_output <> p0.pr_expect then
+           bad "retried shed response diverged from the cold batch reference";
+         drain_load ();
+         (* phase 2: SIGKILL mid-stream, retry through a restart *)
+         match rest with
+         | [] -> ()
+         | p1 :: _ ->
+           (try Unix.kill !pid Sys.sigkill with Unix.Unix_error _ -> ());
+           let restarted = ref false in
+           let r, _ =
+             Retry.run
+               ~policy:
+                 { Retry.default with Retry.r_attempts = 5; r_base_ms = 20;
+                   r_seed = 3 }
+               ~on_retry:(fun ~attempt:_ ~backoff_ms:_ _ ->
+                   if not !restarted then begin
+                     restarted := true;
+                     restart ()
+                   end)
+               (fun ~attempt:_ ->
+                  match Service.Client.connect socket with
+                  | Error msg -> Response.transport ~node:p1.pr_name msg
+                  | Ok c ->
+                    let r = Service.Client.request ~timeout_s:60.0 c p1.pr_rq in
+                    Service.Client.close c;
+                    r)
+           in
+           if not !restarted then
+             bad "request against the killed daemon unexpectedly succeeded";
+           if r.Response.rs_status <> Response.Sok then
+             bad
+               (Printf.sprintf "retry through the restart not ok (%s)"
+                  (Response.status_to_string r.Response.rs_status))
+           else if r.Response.rs_output <> p1.pr_expect then
+             bad "post-restart response diverged from the cold batch \
+                  reference")
+
 type report = {
   ch_nodes : int;
   ch_victims : (string * fault) list;
@@ -504,24 +945,57 @@ let run ?(seed = 20260806) ?(nodes = 14) ?(victims = 3)
     rm_rf dir;
     ps
   in
-  (* server leg (needs the real daemon binary): kill/restart fcd
-     mid-request-stream, retry, byte-compare against the batch
-     reference *)
+  (* injected persistent-store WRITE failure (the truncated-store leg
+     above injects read corruption): always in-process, always runs *)
+  let enospc_problems = enospc_store_leg ~base ~reference named in
+  (* server legs (need the real daemon binary): kill/restart fcd
+     mid-request-stream, plus the hostile-input matrix — oversized and
+     torn frames, a stalled sender, a SIGSTOP'd daemon under a client
+     deadline, and overload shedding with a SIGKILL under load *)
   let server_legs, server_problems =
     match fcd_exe with
     | None -> ([], [])
     | Some exe ->
-      ([ "fcd-kill-restart" ], server_leg ~seed ~engine ~fcd_exe:exe named)
+      let probes =
+        let opts = Toolchain.request_opts ~engine () in
+        let s = Service.create () in
+        List.filteri (fun i _ -> i < 2) named
+        |> List.map (fun (name, src) ->
+            let rq =
+              Request.make ~name
+                ~action:
+                  (Request.Analyze
+                     { an_compare = false;
+                       an_simulate = false;
+                       an_annot = None })
+                ~opts
+                (Minic.Pp.program_to_string src)
+            in
+            { pr_name = name;
+              pr_rq = rq;
+              pr_expect = (Service.run_request s rq).Response.rs_output })
+      in
+      let nth_probe i = List.nth probes (i mod List.length probes) in
+      ( [ "fcd-kill-restart"; "oversized-frame"; "slow-loris";
+          "sigstop-deadline"; "kill-under-load" ],
+        server_leg ~seed ~engine ~fcd_exe:exe named
+        @ (if probes = [] then []
+           else
+             oversized_frame_leg ~fcd_exe:exe (nth_probe 0)
+             @ slow_loris_leg ~fcd_exe:exe (nth_probe 0)
+             @ sigstop_deadline_leg ~fcd_exe:exe (nth_probe 1)
+             @ kill_under_load_leg ~fcd_exe:exe probes) )
   in
   { ch_nodes = nodes;
     ch_victims =
       List.map (fun (i, f) -> (fst (List.nth named i), f)) plan;
     ch_legs =
       List.map (fun l -> l.leg_name) legs
-      @ [ stream_leg_name; "truncated-store" ]
+      @ [ stream_leg_name; "truncated-store"; "enospc-store" ]
       @ server_legs;
     ch_problems =
-      problems @ stream_problems @ store_problems @ server_problems }
+      problems @ stream_problems @ store_problems @ enospc_problems
+      @ server_problems }
 
 let print_report (ppf : Format.formatter) (r : report) : unit =
   Format.fprintf ppf "@[<v>chaos: %d nodes, %d faults injected@,"

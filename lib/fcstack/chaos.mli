@@ -48,11 +48,30 @@ val run :
     exercised per engine (survivor byte-identity is well-defined
     within one engine).
 
-    [fcd_exe] adds the server leg: a real fcd child is SIGKILLed under
-    two seeded requests mid-stream; the in-flight request must surface
-    as a transport failure (never a wrong answer), the retry against a
-    restarted daemon on the same socket and disk store must succeed,
-    every final response must be byte-identical to a cold in-process
-    batch run, and the surviving daemon must shut down cleanly. *)
+    Beyond the (jobs x cache) legs, the matrix always runs two store
+    legs: [truncated-store] (read corruption is a silent miss) and
+    [enospc-store] (entry WRITE failures are a silent miss — the run
+    is byte-identical to an uncached one, zero failures).
+
+    [fcd_exe] adds the server legs against a real fcd child:
+    - [fcd-kill-restart]: SIGKILL under two seeded requests
+      mid-stream; the in-flight request surfaces as a transport
+      failure (never a wrong answer), the retry against a restarted
+      daemon on the same socket and disk store succeeds, and every
+      final response is byte-identical to a cold in-process batch run;
+    - [oversized-frame]: a hostile length prefix is refused before
+      allocation and poisons its stream; a torn frame and well-framed
+      garbage each cost only themselves;
+    - [slow-loris]: a sender that stalls mid-frame is poisoned by the
+      daemon's read timeout, never parks it;
+    - [sigstop-deadline]: a SIGSTOP'd daemon surfaces as a client
+      transport failure (deadline fires); after SIGCONT the retry
+      policy succeeds byte-identically;
+    - [kill-under-load]: past the pending budget a request is shed
+      with a fast busy frame and retried to success once the load
+      drains; a SIGKILL mid-stream is retried through a restart.
+
+    In every server leg the daemon must exit 0 at the end: no
+    contained connection failure may leak into its exit status. *)
 
 val print_report : Format.formatter -> report -> unit

@@ -224,6 +224,80 @@ let connect_term : string option Term.t =
            only changes wall clock. A transport failure is reported \
            per input file and never mistaken for an answer.")
 
+(* ---- resilience flags (deadline, retry, local fallback) ---- *)
+
+let deadline_ms_term : int option Term.t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-request wall-clock deadline. A request the server (or \
+           the in-process session) cannot answer within $(docv) \
+           milliseconds is refused with a deadline diagnostic — never \
+           a partial or late answer, and never cached. Clients also \
+           bound their wait on the daemon accordingly.")
+
+let retries_arg : int Term.t =
+  Arg.(
+    value
+    & opt int Retry.default.Retry.r_attempts
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Total attempts per request over $(b,--connect) (default 3). \
+           Only transport failures and busy-shed requests are retried \
+           — a refusal is the answer and is never re-issued. Safe \
+           because requests are pure functions of request + store.")
+
+let retry_base_ms_arg : int Term.t =
+  Arg.(
+    value
+    & opt int Retry.default.Retry.r_base_ms
+    & info [ "retry-base-ms" ] ~docv:"MS"
+        ~doc:
+          "Backoff before the second attempt (default 100); doubles \
+           per attempt with seeded jitter, capped.")
+
+let retry_seed_arg : int Term.t =
+  Arg.(
+    value
+    & opt int Retry.default.Retry.r_seed
+    & info [ "retry-seed" ] ~docv:"SEED"
+        ~doc:
+          "Jitter seed for the retry backoff schedule (default 0). \
+           The schedule is a pure function of the policy, so a seed \
+           pins it exactly.")
+
+let retry_term : Retry.policy Term.t =
+  Term.(
+    const (fun attempts base seed ->
+        { Retry.default with
+          Retry.r_attempts = max 1 attempts;
+          r_base_ms = max 0 base;
+          r_seed = seed })
+    $ retries_arg $ retry_base_ms_arg $ retry_seed_arg)
+
+let fallback_local_term : bool Term.t =
+  Arg.(
+    value & flag
+    & info [ "fallback-local" ]
+        ~doc:
+          "With $(b,--connect): if the daemon is unreachable (connect \
+           failure, or a request still failing on transport/busy after \
+           its retries), degrade to in-process execution instead of \
+           reporting a transport failure. Output bytes are identical \
+           to a pure $(b,--connect) or pure in-process run; a stderr \
+           note records each degradation.")
+
+(* Cumulative retry accounting, stderr-only (stdout byte-identity is
+   non-negotiable): one line at end of run, printed only when a retry
+   actually happened so retry-free runs keep a clean stderr. *)
+let report_retries ~(tool : string) ~(requests : int)
+    ~(extra_attempts : int) : unit =
+  if requests > 0 then
+    Printf.eprintf "%s: retried %d request(s) (%d extra attempt(s))\n%!" tool
+      requests extra_attempts
+
 let memo_of_opts (o : cache_opts) : Wcet.Memo.t option =
   if o.co_no_cache then None
   else Some (Wcet.Memo.create ?dir:o.co_dir ?gc_mb:o.co_gc_mb ())

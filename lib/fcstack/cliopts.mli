@@ -47,6 +47,27 @@ val connect_term : string option Cmdliner.Term.t
 (** [--connect SOCKET]: run as a client of an [fcd] daemon instead of
     in-process. [None] = in-process (the default). *)
 
+val deadline_ms_term : int option Cmdliner.Term.t
+(** [--deadline-ms MS]: per-request wall-clock deadline; expiry is a
+    refusal with a [Deadline] diag, never a partial or late answer,
+    never cached. *)
+
+val retry_term : Retry.policy Cmdliner.Term.t
+(** [--retries N], [--retry-base-ms MS] and [--retry-seed SEED],
+    assembled into a {!Retry.policy} (defaults {!Retry.default}).
+    Attempts are clamped to [>= 1]. *)
+
+val fallback_local_term : bool Cmdliner.Term.t
+(** [--fallback-local]: with [--connect], degrade to in-process
+    execution when the daemon is unreachable or a request exhausts its
+    retries on transport/busy — byte-identical output, stderr note per
+    degradation. *)
+
+val report_retries : tool:string -> requests:int -> extra_attempts:int -> unit
+(** One stderr line of cumulative retry accounting
+    (["<tool>: retried R request(s) (E extra attempt(s))"]); silent
+    when [requests = 0]. stdout is never touched. *)
+
 val memo_of_opts : cache_opts -> Wcet.Memo.t option
 (** The cache the flags ask for: [None] under [--no-cache], persistent
     when a directory is configured, memory-only otherwise. *)

@@ -24,6 +24,9 @@ type stage =
   | Sim        (* simulator runs, differential validation *)
   | Wcet       (* static analysis (refusals, diverging fixpoints) *)
   | Cache      (* analysis-store access *)
+  | Deadline   (* request deadline expired mid-work: refusal, the
+                  answer stopped being useful — NOT retryable (a
+                  retry would just expire again) and never cached *)
   | Transport  (* service protocol/socket failure: retryable, no answer *)
 
 type severity =
@@ -47,6 +50,7 @@ let stage_name (s : stage) : string =
   | Sim -> "sim"
   | Wcet -> "wcet"
   | Cache -> "cache"
+  | Deadline -> "deadline"
   | Transport -> "transport"
 
 let stage_of_name (s : string) : (stage, string) Result.t =
@@ -58,6 +62,7 @@ let stage_of_name (s : string) : (stage, string) Result.t =
   | "sim" -> Ok Sim
   | "wcet" -> Ok Wcet
   | "cache" -> Ok Cache
+  | "deadline" -> Ok Deadline
   | "transport" -> Ok Transport
   | s -> Error (Printf.sprintf "unknown diagnostic stage %S" s)
 
@@ -150,6 +155,10 @@ let of_exn ~(node : string) ~(stage : stage) (e : exn) : t =
   | Minic.Lexer.Lex_error (msg, pos) ->
     make ~node ~stage:Parse ~context:[ ("pos", string_of_int pos) ] msg
   | Wcet.Driver.Error msg -> make ~node ~stage:Wcet msg
+  | Wcet.Fuel.Expired ->
+    make ~node ~stage:Deadline
+      "request deadline expired before the analysis finished (refusing to \
+       answer late)"
   | Minic.Interp.Out_of_fuel ->
     make ~node ~stage:Sim "simulation step budget exhausted"
   | Minic.Interp.Runtime_error msg -> make ~node ~stage:Sim msg

@@ -15,6 +15,9 @@ type stage =
   | Sim        (** simulator runs, differential validation *)
   | Wcet       (** static analysis (refusals, diverged fixpoints) *)
   | Cache      (** analysis-store access *)
+  | Deadline   (** request deadline expired mid-work: refusal (the
+                   answer stopped being useful), never cached, not
+                   retryable *)
   | Transport  (** service protocol/socket failure: the request was
                    never answered — retryable, unlike a refusal *)
 

@@ -49,6 +49,8 @@ type action =
                                     quoted in the report text, so it is
                                     part of the request *)
     }
+  | Ping  (* liveness probe: answers with session stats, runs no
+             toolchain work and consumes no request budget *)
 
 type t = {
   rq_name : string;    (* node/file name diagnostics will carry *)
@@ -59,17 +61,25 @@ type t = {
   rq_opts : Toolchain.request_opts;
   rq_validate : bool;  (* whole-chain differential validation (fcc) *)
   rq_exact : bool;     (* disable semantics-relaxing optimizations *)
+  rq_deadline_ms : int option;
+  (* wall-clock budget the server may spend before answering: past it,
+     the request is refused with a Deadline diag — refusal, never a
+     partial or unsound answer, and never cached. Deliberately NOT in
+     [rq_opts]: the deadline is about when an answer stops being
+     useful, not what the answer is, so it must stay out of every
+     cache key. *)
 }
 
 let make ?(name = "<request>") ?(action = Compile { ac_dump_rtl = false })
     ?(opts = Toolchain.default_request) ?(validate = false) ?(exact = false)
-    (source : string) : t =
+    ?deadline_ms (source : string) : t =
   { rq_name = name;
     rq_source = source;
     rq_action = action;
     rq_opts = opts;
     rq_validate = validate;
-    rq_exact = exact }
+    rq_exact = exact;
+    rq_deadline_ms = deadline_ms }
 
 (* ---- wire codec ------------------------------------------------------ *)
 
@@ -134,6 +144,7 @@ let to_wire (rq : t) : string =
         ("compare", bool_bit an_compare);
         ("simulate", bool_bit an_simulate);
         ("annot", Option.value an_annot ~default:"-") ]
+    | Ping -> [ ("action", "ping") ]
   in
   let o = rq.rq_opts in
   let fuel = o.Toolchain.ro_analysis_fuel in
@@ -149,7 +160,8 @@ let to_wire (rq : t) : string =
          ("fbb", string_of_int fuel.Wcet.Fuel.fl_bb_nodes);
          ("fomt", string_of_int fuel.Wcet.Fuel.fl_omt);
          ("validate", bool_bit rq.rq_validate);
-         ("exact", bool_bit rq.rq_exact) ]
+         ("exact", bool_bit rq.rq_exact);
+         ("deadline", opt_int rq.rq_deadline_ms) ]
      @ passes_fields o.Toolchain.ro_passes)
   ^ "\n" ^ rq.rq_source
 
@@ -182,7 +194,8 @@ let of_wire (payload : string) : (t, string) Result.t =
              { an_compare = compare;
                an_simulate = simulate;
                an_annot = (if annot = "-" then None else Some annot) })
-      | a -> Error (Printf.sprintf "unknown action %S (compile|analyze)" a)
+      | "ping" -> Ok Ping
+      | a -> Error (Printf.sprintf "unknown action %S (compile|analyze|ping)" a)
     in
     let* compiler =
       Result.bind (Wire.kv_find kvs "compiler") compiler_of_string
@@ -196,6 +209,13 @@ let of_wire (payload : string) : (t, string) Result.t =
     let* fl_omt = Wire.kv_int kvs "fomt" in
     let* validate = Result.bind (Wire.kv_find kvs "validate") bit_bool in
     let* exact = Result.bind (Wire.kv_find kvs "exact") bit_bool in
+    (* lenient: a v=1 peer from before deadlines simply omits the
+       field, which means "no deadline" — not a protocol error *)
+    let* deadline_ms =
+      match List.assoc_opt "deadline" kvs with
+      | None -> Ok None
+      | Some s -> int_opt s
+    in
     let* passes = passes_of_fields kvs in
     Ok
       { rq_name = name;
@@ -210,4 +230,5 @@ let of_wire (payload : string) : (t, string) Result.t =
             ro_passes = passes;
             ro_engine = engine };
         rq_validate = validate;
-        rq_exact = exact }
+        rq_exact = exact;
+        rq_deadline_ms = deadline_ms }

@@ -37,6 +37,8 @@ type action =
       an_annot : string option;  (** annotation-file path (quoted in the
                                      report text, hence request data) *)
     }
+  | Ping  (** liveness probe: answers with session stats, runs no
+              toolchain work, consumes no request budget *)
 
 type t = {
   rq_name : string;    (** node/file name diagnostics will carry *)
@@ -46,13 +48,20 @@ type t = {
   rq_opts : Toolchain.request_opts;
   rq_validate : bool;  (** whole-chain differential validation *)
   rq_exact : bool;     (** disable semantics-relaxing optimizations *)
+  rq_deadline_ms : int option;
+  (** wall-clock budget the server may spend before answering: past
+      it, the request is refused with a [Deadline] diag — never a
+      partial or unsound answer, never cached. Not part of
+      {!Toolchain.request_opts} by design: a deadline says when an
+      answer stops being useful, not what the answer is, so it stays
+      out of every cache key. *)
 }
 
 val make :
   ?name:string -> ?action:action -> ?opts:Toolchain.request_opts ->
-  ?validate:bool -> ?exact:bool -> string -> t
+  ?validate:bool -> ?exact:bool -> ?deadline_ms:int -> string -> t
 (** [make source]: defaults are a plain compile under
-    {!Toolchain.default_request}. *)
+    {!Toolchain.default_request}, no deadline. *)
 
 val to_wire : t -> string
 (** Wire payload: one [k=v] header line, then the raw source bytes. *)

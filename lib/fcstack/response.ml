@@ -13,20 +13,23 @@
 type status =
   | Sok         (* answered; payload is the full answer (exit 0) *)
   | Srefused    (* toolchain refused: diagnostics carry why (exit 1/2) *)
+  | Sbusy       (* server shed the request unstarted: retry me *)
   | Stransport  (* protocol/socket failure: no answer, retry me *)
 
 let status_to_string (s : status) : string =
   match s with
   | Sok -> "ok"
   | Srefused -> "refused"
+  | Sbusy -> "busy"
   | Stransport -> "transport"
 
 let status_of_string (s : string) : (status, string) Result.t =
   match s with
   | "ok" -> Ok Sok
   | "refused" -> Ok Srefused
+  | "busy" -> Ok Sbusy
   | "transport" -> Ok Stransport
-  | s -> Error (Printf.sprintf "unknown status %S (ok|refused|transport)" s)
+  | s -> Error (Printf.sprintf "unknown status %S (ok|refused|busy|transport)" s)
 
 type t = {
   rs_status : status;
@@ -61,6 +64,18 @@ let refused (diags : Diag.t list) : t =
    the failure summary of a client run reads like a batch run's. *)
 let transport ~(node : string) (message : string) : t =
   { rs_status = Stransport;
+    rs_rtl = "";
+    rs_output = "";
+    rs_notes = "";
+    rs_annot = None;
+    rs_pass_stats = [];
+    rs_diags = [ Diag.make ~node ~stage:Diag.Transport message ] }
+
+(* Shedding is load control, not an answer about the request: like
+   [transport], the payload is empty and the status invites a retry —
+   the request was never started, so re-issuing it is always sound. *)
+let busy ~(node : string) (message : string) : t =
+  { rs_status = Sbusy;
     rs_rtl = "";
     rs_output = "";
     rs_notes = "";

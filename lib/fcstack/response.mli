@@ -9,11 +9,13 @@ type status =
   | Sok         (** answered; payload is the full answer (exit 0) *)
   | Srefused    (** toolchain refused: {!t.rs_diags} carry why (the
                     per-request face of exit 1/2) *)
+  | Sbusy       (** server shed the request before starting it
+                    (overload control) — always safe to retry *)
   | Stransport  (** protocol/socket failure: the request was never
                     answered — retry against a (re)started daemon *)
 
 val status_to_string : status -> string
-(** ["ok"]/["refused"]/["transport"]. *)
+(** ["ok"]/["refused"]/["busy"]/["transport"]. *)
 
 val status_of_string : string -> (status, string) Result.t
 
@@ -36,6 +38,9 @@ val refused : Diag.t list -> t
 val transport : node:string -> string -> t
 (** A transport failure naming the node the caller asked about, so a
     client run's failure summary reads like a batch run's. *)
+
+val busy : node:string -> string -> t
+(** A shed request: never started, empty payload, always retryable. *)
 
 val stats_to_wire : Vcomp.Pass.pass_stats -> string
 val stats_of_wire : string -> (Vcomp.Pass.pass_stats, string) Result.t

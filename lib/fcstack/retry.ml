@@ -1,0 +1,77 @@
+(* Deterministic retry with exponential backoff for service clients.
+
+   Retrying is only sound when re-issuing cannot change the answer,
+   and only useful when the failure was about the *channel*, not the
+   *request*. Both conditions are decidable from the status:
+
+   - [Stransport]: the request was never answered (socket died,
+     protocol poisoned, daemon restarting) — a retry against a
+     (re)started daemon answers from the same store, and requests are
+     pure functions of request + store, so the retried answer is the
+     answer.
+   - [Sbusy]: the server shed the request before starting it — by
+     construction nothing happened; retry after backing off.
+   - [Srefused] is NEVER retried: a refusal is the answer ("this
+     request diverges / missed its deadline"), and hammering a daemon
+     with requests it just refused is how overload happens.
+   - [Sok] needs no retry.
+
+   The schedule is a pure function of the policy (seeded jitter, no
+   wall-clock input), so a retry sequence is reproducible in tests and
+   across client fleets a seed apart — determinism extends to failure
+   handling. *)
+
+type policy = {
+  r_attempts : int;  (* total attempts, including the first (>= 1) *)
+  r_base_ms : int;   (* backoff before attempt 2; doubles per attempt *)
+  r_max_ms : int;    (* backoff ceiling *)
+  r_seed : int;      (* jitter seed *)
+}
+
+let default : policy =
+  { r_attempts = 3; r_base_ms = 100; r_max_ms = 5_000; r_seed = 0 }
+
+(* The full backoff schedule up front: sleep [i] precedes attempt
+   [i + 2]. Exponential with a ceiling, plus up to 25% seeded jitter so
+   a fleet of clients sharing a policy but not a seed doesn't
+   stampede a recovering daemon in lockstep. *)
+let backoffs (p : policy) : int list =
+  let rng =
+    Random.State.make [| p.r_seed; p.r_attempts; p.r_base_ms; 0xBAC0FF |]
+  in
+  List.init
+    (max 0 (p.r_attempts - 1))
+    (fun i ->
+       let exp =
+         min p.r_max_ms
+           (p.r_base_ms * (1 lsl min i 20))  (* shift-safe past 2^20 *)
+       in
+       let jitter =
+         if exp <= 0 then 0 else Random.State.int rng (exp / 4 + 1)
+       in
+       min p.r_max_ms (exp + jitter))
+
+let should_retry (s : Response.status) : bool =
+  match s with
+  | Response.Stransport | Response.Sbusy -> true
+  | Response.Sok | Response.Srefused -> false
+
+(* [run ~policy f] calls [f ~attempt] (attempt numbers from 1) until it
+   returns a non-retryable response or attempts run out; returns the
+   last response and the number of attempts made. [sleep] is the
+   backoff actuator (injectable so tests run at full speed);
+   [on_retry] observes each retry decision (clients report cumulative
+   counts on stderr from it). *)
+let run ?(policy = default) ?(sleep = fun ms -> Unix.sleepf (float ms /. 1e3))
+    ?(on_retry = fun ~attempt:_ ~backoff_ms:_ _ -> ())
+    (f : attempt:int -> Response.t) : Response.t * int =
+  let rec go (attempt : int) (pending : int list) : Response.t * int =
+    let r = f ~attempt in
+    match pending with
+    | backoff_ms :: rest when should_retry r.Response.rs_status ->
+      on_retry ~attempt ~backoff_ms r;
+      if backoff_ms > 0 then sleep backoff_ms;
+      go (attempt + 1) rest
+    | _ -> (r, attempt)
+  in
+  go 1 (backoffs policy)

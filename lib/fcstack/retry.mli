@@ -1,0 +1,38 @@
+(** Deterministic retry with exponential backoff for service clients.
+
+    Retries only {!Response.Stransport} (never answered) and
+    {!Response.Sbusy} (shed unstarted) — sound because requests are
+    pure functions of request + store. {!Response.Srefused} is NEVER
+    retried: a refusal is the answer. The backoff schedule is a pure
+    function of the policy (seeded jitter, no wall-clock input), so
+    retry behaviour is reproducible — determinism extends to failure
+    handling. *)
+
+type policy = {
+  r_attempts : int;  (** total attempts, including the first (>= 1) *)
+  r_base_ms : int;   (** backoff before attempt 2; doubles per attempt *)
+  r_max_ms : int;    (** backoff ceiling *)
+  r_seed : int;      (** jitter seed *)
+}
+
+val default : policy
+(** 3 attempts, 100 ms base, 5 s ceiling, seed 0. *)
+
+val backoffs : policy -> int list
+(** The full backoff schedule (milliseconds; entry [i] precedes
+    attempt [i + 2]): exponential with ceiling plus up to 25% seeded
+    jitter. Pure — same policy, same schedule (qcheck-pinned). *)
+
+val should_retry : Response.status -> bool
+(** [true] exactly for [Stransport] and [Sbusy]. *)
+
+val run :
+  ?policy:policy ->
+  ?sleep:(int -> unit) ->
+  ?on_retry:(attempt:int -> backoff_ms:int -> Response.t -> unit) ->
+  (attempt:int -> Response.t) ->
+  Response.t * int
+(** [run f] calls [f ~attempt] (numbered from 1) until the response is
+    non-retryable or attempts run out; returns the last response and
+    the attempts made. [sleep] actuates backoff (injectable for
+    tests); [on_retry] observes each retry decision. *)

@@ -192,19 +192,59 @@ let run_analyze (config : Toolchain.config) ~(name : string)
     rs_pass_stats = [];
     rs_diags = (match outcome with Ok () -> [] | Error d -> [ d ]) }
 
-let run_request (s : session) (rq : Request.t) : Response.t =
-  let config = Toolchain.of_session_request s.sv_state rq.rq_opts in
-  let resp =
-    match rq.rq_action with
-    | Request.Compile { ac_dump_rtl } ->
-      run_compile config ~name:rq.rq_name ~dump_rtl:ac_dump_rtl
-        ~validate:rq.rq_validate ~exact:rq.rq_exact rq.rq_source
-    | Request.Analyze { an_compare; an_simulate; an_annot } ->
-      run_analyze config ~name:rq.rq_name ~compare_all:an_compare
-        ~simulate:an_simulate ~annot:an_annot rq.rq_source
+(* The liveness probe's answer. Deliberately tiny and side-effect-free:
+   supervisors poll it on a schedule, so it must not consume a request
+   budget, perturb the served counter the accounting greps pin, or
+   touch the toolchain at all. *)
+let ping_output (s : session) : string =
+  let cache =
+    match s.sv_state.Toolchain.ss_cache with
+    | None -> "none"
+    | Some m ->
+      (match Wcet.Memo.store_dir m with Some _ -> "disk" | None -> "memory")
   in
-  Atomic.incr s.sv_served;
-  resp
+  Printf.sprintf "pong served=%d jobs=%d cache=%s\n" (served s) (jobs s) cache
+
+let run_request (s : session) (rq : Request.t) : Response.t =
+  match rq.rq_action with
+  | Request.Ping -> Response.ok (ping_output s)
+  | Request.Compile _ | Request.Analyze _ ->
+    let config = Toolchain.of_session_request s.sv_state rq.rq_opts in
+    let dispatch () : Response.t =
+      match rq.rq_action with
+      | Request.Compile { ac_dump_rtl } ->
+        run_compile config ~name:rq.rq_name ~dump_rtl:ac_dump_rtl
+          ~validate:rq.rq_validate ~exact:rq.rq_exact rq.rq_source
+      | Request.Analyze { an_compare; an_simulate; an_annot } ->
+        run_analyze config ~name:rq.rq_name ~compare_all:an_compare
+          ~simulate:an_simulate ~annot:an_annot rq.rq_source
+      | Request.Ping -> assert false
+    in
+    let resp =
+      (* Deadline enforcement: the check rides the [Wcet.Fuel.tick]
+         cancellation points, so expiry surfaces as [Fuel.Expired] —
+         which [Diag.of_exn] renders as a Deadline refusal and which,
+         by escaping the analysis BEFORE any memoization completes, is
+         never cached (a deadline says when an answer stops being
+         useful, not what it is). Compile-only requests have no
+         fuel-guarded loops, so for them the deadline is checked on
+         arrival — a bounded-latency promise for the analysis path,
+         an admission check elsewhere. *)
+      match rq.rq_deadline_ms with
+      | None -> dispatch ()
+      | Some ms when ms <= 0 ->
+        Response.refused
+          [ Diag.make ~node:rq.rq_name ~stage:Diag.Deadline
+              "request deadline expired before work began (refusing to \
+               answer late)" ]
+      | Some ms ->
+        let expiry = Unix.gettimeofday () +. (float_of_int ms /. 1000.0) in
+        Wcet.Fuel.with_deadline
+          (fun () -> Unix.gettimeofday () > expiry)
+          dispatch
+    in
+    Atomic.incr s.sv_served;
+    resp
 
 (* ---- the serve loops -------------------------------------------------- *)
 
@@ -218,6 +258,7 @@ let action_name (rq : Request.t) : string =
   match rq.rq_action with
   | Request.Compile _ -> "compile"
   | Request.Analyze _ -> "analyze"
+  | Request.Ping -> "ping"
 
 (* Per-request accounting on stderr: the memory/disk/miss DELTA of this
    request, so "0 misses" on a repeat request is the warm-cache proof
@@ -245,86 +286,170 @@ type connection_end = Cend_eof | Cend_shutdown | Cend_budget
    malformed *frame* poisons the stream (err frame, hang up); a
    well-framed malformed *request* costs only that request (err frame,
    keep serving) — the service's containment contract at the protocol
-   layer. *)
-let serve_connection ?max_requests ?(log = true) (s : session)
-    (ic : in_channel) (oc : out_channel) : connection_end =
+   layer. Generic over the transport ([read]/[write]) so the channel
+   path (--stdio, in-process tests) and the hardened fd path (the
+   daemon's sockets) share one protocol loop — containment rules can't
+   drift between transports. *)
+let serve_io ?max_requests ?(log = true) (s : session)
+    ~(read : unit -> Wire.frame) ~(write : kind:string -> string -> unit) :
+  connection_end =
   let budget_left () =
     match max_requests with None -> true | Some m -> served s < m
   in
   let rec loop () : connection_end =
     if not (budget_left ()) then Cend_budget
     else
-      match Wire.read_frame ic with
+      match read () with
       | Wire.Eof -> Cend_eof
       | Wire.Bad msg ->
-        (try
-           Wire.write_frame oc ~kind:"err" msg;
-           flush oc
-         with Sys_error _ -> ());
+        (try write ~kind:"err" msg
+         with Sys_error _ | Unix.Unix_error _ -> ());
         Cend_eof
       | Wire.Frame ("bye", _) -> Cend_eof
       | Wire.Frame ("shutdown", _) -> Cend_shutdown
       | Wire.Frame ("req", payload) ->
         (match Request.of_wire payload with
          | Error e ->
-           Wire.write_frame oc ~kind:"err" e;
-           flush oc;
+           write ~kind:"err" e;
            loop ()
          | Ok rq ->
            let before = stats s in
            let resp = run_request s rq in
-           Wire.write_frame oc ~kind:"resp" (Response.to_wire resp);
-           flush oc;
+           write ~kind:"resp" (Response.to_wire resp);
            if log then log_request s rq resp before;
            loop ())
       | Wire.Frame (kind, _) ->
-        Wire.write_frame oc ~kind:"err"
-          (Printf.sprintf "unknown frame kind %S" kind);
-        flush oc;
+        write ~kind:"err" (Printf.sprintf "unknown frame kind %S" kind);
         loop ()
   in
   loop ()
+
+let serve_connection ?max_requests ?(log = true) (s : session)
+    (ic : in_channel) (oc : out_channel) : connection_end =
+  serve_io ?max_requests ~log s
+    ~read:(fun () -> Wire.read_frame ic)
+    ~write:(fun ~kind payload ->
+        Wire.write_frame oc ~kind payload;
+        flush oc)
+
+(* Refuse to take over a socket path another live daemon is accepting
+   on: a successful connect proves a peer is behind it, and unlinking
+   would silently split the client population between two daemons with
+   two caches. Anything else (ECONNREFUSED, ENOENT, ...) means the
+   file is a stale leftover of a dead daemon — remove and rebind. *)
+let claim_socket_path (path : string) : unit =
+  if Sys.file_exists path then begin
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error (_, _, _) -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if live then
+      failwith
+        (Printf.sprintf
+           "socket %s is in use by a live daemon (refusing to unlink it)"
+           path);
+    try Sys.remove path with Sys_error _ -> ()
+  end
 
 (* The daemon accept loop over a Unix-domain socket. [stop] is polled
    between connections and on EINTR, so a SIGTERM handler that sets a
    flag makes the loop wind down cleanly (close, unlink, cache GC at
    the caller). [max_requests] ends the loop after that many requests
    have been answered across all connections — how cram/CI get a
-   deterministic daemon exit without PID gymnastics. *)
+   deterministic daemon exit without PID gymnastics.
+
+   Hardening (all per-connection, the daemon outlives everything):
+
+   - per-connection isolation: ANY escape from a connection — protocol
+     poison, a peer that died mid-write (EPIPE), an asynchronous
+     exception landing mid-request — costs that connection only; the
+     loop logs and keeps accepting.
+   - per-read timeout ([read_timeout_ms]): a slow-loris peer that
+     commits to a frame and then stalls is poisoned ([Bad]), it cannot
+     park the daemon.
+   - bounded pending budget: the listen socket is drained into a queue
+     whenever it fires — including (via the reader's aux hook) while
+     the daemon is blocked mid-read on another connection — and past
+     [pending_budget] waiting connections, new arrivals are shed with
+     a fast [busy] frame instead of queueing unboundedly. Shedding is
+     load control as data: the client sees [Sbusy] and retries. *)
 let serve_unix ?max_requests ?(log = true) ?(stop = fun () -> false)
-    (s : session) (path : string) : unit =
+    ?(pending_budget = 16) ?read_timeout_ms (s : session) (path : string) :
+  unit =
   ignore_sigpipe ();
-  if Sys.file_exists path then Sys.remove path;
+  claim_socket_path path;
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try Unix.bind sock (Unix.ADDR_UNIX path)
    with e -> (try Unix.close sock with Unix.Unix_error _ -> ()); raise e);
-  Unix.listen sock 16;
+  Unix.listen sock (max 16 pending_budget);
+  Unix.set_nonblock sock;
   if log then Printf.eprintf "fcd: listening on %s\n%!" path;
   let budget_left () =
     match max_requests with None -> true | Some m -> served s < m
   in
+  let pending : Unix.file_descr Queue.t = Queue.create () in
+  let drain_accept () =
+    let continue_ = ref true in
+    while !continue_ do
+      match Unix.accept sock with
+      | fd, _ ->
+        if Queue.length pending < pending_budget then Queue.add fd pending
+        else begin
+          (try
+             Wire.write_frame_fd fd ~kind:"busy"
+               (Printf.sprintf "server saturated (%d pending connections)"
+                  pending_budget)
+           with Unix.Unix_error _ -> ());
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          if log then
+            Printf.eprintf "fcd: shed connection (pending budget %d)\n%!"
+              pending_budget
+        end
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        continue_ := false
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done
+  in
   let finished = ref false in
   while (not !finished) && (not (stop ())) && budget_left () do
-    match Unix.accept sock with
-    | fd, _ ->
-      let ic = Unix.in_channel_of_descr fd in
-      let oc = Unix.out_channel_of_descr fd in
+    if Queue.is_empty pending then begin
+      match Unix.select [ sock ] [] [] (-1.0) with
+      | _ -> drain_accept ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        (* a signal landed (SIGTERM): re-check [stop] *)
+        ()
+    end;
+    match Queue.take_opt pending with
+    | None -> ()
+    | Some fd ->
+      let rd = Wire.fd_reader fd in
+      Wire.set_read_timeout rd
+        (Option.map (fun ms -> float_of_int ms /. 1000.0) read_timeout_ms);
+      Wire.set_aux rd (Some (sock, drain_accept));
       let ended =
-        try serve_connection ?max_requests ~log s ic oc with
-        | Sys_error _ -> Cend_eof
-        | Unix.Unix_error _ -> Cend_eof
+        try
+          serve_io ?max_requests ~log s
+            ~read:(fun () -> Wire.read_frame_fd rd)
+            ~write:(fun ~kind payload -> Wire.write_frame_fd fd ~kind payload)
+        with e ->
+          (* per-connection isolation: whatever escaped, only this
+             connection pays — the daemon keeps serving *)
+          if log then
+            Printf.eprintf "fcd: connection failed: %s (daemon continues)\n%!"
+              (Printexc.to_string e);
+          Cend_eof
       in
-      (try flush oc with Sys_error _ -> ());
-      (* one close of the underlying fd; close_in on the same fd after
-         close_out would double-close *)
       (try Unix.close fd with Unix.Unix_error _ -> ());
       (match ended with
        | Cend_shutdown | Cend_budget -> finished := true
        | Cend_eof -> ())
-    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
-      (* a signal landed (SIGTERM): re-check [stop] *)
-      ()
   done;
+  Queue.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    pending;
   (try Unix.close sock with Unix.Unix_error _ -> ());
   (try Sys.remove path with Sys_error _ -> ())
 
@@ -342,8 +467,7 @@ let serve_stdio ?max_requests ?(log = true) (s : session) : unit =
 module Client = struct
   type conn = {
     c_fd : Unix.file_descr;
-    c_ic : in_channel;
-    c_oc : out_channel;
+    c_rd : Wire.fd_reader;
   }
 
   let connect (path : string) : (conn, string) Result.t =
@@ -356,31 +480,33 @@ module Client = struct
          raise e);
       fd
     with
-    | fd ->
-      Ok
-        { c_fd = fd;
-          c_ic = Unix.in_channel_of_descr fd;
-          c_oc = Unix.out_channel_of_descr fd }
+    | fd -> Ok { c_fd = fd; c_rd = Wire.fd_reader fd }
     | exception Unix.Unix_error (e, _, _) ->
       Error
         (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message e))
 
   (* Every failure mode on the way to an answer — broken socket,
-     refused frame, undecodable payload — becomes an [Stransport]
-     response naming the request's node: transport failure is data,
-     never an exception, and never mistakable for an answer. *)
-  let request (c : conn) (rq : Request.t) : Response.t =
+     refused frame, undecodable payload, a daemon that never answers
+     within [timeout_s] — becomes an [Stransport] response naming the
+     request's node: transport failure is data, never an exception,
+     and never mistakable for an answer. A [busy] frame (the server
+     shed us) becomes [Sbusy]: equally empty, equally retryable, but
+     distinguishable — backoff policy may treat overload differently
+     from a dead socket. *)
+  let request ?timeout_s (c : conn) (rq : Request.t) : Response.t =
     let node = rq.Request.rq_name in
+    Wire.set_read_timeout c.c_rd timeout_s;
     match
-      Wire.write_frame c.c_oc ~kind:"req" (Request.to_wire rq);
-      flush c.c_oc;
-      Wire.read_frame c.c_ic
+      Wire.write_frame_fd c.c_fd ~kind:"req" (Request.to_wire rq);
+      Wire.read_frame_fd ~idle_timeout:true c.c_rd
     with
     | Wire.Frame ("resp", payload) ->
       (match Response.of_wire payload with
        | Ok r -> r
        | Error e ->
          Response.transport ~node ("undecodable response: " ^ e))
+    | Wire.Frame ("busy", msg) ->
+      Response.busy ~node ("daemon shed the connection: " ^ msg)
     | Wire.Frame ("err", msg) ->
       Response.transport ~node ("daemon refused the frame: " ^ msg)
     | Wire.Frame (kind, _) ->
@@ -395,16 +521,12 @@ module Client = struct
       Response.transport ~node "connection closed by daemon"
 
   let close (c : conn) : unit =
-    (try
-       Wire.write_frame c.c_oc ~kind:"bye" "";
-       flush c.c_oc
+    (try Wire.write_frame_fd c.c_fd ~kind:"bye" ""
      with Sys_error _ | Unix.Unix_error _ -> ());
     try Unix.close c.c_fd with Unix.Unix_error _ -> ()
 
   let shutdown (c : conn) : unit =
-    (try
-       Wire.write_frame c.c_oc ~kind:"shutdown" "";
-       flush c.c_oc
+    (try Wire.write_frame_fd c.c_fd ~kind:"shutdown" ""
      with Sys_error _ | Unix.Unix_error _ -> ());
     try Unix.close c.c_fd with Unix.Unix_error _ -> ()
 end
@@ -428,7 +550,7 @@ let open_process_line (argv : string list) :
   (line, status)
 
 let daemon_argv ~(exe : string) ~(socket : string) ?cache_dir ?gc_mb
-    ?max_requests ?jobs () : string list =
+    ?max_requests ?jobs ?pending_budget ?read_timeout_ms () : string list =
   (exe :: [ "--socket"; socket ])
   @ (match cache_dir with Some d -> [ "--cache-dir"; d ] | None -> [])
   @ (match gc_mb with Some m -> [ "--cache-gc-mb"; string_of_int m ] | None -> [])
@@ -436,6 +558,12 @@ let daemon_argv ~(exe : string) ~(socket : string) ?cache_dir ?gc_mb
      | Some n -> [ "--max-requests"; string_of_int n ]
      | None -> [])
   @ (match jobs with Some j -> [ "-j"; string_of_int j ] | None -> [])
+  @ (match pending_budget with
+     | Some n -> [ "--pending-budget"; string_of_int n ]
+     | None -> [])
+  @ (match read_timeout_ms with
+     | Some n -> [ "--read-timeout-ms"; string_of_int n ]
+     | None -> [])
 
 let spawn ?stderr_to (argv : string list) : int =
   let arr = Array.of_list argv in

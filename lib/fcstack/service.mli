@@ -51,7 +51,13 @@ val gc : session -> unit
 
 val run_request : session -> Request.t -> Response.t
 (** Execute one request against the session's warm state. Total: never
-    raises; failures come back as [Srefused] with diagnostics. *)
+    raises; failures come back as [Srefused] with diagnostics. A
+    deadline on the request ({!Request.t.rq_deadline_ms}) is enforced
+    through the {!Wcet.Fuel.tick} cancellation points: expiry is an
+    [Srefused] with a [Deadline] diag — never a partial or unsound
+    answer, never cached. [Ping] requests answer with session stats,
+    run no toolchain work, and do not count as served (supervisor
+    probes must not consume a [max_requests] budget). *)
 
 type connection_end =
   | Cend_eof       (** peer said bye or hung up *)
@@ -68,14 +74,24 @@ val serve_connection :
     delta — a warm repeat shows [0 misses]. *)
 
 val serve_unix :
-  ?max_requests:int -> ?log:bool -> ?stop:(unit -> bool) -> session ->
-  string -> unit
+  ?max_requests:int -> ?log:bool -> ?stop:(unit -> bool) ->
+  ?pending_budget:int -> ?read_timeout_ms:int -> session -> string -> unit
 (** Accept loop on a Unix-domain socket at [path]. [stop] is re-polled
-    between connections and when a signal interrupts [accept], so a
+    between connections and when a signal interrupts the wait, so a
     SIGTERM handler that sets a flag shuts the loop down cleanly (the
     socket is closed and unlinked). [max_requests] ends the loop after
     that many requests across all connections — deterministic daemon
-    exit for tests. *)
+    exit for tests.
+
+    Hardening: refuses to start if another live daemon is accepting on
+    [path] (raises [Failure]; a stale socket file is removed and
+    rebound). Any escape from one connection costs that connection
+    only. [read_timeout_ms] bounds each blocking read once a peer has
+    committed to a frame (slow-loris = poisoned stream, not a parked
+    daemon). Beyond [pending_budget] (default 16) queued connections,
+    new arrivals are shed with a fast [busy] frame ([Sbusy] at the
+    client: empty, retryable); draining happens even while the daemon
+    is blocked mid-read on another connection. *)
 
 val serve_stdio : ?max_requests:int -> ?log:bool -> session -> unit
 (** One connection over stdin/stdout ([fcd --stdio]). *)
@@ -87,11 +103,13 @@ module Client : sig
   val connect : string -> (conn, string) Result.t
   (** Connect to the daemon socket at [path]. *)
 
-  val request : conn -> Request.t -> Response.t
+  val request : ?timeout_s:float -> conn -> Request.t -> Response.t
   (** Round-trip one request. Total: every transport failure (broken
-      socket, refused frame, undecodable payload) becomes an
-      [Stransport] response naming the request — retryable data, never
-      an exception, never mistakable for an answer. *)
+      socket, refused frame, undecodable payload, no answer within
+      [timeout_s]) becomes an [Stransport] response naming the request
+      — retryable data, never an exception, never mistakable for an
+      answer. A server [busy] frame becomes [Sbusy] (equally empty and
+      retryable, distinguishable for backoff policy). *)
 
   val close : conn -> unit
   (** Send bye (best effort) and close. *)
@@ -115,7 +133,8 @@ val open_process_line : string list -> string option * Unix.process_status
 
 val daemon_argv :
   exe:string -> socket:string -> ?cache_dir:string -> ?gc_mb:int ->
-  ?max_requests:int -> ?jobs:int -> unit -> string list
+  ?max_requests:int -> ?jobs:int -> ?pending_budget:int ->
+  ?read_timeout_ms:int -> unit -> string list
 (** The canonical [fcd] invocation. *)
 
 val spawn : ?stderr_to:Unix.file_descr -> string list -> int

@@ -140,23 +140,196 @@ let read_header (ic : in_channel) : (string, frame) Result.t =
   in
   go 0
 
+(* Header syntax is shared between the channel and fd readers: one
+   parser, so a hostile length prefix is rejected identically on both
+   paths (bounded BEFORE any payload allocation — [max_frame_len] is a
+   protocol error, not an allocation attempt). *)
+let parse_header (header : string) : (string * int, frame) Result.t =
+  match String.split_on_char ' ' header with
+  | [ version; kind; len ] ->
+    if version <> protocol_version then
+      Error
+        (Bad
+           (Printf.sprintf "protocol version mismatch: peer speaks %S, I speak %S"
+              version protocol_version))
+    else
+      (match int_of_string_opt len with
+       | None -> Error (Bad (Printf.sprintf "bad frame length %S" len))
+       | Some n when n < 0 || n > max_frame_len ->
+         Error (Bad (Printf.sprintf "frame length %d out of range" n))
+       | Some n -> Ok (kind, n))
+  | _ -> Error (Bad (Printf.sprintf "malformed frame header %S" header))
+
 let read_frame (ic : in_channel) : frame =
   match read_header ic with
   | Error f -> f
   | Ok header ->
-    (match String.split_on_char ' ' header with
-     | [ version; kind; len ] ->
-       if version <> protocol_version then
-         Bad
-           (Printf.sprintf "protocol version mismatch: peer speaks %S, I speak %S"
-              version protocol_version)
-       else
-         (match int_of_string_opt len with
-          | None -> Bad (Printf.sprintf "bad frame length %S" len)
-          | Some n when n < 0 || n > max_frame_len ->
-            Bad (Printf.sprintf "frame length %d out of range" n)
-          | Some n ->
-            (match really_input_string ic n with
-             | payload -> Frame (kind, payload)
-             | exception End_of_file -> Bad "truncated frame payload"))
-     | _ -> Bad (Printf.sprintf "malformed frame header %S" header))
+    (match parse_header header with
+     | Error f -> f
+     | Ok (kind, n) ->
+       (match really_input_string ic n with
+        | payload -> Frame (kind, payload)
+        | exception End_of_file -> Bad "truncated frame payload"))
+
+(* ---- fd-based reader (timeouts, EINTR, shedding hook) ---------------- *)
+
+(* The in_channel path above serves --stdio and in-process tests; the
+   server and client read sockets through this reader instead, because
+   resilience needs what buffered channels can't give us:
+
+   - a per-read timeout, so a slow-loris peer that dribbles a frame
+     one byte a minute poisons its own stream ([Bad]) instead of
+     parking the daemon forever;
+   - EINTR-safe read/write/select loops, so a signal storm (SIGCHLD
+     from a supervisor, SIGUSR1 probes) never surfaces as a spurious
+     transport failure;
+   - an auxiliary readiness hook: while the server is blocked reading
+     connection A it can still watch the listen socket and shed
+     connection C with a fast [busy] frame — overload control must not
+     itself be blockable by one slow peer. *)
+
+type fd_reader = {
+  rd_fd : Unix.file_descr;
+  rd_buf : Bytes.t;
+  mutable rd_start : int;            (* first unconsumed byte *)
+  mutable rd_len : int;              (* unconsumed byte count *)
+  mutable rd_timeout : float option; (* seconds per blocking wait *)
+  mutable rd_aux : (Unix.file_descr * (unit -> unit)) option;
+}
+
+exception Read_timeout
+
+let fd_reader (fd : Unix.file_descr) : fd_reader =
+  { rd_fd = fd;
+    rd_buf = Bytes.create 65536;
+    rd_start = 0;
+    rd_len = 0;
+    rd_timeout = None;
+    rd_aux = None }
+
+let set_read_timeout (rd : fd_reader) (t : float option) : unit =
+  rd.rd_timeout <- t
+
+let set_aux (rd : fd_reader) (aux : (Unix.file_descr * (unit -> unit)) option)
+  : unit =
+  rd.rd_aux <- aux
+
+(* Wait until [rd_fd] is readable, servicing the aux hook whenever its
+   fd fires. The deadline is absolute so EINTR retries and aux
+   wake-ups never extend a peer's budget. Raises [Read_timeout]. *)
+let rec wait_readable (rd : fd_reader) ~(deadline : float option) : unit =
+  let span =
+    match deadline with
+    | None -> -1.0
+    | Some d ->
+      let s = d -. Unix.gettimeofday () in
+      if s <= 0.0 then raise Read_timeout else s
+  in
+  let aux_fds = match rd.rd_aux with Some (fd, _) -> [ fd ] | None -> [] in
+  match Unix.select (rd.rd_fd :: aux_fds) [] [] span with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_readable rd ~deadline
+  | [], _, _ ->
+    (match deadline with
+     | Some _ -> raise Read_timeout
+     | None -> wait_readable rd ~deadline)
+  | ready, _, _ ->
+    (match rd.rd_aux with
+     | Some (fd, service) when List.mem fd ready -> service ()
+     | _ -> ());
+    if not (List.mem rd.rd_fd ready) then wait_readable rd ~deadline
+
+(* Pull the next chunk into the buffer; [false] on EOF. *)
+let refill (rd : fd_reader) ~(timeout : float option) : bool =
+  let deadline = Option.map (fun t -> Unix.gettimeofday () +. t) timeout in
+  wait_readable rd ~deadline;
+  let rec read_once () =
+    match Unix.read rd.rd_fd rd.rd_buf 0 (Bytes.length rd.rd_buf) with
+    | n -> n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_once ()
+  in
+  let n = read_once () in
+  if n = 0 then false
+  else begin
+    rd.rd_start <- 0;
+    rd.rd_len <- n;
+    true
+  end
+
+let next_byte (rd : fd_reader) ~(timeout : float option) : char option =
+  if rd.rd_len = 0 && not (refill rd ~timeout) then None
+  else begin
+    let c = Bytes.get rd.rd_buf rd.rd_start in
+    rd.rd_start <- rd.rd_start + 1;
+    rd.rd_len <- rd.rd_len - 1;
+    Some c
+  end
+
+exception Fd_eof
+
+let read_exact (rd : fd_reader) (n : int) ~(timeout : float option) : string =
+  let out = Bytes.create n in
+  let filled = ref 0 in
+  while !filled < n do
+    if rd.rd_len = 0 && not (refill rd ~timeout) then raise Fd_eof;
+    let k = min rd.rd_len (n - !filled) in
+    Bytes.blit rd.rd_buf rd.rd_start out !filled k;
+    rd.rd_start <- rd.rd_start + k;
+    rd.rd_len <- rd.rd_len - k;
+    filled := !filled + k
+  done;
+  Bytes.unsafe_to_string out
+
+(* Read one frame. Without [idle_timeout] the wait for the FIRST
+   header byte is unbounded — an idle connection is legal; the
+   per-read timeout starts once the peer commits to a frame, so only
+   a mid-frame staller is poisoned. Clients pass [idle_timeout:true]:
+   there the first byte IS the response arriving, and "the daemon
+   never answered" must become a transport failure, not a hang. *)
+let read_frame_fd ?(idle_timeout = false) (rd : fd_reader) : frame =
+  let timeout = rd.rd_timeout in
+  let first_timeout = if idle_timeout then timeout else None in
+  match
+    let b = Buffer.create 32 in
+    let rec header (n : int) : (string, frame) Result.t =
+      if n > 256 then Error (Bad "frame header too long")
+      else
+        match next_byte rd ~timeout:(if n = 0 then first_timeout else timeout) with
+        | None ->
+          if Buffer.length b = 0 then Error Eof
+          else Error (Bad "truncated frame header")
+        | Some '\n' -> Ok (Buffer.contents b)
+        | Some c ->
+          Buffer.add_char b c;
+          header (n + 1)
+    in
+    (match header 0 with
+     | Error f -> Error f
+     | Ok h ->
+       (match parse_header h with
+        | Error f -> Error f
+        | Ok (kind, n) ->
+          (match read_exact rd n ~timeout with
+           | payload -> Ok (Frame (kind, payload))
+           | exception Fd_eof -> Error (Bad "truncated frame payload"))))
+  with
+  | Ok f | Error f -> f
+  | exception Read_timeout -> Bad "read timed out"
+
+(* Full-write loop: [Unix.write] may write short or be interrupted;
+   both silently losing bytes and a spurious failure would break the
+   byte-identity contract at the weakest possible place. *)
+let write_fd (fd : Unix.file_descr) (s : string) : unit =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    match Unix.write fd b !off (n - !off) with
+    | k -> off := !off + k
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let write_frame_fd (fd : Unix.file_descr) ~(kind : string) (payload : string) :
+  unit =
+  write_fd fd
+    (Printf.sprintf "%s %s %d\n" protocol_version kind (String.length payload));
+  write_fd fd payload

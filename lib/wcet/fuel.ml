@@ -44,3 +44,36 @@ exception Exhausted of string
 (* [Exhausted what]: the iteration site [what] ran out of budget. *)
 
 let exhaust (what : string) : 'a = raise (Exhausted what)
+
+(* ---- cooperative cancellation ---------------------------------------- *)
+
+(* The same sites that count fuel are the only places an analysis can
+   spend unbounded time, so they double as cancellation points: the
+   service installs a deadline check here and every fuel-guarded loop
+   polls it ([tick]). [Expired] is deliberately NOT [Exhausted] — fuel
+   exhaustion means "this analysis diverges" (a property of the
+   request, cacheable as a refusal by the driver's handler), while
+   expiry means "this caller stopped waiting" (a property of the
+   moment, so it must escape the driver's handler, skip the cache, and
+   reach the service layer as a Deadline refusal).
+
+   The slot is domain-local: concurrent sessions in one process (tests
+   run several) must not see each other's deadlines, and the Par
+   worker domains of an in-process batch run inherit nothing — batch
+   runs have no deadline by construction. *)
+
+exception Expired
+
+let deadline_slot : (unit -> bool) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let with_deadline (check : unit -> bool) (f : unit -> 'a) : 'a =
+  let slot = Domain.DLS.get deadline_slot in
+  let saved = !slot in
+  slot := Some check;
+  Fun.protect ~finally:(fun () -> slot := saved) f
+
+let tick () : unit =
+  match !(Domain.DLS.get deadline_slot) with
+  | None -> ()
+  | Some check -> if check () then raise Expired

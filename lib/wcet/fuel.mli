@@ -38,3 +38,28 @@ exception Exhausted of string
 
 val exhaust : string -> 'a
 (** [exhaust what] raises [Exhausted what]. *)
+
+(** {1 Cooperative cancellation}
+
+    The fuel-guarded loops double as cancellation points: a caller
+    (the compilation service, enforcing a request deadline) installs a
+    check with {!with_deadline}, and every guarded loop polls it via
+    {!tick}. {!Expired} is deliberately distinct from {!Exhausted}:
+    exhaustion is a property of the request ("this analysis diverges",
+    a cacheable refusal), expiry is a property of the moment ("this
+    caller stopped waiting") — it must escape the driver's exhaustion
+    handler, skip every cache, and surface as a deadline refusal. *)
+
+exception Expired
+(** The installed deadline check returned [true] at a cancellation
+    point. *)
+
+val with_deadline : (unit -> bool) -> (unit -> 'a) -> 'a
+(** [with_deadline check f] runs [f] with [check] installed in this
+    domain (restoring the previous check on exit, exceptional or not).
+    Domain-local: worker domains and concurrent sessions are
+    unaffected. *)
+
+val tick : unit -> unit
+(** Poll the installed check; raises {!Expired} when it fires. No-op
+    (one ref read) when no deadline is installed. *)

@@ -224,6 +224,7 @@ let solve ?(fuel = Fuel.default.Fuel.fl_simplex) (pb : problem) : solution =
     let continue_ = ref true in
     while !continue_ do
       incr iterations;
+      Fuel.tick ();
       if !iterations > fuel then Fuel.exhaust "simplex pivoting";
       (* Dantzig rule normally; Bland's anti-cycling rule after many
          iterations (guarantees termination on degenerate problems). *)

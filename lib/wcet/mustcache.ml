@@ -185,6 +185,7 @@ let analyze ?(fuel = Fuel.default.Fuel.fl_widen) (cfg : Cfg.t)
   let iters = ref 0 in
   while not (Queue.is_empty worklist) do
     incr iters;
+    Fuel.tick ();
     if !iters > fuel then Fuel.exhaust "must-cache ageing fixpoint";
     let b = Queue.pop worklist in
     inq.(b) <- false;

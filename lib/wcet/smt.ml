@@ -556,6 +556,7 @@ let compute ?(fuel = Fuel.default) (cfg : Cfg.t) (dom : Dom.t)
     let budget = ref fuel.Fuel.fl_omt in
     let queries = ref 0 in
     let charge () =
+      Fuel.tick ();
       if !budget <= 0 then Fuel.exhaust "omt";
       decr budget;
       incr queries

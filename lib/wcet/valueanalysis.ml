@@ -401,6 +401,7 @@ let analyze ?(widen_after = 3) ?(fuel = Fuel.default.Fuel.fl_widen)
   let iters = ref 0 in
   while not (Queue.is_empty worklist) do
     incr iters;
+    Fuel.tick ();
     if !iters > fuel then Fuel.exhaust "value-analysis widening fixpoint";
     let b = Queue.pop worklist in
     inqueue.(b) <- false;

@@ -363,3 +363,65 @@ frame; the daemon exits cleanly at EOF:
   1
   $ grep -c "fcd: served 0 request(s)" stdio.err
   1
+
+fcd --ping is the supervisor liveness probe: one line of session stats
+on stdout, exit 0. A probe runs no toolchain work and does not consume
+the --max-requests budget, so the daemon still serves its request:
+
+  $ ../bin/fcd.exe --socket psock.sock --max-requests 1 2> pfcd.err &
+  $ i=0; while ! test -S psock.sock && test $i -lt 100; do sleep 0.1; i=$((i+1)); done
+  $ ../bin/fcd.exe --ping psock.sock
+  pong served=0 jobs=1 cache=memory
+  $ ../bin/aitw.exe -c vcomp --connect psock.sock gen/n000.mc > /dev/null
+  $ wait
+  $ grep -c "fcd: served 1 request(s)" pfcd.err
+  1
+
+Pinging a dead socket is a plain failure, exit 1:
+
+  $ ../bin/fcd.exe --ping psock.sock 2>/dev/null
+  [1]
+
+Deadlines are data: an already-expired deadline is refused with a
+deadline diagnostic (exit 2, stdout untouched), and a generous one
+changes no byte of the report:
+
+  $ ../bin/aitw.exe -c vcomp --deadline-ms 0 gen/n000.mc > dl.txt 2> dl.err
+  [2]
+  $ test -s dl.txt || echo stdout-empty
+  stdout-empty
+  $ grep -q "deadline expired" dl.err && echo deadline-diagnosed
+  deadline-diagnosed
+  $ ../bin/aitw.exe -c vcomp --deadline-ms 600000 gen/n000.mc 2>/dev/null > dl_gen.txt
+  $ cmp nocache_report.txt dl_gen.txt && echo deadline-identical
+  deadline-identical
+
+Client resilience: against a daemon that dies after one request, the
+second request retries on transport failure and then (--fallback-local)
+degrades to in-process execution — stdout stays byte-identical to the
+batch run, stderr carries the cumulative retry accounting:
+
+  $ ../bin/fcd.exe --socket rsock.sock --max-requests 1 2> rfcd.err &
+  $ i=0; while ! test -S rsock.sock && test $i -lt 100; do sleep 0.1; i=$((i+1)); done
+  $ ../bin/fcc.exe -c vcomp --connect rsock.sock --fallback-local --retries 2 --retry-base-ms 1 gen/n000.mc gen/n001.mc > resil_multi.s 2> resil.err
+  $ wait
+  $ cmp seq_multi.s resil_multi.s && echo resilient-asm-identical
+  resilient-asm-identical
+  $ grep -c "falling back to local execution" resil.err
+  1
+  $ grep -c "fcc: retried 1 request(s) (1 extra attempt(s))" resil.err
+  1
+
+With no daemon at all, --fallback-local degrades every request and the
+output is still byte-identical to the batch run:
+
+  $ ../bin/aitw.exe -c vcomp --connect nosuch.sock --fallback-local --retries 1 gen/n000.mc > fallback_report.txt 2> fallback.err
+  $ cmp nocache_report.txt fallback_report.txt && echo fallback-identical
+  fallback-identical
+  $ grep -c "falling back to local execution" fallback.err
+  1
+
+while without it an unreachable daemon is an up-front failure:
+
+  $ ../bin/aitw.exe -c vcomp --connect nosuch.sock gen/n000.mc 2>/dev/null
+  [2]

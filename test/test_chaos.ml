@@ -193,8 +193,15 @@ let test_chaos_server_leg () =
     let r =
       Fcstack.Chaos.run ~seed:20260806 ~nodes:6 ~victims:2 ~fcd_exe ()
     in
-    Alcotest.check Alcotest.bool "server leg ran" true
-      (List.mem "fcd-kill-restart" r.Fcstack.Chaos.ch_legs);
+    (* the full hostile-input matrix ran: kill/restart plus the four
+       resilience legs, and the always-on store-fault legs *)
+    List.iter
+      (fun leg ->
+         Alcotest.check Alcotest.bool (leg ^ " leg ran") true
+           (List.mem leg r.Fcstack.Chaos.ch_legs))
+      [ "fcd-kill-restart"; "oversized-frame"; "slow-loris";
+        "sigstop-deadline"; "kill-under-load"; "truncated-store";
+        "enospc-store" ];
     Alcotest.check (Alcotest.list Alcotest.string) "no containment violations"
       [] r.Fcstack.Chaos.ch_problems
 

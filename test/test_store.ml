@@ -239,6 +239,96 @@ let test_stale_version_is_miss () =
         checkb "pre-OMT generation (wcet-3) is a miss" true
           (Wcet.Store.load st ~digest ~payload = None))
 
+(* ---- fault injection: WRITE failures are silent misses too ---- *)
+
+(* Occupy every 2-hex shard slot with a regular FILE: each entry write
+   then fails with ENOTDIR (the closest portable stand-in for
+   ENOSPC/EACCES — works even as root, where permission bits are
+   ignored), while the store's top-level writability probe still
+   passes. The contract: [save] returns false silently, analysis is
+   byte-identical to an uncached run, nothing raises. *)
+let clog_all_shards (dir : string) : unit =
+  String.iter
+    (fun a ->
+       String.iter
+         (fun b ->
+            write_file (Filename.concat dir (Printf.sprintf "%c%c" a b)) "x")
+         "0123456789abcdef")
+    "0123456789abcdef"
+
+let test_write_failure_is_silent_miss () =
+  with_dir (fun dir ->
+      Unix.mkdir dir 0o755;
+      clog_all_shards dir;
+      let b = small_built () in
+      let uncached =
+        Wcet.Driver.analyze_full b.Fcstack.Chain.b_asm b.Fcstack.Chain.b_layout
+      in
+      (* the store attaches (the top directory IS writable)... *)
+      let m = Wcet.Memo.create ~dir () in
+      checkb "store attached despite clogged shards" true
+        (Wcet.Memo.store_dir m = Some dir);
+      let r1 =
+        Wcet.Driver.analyze_full ~cache:m b.Fcstack.Chain.b_asm
+          b.Fcstack.Chain.b_layout
+      in
+      (* ...but every entry write failed, silently: nothing landed *)
+      let st = Wcet.Memo.stats m in
+      checki "no disk hit" 0 st.Wcet.Report.st_disk_hits;
+      checkb "analysis re-ran" true (st.Wcet.Report.st_misses > 0);
+      checkb "write failure changes no byte of the result" true
+        (r1 = uncached);
+      (* a fresh instance finds nothing on disk and re-analyzes — again
+         byte-identical, again no exception *)
+      let m2 = Wcet.Memo.create ~dir () in
+      let r2 =
+        Wcet.Driver.analyze_full ~cache:m2 b.Fcstack.Chain.b_asm
+          b.Fcstack.Chain.b_layout
+      in
+      checki "still no disk hit across instances" 0
+        (Wcet.Memo.stats m2).Wcet.Report.st_disk_hits;
+      checkb "second run byte-identical too" true (r2 = uncached);
+      (* the raw Store agrees: save reports failure as [false], load
+         reports it as a miss — neither raises *)
+      match Wcet.Store.create ~dir () with
+      | None -> Alcotest.fail "store creation failed over clogged shards"
+      | Some st ->
+        let digest = Digest.string "clogged-entry" in
+        checkb "save over a clogged shard returns false" true
+          (not (Wcet.Store.save st ~digest ~payload:"p" uncached));
+        checkb "load over a clogged shard is a miss" true
+          (Wcet.Store.load st ~digest ~payload:"p" = None))
+
+(* a torn/garbage recency index must never break GC: unparseable lines
+   are skipped, eviction still applies the byte budget *)
+let test_gc_tolerates_torn_index () =
+  with_dir (fun dir ->
+      match Wcet.Store.create ~dir () with
+      | None -> Alcotest.fail "store creation failed"
+      | Some st ->
+        let b = small_built () in
+        let entry =
+          Wcet.Driver.analyze_full b.Fcstack.Chain.b_asm
+            b.Fcstack.Chain.b_layout
+        in
+        List.iter
+          (fun d -> ignore (Wcet.Store.save st ~digest:d ~payload:"p" entry))
+          [ Digest.string "t1"; Digest.string "t2" ];
+        let index = Filename.concat dir "index" in
+        (* a crash mid-append: garbage, a torn half-digest, binary *)
+        write_file index
+          (read_file index ^ "not-a-digest\nabc\n\x00\x01\x02\n"
+           ^ String.sub (Digest.to_hex (Digest.string "t1")) 0 9);
+        Wcet.Store.gc ~max_bytes:0 st;
+        checki "zero budget clears the store through a torn index" 0
+          (List.length (Wcet.Store.entries st));
+        (* and the store still works afterwards *)
+        let d = Digest.string "t3" in
+        checkb "post-GC save works" true
+          (Wcet.Store.save st ~digest:d ~payload:"p" entry);
+        checkb "post-GC load works" true
+          (Wcet.Store.load st ~digest:d ~payload:"p" = Some entry))
+
 (* ---- engine Both: warm == cold == uncached through the store ---- *)
 
 let test_both_engine_cold_warm_uncached () =
@@ -380,6 +470,10 @@ let suite =
      test_fault_injection);
     ("store: stale version stamp is a miss", `Quick,
      test_stale_version_is_miss);
+    ("store: write failure is a silent miss (clogged shards)", `Quick,
+     test_write_failure_is_silent_miss);
+    ("store: GC tolerates a torn recency index", `Quick,
+     test_gc_tolerates_torn_index);
     ("store: engine Both warm = cold = uncached, no cross-engine serve",
      `Quick, test_both_engine_cold_warm_uncached);
     ("store: GC evicts least-recently-used first", `Quick, test_gc_lru);
